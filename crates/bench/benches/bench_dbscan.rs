@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the clustering stage: DBSCAN and the adaptive
+//! outlier filter run once per frequency pair over a few hundred latencies,
+//! and over every pair of a sweep in the analysis stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latest_cluster::{adaptive_outlier_filter, AdaptiveConfig, Dbscan};
+use std::hint::black_box;
+
+/// Latency-like dataset: dominant cluster, secondary mode, rare outliers.
+fn latency_dataset(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) % 1000;
+            if h < 20 {
+                250.0 + h as f64
+            } else if h < 300 {
+                21.0 + (h % 50) as f64 * 0.02
+            } else {
+                15.0 + (h % 100) as f64 * 0.01
+            }
+        })
+        .collect()
+}
+
+fn bench_dbscan_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbscan_fit_1d");
+    for n in [250usize, 1_000, 10_000] {
+        let data = latency_dataset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| black_box(Dbscan::new(1.0, 8).fit_1d(black_box(data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_outlier_filter");
+    for n in [250usize, 1_000] {
+        let data = latency_dataset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                black_box(adaptive_outlier_filter(
+                    black_box(data),
+                    &AdaptiveConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_silhouette(c: &mut Criterion) {
+    let data = latency_dataset(1_000);
+    let labeling = Dbscan::new(1.0, 8).fit_1d(&data);
+    c.bench_function("silhouette_1000", |b| {
+        b.iter(|| black_box(latest_cluster::silhouette_score_1d(black_box(&data), &labeling)))
+    });
+}
+
+criterion_group!(benches, bench_dbscan_fit, bench_adaptive, bench_silhouette);
+criterion_main!(benches);

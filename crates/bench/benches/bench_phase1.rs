@@ -1,0 +1,38 @@
+//! Criterion benchmark for phase 1: per-frequency characterisation cost
+//! (settle + final kernel + robust statistics), the fixed overhead every
+//! campaign pays once per benchmarked frequency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latest_core::phase1::characterize_frequency;
+use latest_core::{CampaignConfig, SimPlatform};
+use latest_gpu_sim::devices;
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::transition::FixedTransition;
+use latest_sim_clock::SimDuration;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut spec = devices::a100_sxm4();
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(10),
+    });
+    let config = CampaignConfig::builder(spec)
+        .frequencies_mhz(&[705, 1410])
+        .simulated_sms(Some(4))
+        .seed(7)
+        .build();
+
+    let mut g = c.benchmark_group("phase1_characterize");
+    g.sample_size(10);
+    g.bench_function("one_frequency_a100", |b| {
+        b.iter(|| {
+            let mut platform = SimPlatform::new(config.spec.clone(), 7).unwrap();
+            black_box(characterize_frequency(&mut platform, &config, FreqMhz(1095)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

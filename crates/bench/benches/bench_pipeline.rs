@@ -1,0 +1,53 @@
+//! Criterion benchmark for the end-to-end per-pair pipeline: controller
+//! loop (phases 2-3 with the RSE stopping rule) plus the Algorithm-3
+//! analysis — what each of the hundreds of heatmap cells costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latest_cluster::AdaptiveConfig;
+use latest_core::analysis::analyze_pair;
+use latest_core::controller::run_pair;
+use latest_core::phase1::run_phase1;
+use latest_core::{CampaignConfig, SimPlatform};
+use latest_gpu_sim::devices;
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::transition::FixedTransition;
+use latest_sim_clock::SimDuration;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_pair_pipeline(c: &mut Criterion) {
+    let mut spec = devices::a100_sxm4();
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(8),
+    });
+    let config = CampaignConfig::builder(spec)
+        .frequencies_mhz(&[705, 1410])
+        .measurements(10, 15)
+        .simulated_sms(Some(4))
+        .seed(11)
+        .build();
+    let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+    let p1 = run_phase1(&mut platform, &config).unwrap();
+
+    let mut g = c.benchmark_group("pair_pipeline");
+    g.sample_size(10);
+    g.bench_function("controller_plus_analysis_10meas", |b| {
+        b.iter(|| {
+            let outcome = run_pair(
+                &mut platform,
+                &config,
+                &p1,
+                FreqMhz(1410),
+                FreqMhz(705),
+                15.0,
+            )
+            .unwrap();
+            let run = outcome.run().expect("completed");
+            black_box(analyze_pair(&run.latencies_ms, &AdaptiveConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pair_pipeline);
+criterion_main!(benches);

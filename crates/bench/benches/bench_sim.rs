@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the simulator substrate: iteration integration
+//! throughput is *the* cost driver of a campaign (hundreds of millions of
+//! `advance_cycles` calls per full heatmap sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use latest_gpu_sim::sm::{run_sm, WorkloadParams};
+use latest_gpu_sim::trajectory::FreqTrajectory;
+use latest_sim_clock::{ClockView, SharedClock, SimDuration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn busy_trajectory() -> FreqTrajectory {
+    // A realistic phase-2 shape: init clock, pending, four ramp steps, target.
+    let mut t = FreqTrajectory::flat(1410.0);
+    t.push(SimTime::from_millis(20), 1300.0);
+    t.push(SimTime::from_millis(21), 1150.0);
+    t.push(SimTime::from_millis(22), 950.0);
+    t.push(SimTime::from_millis(23), 800.0);
+    t.push(SimTime::from_millis(24), 705.0);
+    t
+}
+
+fn bench_sm_engine(c: &mut Criterion) {
+    let traj = busy_trajectory();
+    let timer = ClockView::skewed(SharedClock::new(), 7_340_000, 2.5, SimDuration::from_micros(1));
+    let params = WorkloadParams::default_micro();
+    let mut g = c.benchmark_group("sm_iterations");
+    for n in [1_000u32, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                black_box(run_sm(
+                    black_box(&traj),
+                    SimTime::EPOCH,
+                    n,
+                    &params,
+                    &timer,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trajectory_ops(c: &mut Criterion) {
+    let traj = busy_trajectory();
+    c.bench_function("advance_cycles_cold", |b| {
+        b.iter(|| black_box(traj.advance_cycles(SimTime::from_millis(19), black_box(1e6))))
+    });
+    c.bench_function("cycles_between", |b| {
+        b.iter(|| {
+            black_box(traj.cycles_between(
+                SimTime::from_millis(19),
+                SimTime::from_millis(26),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sm_engine, bench_trajectory_ops);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark for one full phase-2 + phase-3 measurement pass —
+//! the unit of work repeated tens of times per frequency pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latest_core::phase1::run_phase1;
+use latest_core::phase2::run_phase2;
+use latest_core::phase3::evaluate_pass;
+use latest_core::{CampaignConfig, SimPlatform};
+use latest_gpu_sim::devices;
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::transition::FixedTransition;
+use latest_sim_clock::SimDuration;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_one_pass(c: &mut Criterion) {
+    let mut spec = devices::a100_sxm4();
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(10),
+    });
+    let config = CampaignConfig::builder(spec)
+        .frequencies_mhz(&[705, 1410])
+        .simulated_sms(Some(4))
+        .seed(9)
+        .build();
+    let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+    let p1 = run_phase1(&mut platform, &config).unwrap();
+    let init_stats = p1.of(FreqMhz(1410)).unwrap().iter_ns;
+    let target_stats = p1.of(FreqMhz(705)).unwrap().iter_ns;
+
+    let mut g = c.benchmark_group("switch_measurement");
+    g.sample_size(20);
+    g.bench_function("phase2_phase3_single_pass", |b| {
+        b.iter(|| {
+            let cap = run_phase2(
+                &mut platform,
+                &config,
+                FreqMhz(1410),
+                FreqMhz(705),
+                &init_stats,
+                15.0,
+            )
+            .unwrap();
+            black_box(evaluate_pass(&cap, &target_stats, &config))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_pass);
+criterion_main!(benches);

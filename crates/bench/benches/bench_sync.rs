@@ -1,0 +1,54 @@
+//! Criterion benchmark for the IEEE 1588 synchroniser (one run per
+//! measurement pass, so it sits on the campaign's critical path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latest_clock_sync::{synchronize, SyncConfig, TimestampProbe};
+use latest_sim_clock::{ClockView, SharedClock, SimDuration, SimTime};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+struct BenchProbe {
+    clock: SharedClock,
+    device: ClockView,
+    rng: ChaCha8Rng,
+}
+
+impl TimestampProbe for BenchProbe {
+    fn exchange(&mut self) -> (SimTime, SimTime, SimTime) {
+        let before = self.clock.now();
+        let out: f64 = self.rng.gen_range(6.0..20.0);
+        let at = self.clock.advance(SimDuration::from_nanos((out * 1e3) as u64));
+        let stamp = self.device.project(at);
+        let back: f64 = self.rng.gen_range(4.0..15.0);
+        let after = self.clock.advance(SimDuration::from_nanos((back * 1e3) as u64));
+        (before, stamp, after)
+    }
+}
+
+fn bench_sync_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptp_synchronize");
+    for rounds in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let clock = SharedClock::new();
+                let mut probe = BenchProbe {
+                    device: ClockView::skewed(
+                        clock.clone(),
+                        7_340_000,
+                        2.5,
+                        SimDuration::from_micros(1),
+                    ),
+                    clock,
+                    rng: ChaCha8Rng::seed_from_u64(3),
+                };
+                let cfg = SyncConfig { rounds, keep_best: 4, ..Default::default() };
+                black_box(synchronize(&mut probe, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_rounds);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Shared support for the paper-artefact regeneration binaries and the
+//! Criterion benchmarks.
+//!
+//! Every `repro_*` binary re-creates one table or figure of the paper. They
+//! share the sweep driver here: a campaign configuration scaled so a full
+//! heatmap regenerates in seconds of wall-clock time (virtual time is free;
+//! the knobs traded down from the paper's tool are the measurement counts
+//! and the number of simulated SM record streams, both documented in
+//! DESIGN.md §4).
+
+use latest_core::{CampaignConfig, CampaignResult, Latest, PairMeasurement};
+use latest_gpu_sim::devices::DeviceSpec;
+use latest_report::{DirectionSplit, Heatmap};
+
+/// The standard repro-scale campaign: `n_freqs` evenly spaced ladder
+/// frequencies, 25–60 measurements per pair at 5 % RSE, 6 simulated SM
+/// streams.
+pub fn repro_config(spec: DeviceSpec, n_freqs: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig::builder(spec)
+        .frequency_subset(n_freqs)
+        .seed(seed)
+        .measurements(25, 60)
+        .simulated_sms(Some(6))
+        .build()
+}
+
+/// Run a full campaign (phase 1, probe, all ordered pairs).
+pub fn run_sweep(spec: DeviceSpec, n_freqs: usize, seed: u64) -> CampaignResult {
+    Latest::new(repro_config(spec, n_freqs, seed))
+        .run()
+        .expect("repro campaign")
+}
+
+/// Which per-pair statistic feeds a heatmap cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStat {
+    /// Best case: the minimum filtered latency.
+    Min,
+    /// Worst case: the maximum filtered latency.
+    Max,
+    /// Mean of the filtered latencies.
+    Mean,
+}
+
+/// Extract the requested statistic from one pair (post-outlier-filter).
+pub fn pair_stat(p: &PairMeasurement, stat: CellStat) -> Option<f64> {
+    let a = p.analysis.as_ref()?;
+    if a.inliers_ms.is_empty() {
+        return None;
+    }
+    Some(match stat {
+        CellStat::Min => a.filtered.min,
+        CellStat::Max => a.filtered.max,
+        CellStat::Mean => a.filtered.mean,
+    })
+}
+
+/// Build the paper-layout heatmap (initial frequency in rows, target in
+/// columns) from a campaign.
+pub fn campaign_heatmap(result: &CampaignResult, freqs_mhz: &[u32], stat: CellStat) -> Heatmap {
+    Heatmap::build(freqs_mhz, freqs_mhz, |init, target| {
+        if init == target {
+            return None;
+        }
+        result
+            .pairs()
+            .iter()
+            .find(|p| p.init_mhz == init && p.target_mhz == target)
+            .and_then(|p| pair_stat(p, stat))
+    })
+}
+
+/// Pool a campaign's filtered latencies by transition direction (Fig. 4).
+pub fn direction_split(result: &CampaignResult) -> DirectionSplit {
+    let mut split = DirectionSplit::default();
+    for p in result.completed() {
+        if let Some(a) = &p.analysis {
+            split.add(p.init_mhz, p.target_mhz, &a.inliers_ms);
+        }
+    }
+    split
+}
+
+/// The frequency list of a repro config, as u32 MHz.
+pub fn freqs_mhz(config: &CampaignConfig) -> Vec<u32> {
+    config.frequencies.iter().map(|f| f.0).collect()
+}
+
+/// Worst-case / best-case summary rows for Table II.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Device name.
+    pub device: String,
+    /// min / mean / max of the per-pair statistic, plus argmin/argmax pairs.
+    pub min: (f64, u32, u32),
+    /// Mean over pairs.
+    pub mean: f64,
+    /// Max over pairs with its pair.
+    pub max: (f64, u32, u32),
+}
+
+/// Summarise one campaign into a Table II row for the given statistic.
+pub fn table2_row(result: &CampaignResult, stat: CellStat) -> Option<Table2Row> {
+    let cells: Vec<(f64, u32, u32)> = result
+        .completed()
+        .filter_map(|p| pair_stat(p, stat).map(|v| (v, p.init_mhz, p.target_mhz)))
+        .collect();
+    if cells.is_empty() {
+        return None;
+    }
+    let min = cells
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())?;
+    let max = cells
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())?;
+    let mean = cells.iter().map(|c| c.0).sum::<f64>() / cells.len() as f64;
+    Some(Table2Row {
+        device: result.device_name.clone(),
+        min,
+        mean,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use latest_sim_clock::SimDuration;
+    use std::sync::Arc;
+
+    fn tiny_sweep() -> (CampaignResult, Vec<u32>) {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(7),
+        });
+        let config = CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1410])
+            .measurements(8, 12)
+            .seed(2)
+            .simulated_sms(Some(2))
+            .build();
+        let freqs = freqs_mhz(&config);
+        (Latest::new(config).run().unwrap(), freqs)
+    }
+
+    #[test]
+    fn heatmap_has_blank_diagonal_and_filled_cells() {
+        let (result, freqs) = tiny_sweep();
+        let hm = campaign_heatmap(&result, &freqs, CellStat::Max);
+        assert_eq!(hm.get(0, 0), None);
+        assert!(hm.get(0, 1).is_some());
+        assert!(hm.get(1, 0).is_some());
+        // Fixed 7 ms device: all cells near 7 ms.
+        for (_, _, v) in hm.iter_cells() {
+            assert!((6.8..10.0).contains(&v), "cell {v}");
+        }
+    }
+
+    #[test]
+    fn table2_row_min_le_mean_le_max() {
+        let (result, _) = tiny_sweep();
+        let row = table2_row(&result, CellStat::Max).unwrap();
+        assert!(row.min.0 <= row.mean && row.mean <= row.max.0);
+        assert!(row.device.contains("A100"));
+    }
+
+    #[test]
+    fn direction_split_covers_both_directions() {
+        let (result, _) = tiny_sweep();
+        let split = direction_split(&result);
+        assert!(!split.increasing.is_empty());
+        assert!(!split.decreasing.is_empty());
+    }
+}

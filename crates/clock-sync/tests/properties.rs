@@ -1,0 +1,117 @@
+//! Property-based tests for the IEEE 1588 synchroniser: for *any* true
+//! offset, transport delay and jitter, the estimate must cover the truth
+//! within its self-reported uncertainty.
+
+use latest_clock_sync::{synchronize, SyncConfig, SyncResult, TimestampProbe};
+use latest_sim_clock::{SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A synthetic transport: symmetric base delay with bounded jitter on each
+/// leg, device clock at a fixed known offset, quantised reads.
+struct SyntheticProbe {
+    now_ns: u64,
+    true_offset_ns: i64,
+    base_delay_ns: u64,
+    jitter_ns: u64,
+    resolution_ns: u64,
+    rng: ChaCha8Rng,
+}
+
+impl TimestampProbe for SyntheticProbe {
+    fn exchange(&mut self) -> (SimTime, SimTime, SimTime) {
+        let leg1 = self.base_delay_ns + self.rng.gen_range(0..=self.jitter_ns);
+        let leg2 = self.base_delay_ns + self.rng.gen_range(0..=self.jitter_ns);
+        let before = SimTime::from_nanos(self.now_ns);
+        let stamp_global = self.now_ns + leg1;
+        let device_raw = (stamp_global as i64 + self.true_offset_ns) as u64;
+        let stamp = SimTime::from_nanos(device_raw - device_raw % self.resolution_ns);
+        let after = SimTime::from_nanos(stamp_global + leg2);
+        self.now_ns = stamp_global + leg2 + 10_000; // pause between rounds
+        (before, stamp, after)
+    }
+}
+
+fn run_sync(
+    true_offset_ns: i64,
+    base_delay_ns: u64,
+    jitter_ns: u64,
+    resolution_ns: u64,
+    seed: u64,
+    rounds: usize,
+) -> SyncResult {
+    let mut probe = SyntheticProbe {
+        now_ns: 1_000_000_000,
+        true_offset_ns,
+        base_delay_ns,
+        jitter_ns,
+        resolution_ns,
+        rng: ChaCha8Rng::seed_from_u64(seed),
+    };
+    let config = SyncConfig {
+        rounds,
+        keep_best: 4,
+        device_resolution: SimDuration::from_nanos(resolution_ns),
+    };
+    synchronize(&mut probe, &config)
+}
+
+proptest! {
+    #[test]
+    fn estimate_covers_truth_within_reported_uncertainty(
+        true_offset_ns in -1_000_000_000i64..1_000_000_000,
+        base_delay_ns in 100u64..50_000,
+        jitter_ns in 0u64..20_000,
+        resolution_ns in 1u64..2_000,
+        seed in 0u64..500,
+    ) {
+        let r = run_sync(true_offset_ns, base_delay_ns, jitter_ns, resolution_ns, seed, 64);
+        let err = (r.offset_ns - true_offset_ns).unsigned_abs();
+        // The quantised device stamp can sit a full resolution below the
+        // true time; allow it on top of the reported uncertainty.
+        prop_assert!(
+            err <= r.uncertainty_ns + resolution_ns,
+            "err {err} ns vs uncertainty {} (+res {resolution_ns})",
+            r.uncertainty_ns
+        );
+    }
+
+    #[test]
+    fn uncertainty_reflects_transport_width(
+        base_delay_ns in 100u64..20_000,
+        jitter_ns in 0u64..5_000,
+        seed in 0u64..200,
+    ) {
+        let r = run_sync(0, base_delay_ns, jitter_ns, 1_000, seed, 64);
+        // Best round trip is at least two base legs, and the uncertainty is
+        // at least its half-width.
+        prop_assert!(r.best_round_trip_ns >= 2 * base_delay_ns);
+        prop_assert!(r.uncertainty_ns >= r.best_round_trip_ns / 2);
+        prop_assert_eq!(r.rounds, 64);
+    }
+
+    #[test]
+    fn more_rounds_never_hurt_much(
+        true_offset_ns in -1_000_000i64..1_000_000,
+        seed in 0u64..100,
+    ) {
+        // Min-filtering: with more rounds the kept exchanges can only get
+        // narrower, so the uncertainty must be non-increasing.
+        let few = run_sync(true_offset_ns, 5_000, 10_000, 1_000, seed, 8);
+        let many = run_sync(true_offset_ns, 5_000, 10_000, 1_000, seed, 128);
+        prop_assert!(many.uncertainty_ns <= few.uncertainty_ns);
+    }
+
+    #[test]
+    fn mapping_round_trips(host_ns in 1_000_000u64..u64::MAX / 4, offset in -1_000_000i64..1_000_000) {
+        let r = SyncResult {
+            offset_ns: offset,
+            uncertainty_ns: 0,
+            rounds: 1,
+            best_round_trip_ns: 0,
+        };
+        let host = SimTime::from_nanos(host_ns);
+        prop_assert_eq!(r.device_to_host(r.host_to_device(host)), host);
+    }
+}

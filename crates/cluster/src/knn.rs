@@ -1,0 +1,190 @@
+//! k-nearest-neighbour distance profiles and knee detection.
+//!
+//! The paper (Sec. V-C) notes that the DBSCAN `eps` "is often obtained through
+//! the k-nearest neighbors algorithm as its graph representation knee point",
+//! and calibrates the quantile-range multiplier by "comparing the ratio of the
+//! average k-nearest neighbor distance to the 0.05–0.95 quantile range". Both
+//! operations are implemented here for 1-D data.
+
+/// Distance from each point to its `k`-th nearest neighbour (k >= 1,
+/// excluding the point itself). Returned in input order.
+///
+/// Exact O(n·k) after an O(n log n) sort: in 1-D the k nearest neighbours of
+/// a point are found by merging outward from its sorted position.
+///
+/// Panics if `k == 0`; returns an empty vector when `k >= n`.
+pub fn kth_neighbor_distances(data: &[f64], k: usize) -> Vec<f64> {
+    assert!(k >= 1, "k must be at least 1");
+    let n = data.len();
+    if k >= n {
+        return Vec::new();
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in knn input"));
+    let sorted: Vec<f64> = order.iter().map(|&i| data[i]).collect();
+
+    let mut out = vec![0.0f64; n];
+    for (pos, &orig) in order.iter().enumerate() {
+        // Two-pointer outward merge to the k-th closest value.
+        let x = sorted[pos];
+        let mut left = pos; // next candidate on the left is left-1
+        let mut right = pos + 1; // next candidate on the right
+        let mut kth = 0.0;
+        for _ in 0..k {
+            let dl = if left > 0 { x - sorted[left - 1] } else { f64::INFINITY };
+            let dr = if right < n { sorted[right] - x } else { f64::INFINITY };
+            if dl <= dr {
+                kth = dl;
+                left -= 1;
+            } else {
+                kth = dr;
+                right += 1;
+            }
+        }
+        out[orig] = kth;
+    }
+    out
+}
+
+/// Mean of the k-th-NN distances — the quantity the paper compares against
+/// the 0.05–0.95 quantile range when calibrating the eps multiplier.
+/// Returns NaN when `k >= n`.
+pub fn average_knn_distance(data: &[f64], k: usize) -> f64 {
+    let d = kth_neighbor_distances(data, k);
+    if d.is_empty() {
+        return f64::NAN;
+    }
+    d.iter().sum::<f64>() / d.len() as f64
+}
+
+/// Knee (elbow) index of an ascending curve: the point with maximum
+/// perpendicular distance to the chord joining the first and last points
+/// (a Kneedle-style heuristic). Used on the sorted k-distance graph to pick
+/// `eps` in the conventional, non-adaptive workflow.
+///
+/// Returns `None` for curves with fewer than 3 points.
+pub fn knee_index(ascending: &[f64]) -> Option<usize> {
+    let n = ascending.len();
+    if n < 3 {
+        return None;
+    }
+    let x0 = 0.0;
+    let y0 = ascending[0];
+    let x1 = (n - 1) as f64;
+    let y1 = ascending[n - 1];
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    if norm == 0.0 {
+        return None;
+    }
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &y) in ascending.iter().enumerate() {
+        let x = i as f64;
+        // Perpendicular distance to the chord.
+        let d = ((dy * x - dx * y + x1 * y0 - y1 * x0) / norm).abs();
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    Some(best.0)
+}
+
+/// Convenience: the conventional k-NN eps suggestion — sort the k-distances
+/// and return the value at the knee. Returns `None` when the data is too
+/// small or degenerate.
+pub fn knee_eps(data: &[f64], k: usize) -> Option<f64> {
+    let mut d = kth_neighbor_distances(data, k);
+    if d.len() < 3 {
+        return None;
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    knee_index(&d).map(|i| d[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kth_distance_on_uniform_grid() {
+        // Points 0,1,2,...,9: 1st NN distance is 1 everywhere; 2nd NN is 1
+        // for interior points (both sides) -> wait: for interior, 2nd closest
+        // is also at distance 1; for endpoints it is 2.
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d1 = kth_neighbor_distances(&data, 1);
+        assert!(d1.iter().all(|&d| (d - 1.0).abs() < 1e-12));
+        let d2 = kth_neighbor_distances(&data, 2);
+        assert!((d2[0] - 2.0).abs() < 1e-12);
+        assert!((d2[9] - 2.0).abs() < 1e-12);
+        assert!((d2[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kth_distance_matches_naive() {
+        let data: Vec<f64> = (0..60)
+            .map(|i| ((i * 2654435761u64) % 997) as f64 / 10.0)
+            .collect();
+        for k in [1usize, 3, 7] {
+            let fast = kth_neighbor_distances(&data, k);
+            for (i, &x) in data.iter().enumerate() {
+                let mut ds: Vec<f64> = data
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &y)| (x - y).abs())
+                    .collect();
+                ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert!(
+                    (fast[i] - ds[k - 1]).abs() < 1e-12,
+                    "k={k} i={i}: {} vs {}",
+                    fast[i],
+                    ds[k - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_too_large_is_empty() {
+        assert!(kth_neighbor_distances(&[1.0, 2.0], 2).is_empty());
+        assert!(average_knn_distance(&[1.0, 2.0], 5).is_nan());
+    }
+
+    #[test]
+    fn average_knn_distance_simple() {
+        let data = [0.0, 1.0, 3.0];
+        // 1-NN distances: 1 (0->1), 1 (1->0), 2 (3->1); mean = 4/3.
+        assert!((average_knn_distance(&data, 1) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_of_hockey_stick() {
+        // Flat then steep: knee should sit near the bend (index 7).
+        let mut curve = vec![1.0; 8];
+        curve.extend((1..6).map(|i| 1.0 + i as f64 * 10.0));
+        let knee = knee_index(&curve).unwrap();
+        assert!((6..=8).contains(&knee), "knee at {knee}");
+    }
+
+    #[test]
+    fn knee_degenerate_cases() {
+        assert_eq!(knee_index(&[1.0, 2.0]), None);
+        assert_eq!(knee_index(&[]), None);
+        // Constant curve has zero chord length in y; any index acceptable,
+        // must not panic.
+        let _ = knee_index(&[5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn knee_eps_on_latency_like_data() {
+        // A tight main cluster and a handful of distant outliers: the knee
+        // eps must be far smaller than the outlier spacing so DBSCAN with it
+        // separates the groups.
+        let mut data: Vec<f64> = (0..95).map(|i| 20.0 + (i % 10) as f64 * 0.05).collect();
+        data.extend([200.0, 240.0, 260.0, 320.0, 400.0]);
+        let eps = knee_eps(&data, 4).unwrap();
+        assert!(eps < 50.0, "eps = {eps}");
+    }
+}

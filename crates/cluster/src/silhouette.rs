@@ -1,0 +1,147 @@
+//! Silhouette score for validating cluster separation.
+//!
+//! Section VII-B: "we evaluated the clusters using the silhouette score. This
+//! score ranges from -1 (overlapping clusters) up to 1 (perfect clustering),
+//! while for our dataset, where two or more clusters were identified, the
+//! score is always above 0.4 ... The average silhouette score over all three
+//! GPUs is 0.84."
+
+use crate::dbscan::{Label, Labeling};
+
+/// Mean silhouette coefficient over all clustered (non-noise) points of a
+/// 1-D dataset.
+///
+/// For each point `i` in cluster `C`: `a(i)` is the mean distance to the
+/// other members of `C` (0 for singleton clusters, by the standard
+/// convention `s(i) = 0`), `b(i)` is the smallest mean distance to any other
+/// cluster, and `s(i) = (b - a) / max(a, b)`.
+///
+/// Returns `None` when fewer than two clusters exist (the score is undefined)
+/// or when no non-noise points remain.
+pub fn silhouette_score_1d(data: &[f64], labeling: &Labeling) -> Option<f64> {
+    assert_eq!(
+        data.len(),
+        labeling.labels.len(),
+        "data and labels must be parallel"
+    );
+    if labeling.n_clusters < 2 {
+        return None;
+    }
+
+    // Collect members per cluster.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); labeling.n_clusters];
+    for (i, l) in labeling.labels.iter().enumerate() {
+        if let Label::Cluster(c) = l {
+            members[*c].push(i);
+        }
+    }
+    if members.iter().filter(|m| !m.is_empty()).count() < 2 {
+        return None;
+    }
+
+    let mean_dist_to = |x: f64, cluster: &[usize]| -> f64 {
+        debug_assert!(!cluster.is_empty());
+        cluster.iter().map(|&j| (x - data[j]).abs()).sum::<f64>() / cluster.len() as f64
+    };
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (i, l) in labeling.labels.iter().enumerate() {
+        let Label::Cluster(c) = l else { continue };
+        let own = &members[*c];
+        let s = if own.len() <= 1 {
+            0.0
+        } else {
+            let x = data[i];
+            // a(i): mean distance to *other* members of own cluster.
+            let a = own
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| (x - data[j]).abs())
+                .sum::<f64>()
+                / (own.len() - 1) as f64;
+            // b(i): smallest mean distance to another cluster.
+            let b = members
+                .iter()
+                .enumerate()
+                .filter(|(k, m)| *k != *c && !m.is_empty())
+                .map(|(_, m)| mean_dist_to(x, m))
+                .fold(f64::INFINITY, f64::min);
+            let denom = a.max(b);
+            if denom == 0.0 {
+                0.0
+            } else {
+                (b - a) / denom
+            }
+        };
+        total += s;
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::Dbscan;
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let mut data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.01).collect();
+        data.extend((0..50).map(|i| 200.0 + (i % 5) as f64 * 0.01));
+        let labeling = Dbscan::new(1.0, 4).fit_1d(&data);
+        assert_eq!(labeling.n_clusters, 2);
+        let s = silhouette_score_1d(&data, &labeling).unwrap();
+        assert!(s > 0.95, "score = {s}");
+    }
+
+    #[test]
+    fn adjacent_clusters_score_lower_than_distant_ones() {
+        let make = |gap: f64| -> f64 {
+            let mut data: Vec<f64> = (0..40).map(|i| (i % 8) as f64 * 0.2).collect();
+            data.extend((0..40).map(|i| gap + (i % 8) as f64 * 0.2));
+            let labeling = Dbscan::new(0.5, 4).fit_1d(&data);
+            assert_eq!(labeling.n_clusters, 2, "gap {gap}");
+            silhouette_score_1d(&data, &labeling).unwrap()
+        };
+        let close = make(5.0);
+        let far = make(500.0);
+        assert!(far > close, "far={far} close={close}");
+    }
+
+    #[test]
+    fn single_cluster_is_undefined() {
+        let data: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let labeling = Dbscan::new(1.0, 3).fit_1d(&data);
+        assert_eq!(labeling.n_clusters, 1);
+        assert!(silhouette_score_1d(&data, &labeling).is_none());
+    }
+
+    #[test]
+    fn noise_points_are_excluded() {
+        let mut data: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.01).collect();
+        data.extend((0..30).map(|i| 100.0 + (i % 5) as f64 * 0.01));
+        data.push(1e6); // extreme outlier -> noise
+        let labeling = Dbscan::new(1.0, 4).fit_1d(&data);
+        assert_eq!(labeling.n_clusters, 2);
+        assert_eq!(labeling.noise_count(), 1);
+        let s = silhouette_score_1d(&data, &labeling).unwrap();
+        // The outlier must not drag the score; clusters are clean.
+        assert!(s > 0.9, "score = {s}");
+    }
+
+    #[test]
+    fn identical_points_in_two_duplicate_groups() {
+        // Two clusters of identical coordinates: a = 0, b > 0 -> s = 1.
+        let mut data = vec![1.0; 10];
+        data.extend(vec![9.0; 10]);
+        let labeling = Dbscan::new(0.5, 3).fit_1d(&data);
+        assert_eq!(labeling.n_clusters, 2);
+        let s = silhouette_score_1d(&data, &labeling).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

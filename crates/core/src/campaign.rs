@@ -1,0 +1,222 @@
+//! The end-to-end LATEST tool: phase 1 once, then every valid frequency
+//! pair through phases 2–3 under the RSE controller, then per-pair analysis.
+//!
+//! Pairs run in parallel with rayon, each on a freshly instantiated
+//! simulated platform seeded deterministically from `(campaign seed, pair)`.
+//! On physical hardware the pairs share one GPU and must run sequentially;
+//! parallelism here is a simulation-only speedup that preserves per-pair
+//! semantics and bitwise reproducibility (results are independent of
+//! scheduling order by construction).
+
+use latest_cluster::AdaptiveConfig;
+use latest_gpu_sim::freq::FreqMhz;
+use rayon::prelude::*;
+
+use crate::analysis::{analyze_pair, PairAnalysis};
+use crate::config::CampaignConfig;
+use crate::controller::{run_pair, PairOutcome};
+use crate::error::CoreResult;
+use crate::phase1::{run_phase1, Phase1Result};
+use crate::platform::SimPlatform;
+use crate::probe::{estimate_upper_bound, ProbeResult};
+
+/// One pair's full result: measurements plus analysis.
+#[derive(Clone, Debug)]
+pub struct PairMeasurement {
+    /// Initial frequency (MHz).
+    pub init_mhz: u32,
+    /// Target frequency (MHz).
+    pub target_mhz: u32,
+    /// How the measurement loop ended.
+    pub outcome: PairOutcome,
+    /// Algorithm-3 analysis of the latencies (None unless completed).
+    pub analysis: Option<PairAnalysis>,
+}
+
+impl PairMeasurement {
+    /// The filtered (outlier-free) summary, when available.
+    pub fn filtered_summary(&self) -> Option<latest_stats::Summary> {
+        self.analysis.as_ref().map(|a| a.filtered)
+    }
+
+    /// Raw latencies (ms) when the pair completed.
+    pub fn latencies_ms(&self) -> Option<&[f64]> {
+        self.outcome.run().map(|r| r.latencies_ms.as_slice())
+    }
+
+    /// Whether the transition increases frequency.
+    pub fn is_increase(&self) -> bool {
+        self.target_mhz > self.init_mhz
+    }
+}
+
+/// Result of a whole campaign on one device.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Device name measured.
+    pub device_name: String,
+    /// Device index.
+    pub device_index: usize,
+    /// Phase-1 characterisation.
+    pub phase1: Phase1Result,
+    /// Probe-phase result.
+    pub probe: ProbeResult,
+    /// All pair measurements, in `ordered_pairs` order.
+    pub pairs: Vec<PairMeasurement>,
+}
+
+impl CampaignResult {
+    /// All pair measurements.
+    pub fn pairs(&self) -> &[PairMeasurement] {
+        &self.pairs
+    }
+
+    /// Completed pairs only.
+    pub fn completed(&self) -> impl Iterator<Item = &PairMeasurement> {
+        self.pairs.iter().filter(|p| p.outcome.run().is_some())
+    }
+
+    /// Look up one pair.
+    pub fn pair(&self, init: FreqMhz, target: FreqMhz) -> Option<&PairMeasurement> {
+        self.pairs
+            .iter()
+            .find(|p| p.init_mhz == init.0 && p.target_mhz == target.0)
+    }
+}
+
+/// The LATEST tool.
+pub struct Latest {
+    config: CampaignConfig,
+    adaptive: AdaptiveConfig,
+}
+
+impl Latest {
+    /// Build a tool instance from a campaign configuration.
+    pub fn new(config: CampaignConfig) -> Self {
+        Latest { config, adaptive: AdaptiveConfig::default() }
+    }
+
+    /// Override the Algorithm-3 parameters.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Run the whole campaign.
+    pub fn run(&self) -> CoreResult<CampaignResult> {
+        let config = &self.config;
+
+        // Phase 1 + probe on a dedicated platform.
+        let mut p0 = SimPlatform::new(config.spec.clone(), config.seed)?;
+        let phase1 = run_phase1(&mut p0, config)?;
+        let probe = estimate_upper_bound(&mut p0, config, &phase1)?;
+
+        // Every ordered pair, in parallel, each on its own platform.
+        let pairs: CoreResult<Vec<PairMeasurement>> = config
+            .ordered_pairs()
+            .into_par_iter()
+            .map(|(init, target)| {
+                let seed = config.pair_seed(init, target);
+                let mut platform = SimPlatform::new(config.spec.clone(), seed)?;
+                let outcome =
+                    run_pair(&mut platform, config, &phase1, init, target, probe.max_latency_ms)?;
+                let analysis = outcome
+                    .run()
+                    .map(|r| analyze_pair(&r.latencies_ms, &self.adaptive));
+                Ok(PairMeasurement {
+                    init_mhz: init.0,
+                    target_mhz: target.0,
+                    outcome,
+                    analysis,
+                })
+            })
+            .collect();
+
+        Ok(CampaignResult {
+            device_name: config.spec.name.clone(),
+            device_index: config.device_index,
+            phase1,
+            probe,
+            pairs: pairs?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use latest_sim_clock::SimDuration;
+    use std::sync::Arc;
+
+    fn small_campaign(seed: u64) -> CampaignConfig {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(9),
+        });
+        CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1095, 1410])
+            .measurements(10, 25)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn campaign_covers_all_ordered_pairs() {
+        let result = Latest::new(small_campaign(3)).run().unwrap();
+        assert_eq!(result.pairs().len(), 6);
+        for p in result.completed() {
+            let a = p.analysis.as_ref().unwrap();
+            // Fixed 9 ms device: every filtered mean must sit near 9 ms
+            // (plus driver travel and detection granularity).
+            assert!(
+                (8.8..11.0).contains(&a.filtered.mean),
+                "{}->{}: mean {} ms",
+                p.init_mhz,
+                p.target_mhz,
+                a.filtered.mean
+            );
+        }
+        assert!(result.pair(FreqMhz(705), FreqMhz(1410)).is_some());
+        assert!(result.pair(FreqMhz(705), FreqMhz(705)).is_none());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_runs() {
+        let a = Latest::new(small_campaign(11)).run().unwrap();
+        let b = Latest::new(small_campaign(11)).run().unwrap();
+        for (pa, pb) in a.pairs().iter().zip(b.pairs()) {
+            assert_eq!(pa.latencies_ms(), pb.latencies_ms());
+        }
+        // And a different seed gives different noise.
+        let c = Latest::new(small_campaign(12)).run().unwrap();
+        let same = a
+            .pairs()
+            .iter()
+            .zip(c.pairs())
+            .all(|(x, y)| x.latencies_ms() == y.latencies_ms());
+        assert!(!same, "different seeds produced identical campaigns");
+    }
+
+    #[test]
+    fn closed_loop_measured_matches_ground_truth() {
+        let result = Latest::new(small_campaign(7)).run().unwrap();
+        for p in result.completed() {
+            let run = p.outcome.run().unwrap();
+            for (&m, &g) in run.latencies_ms.iter().zip(&run.ground_truth_ms) {
+                assert!(
+                    (m - g).abs() < 0.6,
+                    "{}->{}: measured {m} vs truth {g}",
+                    p.init_mhz,
+                    p.target_mhz
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Campaign configuration: every knob of the LATEST tool (Sec. VI) plus the
+//! simulation-fidelity controls.
+//!
+//! Mirrors the CLI of the paper's tool: the mandatory benchmarked-frequency
+//! list, the device index, the RSE threshold (default 5 %), and the
+//! minimum/maximum measurement counts — plus the methodology constants of
+//! Sec. V (delay period, confirmation window, detection band width) that the
+//! paper fixes in prose.
+
+use latest_gpu_sim::devices::DeviceSpec;
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::sm::WorkloadParams;
+use latest_sim_clock::SimDuration;
+
+/// Full configuration of one measurement campaign on one device.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// The device to benchmark.
+    pub spec: DeviceSpec,
+    /// Device index (for output naming; multi-GPU campaigns create one
+    /// config per unit).
+    pub device_index: usize,
+    /// Hostname used in output file names.
+    pub hostname: String,
+    /// Frequencies to benchmark (the tool's mandatory argument). Must be
+    /// ladder values; all ordered pairs of distinct entries are candidates.
+    pub frequencies: Vec<FreqMhz>,
+    /// Master seed for the simulation substrate.
+    pub seed: u64,
+
+    // --- stopping rule (Sec. VI) ---
+    /// RSE threshold below which a pair's measurement loop stops (0.05).
+    pub rse_threshold: f64,
+    /// Measurements to collect before RSE checks begin.
+    pub min_measurements: usize,
+    /// Hard cap on measurements per pair.
+    pub max_measurements: usize,
+    /// RSE is evaluated every this many passes (25 in the paper).
+    pub rse_check_every: usize,
+    /// Throttle reasons are polled every this many passes (5).
+    pub throttle_check_every: usize,
+    /// Measurements discarded after a thermal event (5).
+    pub thermal_discard: usize,
+    /// Cool-down pause after a thermal event (10 s).
+    pub thermal_backoff: SimDuration,
+
+    // --- methodology constants (Sec. V) ---
+    /// Iterations executed at the initial frequency before the change call
+    /// (the *delay period*; "several hundred").
+    pub delay_iterations: u32,
+    /// Iterations after the detected transition used to confirm the target
+    /// mean ("several hundred up to a thousand").
+    pub confirm_iterations: u32,
+    /// Width multiplier of the detection band (2.0 = the paper's 2σ).
+    pub sigma_k: f64,
+    /// Confidence level for every interval/test (0.95).
+    pub confidence: f64,
+    /// Relative tolerance for the `meanDiff < tol` acceptance in Algorithm 2
+    /// (fraction of the target mean).
+    pub mean_tolerance_rel: f64,
+    /// Upper bound on phase-2/3 retries per measurement before the pair
+    /// errors out.
+    pub max_retries: usize,
+    /// Safety factor on the probed switching-latency upper bound when sizing
+    /// the benchmark kernel ("tenfold the longest switching latency").
+    pub probe_safety_factor: f64,
+    /// Fallback upper bound (ms) used before any probe data exists.
+    pub initial_latency_guess_ms: f64,
+
+    // --- phase 1 ---
+    /// Kernels per frequency in phase 1 (first ones absorb wake-up).
+    pub phase1_kernels: usize,
+    /// Iterations per phase-1 kernel.
+    pub phase1_iters: u32,
+    /// Minimum busy time under a frequency before its characterisation
+    /// kernel runs. Must exceed the slowest plausible transition *into*
+    /// that frequency, or the "last kernel" statistics are contaminated
+    /// with old-frequency iterations (Sec. V wake-up bullet: "keep the
+    /// accelerator busy for a few seconds").
+    pub phase1_settle: SimDuration,
+
+    // --- workload & fidelity ---
+    /// The microbenchmark workload.
+    pub workload: WorkloadParams,
+    /// SM record streams to simulate per kernel (`None` = all SMs,
+    /// hardware-faithful but slower; the default 8 is statistically
+    /// equivalent because all SMs share one clock domain).
+    pub simulated_sms: Option<u32>,
+}
+
+impl CampaignConfig {
+    /// Start building a config for `spec`.
+    pub fn builder(spec: DeviceSpec) -> CampaignConfigBuilder {
+        CampaignConfigBuilder::new(spec)
+    }
+
+    /// All ordered pairs (init != target) of the configured frequencies.
+    pub fn ordered_pairs(&self) -> Vec<(FreqMhz, FreqMhz)> {
+        let mut pairs = Vec::new();
+        for &a in &self.frequencies {
+            for &b in &self.frequencies {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Expected duration of one iteration at `freq` (ns, noise-free).
+    pub fn expected_iter_ns(&self, freq: FreqMhz) -> f64 {
+        self.workload.expected_iter_ns(freq.as_f64())
+    }
+
+    /// Derived per-pair seed, stable across runs and independent of pair
+    /// execution order (this is what makes the rayon-parallel campaign
+    /// bitwise equal to a sequential one).
+    pub fn pair_seed(&self, init: FreqMhz, target: FreqMhz) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((init.0 as u64) << 32) | target.0 as u64)
+    }
+}
+
+/// Builder for [`CampaignConfig`] with the paper's defaults.
+#[derive(Clone, Debug)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Defaults per Secs. V–VI.
+    pub fn new(spec: DeviceSpec) -> Self {
+        CampaignConfigBuilder {
+            config: CampaignConfig {
+                spec,
+                device_index: 0,
+                hostname: "simnode".to_string(),
+                frequencies: Vec::new(),
+                seed: 0,
+                rse_threshold: 0.05,
+                min_measurements: 25,
+                max_measurements: 150,
+                rse_check_every: 25,
+                throttle_check_every: 5,
+                thermal_discard: 5,
+                thermal_backoff: SimDuration::from_secs(10),
+                delay_iterations: 300,
+                confirm_iterations: 300,
+                sigma_k: 2.0,
+                confidence: 0.95,
+                // Algorithm 2's `tol`, as a fraction of the target mean.
+                // Tight enough to reject detections that fire a few ms
+                // early on near-adjacent pairs (a 2 ms-early hit leaves
+                // ~0.3 % of init-speed iterations in the confirm window),
+                // loose enough for honest passes (shift ~stderr ≈ 0.06 %).
+                mean_tolerance_rel: 0.003,
+                max_retries: 8,
+                probe_safety_factor: 10.0,
+                initial_latency_guess_ms: 50.0,
+                phase1_kernels: 3,
+                phase1_iters: 800,
+                phase1_settle: SimDuration::from_millis(1_500),
+                workload: WorkloadParams::default_micro(),
+                simulated_sms: Some(8),
+            },
+        }
+    }
+
+    /// Set the benchmarked frequencies (MHz).
+    pub fn frequencies_mhz(mut self, mhz: &[u32]) -> Self {
+        self.config.frequencies = mhz.iter().map(|&m| FreqMhz(m)).collect();
+        self
+    }
+
+    /// Set the benchmarked frequencies from ladder values.
+    pub fn frequencies(mut self, freqs: Vec<FreqMhz>) -> Self {
+        self.config.frequencies = freqs;
+        self
+    }
+
+    /// Pick an evenly spaced `n`-frequency subset of the device ladder
+    /// (the paper's heatmaps use such subsets).
+    pub fn frequency_subset(mut self, n: usize) -> Self {
+        self.config.frequencies = self.config.spec.ladder.subset(n);
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Device index (output naming).
+    pub fn device_index(mut self, index: usize) -> Self {
+        self.config.device_index = index;
+        self
+    }
+
+    /// Hostname (output naming).
+    pub fn hostname(mut self, hostname: impl Into<String>) -> Self {
+        self.config.hostname = hostname.into();
+        self
+    }
+
+    /// RSE stopping threshold.
+    pub fn rse_threshold(mut self, rse: f64) -> Self {
+        self.config.rse_threshold = rse;
+        self
+    }
+
+    /// Minimum and maximum measurements per pair.
+    pub fn measurements(mut self, min: usize, max: usize) -> Self {
+        self.config.min_measurements = min;
+        self.config.max_measurements = max;
+        self
+    }
+
+    /// Number of simulated SM record streams (`None` = all).
+    pub fn simulated_sms(mut self, n: Option<u32>) -> Self {
+        self.config.simulated_sms = n;
+        self
+    }
+
+    /// Delay-period length in iterations.
+    pub fn delay_iterations(mut self, n: u32) -> Self {
+        self.config.delay_iterations = n;
+        self
+    }
+
+    /// Confirmation-window length in iterations.
+    pub fn confirm_iterations(mut self, n: u32) -> Self {
+        self.config.confirm_iterations = n;
+        self
+    }
+
+    /// Detection band width multiplier (2.0 = paper).
+    pub fn sigma_k(mut self, k: f64) -> Self {
+        self.config.sigma_k = k;
+        self
+    }
+
+    /// Replace the workload.
+    pub fn workload(mut self, w: WorkloadParams) -> Self {
+        self.config.workload = w;
+        self
+    }
+
+    /// Finish. Panics on an obviously broken configuration (the paper tool
+    /// likewise validates its CLI arguments up front).
+    pub fn build(self) -> CampaignConfig {
+        let c = &self.config;
+        assert!(c.rse_threshold > 0.0, "RSE threshold must be positive");
+        assert!(c.min_measurements >= 1, "need at least one measurement");
+        assert!(
+            c.max_measurements >= c.min_measurements,
+            "max_measurements < min_measurements"
+        );
+        assert!(c.sigma_k > 0.0, "sigma_k must be positive");
+        assert!(
+            c.confidence > 0.0 && c.confidence < 1.0,
+            "confidence must be in (0,1)"
+        );
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CampaignConfig::builder(devices::a100_sxm4()).build();
+        assert_eq!(c.rse_threshold, 0.05);
+        assert_eq!(c.rse_check_every, 25);
+        assert_eq!(c.throttle_check_every, 5);
+        assert_eq!(c.thermal_discard, 5);
+        assert_eq!(c.thermal_backoff, SimDuration::from_secs(10));
+        assert_eq!(c.sigma_k, 2.0);
+        assert_eq!(c.probe_safety_factor, 10.0);
+    }
+
+    #[test]
+    fn ordered_pairs_excludes_diagonal() {
+        let c = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[705, 1095, 1410])
+            .build();
+        let pairs = c.ordered_pairs();
+        assert_eq!(pairs.len(), 6);
+        assert!(!pairs.iter().any(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn frequency_subset_spans_ladder() {
+        let c = CampaignConfig::builder(devices::gh200())
+            .frequency_subset(18)
+            .build();
+        assert_eq!(c.frequencies.len(), 18);
+        assert_eq!(c.frequencies[0], FreqMhz(345));
+        assert_eq!(*c.frequencies.last().unwrap(), FreqMhz(1980));
+    }
+
+    #[test]
+    fn pair_seed_is_order_sensitive_and_stable() {
+        let c = CampaignConfig::builder(devices::a100_sxm4()).seed(5).build();
+        let a = c.pair_seed(FreqMhz(705), FreqMhz(1410));
+        let b = c.pair_seed(FreqMhz(1410), FreqMhz(705));
+        assert_ne!(a, b);
+        assert_eq!(a, c.pair_seed(FreqMhz(705), FreqMhz(1410)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn build_rejects_inverted_measurement_bounds() {
+        CampaignConfig::builder(devices::a100_sxm4())
+            .measurements(100, 10)
+            .build();
+    }
+}

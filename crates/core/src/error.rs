@@ -1,0 +1,127 @@
+//! Error types for the LATEST pipeline.
+
+use latest_cuda_sim::CudaError;
+use latest_gpu_sim::freq::FreqMhz;
+use latest_nvml_sim::NvmlError;
+use std::fmt;
+
+/// Result alias for pipeline operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors surfaced by the LATEST pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// NVML façade failure.
+    Nvml(NvmlError),
+    /// CUDA façade failure.
+    Cuda(CudaError),
+    /// Fewer than two distinct frequencies requested.
+    NotEnoughFrequencies {
+        /// How many were given.
+        got: usize,
+    },
+    /// A requested frequency is not on the device ladder.
+    UnknownFrequency {
+        /// The offending frequency.
+        freq: FreqMhz,
+    },
+    /// Phase 2/3 retried more than the configured bound without producing a
+    /// single valid per-core latency (Algorithm 2's GOTO-line-1 loop guard).
+    RetriesExhausted {
+        /// Initial frequency of the pair.
+        init: FreqMhz,
+        /// Target frequency of the pair.
+        target: FreqMhz,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// CSV parse failure.
+    CsvFormat {
+        /// Line number (1-based).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nvml(e) => write!(f, "NVML: {e}"),
+            CoreError::Cuda(e) => write!(f, "CUDA: {e}"),
+            CoreError::NotEnoughFrequencies { got } => {
+                write!(f, "need at least two distinct frequencies, got {got}")
+            }
+            CoreError::UnknownFrequency { freq } => {
+                write!(f, "frequency {freq} MHz is not on the device ladder")
+            }
+            CoreError::RetriesExhausted { init, target, attempts } => write!(
+                f,
+                "no valid switching-latency sample for {init}->{target} MHz after {attempts} attempts"
+            ),
+            CoreError::CsvFormat { line, message } => {
+                write!(f, "CSV line {line}: {message}")
+            }
+            CoreError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nvml(e) => Some(e),
+            CoreError::Cuda(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmlError> for CoreError {
+    fn from(e: NvmlError) -> Self {
+        CoreError::Nvml(e)
+    }
+}
+
+impl From<CudaError> for CoreError {
+    fn from(e: CudaError) -> Self {
+        CoreError::Cuda(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::NotEnoughFrequencies { got: 1 };
+        assert!(e.to_string().contains("at least two"));
+        let e = CoreError::UnknownFrequency { freq: FreqMhz(999) };
+        assert!(e.to_string().contains("999"));
+        let e = CoreError::RetriesExhausted {
+            init: FreqMhz(300),
+            target: FreqMhz(600),
+            attempts: 12,
+        };
+        assert!(e.to_string().contains("300->600"));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = NvmlError::InvalidDeviceIndex { index: 1, count: 0 }.into();
+        assert!(matches!(e, CoreError::Nvml(_)));
+        let e: CoreError = std::io::Error::other("boom").into();
+        assert!(matches!(e, CoreError::Io(_)));
+    }
+}

@@ -1,0 +1,59 @@
+//! The LATEST methodology: accelerator frequency-switching-latency
+//! measurement (Sections V and VI of the paper).
+//!
+//! This crate is the paper's primary contribution, implemented faithfully
+//! over the simulated CUDA/NVML substrate:
+//!
+//! * **Phase 1** ([`phase1`]) — warm-up and per-frequency characterisation:
+//!   run the microbenchmark under every frequency, pool per-SM iteration
+//!   statistics, and validate every ordered frequency pair with a
+//!   confidence-interval test on the difference of means (Algorithm 1).
+//! * **Phase 2** ([`phase2`]) — the switching benchmark: IEEE 1588 timer
+//!   sync, start the kernel at the initial frequency, sleep through the
+//!   delay period, stamp `t_s`, issue the frequency change, synchronise and
+//!   collect per-SM records (Algorithm 2, lines 1–8).
+//! * **Phase 3** ([`phase3`]) — per-core evaluation: find the first
+//!   iteration inside the two-standard-deviation band of the target
+//!   frequency, confirm the remaining iterations match the target mean, and
+//!   aggregate `max(t_e − t_s)` over cores (Algorithm 2, lines 9–24).
+//! * **Controller** ([`controller`]) — repetition with the relative-
+//!   standard-error stopping rule (checked every 25 passes), throttle
+//!   polling every 5 passes with discard + 10 s backoff on thermal events
+//!   and pair-skip on power events (Sec. VI).
+//! * **Analysis** ([`analysis`]) — the adaptive DBSCAN outlier filter
+//!   (Algorithm 3) applied per pair, with cluster census and silhouette
+//!   validation.
+//! * **Campaign** ([`campaign`]) — the end-to-end LATEST tool: all phases
+//!   over all requested pairs, parallelised across pairs (each pair runs on
+//!   its own simulated platform instance; on real hardware the tool is
+//!   sequential — the parallelism is a simulation-only speedup that
+//!   preserves per-pair semantics).
+//! * **Output** ([`output`]) — the `.csv` convention of Sec. VI:
+//!   `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv`.
+//!
+//! Closed-loop validation: the simulated device records ground-truth
+//! transition times, so integration tests assert that the tool's measured
+//! switching latency matches what the silicon actually did — a check that is
+//! impossible on physical hardware and the main payoff of the simulation
+//! substrate.
+
+pub mod analysis;
+pub mod campaign;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod output;
+pub mod phase1;
+pub mod phase2;
+pub mod phase3;
+pub mod platform;
+pub mod probe;
+pub mod wakeup;
+
+pub use analysis::{PairAnalysis, analyze_pair};
+pub use campaign::{CampaignResult, Latest, PairMeasurement};
+pub use config::{CampaignConfig, CampaignConfigBuilder};
+pub use controller::{PairOutcome, PairRun};
+pub use error::{CoreError, CoreResult};
+pub use phase1::{FreqCharacterization, Phase1Result};
+pub use platform::SimPlatform;

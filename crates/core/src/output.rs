@@ -1,0 +1,161 @@
+//! CSV output with the paper's naming convention (Sec. VI).
+//!
+//! "After each frequency pair measurement, the switching latencies are
+//! output to a .csv file. The .csv filename contains the initial, the target
+//! frequency, the hostname, and the index of the benchmarked GPU."
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use latest_gpu_sim::freq::FreqMhz;
+
+use crate::controller::PairRun;
+use crate::error::{CoreError, CoreResult};
+
+/// The standardised file name:
+/// `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv`.
+pub fn csv_filename(init: FreqMhz, target: FreqMhz, hostname: &str, gpu_index: usize) -> String {
+    format!("latest_{init}MHz_{target}MHz_{hostname}_gpu{gpu_index}.csv")
+}
+
+/// Parse a standardised file name back into its components.
+pub fn parse_csv_filename(name: &str) -> Option<(FreqMhz, FreqMhz, String, usize)> {
+    let stem = name.strip_suffix(".csv")?;
+    let rest = stem.strip_prefix("latest_")?;
+    let mut parts = rest.split('_');
+    let init: u32 = parts.next()?.strip_suffix("MHz")?.parse().ok()?;
+    let target: u32 = parts.next()?.strip_suffix("MHz")?.parse().ok()?;
+    let mut middle: Vec<&str> = parts.collect();
+    let gpu_part = middle.pop()?;
+    let gpu_index: usize = gpu_part.strip_prefix("gpu")?.parse().ok()?;
+    if middle.is_empty() {
+        return None;
+    }
+    Some((FreqMhz(init), FreqMhz(target), middle.join("_"), gpu_index))
+}
+
+/// Write one pair's latencies to `dir` under the standardised name.
+/// Returns the full path.
+pub fn write_pair_csv(
+    dir: &Path,
+    run: &PairRun,
+    hostname: &str,
+    gpu_index: usize,
+) -> CoreResult<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(csv_filename(run.init, run.target, hostname, gpu_index));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "measurement,switching_latency_ms")?;
+    for (i, ms) in run.latencies_ms.iter().enumerate() {
+        writeln!(f, "{i},{ms:.6}")?;
+    }
+    Ok(path)
+}
+
+/// Read latencies back from a pair CSV.
+pub fn read_pair_csv(path: &Path) -> CoreResult<Vec<f64>> {
+    let text = fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 {
+            if line != "measurement,switching_latency_ms" {
+                return Err(CoreError::CsvFormat {
+                    line: 1,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let _idx = cols.next();
+        let val = cols
+            .next()
+            .ok_or_else(|| CoreError::CsvFormat {
+                line: lineno + 1,
+                message: "missing latency column".to_string(),
+            })?
+            .trim();
+        let ms: f64 = val.parse().map_err(|_| CoreError::CsvFormat {
+            line: lineno + 1,
+            message: format!("bad latency value {val:?}"),
+        })?;
+        out.push(ms);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_fixture() -> PairRun {
+        PairRun {
+            init: FreqMhz(1095),
+            target: FreqMhz(705),
+            latencies_ms: vec![5.125, 5.25, 5.0625, 21.5],
+            ground_truth_ms: vec![5.1, 5.2, 5.0, 21.4],
+            retries: 0,
+            thermal_events: 0,
+            final_rse: 0.02,
+            final_bound_ms: 20.0,
+        }
+    }
+
+    #[test]
+    fn filename_convention() {
+        let name = csv_filename(FreqMhz(1095), FreqMhz(705), "karolina-acn01", 2);
+        assert_eq!(name, "latest_1095MHz_705MHz_karolina-acn01_gpu2.csv");
+    }
+
+    #[test]
+    fn filename_roundtrip() {
+        let name = csv_filename(FreqMhz(345), FreqMhz(1980), "gh-node_a", 0);
+        let (i, t, h, g) = parse_csv_filename(&name).unwrap();
+        assert_eq!(i, FreqMhz(345));
+        assert_eq!(t, FreqMhz(1980));
+        assert_eq!(h, "gh-node_a");
+        assert_eq!(g, 0);
+        assert!(parse_csv_filename("nonsense.csv").is_none());
+        assert!(parse_csv_filename("latest_x_y_z_gpu0.csv").is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("latest_rs_output_test");
+        let run = run_fixture();
+        let path = write_pair_csv(&dir, &run, "testhost", 0).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("1095MHz_705MHz"));
+        let back = read_pair_csv(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        for (a, b) in back.iter().zip(&run.latencies_ms) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_rejects_malformed() {
+        let dir = std::env::temp_dir().join("latest_rs_output_test_bad");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.csv");
+        fs::write(&p, "wrong,header\n0,1.0\n").unwrap();
+        assert!(matches!(
+            read_pair_csv(&p),
+            Err(CoreError::CsvFormat { line: 1, .. })
+        ));
+        fs::write(&p, "measurement,switching_latency_ms\n0,not_a_number\n").unwrap();
+        assert!(matches!(
+            read_pair_csv(&p),
+            Err(CoreError::CsvFormat { line: 2, .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

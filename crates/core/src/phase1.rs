@@ -1,0 +1,213 @@
+//! Phase 1 — warm-up and per-frequency characterisation (Algorithm 1).
+//!
+//! For every benchmarked frequency: lock the clock, run several kernels (the
+//! early ones absorb wake-up and the clock transition; only the *last*
+//! kernel's iterations are kept), and pool mean/σ across all SM record
+//! streams. Then test every ordered pair with the confidence interval of the
+//! difference of means: pairs whose interval contains zero are *excluded* —
+//! their runtimes cannot be told apart, so the end of a transition between
+//! them is undetectable.
+//!
+//! Erratum note: Algorithm 1 line 10 as printed (`lbDiff > 0 and
+//! hbDiff < 0`) is unsatisfiable; the text's intent ("pairs where the null
+//! hypothesis could not be rejected are excluded") is implemented: a pair is
+//! valid iff the interval excludes zero.
+
+use std::collections::BTreeMap;
+
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::KernelConfig;
+use latest_stats::{diff_confidence_interval, Summary};
+
+use crate::config::CampaignConfig;
+use crate::error::{CoreError, CoreResult};
+use crate::platform::SimPlatform;
+
+/// Per-frequency characterisation from the last warm kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct FreqCharacterization {
+    /// The frequency.
+    pub freq: FreqMhz,
+    /// Pooled iteration-duration summary (ns).
+    pub iter_ns: Summary,
+}
+
+/// Output of phase 1.
+#[derive(Clone, Debug)]
+pub struct Phase1Result {
+    /// Characterisation per frequency.
+    pub freqs: BTreeMap<FreqMhz, FreqCharacterization>,
+    /// Ordered pairs whose difference interval excludes zero.
+    pub valid_pairs: Vec<(FreqMhz, FreqMhz)>,
+    /// Ordered pairs excluded as statistically indistinguishable.
+    pub skipped_pairs: Vec<(FreqMhz, FreqMhz)>,
+}
+
+impl Phase1Result {
+    /// The characterisation of one frequency.
+    pub fn of(&self, freq: FreqMhz) -> Option<&FreqCharacterization> {
+        self.freqs.get(&freq)
+    }
+
+    /// Whether a pair survived validation.
+    pub fn is_valid(&self, init: FreqMhz, target: FreqMhz) -> bool {
+        self.valid_pairs.contains(&(init, target))
+    }
+}
+
+/// Run phase 1 on `platform` for every configured frequency.
+pub fn run_phase1(platform: &mut SimPlatform, config: &CampaignConfig) -> CoreResult<Phase1Result> {
+    if config.frequencies.len() < 2 {
+        return Err(CoreError::NotEnoughFrequencies { got: config.frequencies.len() });
+    }
+    for &f in &config.frequencies {
+        if !config.spec.ladder.contains(f) {
+            return Err(CoreError::UnknownFrequency { freq: f });
+        }
+    }
+
+    let mut freqs = BTreeMap::new();
+    for &freq in &config.frequencies {
+        let ch = characterize_frequency(platform, config, freq)?;
+        freqs.insert(freq, ch);
+    }
+
+    // Pairwise validation (Algorithm 1, lines 7-11, with the erratum fixed).
+    let mut valid_pairs = Vec::new();
+    let mut skipped_pairs = Vec::new();
+    for (init, target) in config.ordered_pairs() {
+        let a = freqs[&init].iter_ns;
+        let b = freqs[&target].iter_ns;
+        let distinguishable = diff_confidence_interval(&a, &b, config.confidence)
+            .map(|ci| !ci.contains_zero())
+            .unwrap_or(false);
+        if distinguishable {
+            valid_pairs.push((init, target));
+        } else {
+            skipped_pairs.push((init, target));
+        }
+    }
+
+    Ok(Phase1Result { freqs, valid_pairs, skipped_pairs })
+}
+
+/// Characterise one frequency: lock clocks, run `phase1_kernels` kernels,
+/// keep only the last kernel's pooled statistics.
+pub fn characterize_frequency(
+    platform: &mut SimPlatform,
+    config: &CampaignConfig,
+    freq: FreqMhz,
+) -> CoreResult<FreqCharacterization> {
+    platform.nvml.set_gpu_locked_clocks(freq)?;
+    let kernel_cfg = KernelConfig {
+        iters_per_sm: config.phase1_iters,
+        workload: config.workload,
+        simulated_sms: config.simulated_sms,
+    };
+
+    // Warm-up: keep the device busy until the settle budget has elapsed
+    // (covers wake-up *and* the transition into `freq`, which can itself
+    // take hundreds of ms on some targets), then at least the configured
+    // kernel count. Only the final kernel is measured.
+    let settle_from = platform.clock.now();
+    let mut warm_kernels = 0usize;
+    while warm_kernels + 1 < config.phase1_kernels.max(2)
+        || platform.clock.now().saturating_since(settle_from) < config.phase1_settle
+    {
+        let id = platform.cuda.launch_benchmark(kernel_cfg)?;
+        platform.cuda.synchronize();
+        let _ = platform.cuda.copy_records(id)?; // warm-up data discarded
+        warm_kernels += 1;
+        if warm_kernels > 10_000 {
+            break; // defensive bound; unreachable with sane configs
+        }
+    }
+    let id = platform.cuda.launch_benchmark(kernel_cfg)?;
+    platform.cuda.synchronize();
+    let records = platform.cuda.copy_records(id)?;
+
+    // Pool all SM streams, dropping the first few iterations of each (they
+    // may straddle a residual ramp after a cold start).
+    let mut durations: Vec<f64> = Vec::new();
+    for sm in &records {
+        durations.extend(sm.iter().skip(8).map(|r| r.duration().as_nanos() as f64));
+    }
+
+    // Robust two-pass statistics: rare device-side disturbances (ECC scrubs,
+    // context timeslices) produce isolated multi-x iterations that would
+    // inflate the standard deviation — and with it the 2σ detection band —
+    // by several times.
+    let stats = latest_stats::robust_stats(&durations, 4.0, 2);
+    Ok(FreqCharacterization { freq, iter_ns: stats.summary() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CampaignConfig;
+    use latest_gpu_sim::devices;
+
+    fn quick_config(freqs: &[u32]) -> CampaignConfig {
+        CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(freqs)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn characterization_tracks_frequency() {
+        let config = quick_config(&[705, 1410]);
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let r = run_phase1(&mut platform, &config).unwrap();
+        let slow = r.of(FreqMhz(705)).unwrap().iter_ns;
+        let fast = r.of(FreqMhz(1410)).unwrap().iter_ns;
+        // 100k cycles: ~141.8 us at 705 MHz, ~70.9 us at 1410 MHz.
+        assert!((slow.mean - 141_844.0).abs() < 1_500.0, "slow {}", slow.mean);
+        assert!((fast.mean - 70_922.0).abs() < 1_000.0, "fast {}", fast.mean);
+        assert!(slow.n > 1_000);
+    }
+
+    #[test]
+    fn distant_pairs_are_valid() {
+        let config = quick_config(&[705, 1095, 1410]);
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let r = run_phase1(&mut platform, &config).unwrap();
+        assert_eq!(r.valid_pairs.len(), 6);
+        assert!(r.skipped_pairs.is_empty());
+        assert!(r.is_valid(FreqMhz(705), FreqMhz(1410)));
+    }
+
+    #[test]
+    fn indistinguishable_pairs_are_skipped() {
+        // Make the workload noise huge so adjacent ladder steps overlap.
+        let mut config = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[1395, 1410])
+            .seed(7)
+            .build();
+        config.workload.noise_rel_sigma = 0.5;
+        config.phase1_iters = 40; // few samples, wide intervals
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let r = run_phase1(&mut platform, &config).unwrap();
+        assert!(
+            !r.skipped_pairs.is_empty(),
+            "adjacent noisy pair should be indistinguishable"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let config = quick_config(&[705]);
+        let mut platform = SimPlatform::new(config.spec.clone(), 1).unwrap();
+        assert!(matches!(
+            run_phase1(&mut platform, &config),
+            Err(CoreError::NotEnoughFrequencies { got: 1 })
+        ));
+
+        let config = quick_config(&[705, 1000]); // 1000 not on ladder
+        let mut platform = SimPlatform::new(config.spec.clone(), 1).unwrap();
+        assert!(matches!(
+            run_phase1(&mut platform, &config),
+            Err(CoreError::UnknownFrequency { .. })
+        ));
+    }
+}

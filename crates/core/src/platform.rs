@@ -1,0 +1,115 @@
+//! The platform layer: one simulated GPU wired up behind the NVML and CUDA
+//! façades, plus the PTP probe adapter.
+//!
+//! On real hardware the analogous layer is "the machine": one NVML handle
+//! and one CUDA context sharing a physical device. Here both façades share
+//! one [`GpuDevice`](latest_gpu_sim::GpuDevice) and one virtual clock. The
+//! campaign creates a *fresh* platform per frequency pair (seeded from the
+//! pair) so pairs can run in parallel with bitwise-reproducible results.
+
+use std::sync::Arc;
+
+use latest_clock_sync::{synchronize, SyncConfig, SyncResult, TimestampProbe};
+use latest_cuda_sim::CudaContext;
+use latest_gpu_sim::devices::DeviceSpec;
+use latest_gpu_sim::transition::TransitionGroundTruth;
+use latest_gpu_sim::GpuDevice;
+use latest_nvml_sim::{Nvml, NvmlDevice};
+use latest_sim_clock::SharedClock;
+use parking_lot::Mutex;
+
+use crate::error::CoreResult;
+
+/// One simulated machine: clock + device + NVML handle + CUDA context.
+pub struct SimPlatform {
+    /// The shared virtual clock.
+    pub clock: SharedClock,
+    /// NVML device handle.
+    pub nvml: NvmlDevice,
+    /// CUDA context on the same device.
+    pub cuda: CudaContext,
+    device: Arc<Mutex<GpuDevice>>,
+}
+
+impl SimPlatform {
+    /// Build a platform over a single device.
+    pub fn new(spec: DeviceSpec, seed: u64) -> CoreResult<SimPlatform> {
+        let (nvml_lib, clock) = Nvml::with_devices(vec![spec], seed);
+        let nvml = nvml_lib.device(0)?;
+        let device = nvml_lib.raw_device(0)?;
+        let cuda = CudaContext::new(clock.clone(), device.clone(), seed ^ 0xCAFE);
+        Ok(SimPlatform { clock, nvml, cuda, device })
+    }
+
+    /// Run an IEEE 1588 synchronisation over the CUDA globaltimer probe.
+    pub fn synchronize_timers(&mut self, config: &SyncConfig) -> SyncResult {
+        let mut probe = CudaProbe { cuda: &mut self.cuda };
+        synchronize(&mut probe, config)
+    }
+
+    /// Ground-truth transitions recorded by the device (closed-loop tests).
+    pub fn ground_truth(&self) -> Vec<TransitionGroundTruth> {
+        self.device.lock().transitions().to_vec()
+    }
+
+    /// The most recent ground-truth transition.
+    pub fn last_ground_truth(&self) -> Option<TransitionGroundTruth> {
+        self.device.lock().last_transition().copied()
+    }
+
+    /// The device's spec.
+    pub fn spec(&self) -> DeviceSpec {
+        self.device.lock().spec().clone()
+    }
+}
+
+/// Adapter: the CUDA globaltimer round trip as a PTP probe.
+struct CudaProbe<'a> {
+    cuda: &'a mut CudaContext,
+}
+
+impl TimestampProbe for CudaProbe<'_> {
+    fn exchange(&mut self) -> (latest_sim_clock::SimTime, latest_sim_clock::SimTime, latest_sim_clock::SimTime) {
+        self.cuda.read_globaltimer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+
+    #[test]
+    fn platform_wires_one_device() {
+        let mut p = SimPlatform::new(devices::a100_sxm4(), 7).unwrap();
+        assert!(p.nvml.name().contains("A100"));
+        assert_eq!(p.cuda.clock().now(), p.clock.now());
+        assert!(p.ground_truth().is_empty());
+    }
+
+    #[test]
+    fn timer_sync_recovers_device_offset() {
+        let spec = devices::a100_sxm4();
+        let true_offset = spec.timer_offset_ns;
+        let mut p = SimPlatform::new(spec, 11).unwrap();
+        let sync = p.synchronize_timers(&SyncConfig::default());
+        // Drift over the first few ms is negligible; the estimate must land
+        // within the reported uncertainty of the configured skew.
+        let err = (sync.offset_ns - true_offset).unsigned_abs();
+        assert!(
+            err <= sync.uncertainty_ns + 2_000,
+            "sync err {err} ns vs bound {}",
+            sync.uncertainty_ns
+        );
+    }
+
+    #[test]
+    fn ground_truth_appears_after_clock_request() {
+        let mut p = SimPlatform::new(devices::a100_sxm4(), 3).unwrap();
+        p.nvml
+            .set_gpu_locked_clocks(latest_gpu_sim::freq::FreqMhz(705))
+            .unwrap();
+        assert_eq!(p.ground_truth().len(), 1);
+        assert_eq!(p.last_ground_truth().unwrap().to.0, 705);
+    }
+}

@@ -1,0 +1,155 @@
+//! The switching-latency upper-bound probe (Sec. V, "Switching latency"
+//! bullet).
+//!
+//! Before measuring every pair, the methodology estimates how long capture
+//! windows must be: measure a handful of pairs spanning "small, medium, and
+//! high-frequency levels" once each, and size the real benchmark at tenfold
+//! the longest observed latency. If even the probe cannot capture a
+//! transition, its own window grows tenfold and retries.
+
+use latest_gpu_sim::freq::FreqMhz;
+
+use crate::config::CampaignConfig;
+use crate::error::CoreResult;
+use crate::phase1::Phase1Result;
+use crate::phase2::run_phase2;
+use crate::phase3::evaluate_pass;
+use crate::platform::SimPlatform;
+
+/// Result of the probe phase.
+#[derive(Clone, Debug)]
+pub struct ProbeResult {
+    /// Latencies observed per probed pair (ms).
+    pub samples: Vec<(FreqMhz, FreqMhz, f64)>,
+    /// The largest observed latency (ms) — the basis for window sizing.
+    pub max_latency_ms: f64,
+}
+
+/// The representative frequencies probed: low, median and high entries of
+/// the configured list.
+pub fn probe_frequencies(config: &CampaignConfig) -> Vec<FreqMhz> {
+    let mut sorted = config.frequencies.clone();
+    sorted.sort();
+    sorted.dedup();
+    match sorted.len() {
+        0 => Vec::new(),
+        1 => sorted,
+        2 => sorted,
+        n => vec![sorted[0], sorted[n / 2], sorted[n - 1]],
+    }
+}
+
+/// Run the probe on `platform`. Probes each ordered pair of the
+/// representative frequencies once.
+pub fn estimate_upper_bound(
+    platform: &mut SimPlatform,
+    config: &CampaignConfig,
+    phase1: &Phase1Result,
+) -> CoreResult<ProbeResult> {
+    let freqs = probe_frequencies(config);
+    let mut samples = Vec::new();
+    let mut max_latency_ms: f64 = 0.0;
+
+    for &init in &freqs {
+        for &target in &freqs {
+            if init == target || !phase1.is_valid(init, target) {
+                continue;
+            }
+            let target_stats = phase1.of(target).expect("characterised").iter_ns;
+            let init_stats = phase1.of(init).expect("characterised").iter_ns;
+            let mut bound = config.initial_latency_guess_ms;
+            // Up to three window growths; a pair that still cannot be
+            // captured is reported via the max of others.
+            for _ in 0..3 {
+                let capture = run_phase2(platform, config, init, target, &init_stats, bound)?;
+                let eval = evaluate_pass(&capture, &target_stats, config);
+                match eval.latency_ns {
+                    Some(ns) => {
+                        let ms = ns as f64 / 1e6;
+                        samples.push((init, target, ms));
+                        max_latency_ms = max_latency_ms.max(ms);
+                        break;
+                    }
+                    None if eval.looks_truncated() => bound *= 10.0,
+                    None => {}
+                }
+            }
+        }
+    }
+
+    // Nothing captured at all: fall back to the configured guess so the
+    // campaign still sizes sane windows.
+    if max_latency_ms == 0.0 {
+        max_latency_ms = config.initial_latency_guess_ms;
+    }
+    Ok(ProbeResult { samples, max_latency_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::run_phase1;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use latest_sim_clock::SimDuration;
+    use std::sync::Arc;
+
+    #[test]
+    fn representative_frequencies_are_low_mid_high() {
+        let config = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[210, 405, 705, 1095, 1410])
+            .build();
+        let f = probe_frequencies(&config);
+        assert_eq!(f, vec![FreqMhz(210), FreqMhz(705), FreqMhz(1410)]);
+
+        let two = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[705, 1410])
+            .build();
+        assert_eq!(probe_frequencies(&two).len(), 2);
+    }
+
+    #[test]
+    fn probe_finds_the_latency_scale() {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(18),
+        });
+        let config = CampaignConfig::builder(spec)
+            .frequencies_mhz(&[210, 705, 1410])
+            .seed(5)
+            .build();
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let p1 = run_phase1(&mut platform, &config).unwrap();
+        let probe = estimate_upper_bound(&mut platform, &config, &p1).unwrap();
+        assert!(!probe.samples.is_empty());
+        assert!(
+            (probe.max_latency_ms - 18.0).abs() < 1.5,
+            "probe max {} ms",
+            probe.max_latency_ms
+        );
+    }
+
+    #[test]
+    fn probe_grows_window_for_slow_devices() {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(400),
+        });
+        let config = CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1410])
+            .seed(6)
+            .build();
+        // Initial guess 50 ms: window 500 ms covers 400 ms, so this works
+        // even on the first try; shrink the guess to force growth.
+        let mut config = config;
+        config.initial_latency_guess_ms = 3.0;
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let p1 = run_phase1(&mut platform, &config).unwrap();
+        let probe = estimate_upper_bound(&mut platform, &config, &p1).unwrap();
+        assert!(
+            (probe.max_latency_ms - 400.0).abs() < 10.0,
+            "probe max {} ms",
+            probe.max_latency_ms
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Wake-up latency estimation (Sec. V, "Wake-up latency" bullet).
+//!
+//! Before trusting any frequency characterisation, the methodology checks
+//! how long a previously idle accelerator takes to reach and hold the
+//! imposed clock: run the workload "split into several kernels", then
+//! compare the iteration times at the start of the *first* kernel against
+//! the settled average of the *last* kernel. The wake-up latency is the time
+//! from kernel start until iterations stabilise inside the settled band.
+
+use latest_gpu_sim::freq::FreqMhz;
+use latest_gpu_sim::KernelConfig;
+use latest_sim_clock::{SimDuration, SimTime};
+use latest_stats::{RunningStats, SigmaBand};
+
+use crate::config::CampaignConfig;
+use crate::error::CoreResult;
+use crate::platform::SimPlatform;
+
+/// Result of a wake-up estimation run.
+#[derive(Clone, Debug)]
+pub struct WakeupEstimate {
+    /// The frequency under test.
+    pub freq: FreqMhz,
+    /// Time from first-kernel start until sustained settled execution.
+    pub wakeup: SimDuration,
+    /// Settled mean iteration time (ns) from the last kernel.
+    pub settled_iter_ns: f64,
+    /// Mean iteration time (ns) of the first 32 iterations of the first
+    /// kernel — the cold-start penalty made visible.
+    pub cold_iter_ns: f64,
+}
+
+/// How many consecutive in-band iterations count as "stabilised".
+const SUSTAIN: usize = 16;
+
+/// Estimate the wake-up latency at `freq` after at least `idle_for` of
+/// device idleness.
+pub fn estimate_wakeup(
+    platform: &mut SimPlatform,
+    config: &CampaignConfig,
+    freq: FreqMhz,
+    idle_for: SimDuration,
+) -> CoreResult<WakeupEstimate> {
+    platform.nvml.set_gpu_locked_clocks(freq)?;
+    // Let the clock request settle, then go idle long enough to sleep.
+    platform.cuda.usleep(idle_for);
+
+    let kernel_cfg = KernelConfig {
+        iters_per_sm: config.phase1_iters,
+        workload: config.workload,
+        simulated_sms: Some(1),
+    };
+    // Several kernels: first one carries the wake-up, last one is settled.
+    let n_kernels = config.phase1_kernels.max(2);
+    let mut all = Vec::with_capacity(n_kernels);
+    for _ in 0..n_kernels {
+        let id = platform.cuda.launch_benchmark(kernel_cfg)?;
+        platform.cuda.synchronize();
+        all.push(platform.cuda.copy_records(id)?.remove(0));
+    }
+
+    // Settled statistics from the last kernel.
+    let mut settled = RunningStats::new();
+    for r in all.last().unwrap() {
+        settled.push(r.duration().as_nanos() as f64);
+    }
+    let band = SigmaBand::with_k(&settled.summary(), config.sigma_k);
+
+    // Scan the first kernel for the first sustained in-band stretch.
+    let first = &all[0];
+    let kernel_start: SimTime = first[0].start;
+    let mut stable_at = first.last().unwrap().end;
+    'scan: for i in 0..first.len() {
+        if first[i..]
+            .iter()
+            .take(SUSTAIN)
+            .filter(|r| band.contains(r.duration().as_nanos() as f64))
+            .count()
+            == SUSTAIN.min(first.len() - i)
+        {
+            stable_at = first[i].start;
+            break 'scan;
+        }
+    }
+
+    let cold = RunningStats::from_slice(
+        &first
+            .iter()
+            .take(32)
+            .map(|r| r.duration().as_nanos() as f64)
+            .collect::<Vec<_>>(),
+    );
+
+    Ok(WakeupEstimate {
+        freq,
+        wakeup: stable_at.saturating_since(kernel_start),
+        settled_iter_ns: settled.summary().mean,
+        cold_iter_ns: cold.summary().mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use std::sync::Arc;
+
+    fn config_with_ramp(ramp_ms: u64) -> CampaignConfig {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(2),
+        });
+        spec.wakeup_ramp = SimDuration::from_millis(ramp_ms);
+        spec.wakeup_idle_threshold = SimDuration::from_millis(5);
+        CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1410])
+            .seed(17)
+            .build()
+    }
+
+    #[test]
+    fn wakeup_estimate_tracks_configured_ramp() {
+        let config = config_with_ramp(40);
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        let est = estimate_wakeup(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            SimDuration::from_millis(50),
+        )
+        .unwrap();
+        let wake_ms = est.wakeup.as_millis_f64();
+        assert!(
+            (25.0..60.0).contains(&wake_ms),
+            "estimated wake-up {wake_ms:.1} ms for a 40 ms ramp"
+        );
+        // Cold iterations must be visibly slower than settled ones.
+        assert!(est.cold_iter_ns > est.settled_iter_ns * 1.3);
+    }
+
+    #[test]
+    fn warm_device_has_negligible_wakeup() {
+        let config = config_with_ramp(40);
+        let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
+        // First run wakes the device…
+        let _ = estimate_wakeup(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            SimDuration::from_millis(50),
+        )
+        .unwrap();
+        // …then measure again while still warm (idle below the threshold).
+        let est = estimate_wakeup(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            SimDuration::from_millis(1),
+        )
+        .unwrap();
+        assert!(
+            est.wakeup < SimDuration::from_millis(8),
+            "warm wake-up {} too long",
+            est.wakeup
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! A simulated DVFS CPU core.
+//!
+//! Contrast with the GPU device in `latest-gpu-sim`, mirroring the paper's
+//! Fig. 1 vs Fig. 2 distinction:
+//!
+//! * the frequency-change request is issued *on* the same device that runs
+//!   the workload — a register write costing microseconds, with no bus hop;
+//! * the transition itself completes in tens of microseconds (Skylake-SP)
+//!   to a few hundred microseconds (slower governors);
+//! * the workload executes synchronously: each iteration advances the
+//!   shared clock, and its duration follows the core's instantaneous
+//!   frequency trajectory exactly like the GPU's SM engine.
+
+use latest_gpu_sim::freq::{FreqLadder, FreqMhz};
+use latest_gpu_sim::noise::Normal;
+use latest_gpu_sim::trajectory::FreqTrajectory;
+use latest_sim_clock::{SharedClock, SimDuration, SimTime};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Description of one simulated CPU core.
+#[derive(Clone, Debug)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Selectable core frequencies.
+    pub ladder: FreqLadder,
+    /// Mean transition latency (µs).
+    pub transition_us: f64,
+    /// Standard deviation of the transition latency (µs).
+    pub transition_jitter_us: f64,
+    /// Cost of the frequency-change request itself (sysfs/MSR write, µs).
+    pub request_cost_us: f64,
+    /// Relative noise of workload iterations.
+    pub noise_rel_sigma: f64,
+}
+
+/// Intel Skylake-SP-like core: 1.2–3.0 GHz, ~25 µs transitions (Fig. 1 and
+/// ref. [6] of the paper).
+pub fn intel_skylake_sp() -> CpuSpec {
+    CpuSpec {
+        name: "Intel Skylake-SP (simulated)",
+        ladder: FreqLadder::arithmetic(1200, 3000, 100),
+        transition_us: 25.0,
+        transition_jitter_us: 6.0,
+        request_cost_us: 3.0,
+        noise_rel_sigma: 0.012,
+    }
+}
+
+/// A slower-governor core (firmware-mediated DVFS): ~1.2 ms transitions —
+/// the "units of milliseconds at most" end of the paper's CPU range.
+pub fn slow_governor_cpu() -> CpuSpec {
+    CpuSpec {
+        name: "firmware-DVFS CPU (simulated)",
+        ladder: FreqLadder::arithmetic(1000, 2600, 200),
+        transition_us: 1200.0,
+        transition_jitter_us: 250.0,
+        request_cost_us: 8.0,
+        noise_rel_sigma: 0.015,
+    }
+}
+
+/// One iteration's timestamps (host clock, exact).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuIterRecord {
+    /// Start timestamp.
+    pub start: SimTime,
+    /// End timestamp.
+    pub end: SimTime,
+}
+
+impl CpuIterRecord {
+    /// Iteration execution time.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The simulated core.
+pub struct SimCpuCore {
+    spec: CpuSpec,
+    clock: SharedClock,
+    traj: FreqTrajectory,
+    rng: ChaCha8Rng,
+    /// Ground truth of the last transition: (request time, settle time).
+    last_transition: Option<(SimTime, SimTime)>,
+}
+
+impl SimCpuCore {
+    /// Create a core at the ladder's top frequency.
+    pub fn new(spec: CpuSpec, seed: u64, clock: SharedClock) -> Self {
+        let traj = FreqTrajectory::flat(spec.ladder.max().as_f64());
+        SimCpuCore {
+            spec,
+            clock,
+            traj,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xC9_0C0DE),
+            last_transition: None,
+        }
+    }
+
+    /// The core's spec.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Request a frequency change (the sysfs write). Returns the snapped
+    /// target. The transition completes `transition_us ± jitter` later;
+    /// a request during an unfinished transition overrides it ("the actual
+    /// CPU core frequency is undefined" — resolved in favour of the newest
+    /// request, as on the paper's Haswell example).
+    pub fn set_frequency(&mut self, target: FreqMhz) -> FreqMhz {
+        let target = self.spec.ladder.snap(target);
+        let request = self
+            .clock
+            .advance(SimDuration::from_nanos((self.spec.request_cost_us * 1e3) as u64));
+        let latency_us = Normal::new(self.spec.transition_us, self.spec.transition_jitter_us)
+            .sample_clamped(&mut self.rng, 3.0)
+            .max(1.0);
+        let settle = request + SimDuration::from_nanos((latency_us * 1e3) as u64);
+        self.traj.truncate_after(request);
+        self.traj.push(settle, target.as_f64());
+        self.last_transition = Some((request, settle));
+        target
+    }
+
+    /// Run `n` workload iterations of `work_cycles` each, synchronously.
+    /// The clock advances to the end of the last iteration.
+    pub fn run_iterations(&mut self, n: u32, work_cycles: f64) -> Vec<CpuIterRecord> {
+        let noise = Normal::new(1.0, self.spec.noise_rel_sigma);
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let start = self.clock.now();
+            let w = work_cycles * noise.sample_clamped(&mut self.rng, 4.0).max(0.01);
+            let end_t = self.traj.advance_cycles(start, w);
+            self.clock.advance_to(end_t);
+            // Timestamp read costs a few ns on CPU.
+            let ts_cost: u64 = self.rng.gen_range(15..40);
+            self.clock.advance(SimDuration::from_nanos(ts_cost));
+            out.push(CpuIterRecord { start, end: end_t });
+        }
+        out
+    }
+
+    /// Ground truth of the last transition (request, settle).
+    pub fn last_transition(&self) -> Option<(SimTime, SimTime)> {
+        self.last_transition
+    }
+
+    /// The frequency trajectory (for trace rendering).
+    pub fn trajectory(&self) -> &FreqTrajectory {
+        &self.traj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(seed: u64) -> SimCpuCore {
+        SimCpuCore::new(intel_skylake_sp(), seed, SharedClock::new())
+    }
+
+    #[test]
+    fn iterations_track_frequency() {
+        let mut c = core(1);
+        c.set_frequency(FreqMhz(3000));
+        // settle the transition
+        c.run_iterations(10, 1_000_000.0);
+        let recs = c.run_iterations(100, 1_000_000.0);
+        // 1e6 cycles at 3 GHz = ~333 us.
+        let mean: f64 = recs
+            .iter()
+            .map(|r| r.duration().as_nanos() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!((mean - 333_333.0).abs() < 6_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn transition_is_microsecond_scale() {
+        let mut c = core(2);
+        c.set_frequency(FreqMhz(1200));
+        c.run_iterations(50, 100_000.0);
+        c.set_frequency(FreqMhz(3000));
+        let (req, settle) = c.last_transition().unwrap();
+        let lat = settle.saturating_since(req);
+        assert!(
+            lat >= SimDuration::from_micros(5) && lat <= SimDuration::from_micros(60),
+            "latency {lat}"
+        );
+    }
+
+    #[test]
+    fn workload_advances_shared_clock() {
+        let mut c = core(3);
+        let t0 = c.clock().now();
+        c.run_iterations(10, 500_000.0);
+        assert!(c.clock().now() > t0);
+    }
+
+    #[test]
+    fn override_during_transition() {
+        let mut c = core(4);
+        c.set_frequency(FreqMhz(1200));
+        // Immediately override: final plan must be 2400, not 1200.
+        c.set_frequency(FreqMhz(2400));
+        let (_, settle) = c.last_transition().unwrap();
+        assert_eq!(
+            c.trajectory().freq_at(settle + SimDuration::from_micros(1)),
+            2400.0
+        );
+    }
+
+    #[test]
+    fn snapping_to_cpu_ladder() {
+        let mut c = core(5);
+        assert_eq!(c.set_frequency(FreqMhz(1234)), FreqMhz(1200));
+        assert_eq!(c.set_frequency(FreqMhz(9999)), FreqMhz(3000));
+    }
+}

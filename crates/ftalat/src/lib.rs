@@ -1,0 +1,31 @@
+//! FTaLaT — the CPU frequency-transition-latency baseline (Sec. IV).
+//!
+//! The paper derives its accelerator methodology from the FTaLaT benchmark
+//! (Mazouz et al., "Evaluation of CPU frequency transition latency"), and
+//! its headline comparison (Sec. VII) is that *CPUs complete frequency
+//! transitions in microseconds to units of milliseconds, while GPUs need
+//! tens to hundreds of milliseconds*. Regenerating that comparison requires
+//! a CPU substrate and the original two-phase methodology:
+//!
+//! * [`cpu`] — a simulated DVFS CPU core. Unlike the GPU, the workload runs
+//!   *on* the measuring device: iterations advance the host clock directly,
+//!   timestamps are cycle-accurate (no 1 µs device-timer quantisation), and
+//!   the frequency-change request is a cheap register/sysfs write with
+//!   microsecond-scale transition latency.
+//! * [`methodology`] — FTaLaT's two phases: per-frequency characterisation,
+//!   then transition measurement using the **confidence-interval detection
+//!   band** (`mean ± 2·stderr`) plus a 100-iteration confirmation window.
+//!   The band choice is kept faithful — including its tendency to reject
+//!   honest iterations when the sample count grows, which is exactly the
+//!   scaling flaw Sec. V-A fixes for accelerators with the 2-standard-
+//!   deviation band.
+//! * [`trace`] — frequency-vs-time traces of a single transition
+//!   (regenerates the Fig. 1 timeline).
+
+pub mod cpu;
+pub mod methodology;
+pub mod trace;
+
+pub use cpu::{intel_skylake_sp, slow_governor_cpu, CpuSpec, SimCpuCore};
+pub use methodology::{ftalat_phase1, measure_transition, CpuFreqStats, TransitionMeasurement};
+pub use trace::{transition_trace, TraceEvent, TransitionTrace};

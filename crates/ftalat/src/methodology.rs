@@ -1,0 +1,221 @@
+//! The FTaLaT two-phase methodology (Sec. IV of the paper).
+//!
+//! Phase one measures the mean iteration time per frequency. Phase two runs
+//! the workload at the initial frequency, issues the change, and scans for
+//! the first iteration whose execution time falls inside the target
+//! frequency's **confidence interval** (`mean ± 2·stderr` — the original
+//! FTaLaT band). A hundred extra iterations are then collected; if their
+//! mean is statistically indistinguishable from the target mean, the
+//! transition latency is the span from the change request to the detected
+//! iteration. Otherwise the core was still adapting and the measurement is
+//! discarded and repeated.
+
+use latest_gpu_sim::freq::FreqMhz;
+use latest_sim_clock::SimTime;
+use latest_stats::{diff_confidence_interval, RunningStats, SigmaBand, Summary};
+
+use crate::cpu::SimCpuCore;
+
+/// Phase-one characterisation of one CPU frequency.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuFreqStats {
+    /// The frequency.
+    pub freq: FreqMhz,
+    /// Iteration-duration summary (ns).
+    pub iter_ns: Summary,
+}
+
+/// Phase one: characterise each frequency with `iters` iterations of
+/// `work_cycles` (after a settling run).
+pub fn ftalat_phase1(
+    core: &mut SimCpuCore,
+    freqs: &[FreqMhz],
+    iters: u32,
+    work_cycles: f64,
+) -> Vec<CpuFreqStats> {
+    freqs
+        .iter()
+        .map(|&f| {
+            core.set_frequency(f);
+            // Settle by *time*, not iteration count: CPU transitions span
+            // microseconds (Skylake) to milliseconds (firmware governors),
+            // and characterising before the transition lands would measure
+            // the previous frequency.
+            let t0 = core.clock().now();
+            while core.clock().now().saturating_since(t0)
+                < latest_sim_clock::SimDuration::from_millis(10)
+            {
+                core.run_iterations(64, work_cycles);
+            }
+            let recs = core.run_iterations(iters, work_cycles);
+            let mut s = RunningStats::new();
+            for r in &recs {
+                s.push(r.duration().as_nanos() as f64);
+            }
+            CpuFreqStats { freq: f, iter_ns: s.summary() }
+        })
+        .collect()
+}
+
+/// One measured CPU transition.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionMeasurement {
+    /// Initial frequency.
+    pub init: FreqMhz,
+    /// Target frequency.
+    pub target: FreqMhz,
+    /// Measured transition latency (ns).
+    pub latency_ns: u64,
+    /// Ground-truth latency from the simulator (ns).
+    pub ground_truth_ns: u64,
+    /// Measurement attempts used (discard-and-retry loop).
+    pub attempts: usize,
+}
+
+/// Phase two: measure one `init → target` transition. Returns `None` when
+/// every attempt was discarded (adaptation never confirmed).
+pub fn measure_transition(
+    core: &mut SimCpuCore,
+    init: FreqMhz,
+    target: FreqMhz,
+    stats: &[CpuFreqStats],
+    work_cycles: f64,
+    max_attempts: usize,
+) -> Option<TransitionMeasurement> {
+    let target_stats = stats.iter().find(|s| s.freq == target)?.iter_ns;
+    let init_stats = stats.iter().find(|s| s.freq == init)?.iter_ns;
+    // The original FTaLaT band: two standard *errors* around the mean.
+    let band = SigmaBand {
+        mean: target_stats.mean,
+        stdev: target_stats.stderr,
+        k: 2.0,
+    };
+
+    for attempt in 1..=max_attempts {
+        // Run at the initial frequency until the core demonstrably executes
+        // at it (a slow previous transition may still be in flight; starting
+        // the measurement early would corrupt the latency origin).
+        core.set_frequency(init);
+        let init_tol = (3.0 * init_stats.stdev).max(0.01 * init_stats.mean);
+        let mut consecutive = 0u32;
+        for _ in 0..16_384u32 {
+            let rec = &core.run_iterations(1, work_cycles)[0];
+            if ((rec.duration().as_nanos() as f64) - init_stats.mean).abs() <= init_tol {
+                consecutive += 1;
+                if consecutive >= 32 {
+                    break;
+                }
+            } else {
+                consecutive = 0;
+            }
+        }
+
+        // Issue the change; the request timestamp is the latency origin.
+        core.set_frequency(target);
+        let (request, settle_truth) = core.last_transition().expect("transition recorded");
+
+        // Scan iterations for the first in-band execution time.
+        let mut te: Option<SimTime> = None;
+        for _ in 0..4_096u32 {
+            let rec = &core.run_iterations(1, work_cycles)[0];
+            if band.contains(rec.duration().as_nanos() as f64) {
+                te = Some(rec.end);
+                break;
+            }
+        }
+        let Some(te) = te else { continue };
+
+        // Confirmation: one hundred extra iterations.
+        let confirm = core.run_iterations(100, work_cycles);
+        let mut s = RunningStats::new();
+        for r in &confirm {
+            s.push(r.duration().as_nanos() as f64);
+        }
+        let ok = diff_confidence_interval(&s.summary(), &target_stats, 0.95)
+            .map(|ci| ci.contains_zero())
+            .unwrap_or(false);
+        if !ok {
+            continue; // still adapting — discard (Sec. IV, last paragraph)
+        }
+        return Some(TransitionMeasurement {
+            init,
+            target,
+            latency_ns: te.saturating_since(request).as_nanos(),
+            ground_truth_ns: settle_truth.saturating_since(request).as_nanos(),
+            attempts: attempt,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{intel_skylake_sp, slow_governor_cpu};
+    use latest_sim_clock::SharedClock;
+
+    // FTaLaT-style tiny iterations (~1-2.5 us): the detection granularity is
+    // ~a dozen iterations (the stderr band admits only ~8 % of honest
+    // samples), so small iterations keep the measured latency honest.
+    const WORK: f64 = 3_000.0;
+
+    #[test]
+    fn phase1_distinguishes_cpu_frequencies() {
+        let mut core = SimCpuCore::new(intel_skylake_sp(), 1, SharedClock::new());
+        let stats = ftalat_phase1(
+            &mut core,
+            &[FreqMhz(1200), FreqMhz(3000)],
+            400,
+            WORK,
+        );
+        let slow = stats[0].iter_ns.mean;
+        let fast = stats[1].iter_ns.mean;
+        assert!((slow / fast - 2.5).abs() < 0.1, "ratio {}", slow / fast);
+    }
+
+    #[test]
+    fn measures_microsecond_scale_latency() {
+        let mut core = SimCpuCore::new(intel_skylake_sp(), 2, SharedClock::new());
+        let freqs = [FreqMhz(1200), FreqMhz(3000)];
+        let stats = ftalat_phase1(&mut core, &freqs, 400, WORK);
+        let m = measure_transition(&mut core, FreqMhz(3000), FreqMhz(1200), &stats, WORK, 20)
+            .expect("measurable");
+        let us = m.latency_ns as f64 / 1e3;
+        // Ground truth is ~25 us. The stderr detection band admits only
+        // ~8 % of honest iterations, so the scan adds a geometric number of
+        // ~2.5 us iterations; the measurement stays 2-3 orders of magnitude
+        // below GPU scale, which is the paper's comparison point.
+        assert!(us < 500.0, "measured {us} us");
+        assert!(m.latency_ns >= m.ground_truth_ns / 4, "implausibly small");
+    }
+
+    #[test]
+    fn cpu_vs_gpu_scale_gap() {
+        // The Sec. VII comparison in miniature: even the slow-governor CPU
+        // completes transitions below ~2 ms, 10-100x faster than the GPU
+        // models' tens-to-hundreds of ms.
+        let mut core = SimCpuCore::new(slow_governor_cpu(), 3, SharedClock::new());
+        let freqs = [FreqMhz(1000), FreqMhz(2600)];
+        let stats = ftalat_phase1(&mut core, &freqs, 400, WORK);
+        let m = measure_transition(&mut core, FreqMhz(2600), FreqMhz(1000), &stats, WORK, 20)
+            .expect("measurable");
+        let ms = m.latency_ns as f64 / 1e6;
+        assert!(ms < 3.0, "slow-governor CPU latency {ms} ms");
+        assert!(ms > 0.5, "latency {ms} ms suspiciously fast");
+    }
+
+    #[test]
+    fn unknown_target_returns_none() {
+        let mut core = SimCpuCore::new(intel_skylake_sp(), 4, SharedClock::new());
+        let stats = ftalat_phase1(&mut core, &[FreqMhz(1200)], 100, WORK);
+        assert!(measure_transition(
+            &mut core,
+            FreqMhz(1200),
+            FreqMhz(2000),
+            &stats,
+            WORK,
+            5
+        )
+        .is_none());
+    }
+}

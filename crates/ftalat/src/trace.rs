@@ -1,0 +1,102 @@
+//! Frequency-vs-time traces of a single transition — the data behind the
+//! paper's Fig. 1 (CPU request → transition timeline).
+
+use latest_gpu_sim::freq::FreqMhz;
+use latest_sim_clock::{SimDuration, SimTime};
+
+use crate::cpu::SimCpuCore;
+
+/// One point of a transition timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Time relative to the change request (ns; negative = before).
+    pub t_rel_ns: i64,
+    /// Core frequency from this instant on (MHz).
+    pub freq_mhz: f64,
+}
+
+/// A rendered transition timeline.
+#[derive(Clone, Debug)]
+pub struct TransitionTrace {
+    /// The initial frequency.
+    pub init: FreqMhz,
+    /// The target frequency.
+    pub target: FreqMhz,
+    /// When the request was issued (absolute).
+    pub request: SimTime,
+    /// Frequency breakpoints relative to the request.
+    pub events: Vec<TraceEvent>,
+    /// Ground-truth transition latency (ns).
+    pub latency_ns: u64,
+}
+
+/// Drive one transition on `core` and capture its timeline: settle at
+/// `init`, request `target`, keep the core busy until well past the settle
+/// point, then extract the trajectory breakpoints around the request.
+pub fn transition_trace(
+    core: &mut SimCpuCore,
+    init: FreqMhz,
+    target: FreqMhz,
+    work_cycles: f64,
+) -> TransitionTrace {
+    core.set_frequency(init);
+    core.run_iterations(64, work_cycles);
+    core.set_frequency(target);
+    let (request, settle) = core.last_transition().expect("transition recorded");
+    // Keep running so the trace extends beyond the settle point.
+    core.run_iterations(64, work_cycles);
+
+    let window_start = request - SimDuration::from_micros(50).min(request - SimTime::EPOCH);
+    let events: Vec<TraceEvent> = core
+        .trajectory()
+        .segments()
+        .iter()
+        .filter(|s| s.start >= window_start)
+        .map(|s| TraceEvent {
+            t_rel_ns: s.start.signed_delta_ns(request),
+            freq_mhz: s.freq_mhz,
+        })
+        .collect();
+
+    TransitionTrace {
+        init,
+        target,
+        request,
+        events,
+        latency_ns: settle.saturating_since(request).as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::intel_skylake_sp;
+    use latest_sim_clock::SharedClock;
+
+    #[test]
+    fn trace_shows_request_then_settle() {
+        let mut core = SimCpuCore::new(intel_skylake_sp(), 9, SharedClock::new());
+        let tr = transition_trace(&mut core, FreqMhz(3000), FreqMhz(1200), 60_000.0);
+        assert_eq!(tr.init, FreqMhz(3000));
+        assert_eq!(tr.target, FreqMhz(1200));
+        // The settle event must appear after the request, at the ground
+        // truth latency, with the target frequency.
+        let settle_event = tr
+            .events
+            .iter()
+            .find(|e| e.t_rel_ns > 0 && (e.freq_mhz - 1200.0).abs() < 1e-9)
+            .expect("settle event present");
+        assert_eq!(settle_event.t_rel_ns as u64, tr.latency_ns);
+        // Skylake-like scale.
+        assert!(tr.latency_ns < 60_000, "latency {} ns", tr.latency_ns);
+    }
+
+    #[test]
+    fn trace_is_flat_before_request() {
+        let mut core = SimCpuCore::new(intel_skylake_sp(), 10, SharedClock::new());
+        let tr = transition_trace(&mut core, FreqMhz(2000), FreqMhz(2800), 60_000.0);
+        // No breakpoint strictly between -50 us and the request (the core
+        // was settled at init).
+        assert!(!tr.events.iter().any(|e| e.t_rel_ns < 0));
+    }
+}

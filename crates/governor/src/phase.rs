@@ -1,0 +1,221 @@
+//! Phase-structured workload model.
+//!
+//! Complex applications "usually have different hardware requirements in
+//! time, their performance is bounded by a different subsystem (compute,
+//! memory, IO, etc.)" (Sec. III). A [`PhaseTrace`] is the sequence of such
+//! regions; the governor decides at each boundary whether changing the
+//! frequency pays for its switching latency — the COUNTDOWN-style boundary
+//! classification the paper cites, but with *measured* GPU latencies in
+//! place of the 500 µs CPU rule of thumb.
+
+use latest_gpu_sim::freq::FreqMhz;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What bounds a phase's performance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Arithmetic-throughput bound: runtime scales ~1/f. Wants max clocks.
+    ComputeBound,
+    /// HBM-bandwidth bound: runtime barely improves with SM clock. Wants
+    /// the knee frequency (the ~75 % sweet spot of ref. [9]).
+    MemoryBound,
+    /// Host/device transfer or communication wait: runtime independent of
+    /// the SM clock. Wants the floor frequency.
+    Communication,
+}
+
+impl PhaseKind {
+    /// Fraction of the phase's work that scales with SM frequency.
+    pub fn frequency_sensitivity(self) -> f64 {
+        match self {
+            PhaseKind::ComputeBound => 0.95,
+            PhaseKind::MemoryBound => 0.25,
+            PhaseKind::Communication => 0.0,
+        }
+    }
+
+    /// The frequency a per-phase oracle picks from `ladder_min..=ladder_max`
+    /// under a "no meaningful slowdown" constraint.
+    pub fn preferred_frequency(self, min: FreqMhz, max: FreqMhz) -> FreqMhz {
+        match self {
+            PhaseKind::ComputeBound => max,
+            // ~75 % of max: the energy/performance balance point the paper
+            // cites from the hipBone/Stream study.
+            PhaseKind::MemoryBound => FreqMhz((max.0 as f64 * 0.75) as u32),
+            PhaseKind::Communication => min,
+        }
+    }
+}
+
+/// One application region.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Phase {
+    /// What bounds it.
+    pub kind: PhaseKind,
+    /// Duration in ms when executed at the reference (max) frequency.
+    pub ref_duration_ms: f64,
+}
+
+impl Phase {
+    /// Runtime of this phase at `freq`, given the reference (max) frequency.
+    ///
+    /// The classic frequency-scaling model: the sensitive fraction scales
+    /// inversely with frequency, the rest is invariant.
+    pub fn duration_at_ms(&self, freq: FreqMhz, reference: FreqMhz) -> f64 {
+        let s = self.kind.frequency_sensitivity();
+        let ratio = reference.as_f64() / freq.as_f64();
+        self.ref_duration_ms * ((1.0 - s) + s * ratio)
+    }
+}
+
+/// A sequence of phases — one application execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseTrace {
+    /// Human-readable workload name.
+    pub name: String,
+    /// The phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseTrace {
+    /// Total runtime at a fixed frequency (no switches).
+    pub fn runtime_at_ms(&self, freq: FreqMhz, reference: FreqMhz) -> f64 {
+        self.phases.iter().map(|p| p.duration_at_ms(freq, reference)).sum()
+    }
+
+    /// Number of phase boundaries (switch opportunities).
+    pub fn n_boundaries(&self) -> usize {
+        self.phases.len().saturating_sub(1)
+    }
+}
+
+/// Seeded generator of synthetic phase traces for the workload classes the
+/// paper's introduction motivates.
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    rng: ChaCha8Rng,
+}
+
+impl TraceGenerator {
+    /// Deterministic generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TraceGenerator { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    fn jitter(&mut self, base_ms: f64, rel: f64) -> f64 {
+        let f: f64 = self.rng.gen_range(-rel..=rel);
+        (base_ms * (1.0 + f)).max(0.1)
+    }
+
+    /// LLM-training-like trace: long compute-bound steps separated by
+    /// short memory-bound optimizer/allreduce regions. Long phases amortise
+    /// almost any switching latency.
+    pub fn llm_training(&mut self, steps: usize, step_ms: f64) -> PhaseTrace {
+        let mut phases = Vec::with_capacity(steps * 2);
+        for _ in 0..steps {
+            phases.push(Phase {
+                kind: PhaseKind::ComputeBound,
+                ref_duration_ms: self.jitter(step_ms, 0.15),
+            });
+            phases.push(Phase {
+                kind: PhaseKind::MemoryBound,
+                ref_duration_ms: self.jitter(step_ms * 0.35, 0.25),
+            });
+        }
+        PhaseTrace { name: format!("llm-training-{steps}x{step_ms}ms"), phases }
+    }
+
+    /// Iterative-solver-like trace: medium compute phases with communication
+    /// waits between halo exchanges. Phase lengths sit near the GPU
+    /// switching-latency scale, which is exactly where latency-oblivious
+    /// DVFS loses.
+    pub fn iterative_solver(&mut self, iterations: usize, compute_ms: f64) -> PhaseTrace {
+        let mut phases = Vec::with_capacity(iterations * 2);
+        for _ in 0..iterations {
+            phases.push(Phase {
+                kind: PhaseKind::ComputeBound,
+                ref_duration_ms: self.jitter(compute_ms, 0.2),
+            });
+            phases.push(Phase {
+                kind: PhaseKind::Communication,
+                ref_duration_ms: self.jitter(compute_ms * 0.4, 0.4),
+            });
+        }
+        PhaseTrace { name: format!("iterative-solver-{iterations}x{compute_ms}ms"), phases }
+    }
+
+    /// Streaming-analytics-like trace: alternating short memory-bound bursts
+    /// and short communication gaps — the hostile case where most switches
+    /// cannot be amortised at all.
+    pub fn streaming_bursts(&mut self, bursts: usize, burst_ms: f64) -> PhaseTrace {
+        let mut phases = Vec::with_capacity(bursts * 2);
+        for _ in 0..bursts {
+            phases.push(Phase {
+                kind: PhaseKind::MemoryBound,
+                ref_duration_ms: self.jitter(burst_ms, 0.3),
+            });
+            phases.push(Phase {
+                kind: PhaseKind::Communication,
+                ref_duration_ms: self.jitter(burst_ms * 0.6, 0.3),
+            });
+        }
+        PhaseTrace { name: format!("streaming-{bursts}x{burst_ms}ms"), phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REF: FreqMhz = FreqMhz(1410);
+
+    #[test]
+    fn compute_phase_scales_with_frequency() {
+        let p = Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 100.0 };
+        let at_half = p.duration_at_ms(FreqMhz(705), REF);
+        // 95 % sensitive: 100 * (0.05 + 0.95 * 2) = 195 ms.
+        assert!((at_half - 195.0).abs() < 1e-9, "{at_half}");
+        assert_eq!(p.duration_at_ms(REF, REF), 100.0);
+    }
+
+    #[test]
+    fn communication_phase_is_frequency_invariant() {
+        let p = Phase { kind: PhaseKind::Communication, ref_duration_ms: 50.0 };
+        assert_eq!(p.duration_at_ms(FreqMhz(210), REF), 50.0);
+        assert_eq!(p.duration_at_ms(REF, REF), 50.0);
+    }
+
+    #[test]
+    fn preferred_frequencies_are_ordered() {
+        let (min, max) = (FreqMhz(210), FreqMhz(1410));
+        let comm = PhaseKind::Communication.preferred_frequency(min, max);
+        let mem = PhaseKind::MemoryBound.preferred_frequency(min, max);
+        let comp = PhaseKind::ComputeBound.preferred_frequency(min, max);
+        assert!(comm < mem && mem < comp);
+        assert_eq!(comp, max);
+        assert_eq!(comm, min);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = TraceGenerator::new(9).llm_training(5, 300.0);
+        let b = TraceGenerator::new(9).llm_training(5, 300.0);
+        let c = TraceGenerator::new(10).llm_training(5, 300.0);
+        let durs = |t: &PhaseTrace| t.phases.iter().map(|p| p.ref_duration_ms).collect::<Vec<_>>();
+        assert_eq!(durs(&a), durs(&b));
+        assert_ne!(durs(&a), durs(&c));
+    }
+
+    #[test]
+    fn trace_runtime_sums_phases() {
+        let t = TraceGenerator::new(1).iterative_solver(10, 40.0);
+        assert_eq!(t.phases.len(), 20);
+        assert_eq!(t.n_boundaries(), 19);
+        let total = t.runtime_at_ms(REF, REF);
+        let by_hand: f64 = t.phases.iter().map(|p| p.ref_duration_ms).sum();
+        assert!((total - by_hand).abs() < 1e-9);
+    }
+}

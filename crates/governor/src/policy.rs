@@ -1,0 +1,388 @@
+//! Governor policies: how a runtime system picks the frequency at each
+//! phase boundary.
+//!
+//! Four policies bracket the design space:
+//!
+//! * [`RunAtMax`] — the reference: no DVFS, maximum performance and energy.
+//! * [`StaticOracle`] — static tuning (Sec. III): the single best frequency
+//!   applied for the whole execution, chosen with full knowledge of the
+//!   trace. The ceiling of what static tuning can save.
+//! * [`LatencyOblivious`] — per-phase DVFS that switches to every phase's
+//!   preferred frequency at every boundary, assuming switches are free.
+//!   This is what a CPU-derived runtime system does when transplanted to a
+//!   GPU without switching-latency knowledge.
+//! * [`LatencyAware`] — consumes the measured [`LatencyTable`]: it switches
+//!   only when the upcoming phase amortises the expected latency, and it
+//!   detours around pathological pairs via [`LatencyTable::cheapest_near`].
+
+use latest_gpu_sim::freq::FreqMhz;
+
+use crate::phase::{Phase, PhaseTrace};
+use crate::power::PowerModel;
+use crate::table::LatencyTable;
+
+/// A frequency decision for one phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decision {
+    /// Frequency to run the phase at. `None` = stay at the current one.
+    pub set_frequency: Option<FreqMhz>,
+}
+
+impl Decision {
+    /// Keep the current frequency.
+    pub fn stay() -> Self {
+        Decision { set_frequency: None }
+    }
+
+    /// Request `f` before the phase starts.
+    pub fn switch_to(f: FreqMhz) -> Self {
+        Decision { set_frequency: Some(f) }
+    }
+}
+
+/// A DVFS governor: decides the frequency for each upcoming phase.
+pub trait GovernorPolicy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Frequency to start the execution at.
+    fn initial_frequency(&self, trace: &PhaseTrace) -> FreqMhz;
+
+    /// Decide for the phase at `index` (current device frequency given).
+    fn decide(&self, trace: &PhaseTrace, index: usize, current: FreqMhz) -> Decision;
+}
+
+/// No DVFS: lock the maximum frequency for the whole run.
+#[derive(Clone, Debug)]
+pub struct RunAtMax {
+    /// The device's maximum frequency.
+    pub f_max: FreqMhz,
+}
+
+impl GovernorPolicy for RunAtMax {
+    fn name(&self) -> &str {
+        "run-at-max"
+    }
+
+    fn initial_frequency(&self, _trace: &PhaseTrace) -> FreqMhz {
+        self.f_max
+    }
+
+    fn decide(&self, _trace: &PhaseTrace, _index: usize, _current: FreqMhz) -> Decision {
+        Decision::stay()
+    }
+}
+
+/// Static tuning: one frequency for the whole run, chosen offline by
+/// minimising modelled energy subject to a runtime-extension budget.
+#[derive(Clone, Debug)]
+pub struct StaticOracle {
+    chosen: FreqMhz,
+}
+
+impl StaticOracle {
+    /// Evaluate every candidate frequency over the whole trace and keep the
+    /// one with the lowest energy whose runtime stays within
+    /// `(1 + slack) ×` the run-at-max runtime.
+    pub fn plan(
+        trace: &PhaseTrace,
+        candidates: &[FreqMhz],
+        reference: FreqMhz,
+        power: &PowerModel,
+        slack: f64,
+    ) -> Self {
+        let budget_ms = trace.runtime_at_ms(reference, reference) * (1.0 + slack);
+        let mut best = (reference, f64::MAX);
+        for &f in candidates {
+            let runtime: f64 = trace.runtime_at_ms(f, reference);
+            if runtime > budget_ms {
+                continue;
+            }
+            let energy: f64 = trace
+                .phases
+                .iter()
+                .map(|p| power.energy_j(f, p.kind, p.duration_at_ms(f, reference)))
+                .sum();
+            if energy < best.1 {
+                best = (f, energy);
+            }
+        }
+        StaticOracle { chosen: best.0 }
+    }
+
+    /// The frequency the oracle picked.
+    pub fn frequency(&self) -> FreqMhz {
+        self.chosen
+    }
+}
+
+impl GovernorPolicy for StaticOracle {
+    fn name(&self) -> &str {
+        "static-oracle"
+    }
+
+    fn initial_frequency(&self, _trace: &PhaseTrace) -> FreqMhz {
+        self.chosen
+    }
+
+    fn decide(&self, _trace: &PhaseTrace, _index: usize, _current: FreqMhz) -> Decision {
+        Decision::stay()
+    }
+}
+
+/// Per-phase DVFS with no latency knowledge: always switch to the phase's
+/// preferred frequency.
+#[derive(Clone, Debug)]
+pub struct LatencyOblivious {
+    /// Ladder floor (communication phases run here).
+    pub f_min: FreqMhz,
+    /// Ladder ceiling (compute phases run here).
+    pub f_max: FreqMhz,
+}
+
+impl GovernorPolicy for LatencyOblivious {
+    fn name(&self) -> &str {
+        "latency-oblivious"
+    }
+
+    fn initial_frequency(&self, trace: &PhaseTrace) -> FreqMhz {
+        trace
+            .phases
+            .first()
+            .map(|p| p.kind.preferred_frequency(self.f_min, self.f_max))
+            .unwrap_or(self.f_max)
+    }
+
+    fn decide(&self, trace: &PhaseTrace, index: usize, current: FreqMhz) -> Decision {
+        let want = trace.phases[index].kind.preferred_frequency(self.f_min, self.f_max);
+        if want == current {
+            Decision::stay()
+        } else {
+            Decision::switch_to(want)
+        }
+    }
+}
+
+/// The latency-aware governor: switch only when the phase amortises the
+/// measured expected latency, and route around pathological pairs.
+#[derive(Clone, Debug)]
+pub struct LatencyAware {
+    /// Measured switching-latency table for the device.
+    pub table: LatencyTable,
+    /// Ladder floor.
+    pub f_min: FreqMhz,
+    /// Ladder ceiling.
+    pub f_max: FreqMhz,
+    /// A switch must cost less than this fraction of the phase duration
+    /// (e.g. 0.1: the phase must be ≥ 10× the expected latency).
+    pub amortise_fraction: f64,
+    /// Detour window: alternative targets within this many MHz are eligible
+    /// when the straight pair is pathological.
+    pub detour_window_mhz: u32,
+    /// A pair is pathological above `factor ×` the table's typical latency.
+    pub pathological_factor: f64,
+}
+
+impl LatencyAware {
+    /// Default thresholds: 5× amortisation, 150 MHz detours, 5× typical.
+    pub fn new(table: LatencyTable, f_min: FreqMhz, f_max: FreqMhz) -> Self {
+        LatencyAware {
+            table,
+            f_min,
+            f_max,
+            amortise_fraction: 0.2,
+            detour_window_mhz: 150,
+            pathological_factor: 5.0,
+        }
+    }
+
+    /// Snap a desired frequency to the nearest target the table has data
+    /// for. A campaign measures a frequency subset; the governor can only
+    /// reason about transitions it has latencies for.
+    fn nearest_known_target(&self, want: FreqMhz) -> Option<FreqMhz> {
+        self.table
+            .known_targets()
+            .into_iter()
+            .min_by_key(|t| t.0.abs_diff(want.0))
+    }
+
+    /// Pick the effective target for a desired switch, taking the detour
+    /// when the straight pair is pathological and a cheaper neighbour
+    /// exists. Returns the target and its expected latency (ms).
+    fn effective_target(&self, current: FreqMhz, want: FreqMhz) -> Option<(FreqMhz, f64)> {
+        let straight = self.table.expected_ms(current, want)?;
+        if !self.table.is_pathological(current, want, self.pathological_factor) {
+            return Some((want, straight));
+        }
+        match self.table.cheapest_near(current, want, self.detour_window_mhz) {
+            Some((alt, alt_ms)) if alt_ms < straight => Some((alt, alt_ms)),
+            _ => Some((want, straight)),
+        }
+    }
+
+    /// Whether a switch of `latency_ms` pays off before a phase of
+    /// `phase_ms`.
+    fn amortised(&self, latency_ms: f64, phase_ms: f64) -> bool {
+        latency_ms <= self.amortise_fraction * phase_ms
+    }
+
+    fn phase_duration_hint(&self, phase: &Phase) -> f64 {
+        // Planning uses the reference duration; the simulator applies the
+        // true frequency-scaled duration.
+        phase.ref_duration_ms
+    }
+}
+
+impl GovernorPolicy for LatencyAware {
+    fn name(&self) -> &str {
+        "latency-aware"
+    }
+
+    fn initial_frequency(&self, trace: &PhaseTrace) -> FreqMhz {
+        // Starting frequency is applied before the run; no latency paid
+        // mid-execution, so take the first phase's preference directly
+        // (even off-table: switching *away* from it later is a measured
+        // question only when the table covers that origin).
+        trace
+            .phases
+            .first()
+            .map(|p| p.kind.preferred_frequency(self.f_min, self.f_max))
+            .unwrap_or(self.f_max)
+    }
+
+    fn decide(&self, trace: &PhaseTrace, index: usize, current: FreqMhz) -> Decision {
+        let phase = &trace.phases[index];
+        let preferred = phase.kind.preferred_frequency(self.f_min, self.f_max);
+        let want = self.nearest_known_target(preferred).unwrap_or(preferred);
+        if want == current {
+            return Decision::stay();
+        }
+        // Unknown pairs are treated as unaffordable, not free: a runtime
+        // system must not gamble on transitions it has no data for.
+        let Some((target, expected_ms)) = self.effective_target(current, want) else {
+            return Decision::stay();
+        };
+        if target == current || !self.amortised(expected_ms, self.phase_duration_hint(phase)) {
+            return Decision::stay();
+        }
+        Decision::switch_to(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{PhaseKind, TraceGenerator};
+    use crate::table::PairLatency;
+
+    const MIN: FreqMhz = FreqMhz(210);
+    const MAX: FreqMhz = FreqMhz(1410);
+
+    fn flat_table(ms: f64) -> LatencyTable {
+        let freqs = [210u32, 1058, 1410];
+        let mut t = LatencyTable::new("flat");
+        for &a in &freqs {
+            for &b in &freqs {
+                if a != b {
+                    t.insert(PairLatency::new(a, b, vec![ms, ms, ms]));
+                }
+            }
+        }
+        t
+    }
+
+    fn solver_trace() -> PhaseTrace {
+        TraceGenerator::new(3).iterative_solver(6, 200.0)
+    }
+
+    #[test]
+    fn run_at_max_never_switches() {
+        let p = RunAtMax { f_max: MAX };
+        let t = solver_trace();
+        assert_eq!(p.initial_frequency(&t), MAX);
+        for i in 0..t.phases.len() {
+            assert_eq!(p.decide(&t, i, MAX), Decision::stay());
+        }
+    }
+
+    #[test]
+    fn static_oracle_respects_runtime_budget() {
+        let power = PowerModel::sxm_class(MAX);
+        let t = solver_trace();
+        let candidates = [MIN, FreqMhz(705), FreqMhz(1058), FreqMhz(1350), MAX];
+        // With 5 % slack only a near-max frequency fits the runtime budget
+        // (compute phases are 95 % frequency-sensitive), but its cubic power
+        // saving already beats running at max.
+        let oracle = StaticOracle::plan(&t, &candidates, MAX, &power, 0.05);
+        assert_eq!(oracle.frequency(), FreqMhz(1350));
+        // With a huge budget the oracle drops to a frequency whose energy is
+        // minimal; runtime no longer binds.
+        let greedy = StaticOracle::plan(&t, &candidates, MAX, &power, 100.0);
+        assert!(greedy.frequency() <= oracle.frequency());
+    }
+
+    #[test]
+    fn oblivious_switches_at_every_kind_change() {
+        let p = LatencyOblivious { f_min: MIN, f_max: MAX };
+        let t = solver_trace(); // alternating compute / communication
+        let mut current = p.initial_frequency(&t);
+        let mut switches = 0;
+        for i in 0..t.phases.len() {
+            if let Decision { set_frequency: Some(f) } = p.decide(&t, i, current) {
+                current = f;
+                switches += 1;
+            }
+        }
+        // Every boundary changes kind, so every boundary switches.
+        assert_eq!(switches, t.n_boundaries());
+    }
+
+    #[test]
+    fn aware_skips_unamortised_switches() {
+        // 300 ms flat latency vs 200 ms phases at 10 % amortisation: no
+        // switch ever pays off.
+        let p = LatencyAware::new(flat_table(300.0), MIN, MAX);
+        let t = solver_trace();
+        let current = p.initial_frequency(&t);
+        for i in 1..t.phases.len() {
+            assert_eq!(p.decide(&t, i, current), Decision::stay(), "phase {i}");
+        }
+    }
+
+    #[test]
+    fn aware_switches_when_cheap() {
+        // 1 ms flat latency: every kind change amortises instantly.
+        let p = LatencyAware::new(flat_table(1.0), MIN, MAX);
+        let t = solver_trace();
+        let current = FreqMhz(1410);
+        // Phase 1 is a communication phase wanting the floor.
+        let d = p.decide(&t, 1, current);
+        assert_eq!(d, Decision::switch_to(MIN));
+    }
+
+    #[test]
+    fn aware_treats_unknown_pairs_as_unaffordable() {
+        let p = LatencyAware::new(LatencyTable::new("empty"), MIN, MAX);
+        let t = solver_trace();
+        assert_eq!(p.decide(&t, 1, MAX), Decision::stay());
+    }
+
+    #[test]
+    fn aware_detours_around_pathological_pairs() {
+        // Straight 1410->210 is pathological (500 ms); 260 is a cheap
+        // neighbour of 210 within the 150 MHz window.
+        let mut table = flat_table(5.0);
+        table.insert(PairLatency::new(1410, 210, vec![500.0, 505.0]));
+        table.insert(PairLatency::new(1410, 260, vec![6.0, 6.2]));
+        let p = LatencyAware::new(table, MIN, MAX);
+        let t = PhaseTrace {
+            name: "one-comm".into(),
+            phases: vec![
+                Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 500.0 },
+                Phase { kind: PhaseKind::Communication, ref_duration_ms: 500.0 },
+            ],
+        };
+        let d = p.decide(&t, 1, FreqMhz(1410));
+        assert_eq!(d, Decision::switch_to(FreqMhz(260)));
+    }
+}

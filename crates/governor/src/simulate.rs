@@ -1,0 +1,332 @@
+//! Execute a governor policy over a phase trace and account runtime and
+//! energy, replaying transition latencies from the measured distribution.
+//!
+//! The simulation applies the cost model the paper describes: while a
+//! frequency change is in flight the device keeps executing at the *old*
+//! frequency (the workload does not stop), and a change requested while a
+//! previous transition is still in flight leaves the clock undefined — here
+//! modelled, conservatively, as the new transition starting only after the
+//! in-flight one completes, which is the back-to-back behaviour that makes
+//! over-eager DVFS lose (cf. the COUNTDOWN discussion in Sec. III).
+
+use latest_gpu_sim::freq::FreqMhz;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::phase::PhaseTrace;
+use crate::policy::GovernorPolicy;
+use crate::power::PowerModel;
+use crate::table::LatencyTable;
+
+/// Replayed transition cost: draw a latency from the measured sample of the
+/// pair (uniformly, seeded), falling back to the table's typical latency
+/// for pairs the campaign never measured.
+#[derive(Clone, Debug)]
+pub struct TransitionReplay {
+    table: LatencyTable,
+    rng: ChaCha8Rng,
+    fallback_ms: f64,
+}
+
+impl TransitionReplay {
+    /// Build a replay source from a measured table.
+    pub fn new(table: LatencyTable, seed: u64) -> Self {
+        let fallback_ms = table.typical_ms().unwrap_or(10.0);
+        TransitionReplay { table, rng: ChaCha8Rng::seed_from_u64(seed), fallback_ms }
+    }
+
+    /// Draw the latency of one `init → target` transition (ms).
+    pub fn draw_ms(&mut self, init: FreqMhz, target: FreqMhz) -> f64 {
+        match self.table.pair(init, target) {
+            Some(p) if !p.latencies_ms.is_empty() => {
+                let idx = self.rng.gen_range(0..p.latencies_ms.len());
+                p.latencies_ms[idx]
+            }
+            _ => self.fallback_ms,
+        }
+    }
+}
+
+/// Outcome of running one policy over one trace.
+#[derive(Clone, Debug)]
+pub struct GovernorReport {
+    /// Policy name.
+    pub policy: String,
+    /// Trace name.
+    pub trace: String,
+    /// Total wall-clock runtime (ms), transitions included.
+    pub runtime_ms: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Frequency switches actually issued.
+    pub switches: usize,
+    /// Switch decisions suppressed (stayed although the kind changed).
+    pub suppressed: usize,
+    /// Total time spent with a transition in flight (ms).
+    pub transition_ms: f64,
+    /// Longest single transition paid (ms).
+    pub worst_transition_ms: f64,
+}
+
+impl GovernorReport {
+    /// Energy saving of `self` relative to `baseline` (fraction; positive
+    /// is better).
+    pub fn energy_saving_vs(&self, baseline: &GovernorReport) -> f64 {
+        1.0 - self.energy_j / baseline.energy_j
+    }
+
+    /// Runtime extension relative to `baseline` (fraction; positive means
+    /// slower).
+    pub fn runtime_extension_vs(&self, baseline: &GovernorReport) -> f64 {
+        self.runtime_ms / baseline.runtime_ms - 1.0
+    }
+
+    /// Energy-delay product (J·s) — the combined figure of merit.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.runtime_ms / 1e3
+    }
+}
+
+/// Run `policy` over `trace` on a device whose transitions replay from
+/// `replay`, and account runtime/energy with `power`.
+///
+/// `reference` is the frequency the trace's phase durations are normalised
+/// to (the device maximum).
+pub fn simulate_policy(
+    policy: &dyn GovernorPolicy,
+    trace: &PhaseTrace,
+    power: &PowerModel,
+    replay: &mut TransitionReplay,
+    reference: FreqMhz,
+) -> GovernorReport {
+    let mut current = policy.initial_frequency(trace);
+    let mut runtime_ms = 0.0;
+    let mut energy_j = 0.0;
+    let mut switches = 0usize;
+    let mut suppressed = 0usize;
+    let mut transition_ms = 0.0;
+    let mut worst_transition_ms: f64 = 0.0;
+    // Time left on an in-flight transition and its landing frequency.
+    let mut in_flight: Option<(f64, FreqMhz)> = None;
+
+    for (index, phase) in trace.phases.iter().enumerate() {
+        // Governor decision at the boundary (index 0 uses the initial
+        // frequency, already applied for free before launch).
+        if index > 0 {
+            let decision = policy.decide(trace, index, in_flight.map_or(current, |(_, f)| f));
+            match decision.set_frequency {
+                Some(target) if target != current => {
+                    // Requesting while a transition is in flight: the
+                    // pending one must land first (undefined-clock guard),
+                    // so its remaining time is paid on top and the device
+                    // stays at the old clock throughout.
+                    let queue_ms = in_flight.take().map_or(0.0, |(left, _)| left);
+                    let latency = replay.draw_ms(current, target) + queue_ms;
+                    in_flight = Some((latency, target));
+                    switches += 1;
+                    worst_transition_ms = worst_transition_ms.max(latency);
+                }
+                Some(_) => {}
+                None => {
+                    let want_changed = index > 0
+                        && trace.phases[index].kind != trace.phases[index - 1].kind;
+                    if want_changed {
+                        suppressed += 1;
+                    }
+                }
+            }
+        }
+
+        // Execute the phase; a transition may land mid-phase.
+        let mut remaining_work_ms = phase.ref_duration_ms; // in reference time
+        while remaining_work_ms > 1e-12 {
+            let (span_ref_ms, freq_now) = match in_flight {
+                Some((left_ms, landing)) => {
+                    // The device runs at `current` until the transition
+                    // lands `left_ms` from now (wall time).
+                    let wall_per_ref = phase.duration_at_ms(current, reference)
+                        / phase.ref_duration_ms;
+                    let ref_until_landing = left_ms / wall_per_ref;
+                    if ref_until_landing >= remaining_work_ms {
+                        // Lands after this phase ends.
+                        let wall = remaining_work_ms * wall_per_ref;
+                        in_flight = Some((left_ms - wall, landing));
+                        transition_ms += wall;
+                        (remaining_work_ms, current)
+                    } else {
+                        in_flight = None;
+                        transition_ms += left_ms;
+                        let f = current;
+                        current = landing;
+                        (ref_until_landing.max(0.0), f)
+                    }
+                }
+                None => (remaining_work_ms, current),
+            };
+            let span_ref_ms = span_ref_ms.min(remaining_work_ms).max(0.0);
+            if span_ref_ms <= 1e-12 {
+                continue;
+            }
+            let wall_ms =
+                span_ref_ms * phase.duration_at_ms(freq_now, reference) / phase.ref_duration_ms;
+            runtime_ms += wall_ms;
+            energy_j += power.energy_j(freq_now, phase.kind, wall_ms);
+            remaining_work_ms -= span_ref_ms;
+        }
+    }
+
+    // A transition still in flight at the end of the run: the clocks settle
+    // after the last kernel; no extra runtime is charged.
+    GovernorReport {
+        policy: policy.name().to_string(),
+        trace: trace.name.clone(),
+        runtime_ms,
+        energy_j,
+        switches,
+        suppressed,
+        transition_ms,
+        worst_transition_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{Phase, PhaseKind, TraceGenerator};
+    use crate::policy::{LatencyAware, LatencyOblivious, RunAtMax};
+    use crate::table::PairLatency;
+
+    const MIN: FreqMhz = FreqMhz(210);
+    const MAX: FreqMhz = FreqMhz(1410);
+
+    fn flat_table(ms: f64) -> LatencyTable {
+        let freqs = [210u32, 1058, 1410];
+        let mut t = LatencyTable::new("flat");
+        for &a in &freqs {
+            for &b in &freqs {
+                if a != b {
+                    t.insert(PairLatency::new(a, b, vec![ms]));
+                }
+            }
+        }
+        t
+    }
+
+    fn power() -> PowerModel {
+        PowerModel::sxm_class(MAX)
+    }
+
+    #[test]
+    fn run_at_max_runtime_equals_trace_reference_runtime() {
+        let trace = TraceGenerator::new(5).llm_training(4, 100.0);
+        let mut replay = TransitionReplay::new(flat_table(5.0), 1);
+        let r = simulate_policy(&RunAtMax { f_max: MAX }, &trace, &power(), &mut replay, MAX);
+        let expected = trace.runtime_at_ms(MAX, MAX);
+        assert!((r.runtime_ms - expected).abs() < 1e-6);
+        assert_eq!(r.switches, 0);
+        assert_eq!(r.transition_ms, 0.0);
+    }
+
+    #[test]
+    fn oblivious_pays_transition_time() {
+        let trace = TraceGenerator::new(5).iterative_solver(5, 100.0);
+        let table = flat_table(20.0);
+        let mut replay = TransitionReplay::new(table, 2);
+        let r = simulate_policy(
+            &LatencyOblivious { f_min: MIN, f_max: MAX },
+            &trace,
+            &power(),
+            &mut replay,
+            MAX,
+        );
+        assert_eq!(r.switches, trace.n_boundaries());
+        assert!(r.transition_ms > 0.0);
+        assert!(r.worst_transition_ms >= 20.0);
+    }
+
+    #[test]
+    fn aware_beats_oblivious_on_short_phases_with_slow_transitions() {
+        // Phases of ~30/18 ms against 100 ms transitions: the oblivious
+        // governor churns, the aware one locks a frequency and stays.
+        let trace = TraceGenerator::new(5).streaming_bursts(30, 30.0);
+        let table = flat_table(100.0);
+        let power = power();
+        let oblivious = {
+            let mut replay = TransitionReplay::new(table.clone(), 3);
+            simulate_policy(
+                &LatencyOblivious { f_min: MIN, f_max: MAX },
+                &trace,
+                &power,
+                &mut replay,
+                MAX,
+            )
+        };
+        let aware = {
+            let mut replay = TransitionReplay::new(table.clone(), 3);
+            simulate_policy(
+                &LatencyAware::new(table, MIN, MAX),
+                &trace,
+                &power,
+                &mut replay,
+                MAX,
+            )
+        };
+        assert!(aware.switches < oblivious.switches);
+        assert!(aware.suppressed > 0);
+        assert!(
+            aware.edp() < oblivious.edp(),
+            "aware EDP {} vs oblivious {}",
+            aware.edp(),
+            oblivious.edp()
+        );
+    }
+
+    #[test]
+    fn transition_lands_mid_phase_and_splits_accounting() {
+        // One compute phase at max, then a long communication phase with a
+        // 50 ms transition to the floor landing inside it.
+        let trace = PhaseTrace {
+            name: "two-phase".into(),
+            phases: vec![
+                Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 100.0 },
+                Phase { kind: PhaseKind::Communication, ref_duration_ms: 1_000.0 },
+            ],
+        };
+        let mut table = LatencyTable::new("one");
+        table.insert(PairLatency::new(1410, 210, vec![50.0]));
+        let mut replay = TransitionReplay::new(table.clone(), 4);
+        let r = simulate_policy(
+            &LatencyAware::new(table, MIN, MAX),
+            &trace,
+            &power(),
+            &mut replay,
+            MAX,
+        );
+        assert_eq!(r.switches, 1);
+        assert!((r.transition_ms - 50.0).abs() < 1e-6);
+        // Communication is frequency-invariant, so runtime is unchanged,
+        // but 50 ms of it ran at the old (max) clock: energy must sit
+        // between all-floor and all-max for that phase.
+        let e_floor = power().energy_j(MIN, PhaseKind::Communication, 1_000.0);
+        let e_max = power().energy_j(MAX, PhaseKind::Communication, 1_000.0);
+        let e_phase0 = power().energy_j(MAX, PhaseKind::ComputeBound, 100.0);
+        let e_comm = r.energy_j - e_phase0;
+        assert!(e_comm > e_floor && e_comm < e_max, "{e_comm} vs [{e_floor}, {e_max}]");
+    }
+
+    #[test]
+    fn replay_draws_from_the_measured_sample() {
+        let mut table = LatencyTable::new("x");
+        table.insert(PairLatency::new(1000, 2000, vec![3.0, 7.0, 11.0]));
+        let mut replay = TransitionReplay::new(table, 5);
+        for _ in 0..50 {
+            let d = replay.draw_ms(FreqMhz(1000), FreqMhz(2000));
+            assert!([3.0, 7.0, 11.0].contains(&d));
+        }
+        // Unmeasured pair: fall back to the typical latency (median of
+        // means = 7.0).
+        let d = replay.draw_ms(FreqMhz(2000), FreqMhz(1000));
+        assert!((d - 7.0).abs() < 1e-9);
+    }
+}

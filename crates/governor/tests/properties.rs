@@ -1,0 +1,159 @@
+//! Property-based tests for the governor: table queries, phase scaling and
+//! the accounting identities of the policy simulator.
+
+use latest_governor::simulate::TransitionReplay;
+use latest_governor::{
+    simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PairLatency, Phase, PhaseKind,
+    PhaseTrace, PowerModel, RunAtMax, GovernorPolicy,
+};
+use latest_gpu_sim::freq::FreqMhz;
+use proptest::prelude::*;
+
+const F_MIN: FreqMhz = FreqMhz(210);
+const F_MAX: FreqMhz = FreqMhz(1410);
+
+fn kinds() -> impl Strategy<Value = PhaseKind> {
+    prop_oneof![
+        Just(PhaseKind::ComputeBound),
+        Just(PhaseKind::MemoryBound),
+        Just(PhaseKind::Communication),
+    ]
+}
+
+fn traces() -> impl Strategy<Value = PhaseTrace> {
+    prop::collection::vec((kinds(), 1.0..500.0f64), 1..25).prop_map(|phases| PhaseTrace {
+        name: "prop".into(),
+        phases: phases
+            .into_iter()
+            .map(|(kind, ref_duration_ms)| Phase { kind, ref_duration_ms })
+            .collect(),
+    })
+}
+
+fn tables() -> impl Strategy<Value = LatencyTable> {
+    prop::collection::vec(1.0..100.0f64, 1..6).prop_map(|ms| {
+        let freqs = [210u32, 1058, 1410];
+        let mut t = LatencyTable::new("prop");
+        for &a in &freqs {
+            for &b in &freqs {
+                if a != b {
+                    t.insert(PairLatency::new(a, b, ms.clone()));
+                }
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    // --- PairLatency / LatencyTable ------------------------------------------
+
+    #[test]
+    fn quantile_is_monotone(ms in prop::collection::vec(0.1..1000.0f64, 1..100), p in 0.0..1.0f64, q in 0.0..1.0f64) {
+        let pair = PairLatency::new(1, 2, ms);
+        let (lo, hi) = (p.min(q), p.max(q));
+        prop_assert!(pair.quantile_ms(lo) <= pair.quantile_ms(hi));
+        prop_assert!(pair.mean_ms() >= pair.quantile_ms(0.0));
+        prop_assert!(pair.mean_ms() <= pair.quantile_ms(1.0));
+    }
+
+    #[test]
+    fn avoid_list_entries_are_pathological(table in tables(), factor in 1.5..10.0f64) {
+        for (i, t) in table.avoid_list(factor) {
+            prop_assert!(table.is_pathological(FreqMhz(i), FreqMhz(t), factor));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_pair(table in tables()) {
+        let restored = LatencyTable::from_json(&table.to_json()).unwrap();
+        prop_assert_eq!(restored.len(), table.len());
+        for p in table.pairs() {
+            let r = restored.pair(FreqMhz(p.init_mhz), FreqMhz(p.target_mhz)).unwrap();
+            prop_assert_eq!(&r.latencies_ms, &p.latencies_ms);
+        }
+    }
+
+    #[test]
+    fn cheapest_near_never_exceeds_straight_cost(table in tables(), window in 0u32..500) {
+        // If the straight pair is measured, the detour can only improve it.
+        let (init, target) = (FreqMhz(1410), FreqMhz(210));
+        if let (Some(straight), Some((_, detour_ms))) = (
+            table.expected_ms(init, target),
+            table.cheapest_near(init, target, window),
+        ) {
+            prop_assert!(detour_ms <= straight + 1e-12);
+        }
+    }
+
+    // --- phases -----------------------------------------------------------------
+
+    #[test]
+    fn lower_frequency_never_shortens_a_phase(kind in kinds(), dur in 1.0..1000.0f64, f in 210u32..1410) {
+        let phase = Phase { kind, ref_duration_ms: dur };
+        let slow = phase.duration_at_ms(FreqMhz(f), F_MAX);
+        let fast = phase.duration_at_ms(F_MAX, F_MAX);
+        prop_assert!(slow >= fast - 1e-12);
+        prop_assert!((fast - dur).abs() < 1e-9);
+    }
+
+    // --- simulator accounting ------------------------------------------------------
+
+    #[test]
+    fn run_at_max_reproduces_reference_runtime(trace in traces(), table in tables(), seed in 0u64..100) {
+        let power = PowerModel::sxm_class(F_MAX);
+        let mut replay = TransitionReplay::new(table, seed);
+        let r = simulate_policy(&RunAtMax { f_max: F_MAX }, &trace, &power, &mut replay, F_MAX);
+        let expected = trace.runtime_at_ms(F_MAX, F_MAX);
+        prop_assert!((r.runtime_ms - expected).abs() <= 1e-6 * (1.0 + expected));
+        prop_assert_eq!(r.switches, 0);
+        prop_assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn energy_is_bounded_by_power_extremes(trace in traces(), table in tables(), seed in 0u64..100) {
+        let power = PowerModel::sxm_class(F_MAX);
+        let mut replay = TransitionReplay::new(table.clone(), seed);
+        let policy = LatencyOblivious { f_min: F_MIN, f_max: F_MAX };
+        let r = simulate_policy(&policy, &trace, &power, &mut replay, F_MAX);
+        // Energy must lie between idle-power and max-power integrals of the
+        // actual runtime.
+        let p_floor = power.power_w(F_MIN, PhaseKind::Communication);
+        let p_ceil = power.power_w(F_MAX, PhaseKind::ComputeBound);
+        prop_assert!(r.energy_j >= p_floor * r.runtime_ms / 1e3 - 1e-6);
+        prop_assert!(r.energy_j <= p_ceil * r.runtime_ms / 1e3 + 1e-6);
+    }
+
+    #[test]
+    fn decisions_are_bounded_by_boundaries(trace in traces(), table in tables(), seed in 0u64..100) {
+        let power = PowerModel::sxm_class(F_MAX);
+        for policy in [
+            Box::new(LatencyOblivious { f_min: F_MIN, f_max: F_MAX }) as Box<dyn GovernorPolicy>,
+            Box::new(LatencyAware::new(table.clone(), F_MIN, F_MAX)),
+        ] {
+            let mut replay = TransitionReplay::new(table.clone(), seed);
+            let r = simulate_policy(policy.as_ref(), &trace, &power, &mut replay, F_MAX);
+            prop_assert!(r.switches + r.suppressed <= trace.n_boundaries());
+            prop_assert!(r.runtime_ms >= trace.runtime_at_ms(F_MAX, F_MAX) - 1e-6);
+            prop_assert!(r.worst_transition_ms >= 0.0);
+            prop_assert!(r.transition_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    // On uniform tables (all pairs equally expensive) the detour logic never
+    // fires, so the aware governor is a strict filter over the oblivious
+    // one's switch decisions.
+    fn aware_never_switches_more_than_oblivious(trace in traces(), table in tables(), seed in 0u64..100) {
+        let power = PowerModel::sxm_class(F_MAX);
+        let oblivious = {
+            let mut replay = TransitionReplay::new(table.clone(), seed);
+            simulate_policy(&LatencyOblivious { f_min: F_MIN, f_max: F_MAX }, &trace, &power, &mut replay, F_MAX)
+        };
+        let aware = {
+            let mut replay = TransitionReplay::new(table.clone(), seed);
+            simulate_policy(&LatencyAware::new(table.clone(), F_MIN, F_MAX), &trace, &power, &mut replay, F_MAX)
+        };
+        prop_assert!(aware.switches <= oblivious.switches);
+    }
+}

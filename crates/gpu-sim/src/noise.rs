@@ -1,0 +1,240 @@
+//! Seeded samplers for the simulator's stochastic components.
+//!
+//! Implemented from scratch on top of `rand`'s uniform source (the offline
+//! crate set does not include `rand_distr`): Box–Muller normal, log-normal,
+//! truncated normal, and weighted mixtures. All samplers are deterministic
+//! functions of the RNG stream, which is what makes whole campaigns
+//! reproducible from a single seed.
+
+use rand::Rng;
+
+/// Normal distribution sampler (Box–Muller, one variate per call).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (>= 0).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Construct; panics on negative or non-finite sigma.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        // Box–Muller; guard against log(0).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    /// Draw one sample clamped to `mu ± k·sigma` (rejects pathological tails
+    /// without rejection-sampling loops; adequate for workload noise).
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, k: f64) -> f64 {
+        let x = self.sample(rng);
+        x.clamp(self.mu - k * self.sigma, self.mu + k * self.sigma)
+    }
+}
+
+/// Log-normal sampler parameterised by the *underlying* normal's mu/sigma.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    /// Mean of ln(X).
+    pub mu: f64,
+    /// Stdev of ln(X).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct a log-normal whose *median* is `median` and whose
+    /// multiplicative spread is `sigma_ln` (stdev in log-space). The median
+    /// parameterisation is far more intuitive for latency modelling.
+    pub fn from_median(median: f64, sigma_ln: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        assert!(sigma_ln >= 0.0, "sigma_ln must be >= 0");
+        LogNormal { mu: median.ln(), sigma: sigma_ln }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal { mu: self.mu, sigma: self.sigma }.sample(rng).exp()
+    }
+}
+
+/// One component of a latency mixture: a log-normal mode with a weight.
+#[derive(Clone, Copy, Debug)]
+pub struct MixtureComponent {
+    /// Relative (unnormalised) weight.
+    pub weight: f64,
+    /// Median of this mode, in milliseconds (domain-specific but keeps the
+    /// device descriptors readable).
+    pub median_ms: f64,
+    /// Log-space spread of this mode.
+    pub sigma_ln: f64,
+}
+
+/// A weighted mixture of log-normal modes — the shape switching-latency
+/// distributions take on real hardware (Sec. VII-B: "switching latencies for
+/// some frequency pairs formed multiple distinct clusters").
+#[derive(Clone, Debug)]
+pub struct LatencyMixture {
+    components: Vec<MixtureComponent>,
+    total_weight: f64,
+}
+
+impl LatencyMixture {
+    /// Build from components; panics if empty or all weights are zero.
+    pub fn new(components: Vec<MixtureComponent>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total_weight: f64 = components.iter().map(|c| c.weight).sum();
+        assert!(total_weight > 0.0, "mixture weights must sum to > 0");
+        LatencyMixture { components, total_weight }
+    }
+
+    /// A single-mode mixture.
+    pub fn single(median_ms: f64, sigma_ln: f64) -> Self {
+        Self::new(vec![MixtureComponent { weight: 1.0, median_ms, sigma_ln }])
+    }
+
+    /// Draw a latency in milliseconds.
+    pub fn sample_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let idx = self.pick_component(rng);
+        self.sample_component_ms(idx, rng)
+    }
+
+    /// Pick a component index by weight. Exposed separately so callers can
+    /// fix the *mode* with one RNG stream (e.g. a per-frequency-pair
+    /// deterministic stream) while sampling *within* the mode from another —
+    /// that is how per-pair/per-target heatmap structure stays stable across
+    /// hundreds of repeated measurements.
+    pub fn pick_component<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut pick = rng.gen::<f64>() * self.total_weight;
+        for (i, c) in self.components.iter().enumerate() {
+            if pick < c.weight {
+                return i;
+            }
+            pick -= c.weight;
+        }
+        self.components.len() - 1
+    }
+
+    /// Sample from a specific component.
+    pub fn sample_component_ms<R: Rng + ?Sized>(&self, idx: usize, rng: &mut R) -> f64 {
+        let c = &self.components[idx];
+        LogNormal::from_median(c.median_ms, c.sigma_ln).sample(rng)
+    }
+
+    /// The components (read-only view).
+    pub fn components(&self) -> &[MixtureComponent] {
+        &self.components
+    }
+
+    /// Scale every mode's median by `k` (per-unit manufacturing variation).
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(k > 0.0);
+        LatencyMixture {
+            components: self
+                .components
+                .iter()
+                .map(|c| MixtureComponent { median_ms: c.median_ms * k, ..*c })
+                .collect(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(1);
+        let d = Normal::new(10.0, 2.0);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.06, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_constant() {
+        let mut r = rng(2);
+        let d = Normal::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = rng(3);
+        let d = Normal::new(0.0, 1.0);
+        for _ in 0..10_000 {
+            let x = d.sample_clamped(&mut r, 2.0);
+            assert!((-2.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng(4);
+        let d = LogNormal::from_median(15.0, 0.5);
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median - 15.0).abs() < 0.5, "median = {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let mut r = rng(5);
+        // 80 % fast mode at ~5 ms, 20 % slow mode at ~250 ms.
+        let m = LatencyMixture::new(vec![
+            MixtureComponent { weight: 0.8, median_ms: 5.0, sigma_ln: 0.05 },
+            MixtureComponent { weight: 0.2, median_ms: 250.0, sigma_ln: 0.05 },
+        ]);
+        let n = 10_000;
+        let slow = (0..n).filter(|_| m.sample_ms(&mut r) > 100.0).count();
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "slow fraction = {frac}");
+    }
+
+    #[test]
+    fn mixture_scaling_scales_medians() {
+        let m = LatencyMixture::single(10.0, 0.1).scaled(1.5);
+        assert!((m.components()[0].median_ms - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let d = LogNormal::from_median(7.0, 0.3);
+        let a: Vec<f64> = { let mut r = rng(9); (0..50).map(|_| d.sample(&mut r)).collect() };
+        let b: Vec<f64> = { let mut r = rng(9); (0..50).map(|_| d.sample(&mut r)).collect() };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixture_rejects_empty() {
+        LatencyMixture::new(vec![]);
+    }
+}

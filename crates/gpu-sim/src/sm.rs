@@ -1,0 +1,269 @@
+//! The streaming-multiprocessor engine: turning a frequency trajectory into
+//! per-iteration timestamp records.
+//!
+//! The microbenchmark kernel of Sec. V runs "the same arithmetic instruction
+//! repeated multiple times in each performed iteration", with timestamp reads
+//! as the first and last instruction of every iteration. An SM therefore
+//! produces, per iteration, a `(start, end)` pair on the device timer whose
+//! spacing is `work_cycles / f(t)` plus noise — plus the ~1 µs globaltimer
+//! quantisation. That record stream is the *only* thing the methodology sees.
+
+use latest_sim_clock::{ClockView, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::noise::Normal;
+use crate::trajectory::FreqTrajectory;
+
+/// One iteration's timestamps as read from the device timer (already
+/// quantised to the timer resolution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterRecord {
+    /// Device-timer value at the first instruction of the iteration.
+    pub start: SimTime,
+    /// Device-timer value at the last instruction of the iteration.
+    pub end: SimTime,
+}
+
+impl IterRecord {
+    /// Measured iteration execution time.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Parameters of the microbenchmark workload executed by each SM.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Arithmetic cycles per iteration (sets the measurement granularity:
+    /// iteration wall time ≈ `work_cycles / f`).
+    pub work_cycles: f64,
+    /// Fixed per-iteration overhead outside the timestamped region
+    /// (loop bookkeeping between the end read and the next start read), ns.
+    pub inter_iter_overhead_ns: u64,
+    /// Relative standard deviation of the per-iteration work (instruction
+    /// replay, minor contention); typically < 2 %.
+    pub noise_rel_sigma: f64,
+    /// Probability that an iteration is hit by a device-side disturbance
+    /// (ECC scrub, context timeslice) and runs long.
+    pub spike_prob: f64,
+    /// Work multiplier applied on a spike.
+    pub spike_scale: f64,
+}
+
+impl WorkloadParams {
+    /// A well-behaved default: ~100 µs iterations at 1 GHz, 1 % noise.
+    pub fn default_micro() -> Self {
+        WorkloadParams {
+            work_cycles: 100_000.0,
+            inter_iter_overhead_ns: 200,
+            noise_rel_sigma: 0.01,
+            spike_prob: 0.0005,
+            spike_scale: 3.0,
+        }
+    }
+
+    /// Expected iteration duration at a given frequency (noise-free), ns.
+    pub fn expected_iter_ns(&self, freq_mhz: f64) -> f64 {
+        self.work_cycles / (freq_mhz * 1e-3)
+    }
+}
+
+/// Execute `n_iters` iterations on one SM over `traj`, starting at global
+/// time `start`. Returns the device-timer records and the global end time.
+///
+/// `timer` is the device clock view used to stamp records (projection +
+/// quantisation); the returned end time stays on the global timeline for the
+/// device's internal bookkeeping.
+pub fn run_sm<R: Rng + ?Sized>(
+    traj: &FreqTrajectory,
+    start: SimTime,
+    n_iters: u32,
+    params: &WorkloadParams,
+    timer: &ClockView,
+    rng: &mut R,
+) -> (Vec<IterRecord>, SimTime) {
+    let noise = Normal::new(1.0, params.noise_rel_sigma);
+    let mut cursor = traj.cursor(start);
+    let mut records = Vec::with_capacity(n_iters as usize);
+    for _ in 0..n_iters {
+        let t0 = cursor.time();
+        let mut work = params.work_cycles * noise.sample_clamped(rng, 4.0).max(0.01);
+        if params.spike_prob > 0.0 && rng.gen::<f64>() < params.spike_prob {
+            work *= params.spike_scale;
+        }
+        let t1 = cursor.advance_cycles(work);
+        records.push(IterRecord {
+            start: timer.project(t0),
+            end: timer.project(t1),
+        });
+        if params.inter_iter_overhead_ns > 0 {
+            cursor.skip(SimDuration::from_nanos(params.inter_iter_overhead_ns));
+        }
+    }
+    (records, cursor.time())
+}
+
+/// Noise-free end-time estimate for `n_iters` iterations starting at `start`
+/// — used by the device to bound a kernel's busy window before simulating
+/// every SM.
+pub fn estimate_end(
+    traj: &FreqTrajectory,
+    start: SimTime,
+    n_iters: u32,
+    params: &WorkloadParams,
+) -> SimTime {
+    let mut cursor = traj.cursor(start);
+    for _ in 0..n_iters {
+        cursor.advance_cycles(params.work_cycles);
+        if params.inter_iter_overhead_ns > 0 {
+            cursor.skip(SimDuration::from_nanos(params.inter_iter_overhead_ns));
+        }
+    }
+    cursor.time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_sim_clock::SharedClock;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn timer_1us() -> ClockView {
+        ClockView::skewed(SharedClock::new(), 0, 0.0, SimDuration::from_micros(1))
+    }
+
+    fn timer_exact() -> ClockView {
+        ClockView::identity(SharedClock::new())
+    }
+
+    fn quiet_params() -> WorkloadParams {
+        WorkloadParams {
+            work_cycles: 100_000.0,
+            inter_iter_overhead_ns: 0,
+            noise_rel_sigma: 0.0,
+            spike_prob: 0.0,
+            spike_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn iteration_duration_tracks_frequency_exactly() {
+        let traj = FreqTrajectory::flat(1000.0); // 1 cycle/ns
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (recs, end) = run_sm(
+            &traj,
+            SimTime::EPOCH,
+            10,
+            &quiet_params(),
+            &timer_exact(),
+            &mut rng,
+        );
+        assert_eq!(recs.len(), 10);
+        for r in &recs {
+            assert_eq!(r.duration().as_nanos(), 100_000);
+        }
+        assert_eq!(end.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn slower_clock_means_longer_iterations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let slow = FreqTrajectory::flat(500.0);
+        let (recs, _) = run_sm(&slow, SimTime::EPOCH, 5, &quiet_params(), &timer_exact(), &mut rng);
+        for r in &recs {
+            assert_eq!(r.duration().as_nanos(), 200_000);
+        }
+    }
+
+    #[test]
+    fn transition_stretches_exactly_one_iteration() {
+        // 1000 MHz until 250 us, then 500 MHz: the iteration spanning the
+        // breakpoint is stretched, later ones settle at 200 us.
+        let mut traj = FreqTrajectory::flat(1000.0);
+        traj.push(SimTime::from_micros(250), 500.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 6, &quiet_params(), &timer_exact(), &mut rng);
+        let durs: Vec<u64> = recs.iter().map(|r| r.duration().as_nanos()).collect();
+        assert_eq!(durs[0], 100_000);
+        assert_eq!(durs[1], 100_000);
+        // Third iteration starts at 200 us, crosses the 250 us breakpoint:
+        // 50 us at 1 c/ns = 50k cycles, remaining 50k at 0.5 c/ns = 100 us.
+        assert_eq!(durs[2], 150_000);
+        assert_eq!(durs[3], 200_000);
+        assert_eq!(durs[4], 200_000);
+    }
+
+    #[test]
+    fn quantisation_buckets_timestamps() {
+        let traj = FreqTrajectory::flat(1000.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut p = quiet_params();
+        p.work_cycles = 12_345.0; // 12.345 us per iteration
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 50, &p, &timer_1us(), &mut rng);
+        for r in &recs {
+            assert_eq!(r.start.as_nanos() % 1_000, 0);
+            assert_eq!(r.end.as_nanos() % 1_000, 0);
+        }
+        // Quantised duration can only be a whole number of microseconds and
+        // within 1 us of the true 12.345 us.
+        for r in &recs {
+            let d = r.duration().as_nanos();
+            assert!(d == 12_000 || d == 13_000, "duration {d}");
+        }
+    }
+
+    #[test]
+    fn noise_spreads_durations_but_preserves_mean() {
+        let traj = FreqTrajectory::flat(1000.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut p = quiet_params();
+        p.noise_rel_sigma = 0.01;
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 4000, &p, &timer_exact(), &mut rng);
+        let durs: Vec<f64> = recs.iter().map(|r| r.duration().as_nanos() as f64).collect();
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        assert!((mean - 100_000.0).abs() < 200.0, "mean = {mean}");
+        let var = durs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / durs.len() as f64;
+        let rel = var.sqrt() / mean;
+        assert!((rel - 0.01).abs() < 0.002, "rel sigma = {rel}");
+    }
+
+    #[test]
+    fn spikes_produce_long_iterations() {
+        let traj = FreqTrajectory::flat(1000.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut p = quiet_params();
+        p.spike_prob = 0.02;
+        p.spike_scale = 5.0;
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 5000, &p, &timer_exact(), &mut rng);
+        let long = recs
+            .iter()
+            .filter(|r| r.duration().as_nanos() > 400_000)
+            .count();
+        let frac = long as f64 / recs.len() as f64;
+        assert!((frac - 0.02).abs() < 0.01, "spike frac = {frac}");
+    }
+
+    #[test]
+    fn overhead_gaps_between_iterations() {
+        let traj = FreqTrajectory::flat(1000.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut p = quiet_params();
+        p.inter_iter_overhead_ns = 500;
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 3, &p, &timer_exact(), &mut rng);
+        assert_eq!(recs[1].start.as_nanos() - recs[0].end.as_nanos(), 500);
+        // Duration itself excludes the overhead.
+        assert_eq!(recs[0].duration().as_nanos(), 100_000);
+    }
+
+    #[test]
+    fn estimate_matches_noise_free_run() {
+        let mut traj = FreqTrajectory::flat(1410.0);
+        traj.push(SimTime::from_micros(700), 705.0);
+        let p = quiet_params();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (_, end) = run_sm(&traj, SimTime::EPOCH, 42, &p, &timer_exact(), &mut rng);
+        let est = estimate_end(&traj, SimTime::EPOCH, 42, &p);
+        assert_eq!(end, est);
+    }
+}

@@ -1,0 +1,270 @@
+//! Thermal and power models driving throttle behaviour.
+//!
+//! LATEST must coexist with the GPU's self-protection: Sec. VI discards the
+//! newest five measurements and backs off for ten seconds on thermal
+//! throttling, and skips the frequency pair entirely on power throttling
+//! (the requested frequency cannot be held long enough to measure). To
+//! exercise those paths the simulator needs believable physics:
+//!
+//! * a quadratic-in-voltage dynamic power model `P = P_idle + c·V(f)²·f`,
+//! * a first-order RC thermal model with closed-form exponential evolution,
+//!   so crossings are solved analytically rather than by time-stepping.
+
+use latest_sim_clock::{SimDuration, SimTime};
+
+use crate::freq::{FreqLadder, FreqMhz};
+
+/// Dynamic power model of one device.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Power drawn when idle (W).
+    pub idle_w: f64,
+    /// Coefficient of the dynamic term (W per GHz at V = 1).
+    pub dynamic_coeff: f64,
+    /// Core voltage at the bottom of the frequency ladder (V).
+    pub v_min: f64,
+    /// Core voltage at the top of the frequency ladder (V).
+    pub v_max: f64,
+    /// Frequency where `v_min` applies (MHz).
+    pub f_min_mhz: f64,
+    /// Frequency where `v_max` applies (MHz).
+    pub f_max_mhz: f64,
+}
+
+impl PowerModel {
+    /// Interpolated core voltage at frequency `f_mhz` (clamped to the ladder
+    /// range; DVFS curves are monotone in this regime).
+    pub fn voltage(&self, f_mhz: f64) -> f64 {
+        if self.f_max_mhz <= self.f_min_mhz {
+            return self.v_max;
+        }
+        let a = ((f_mhz - self.f_min_mhz) / (self.f_max_mhz - self.f_min_mhz)).clamp(0.0, 1.0);
+        self.v_min + a * (self.v_max - self.v_min)
+    }
+
+    /// Board power at frequency `f_mhz` under full SM load (W).
+    pub fn busy_power(&self, f_mhz: f64) -> f64 {
+        let v = self.voltage(f_mhz);
+        self.idle_w + self.dynamic_coeff * v * v * (f_mhz / 1000.0)
+    }
+
+    /// Board power when idle.
+    pub fn idle_power(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// The highest ladder frequency whose busy power stays within `tdp_w`,
+    /// or `None` if even the bottom step exceeds it.
+    pub fn power_cap(&self, ladder: &FreqLadder, tdp_w: f64) -> Option<FreqMhz> {
+        ladder
+            .steps()
+            .iter()
+            .rev()
+            .copied()
+            .find(|f| self.busy_power(f.as_f64()) <= tdp_w)
+    }
+}
+
+/// RC thermal parameters of one device.
+#[derive(Clone, Copy, Debug)]
+pub struct ThermalParams {
+    /// Ambient / coolant temperature (°C).
+    pub ambient_c: f64,
+    /// Thermal resistance junction-to-ambient (°C per W).
+    pub r_th: f64,
+    /// RC time constant (seconds).
+    pub tau_s: f64,
+    /// Junction temperature that triggers HW thermal throttling (°C).
+    pub throttle_temp_c: f64,
+    /// Temperature below which throttling releases (°C, hysteresis).
+    pub release_temp_c: f64,
+    /// The clamped SM frequency while thermally throttled (MHz).
+    pub throttle_cap_mhz: f64,
+    /// Board power limit (W); requests whose busy power exceeds it are
+    /// power-capped.
+    pub tdp_w: f64,
+}
+
+impl ThermalParams {
+    /// Steady-state junction temperature at constant power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.r_th * power_w
+    }
+}
+
+/// Junction temperature state, advanced analytically.
+#[derive(Clone, Copy, Debug)]
+pub struct ThermalState {
+    /// Junction temperature (°C).
+    pub temp_c: f64,
+    /// Timestamp of the last update.
+    pub at: SimTime,
+}
+
+impl ThermalState {
+    /// Start at thermal equilibrium with the environment.
+    pub fn equilibrium(params: &ThermalParams, at: SimTime) -> Self {
+        ThermalState { temp_c: params.ambient_c, at }
+    }
+
+    /// Advance to `to` under constant power `power_w`; exact first-order
+    /// exponential: `T(t) = T_ss + (T0 − T_ss)·exp(−Δt/τ)`.
+    pub fn advance(&mut self, params: &ThermalParams, to: SimTime, power_w: f64) {
+        debug_assert!(to >= self.at, "thermal state cannot move backwards");
+        let dt_s = to.saturating_since(self.at).as_secs_f64();
+        let t_ss = params.steady_state_c(power_w);
+        self.temp_c = t_ss + (self.temp_c - t_ss) * (-dt_s / params.tau_s).exp();
+        self.at = to;
+    }
+
+    /// Time until the junction reaches `target_c` under constant power, or
+    /// `None` if it never will (steady state below target, or already past
+    /// it in the converging direction).
+    pub fn time_to_reach(
+        &self,
+        params: &ThermalParams,
+        target_c: f64,
+        power_w: f64,
+    ) -> Option<SimDuration> {
+        let t_ss = params.steady_state_c(power_w);
+        let t0 = self.temp_c;
+        // Reaching requires the target to lie strictly between T0 and T_ss.
+        if (t_ss - target_c).abs() < 1e-12 {
+            return None;
+        }
+        let ratio = (t_ss - target_c) / (t_ss - t0);
+        if ratio <= 0.0 || ratio >= 1.0 {
+            // Already at/past the target (ratio >= 1) or diverging (<= 0).
+            if (t0 < target_c) == (t_ss > target_c) && ratio > 0.0 {
+                // covered by the ln branch below
+            } else {
+                return None;
+            }
+        }
+        let dt_s = -params.tau_s * ratio.ln();
+        if dt_s <= 0.0 || !dt_s.is_finite() {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(dt_s))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ThermalParams {
+        ThermalParams {
+            ambient_c: 30.0,
+            r_th: 0.15,
+            tau_s: 8.0,
+            throttle_temp_c: 90.0,
+            release_temp_c: 80.0,
+            throttle_cap_mhz: 900.0,
+            tdp_w: 400.0,
+        }
+    }
+
+    fn power() -> PowerModel {
+        PowerModel {
+            idle_w: 55.0,
+            dynamic_coeff: 180.0,
+            v_min: 0.70,
+            v_max: 1.05,
+            f_min_mhz: 210.0,
+            f_max_mhz: 1410.0,
+        }
+    }
+
+    #[test]
+    fn voltage_interpolates_and_clamps() {
+        let p = power();
+        assert!((p.voltage(210.0) - 0.70).abs() < 1e-12);
+        assert!((p.voltage(1410.0) - 1.05).abs() < 1e-12);
+        assert!((p.voltage(810.0) - 0.875).abs() < 1e-12);
+        assert_eq!(p.voltage(100.0), 0.70);
+        assert_eq!(p.voltage(5000.0), 1.05);
+    }
+
+    #[test]
+    fn busy_power_is_monotone_in_frequency() {
+        let p = power();
+        let mut last = 0.0;
+        for f in (210..=1410).step_by(100) {
+            let w = p.busy_power(f as f64);
+            assert!(w > last, "power not monotone at {f} MHz");
+            last = w;
+        }
+        assert!(p.busy_power(210.0) > p.idle_power());
+    }
+
+    #[test]
+    fn power_cap_picks_highest_admissible_step() {
+        let p = power();
+        let ladder = crate::freq::FreqLadder::arithmetic(210, 1410, 15);
+        // Generous TDP: cap is the top of the ladder.
+        assert_eq!(p.power_cap(&ladder, 1000.0), Some(FreqMhz(1410)));
+        // Tight TDP: cap must be strictly below the top but above the bottom.
+        let cap = p.power_cap(&ladder, 200.0).unwrap();
+        assert!(cap < FreqMhz(1410) && cap >= FreqMhz(210), "cap = {cap:?}");
+        assert!(p.busy_power(cap.as_f64()) <= 200.0);
+        // Impossible TDP.
+        assert_eq!(p.power_cap(&ladder, 10.0), None);
+    }
+
+    #[test]
+    fn thermal_advance_approaches_steady_state() {
+        let pr = params();
+        let mut s = ThermalState::equilibrium(&pr, SimTime::EPOCH);
+        // 300 W -> T_ss = 30 + 45 = 75 C.
+        s.advance(&pr, SimTime::from_nanos(8_000_000_000), 300.0); // one tau
+        let expect = 75.0 + (30.0 - 75.0) * (-1.0f64).exp();
+        assert!((s.temp_c - expect).abs() < 1e-9);
+        // Far future: converged.
+        s.advance(&pr, SimTime::from_nanos(200_000_000_000), 300.0);
+        assert!((s.temp_c - 75.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn thermal_cools_when_idle() {
+        let pr = params();
+        let mut s = ThermalState { temp_c: 85.0, at: SimTime::EPOCH };
+        s.advance(&pr, SimTime::from_nanos(100_000_000_000), 0.0);
+        assert!(s.temp_c < 40.0, "temp = {}", s.temp_c);
+        assert!(s.temp_c >= pr.ambient_c);
+    }
+
+    #[test]
+    fn time_to_reach_roundtrips_with_advance() {
+        let pr = params();
+        let s = ThermalState { temp_c: 40.0, at: SimTime::EPOCH };
+        // 500 W -> T_ss = 105 C > 90 C: will throttle.
+        let dt = s.time_to_reach(&pr, 90.0, 500.0).expect("must reach");
+        let mut s2 = s;
+        s2.advance(&pr, SimTime::EPOCH + dt, 500.0);
+        assert!((s2.temp_c - 90.0).abs() < 1e-6, "temp = {}", s2.temp_c);
+    }
+
+    #[test]
+    fn time_to_reach_none_when_steady_state_below_target() {
+        let pr = params();
+        let s = ThermalState { temp_c: 40.0, at: SimTime::EPOCH };
+        // 100 W -> T_ss = 45 C, never reaches 90 C.
+        assert!(s.time_to_reach(&pr, 90.0, 100.0).is_none());
+        // Cooling away from target.
+        let hot = ThermalState { temp_c: 95.0, at: SimTime::EPOCH };
+        assert!(hot.time_to_reach(&pr, 96.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn time_to_reach_cooling_crossing() {
+        let pr = params();
+        // Hot device cooling toward ambient must cross the release threshold.
+        let s = ThermalState { temp_c: 95.0, at: SimTime::EPOCH };
+        let dt = s.time_to_reach(&pr, pr.release_temp_c, 0.0).expect("cools past release");
+        let mut s2 = s;
+        s2.advance(&pr, SimTime::EPOCH + dt, 0.0);
+        assert!((s2.temp_c - pr.release_temp_c).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,576 @@
+//! DVFS transition models: what happens inside the device between receiving
+//! a locked-clocks request and stably running at the target frequency.
+//!
+//! The paper's measured behaviour that these models must reproduce:
+//!
+//! * latencies are **pair-dependent and asymmetric** (Table II: A100 best
+//!   case ≈ 5 ms decreasing vs ≈ 15 ms increasing worst case),
+//! * the **target frequency dominates** — heatmaps show column/row patterns
+//!   where specific target frequencies are consistently slow (Fig. 3),
+//! * distributions are **multi-modal** for some pairs (Fig. 5: up to five
+//!   clusters on GH200) and tight for others (Fig. 6),
+//! * rare extreme events occur (GH200's 477 ms worst case),
+//! * there is an **adaptation period** during which the clock may sit at
+//!   intermediate values (Sec. IV: "execution time ... might correspond to
+//!   any frequency value"), modelled as a ramp through ladder steps.
+//!
+//! A transition sample is a [`TransitionShape`]: a *pending* interval at the
+//! old frequency followed by a ramp of (frequency, duration) steps ending at
+//! the target. The device applies shapes to its frequency trajectory and
+//! records [`TransitionGroundTruth`] so the closed-loop tests can check that
+//! the LATEST tool recovers what the silicon actually did.
+
+use latest_sim_clock::{SimDuration, SimTime};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::freq::{FreqLadder, FreqMhz};
+use crate::noise::LatencyMixture;
+
+/// One sampled transition: hold the old clock for `pending`, then walk the
+/// `ramp` (each entry holds `freq_mhz` for `dur`), then run at the target.
+#[derive(Clone, Debug)]
+pub struct TransitionShape {
+    /// Time at the initial frequency after the request is accepted.
+    pub pending: SimDuration,
+    /// Intermediate (frequency, duration) steps — the adaptation period.
+    pub ramp: Vec<(f64, SimDuration)>,
+}
+
+impl TransitionShape {
+    /// A pure-pending shape with no adaptation ramp.
+    pub fn pending_only(pending: SimDuration) -> Self {
+        TransitionShape { pending, ramp: Vec::new() }
+    }
+
+    /// Total time from acceptance to stable target frequency.
+    pub fn settle_duration(&self) -> SimDuration {
+        self.ramp
+            .iter()
+            .fold(self.pending, |acc, (_, d)| acc + *d)
+    }
+}
+
+/// Ground truth for one transition, recorded by the device. `None` fields
+/// never occur; all timestamps are on the *global* virtual timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionGroundTruth {
+    /// Frequency before the request.
+    pub from: FreqMhz,
+    /// Requested target frequency (post-snap).
+    pub to: FreqMhz,
+    /// When the host invoked the driver call.
+    pub host_call: SimTime,
+    /// When the request reached the device (after bus + driver latency).
+    pub device_arrival: SimTime,
+    /// When the clock first left the initial frequency.
+    pub ramp_start: SimTime,
+    /// When the clock stably reached the target.
+    pub settled: SimTime,
+}
+
+impl TransitionGroundTruth {
+    /// The quantity the paper calls *switching latency*: host request to
+    /// stable target frequency.
+    pub fn switching_latency(&self) -> SimDuration {
+        self.settled.saturating_since(self.host_call)
+    }
+
+    /// The *transition latency* (device-internal part only).
+    pub fn transition_latency(&self) -> SimDuration {
+        self.settled.saturating_since(self.device_arrival)
+    }
+}
+
+/// A DVFS transition model: sample the shape of one `from → to` transition.
+pub trait TransitionModel: Send + Sync {
+    /// Sample a transition shape. `rng` is the device's measurement-to-
+    /// measurement randomness stream; models derive any *per-pair* fixed
+    /// character deterministically from the pair itself so heatmap structure
+    /// is stable across repetitions.
+    fn sample(
+        &self,
+        from: FreqMhz,
+        to: FreqMhz,
+        ladder: &FreqLadder,
+        rng: &mut dyn RngCore,
+    ) -> TransitionShape;
+}
+
+/// Constant-latency model for closed-loop validation: the ground truth is
+/// exactly `latency` on every pair, so the measured value must match it.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedTransition {
+    /// The pending duration applied to every transition.
+    pub latency: SimDuration,
+}
+
+impl TransitionModel for FixedTransition {
+    fn sample(
+        &self,
+        _from: FreqMhz,
+        _to: FreqMhz,
+        _ladder: &FreqLadder,
+        _rng: &mut dyn RngCore,
+    ) -> TransitionShape {
+        TransitionShape::pending_only(self.latency)
+    }
+}
+
+/// A set of target frequencies with anomalously slow transitions (the
+/// high-latency *columns* visible in the paper's heatmaps), hit with a given
+/// probability per measurement (making min low but max high, as in Fig. 3a
+/// vs 3b for GH200).
+#[derive(Clone, Debug)]
+pub struct SlowTargetBand {
+    /// Ladder values this band applies to (exact match on the target).
+    pub targets: Vec<FreqMhz>,
+    /// Probability that a given transition into the band takes the slow path.
+    pub probability: f64,
+    /// Latency distribution of the slow path (ms).
+    pub mixture: LatencyMixture,
+}
+
+/// Rare extreme events (driver re-initialisation, firmware hiccups) that
+/// produce the far tail of the worst-case heatmaps.
+#[derive(Clone, Debug)]
+pub struct RareSpike {
+    /// Per-measurement probability.
+    pub probability: f64,
+    /// Added latency when the spike hits (ms).
+    pub mixture: LatencyMixture,
+}
+
+/// How much of a transition is spent ramping through intermediate ladder
+/// steps (the adaptation period) rather than pending at the old clock.
+#[derive(Clone, Copy, Debug)]
+pub struct RampPolicy {
+    /// Fraction of the sampled latency assigned to the ramp (0 disables).
+    pub fraction: f64,
+    /// Upper bound on intermediate steps taken.
+    pub max_steps: usize,
+}
+
+/// Secondary-regime leakage for owned-mode models: on a deterministic
+/// fraction of pairs, each measurement has a chance of escaping the owner's
+/// component choice and drawing the baseline mixture freely. This produces
+/// the paper's Sec. VII-B observation that a minority of pairs shows "a
+/// large cluster ... sometimes with another smaller cluster" even on
+/// architectures whose latency regime is otherwise fixed per target column.
+#[derive(Clone, Copy, Debug)]
+pub struct MinorityFlip {
+    /// Fraction of ordered pairs affected (chosen deterministically per
+    /// pair, so the same pairs flip across campaigns).
+    pub pair_fraction: f64,
+    /// Per-measurement probability of escaping the owned mode.
+    pub flip_prob: f64,
+}
+
+/// Which entity "owns" the choice of mixture mode for a transition.
+///
+/// * `Measurement` — re-drawn every transition: the same pair exhibits
+///   multiple latency clusters over repeated measurements (GH200, Fig. 5).
+/// * `Pair` — fixed per (init, target) pair: each heatmap cell has a stable
+///   personality but neighbours differ.
+/// * `Target` — fixed per target frequency: whole heatmap *columns* share a
+///   latency regime (RTX Quadro 6000, Fig. 3d — the paper notes "the target
+///   frequency has a much higher impact (visible row pattern)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModeSelection {
+    /// Mode re-drawn per measurement.
+    Measurement,
+    /// Mode fixed per ordered frequency pair.
+    Pair,
+    /// Mode fixed per target frequency.
+    Target,
+}
+
+/// The parametric per-architecture model used by the device descriptors.
+#[derive(Clone, Debug)]
+pub struct ArchTransitionModel {
+    /// Baseline latency when increasing frequency (ms).
+    pub up: LatencyMixture,
+    /// Baseline latency when decreasing frequency (ms).
+    pub down: LatencyMixture,
+    /// Slow target-frequency bands.
+    pub slow_bands: Vec<SlowTargetBand>,
+    /// Rare extreme spikes.
+    pub rare_spike: Option<RareSpike>,
+    /// Log-space sigma of the fixed per-pair character factor. Larger values
+    /// give rougher heatmaps (RTX Quadro) vs smooth ones (A100).
+    pub pair_jitter_ln: f64,
+    /// Who owns the baseline mixture's mode choice (see [`ModeSelection`]).
+    pub mode_by: ModeSelection,
+    /// Secondary-regime leakage (None = owned modes are absolute).
+    pub minority_flip: Option<MinorityFlip>,
+    /// Adaptation-period policy.
+    pub ramp: RampPolicy,
+    /// Per-unit manufacturing scale (1.0 = nominal; the four-A100 experiment
+    /// instantiates units at e.g. 0.93–1.08).
+    pub unit_scale: f64,
+    /// Salt mixed into the per-pair character derivation so different
+    /// architectures (and units) get different pair textures.
+    pub pair_salt: u64,
+}
+
+impl ArchTransitionModel {
+    /// The fixed multiplicative character of a pair: a deterministic
+    /// log-normal factor derived from (salt, from, to). Keeps each heatmap
+    /// cell's personality stable across the hundreds of repeated
+    /// measurements while varying across cells.
+    fn pair_factor(&self, from: FreqMhz, to: FreqMhz) -> f64 {
+        if self.pair_jitter_ln == 0.0 {
+            return 1.0;
+        }
+        let seed = self
+            .pair_salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((from.0 as u64) << 32 | to.0 as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        crate::noise::LogNormal::from_median(1.0, self.pair_jitter_ln).sample(&mut rng)
+    }
+
+    /// Whether/which slow band applies to `to`.
+    fn slow_band(&self, to: FreqMhz) -> Option<&SlowTargetBand> {
+        self.slow_bands.iter().find(|b| b.targets.contains(&to))
+    }
+
+    /// Deterministic per-pair uniform value in `[0, 1)` (independent of the
+    /// pair-factor stream).
+    fn pair_unit(&self, from: FreqMhz, to: FreqMhz, salt: u64) -> f64 {
+        let seed = self
+            .pair_salt
+            .wrapping_mul(salt)
+            .wrapping_add(((from.0 as u64) << 32) | to.0 as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.gen::<f64>()
+    }
+
+    /// The RNG stream that owns mode choices for this transition under the
+    /// configured [`ModeSelection`]. `None` means the measurement stream.
+    fn mode_rng(&self, from: FreqMhz, to: FreqMhz) -> Option<ChaCha8Rng> {
+        let seed = match self.mode_by {
+            ModeSelection::Measurement => return None,
+            ModeSelection::Pair => self
+                .pair_salt
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(((from.0 as u64) << 32) | to.0 as u64),
+            ModeSelection::Target => self
+                .pair_salt
+                .wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                .wrapping_add(to.0 as u64),
+        };
+        Some(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl TransitionModel for ArchTransitionModel {
+    fn sample(
+        &self,
+        from: FreqMhz,
+        to: FreqMhz,
+        ladder: &FreqLadder,
+        rng: &mut dyn RngCore,
+    ) -> TransitionShape {
+        if from == to {
+            // A no-op request still costs a little firmware handling.
+            return TransitionShape::pending_only(SimDuration::from_micros(200));
+        }
+
+        // 1. Baseline by direction; the mixture *mode* may be owned by the
+        //    pair or the target (stable heatmap structure) while the value
+        //    within the mode varies per measurement.
+        let base = if to > from { &self.up } else { &self.down };
+        let mut latency_ms = match self.mode_rng(from, to) {
+            Some(mut owner) => {
+                // Secondary-regime leakage: selected pairs occasionally
+                // escape the owned mode (re-drawing freely), forming the
+                // smaller secondary clusters of Sec. VII-B. The RNG draw
+                // happens only on affected pairs so unaffected devices and
+                // pairs keep their random streams unchanged.
+                let flips = self.minority_flip.as_ref().is_some_and(|f| {
+                    self.pair_unit(from, to, 0xF11B_5EED_0000_0001) < f.pair_fraction
+                        && rng.gen::<f64>() < f.flip_prob
+                });
+                if flips {
+                    base.sample_ms(rng)
+                } else {
+                    let idx = base.pick_component(&mut owner);
+                    base.sample_component_ms(idx, rng)
+                }
+            }
+            None => base.sample_ms(rng),
+        };
+
+        // 2. Slow target band may replace the baseline.
+        if let Some(band) = self.slow_band(to) {
+            if rng.gen::<f64>() < band.probability {
+                latency_ms = band.mixture.sample_ms(rng);
+            }
+        }
+
+        // 3. Fixed per-pair character.
+        latency_ms *= self.pair_factor(from, to);
+
+        // 4. Rare extreme spike.
+        if let Some(spike) = &self.rare_spike {
+            if rng.gen::<f64>() < spike.probability {
+                latency_ms += spike.mixture.sample_ms(rng);
+            }
+        }
+
+        // 5. Per-unit manufacturing scale.
+        latency_ms *= self.unit_scale;
+        let total = SimDuration::from_millis_f64(latency_ms.max(0.05));
+
+        // 6. Split into pending + adaptation ramp through ladder steps.
+        let mids = ladder.between(from, to);
+        let steps = mids.len().min(self.ramp.max_steps);
+        if steps == 0 || self.ramp.fraction <= 0.0 {
+            return TransitionShape::pending_only(total);
+        }
+        let ramp_total = total.mul_f64(self.ramp.fraction.min(0.9));
+        let pending = total - ramp_total;
+        let per_step = ramp_total / steps as u64;
+        if per_step == SimDuration::ZERO {
+            return TransitionShape::pending_only(total);
+        }
+        // Take evenly spaced intermediate frequencies along the path.
+        let ramp: Vec<(f64, SimDuration)> = (0..steps)
+            .map(|i| {
+                let idx = (i + 1) * mids.len() / (steps + 1);
+                let idx = idx.min(mids.len() - 1);
+                (mids[idx].as_f64(), per_step)
+            })
+            .collect();
+        TransitionShape { pending, ramp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::MixtureComponent;
+
+    fn ladder() -> FreqLadder {
+        FreqLadder::arithmetic(210, 1410, 15)
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn simple_model() -> ArchTransitionModel {
+        ArchTransitionModel {
+            up: LatencyMixture::single(15.0, 0.1),
+            down: LatencyMixture::single(5.0, 0.05),
+            slow_bands: vec![SlowTargetBand {
+                targets: vec![FreqMhz(990)],
+                probability: 1.0,
+                mixture: LatencyMixture::single(240.0, 0.02),
+            }],
+            rare_spike: None,
+            pair_jitter_ln: 0.0,
+            mode_by: ModeSelection::Measurement,
+            minority_flip: None,
+            ramp: RampPolicy { fraction: 0.3, max_steps: 4 },
+            unit_scale: 1.0,
+            pair_salt: 7,
+        }
+    }
+
+    #[test]
+    fn target_mode_selection_gives_column_structure() {
+        // Bimodal base with very separated modes; Target ownership must make
+        // every transition into the same target land in the same mode.
+        let mut m = simple_model();
+        m.slow_bands.clear();
+        m.ramp = RampPolicy { fraction: 0.0, max_steps: 0 };
+        m.up = LatencyMixture::new(vec![
+            MixtureComponent { weight: 0.5, median_ms: 20.0, sigma_ln: 0.02 },
+            MixtureComponent { weight: 0.5, median_ms: 136.0, sigma_ln: 0.02 },
+        ]);
+        m.down = m.up.clone();
+        m.mode_by = ModeSelection::Target;
+        let l = ladder();
+        let mut r = rng(11);
+        // For a fixed target, the mode must be identical across inits and
+        // across repeats.
+        for &to in &[FreqMhz(900), FreqMhz(1200)] {
+            let mut modes = std::collections::HashSet::new();
+            for &from in &[FreqMhz(300), FreqMhz(600), FreqMhz(1410)] {
+                for _ in 0..20 {
+                    let ms = m.sample(from, to, &l, &mut r).settle_duration().as_millis_f64();
+                    modes.insert(if ms < 60.0 { "fast" } else { "slow" });
+                }
+            }
+            assert_eq!(modes.len(), 1, "target {to:?} mixed modes");
+        }
+        // And across targets both modes must eventually appear.
+        let mut seen = std::collections::HashSet::new();
+        for &to in ladder().steps() {
+            let ms = m
+                .sample(FreqMhz(210), to, &l, &mut r)
+                .settle_duration()
+                .as_millis_f64();
+            if to != FreqMhz(210) {
+                seen.insert(if ms < 60.0 { "fast" } else { "slow" });
+            }
+        }
+        assert_eq!(seen.len(), 2, "both modes should occur across targets");
+    }
+
+    #[test]
+    fn fixed_model_is_exact() {
+        let m = FixedTransition { latency: SimDuration::from_millis(12) };
+        let s = m.sample(FreqMhz(210), FreqMhz(1410), &ladder(), &mut rng(0));
+        assert_eq!(s.settle_duration(), SimDuration::from_millis(12));
+        assert!(s.ramp.is_empty());
+    }
+
+    #[test]
+    fn direction_asymmetry() {
+        let m = simple_model();
+        let l = ladder();
+        let mut r = rng(1);
+        let n = 300;
+        let up: f64 = (0..n)
+            .map(|_| m.sample(FreqMhz(300), FreqMhz(1200), &l, &mut r).settle_duration().as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        let down: f64 = (0..n)
+            .map(|_| m.sample(FreqMhz(1200), FreqMhz(300), &l, &mut r).settle_duration().as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(up > 2.0 * down, "up={up} down={down}");
+    }
+
+    #[test]
+    fn slow_target_band_dominates() {
+        let m = simple_model();
+        let l = ladder();
+        let mut r = rng(2);
+        let s = m.sample(FreqMhz(300), FreqMhz(990), &l, &mut r);
+        assert!(
+            s.settle_duration().as_millis_f64() > 150.0,
+            "slow band not applied: {:?}",
+            s.settle_duration()
+        );
+        // Other targets stay fast.
+        let s2 = m.sample(FreqMhz(300), FreqMhz(975), &l, &mut r);
+        assert!(s2.settle_duration().as_millis_f64() < 40.0);
+    }
+
+    #[test]
+    fn ramp_structure_is_monotone_toward_target() {
+        let m = simple_model();
+        let l = ladder();
+        let mut r = rng(3);
+        let s = m.sample(FreqMhz(300), FreqMhz(1200), &l, &mut r);
+        assert!(!s.ramp.is_empty());
+        assert!(s.ramp.len() <= 4);
+        // Intermediate frequencies strictly between endpoints, ascending.
+        for w in s.ramp.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for (f, _) in &s.ramp {
+            assert!(*f > 300.0 && *f < 1200.0);
+        }
+        // Decreasing direction: descending ramp.
+        let s = m.sample(FreqMhz(1200), FreqMhz(300), &l, &mut r);
+        for w in s.ramp.windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+    }
+
+    #[test]
+    fn settle_duration_is_pending_plus_ramp() {
+        let m = simple_model();
+        let l = ladder();
+        let mut r = rng(4);
+        let s = m.sample(FreqMhz(300), FreqMhz(1200), &l, &mut r);
+        let sum = s.ramp.iter().fold(s.pending, |acc, (_, d)| acc + *d);
+        assert_eq!(sum, s.settle_duration());
+    }
+
+    #[test]
+    fn pair_factor_is_deterministic_but_pair_specific() {
+        let mut m = simple_model();
+        m.pair_jitter_ln = 0.4;
+        let a1 = m.pair_factor(FreqMhz(300), FreqMhz(600));
+        let a2 = m.pair_factor(FreqMhz(300), FreqMhz(600));
+        let b = m.pair_factor(FreqMhz(600), FreqMhz(300));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        // Different salt, different texture.
+        let mut m2 = m.clone();
+        m2.pair_salt = 8;
+        assert_ne!(m.pair_factor(FreqMhz(300), FreqMhz(600)), m2.pair_factor(FreqMhz(300), FreqMhz(600)));
+    }
+
+    #[test]
+    fn unit_scale_scales_latency() {
+        let mut fast = simple_model();
+        fast.ramp = RampPolicy { fraction: 0.0, max_steps: 0 };
+        let mut slow = fast.clone();
+        slow.unit_scale = 2.0;
+        // Compare means over the same seed stream.
+        let l = ladder();
+        let mean = |m: &ArchTransitionModel| {
+            let mut r = rng(5);
+            (0..200)
+                .map(|_| m.sample(FreqMhz(300), FreqMhz(600), &l, &mut r).settle_duration().as_millis_f64())
+                .sum::<f64>()
+                / 200.0
+        };
+        let ratio = mean(&slow) / mean(&fast);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn same_frequency_request_is_cheap() {
+        let m = simple_model();
+        let s = m.sample(FreqMhz(600), FreqMhz(600), &ladder(), &mut rng(6));
+        assert!(s.settle_duration() <= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn rare_spike_fattens_the_tail() {
+        let mut m = simple_model();
+        m.rare_spike = Some(RareSpike {
+            probability: 0.05,
+            mixture: LatencyMixture::new(vec![MixtureComponent {
+                weight: 1.0,
+                median_ms: 450.0,
+                sigma_ln: 0.05,
+            }]),
+        });
+        let l = ladder();
+        let mut r = rng(7);
+        let n = 2000;
+        let spikes = (0..n)
+            .filter(|_| {
+                m.sample(FreqMhz(300), FreqMhz(600), &l, &mut r)
+                    .settle_duration()
+                    .as_millis_f64()
+                    > 300.0
+            })
+            .count();
+        let frac = spikes as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.02, "spike frac = {frac}");
+    }
+
+    #[test]
+    fn ground_truth_latency_accessors() {
+        let gt = TransitionGroundTruth {
+            from: FreqMhz(300),
+            to: FreqMhz(600),
+            host_call: SimTime::from_nanos(1_000),
+            device_arrival: SimTime::from_nanos(51_000),
+            ramp_start: SimTime::from_nanos(5_051_000),
+            settled: SimTime::from_nanos(8_001_000),
+        };
+        assert_eq!(gt.switching_latency().as_nanos(), 8_000_000);
+        assert_eq!(gt.transition_latency().as_nanos(), 7_950_000);
+    }
+}

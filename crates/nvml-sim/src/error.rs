@@ -1,0 +1,60 @@
+//! NVML-façade error types, mirroring the `nvmlReturn_t` failures LATEST
+//! must handle.
+
+use std::fmt;
+
+/// Result alias for NVML-façade operations.
+pub type NvmlResult<T> = Result<T, NvmlError>;
+
+/// Errors surfaced by the NVML façade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NvmlError {
+    /// `NVML_ERROR_INVALID_ARGUMENT`: no device at that index.
+    InvalidDeviceIndex {
+        /// The requested index.
+        index: usize,
+        /// The number of devices present.
+        count: usize,
+    },
+    /// `NVML_ERROR_INVALID_ARGUMENT`: clock outside the supported range.
+    InvalidClock {
+        /// Requested frequency (MHz).
+        requested: u32,
+        /// Lowest supported frequency (MHz).
+        min: u32,
+        /// Highest supported frequency (MHz).
+        max: u32,
+    },
+}
+
+impl fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmlError::InvalidDeviceIndex { index, count } => {
+                write!(f, "invalid device index {index} (have {count} devices)")
+            }
+            NvmlError::InvalidClock { requested, min, max } => {
+                write!(
+                    f,
+                    "clock {requested} MHz outside supported range [{min}, {max}] MHz"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NvmlError::InvalidDeviceIndex { index: 5, count: 2 };
+        assert!(e.to_string().contains("index 5"));
+        let e = NvmlError::InvalidClock { requested: 99, min: 210, max: 1410 };
+        assert!(e.to_string().contains("99 MHz"));
+        assert!(e.to_string().contains("[210, 1410]"));
+    }
+}

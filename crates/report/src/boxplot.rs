@@ -1,0 +1,125 @@
+//! Boxplot statistics (Fig. 9: per-unit switching-latency boxplots on the
+//! four A100s): five-number summary with 1.5·IQR whiskers and fliers.
+
+use latest_stats::quantile;
+
+/// Five-number boxplot summary.
+#[derive(Clone, Debug)]
+pub struct BoxStats {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lowest observation within `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest observation within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers.
+    pub fliers: Vec<f64>,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute from samples. Returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let q1 = quantile(samples, 0.25);
+        let median = quantile(samples, 0.50);
+        let q3 = quantile(samples, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = samples
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_hi = samples
+            .iter()
+            .copied()
+            .filter(|&x| x <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let fliers = samples
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(BoxStats {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            fliers,
+            n: samples.len(),
+        })
+    }
+
+    /// One-line rendering: `|-- [q1 | med | q3] --| (+k fliers)`.
+    pub fn render_line(&self, label: &str) -> String {
+        let fliers = if self.fliers.is_empty() {
+            String::new()
+        } else {
+            format!("  (+{} fliers)", self.fliers.len())
+        };
+        format!(
+            "{label:<18} {:>8.2} |-- [{:>8.2} | {:>8.2} | {:>8.2}] --| {:>8.2}{fliers}",
+            self.whisker_lo, self.q1, self.median, self.q3, self.whisker_hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_ordered() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = BoxStats::of(&data).unwrap();
+        assert!(b.whisker_lo <= b.q1);
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_hi);
+        assert_eq!(b.n, 100);
+        assert!(b.fliers.is_empty());
+        assert_eq!(b.median, 50.5);
+    }
+
+    #[test]
+    fn fliers_detected() {
+        let mut data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        data.push(500.0);
+        data.push(-100.0);
+        let b = BoxStats::of(&data).unwrap();
+        assert_eq!(b.fliers.len(), 2);
+        assert!(b.whisker_hi < 500.0);
+        assert!(b.whisker_lo > -100.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton_degenerate() {
+        let b = BoxStats::of(&[7.0]).unwrap();
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.whisker_lo, 7.0);
+        assert_eq!(b.whisker_hi, 7.0);
+        assert!(b.fliers.is_empty());
+    }
+
+    #[test]
+    fn render_contains_label_and_numbers() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let line = b.render_line("1065->840");
+        assert!(line.contains("1065->840"));
+        assert!(line.contains("fliers"));
+    }
+}

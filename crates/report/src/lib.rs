@@ -1,0 +1,35 @@
+//! Reporting and figure regeneration for the LATEST reproduction.
+//!
+//! The paper's evaluation artefacts are heatmaps (Fig. 3, 7, 8), violin
+//! plots (Fig. 4), scatter plots (Fig. 5, 6), boxplots (Fig. 9) and two
+//! tables. This crate turns campaign results into those artefacts as
+//! plain-text renderings plus machine-readable exports:
+//!
+//! * [`heatmap`] — labelled 2-D grids with ANSI colour scales and CSV
+//!   export (initial frequency in rows, target in columns, as the paper
+//!   lays them out);
+//! * [`violin`] — Gaussian-KDE density summaries split by transition
+//!   direction (frequency increasing vs decreasing);
+//! * [`boxplot`] — five-number summaries with 1.5·IQR whiskers and fliers;
+//! * [`scatter`] — measurement-index vs latency plots with cluster labels;
+//! * [`table`] — aligned text tables (Table I / Table II);
+//! * [`svg`] — dependency-free SVG documents of the same figure types, for
+//!   committing rendered figures;
+//! * [`experiments`] — paper-value vs measured-value records that generate
+//!   the EXPERIMENTS.md comparison sections.
+
+pub mod boxplot;
+pub mod experiments;
+pub mod heatmap;
+pub mod scatter;
+pub mod svg;
+pub mod table;
+pub mod violin;
+
+pub use boxplot::BoxStats;
+pub use experiments::{ExperimentRecord, MetricRow};
+pub use heatmap::Heatmap;
+pub use scatter::render_scatter;
+pub use svg::{boxplot_svg, heatmap_svg, scatter_svg, violin_pair_svg, SvgStyle};
+pub use table::TextTable;
+pub use violin::{DirectionSplit, ViolinSummary};

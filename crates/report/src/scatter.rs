@@ -1,0 +1,106 @@
+//! Scatter plots of per-measurement switching latencies (Fig. 5 and 6:
+//! measurement index on x, latency on y, cluster membership as the marker).
+
+use latest_cluster::Labeling;
+
+/// Render an ASCII scatter of `latencies` (y) against measurement index
+/// (x), with cluster ids as digits and noise as `x`.
+///
+/// `rows` controls the vertical resolution; columns downsample to `cols`.
+pub fn render_scatter(
+    title: &str,
+    latencies: &[f64],
+    labeling: Option<&Labeling>,
+    rows: usize,
+    cols: usize,
+) -> String {
+    let mut out = format!("{title}\n");
+    if latencies.is_empty() || rows < 2 || cols < 2 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    if let Some(l) = labeling {
+        assert_eq!(
+            l.labels.len(),
+            latencies.len(),
+            "labeling must be parallel to the data"
+        );
+    }
+    let lo = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = latencies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    // canvas[row][col]: row 0 = top (highest latency).
+    let mut canvas = vec![vec![' '; cols]; rows];
+    for (i, &v) in latencies.iter().enumerate() {
+        let col = i * (cols - 1) / (latencies.len() - 1).max(1);
+        let level = ((v - lo) / span * (rows - 1) as f64).round() as usize;
+        let row = rows - 1 - level.min(rows - 1);
+        let marker = match labeling.map(|l| l.labels[i]) {
+            Some(latest_cluster::Label::Noise) => 'x',
+            Some(latest_cluster::Label::Cluster(c)) => {
+                char::from_digit((c % 10) as u32, 10).unwrap_or('*')
+            }
+            None => 'o',
+        };
+        canvas[row][col] = marker;
+    }
+
+    for (r, line) in canvas.iter().enumerate() {
+        let level = hi - span * r as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{level:>10.2} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} +{}\n{:>10}  0{:>width$}\n",
+        "",
+        "-".repeat(cols),
+        "",
+        latencies.len(),
+        width = cols - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_cluster::Dbscan;
+
+    #[test]
+    fn renders_clusters_with_distinct_markers() {
+        let mut data: Vec<f64> = Vec::new();
+        for i in 0..60 {
+            data.push(if i % 2 == 0 { 60.0 } else { 180.0 });
+        }
+        data.push(460.0); // outlier
+        let labeling = Dbscan::new(10.0, 4).fit_1d(&data);
+        assert_eq!(labeling.n_clusters, 2);
+        let txt = render_scatter("GH200 1770->1260 MHz", &data, Some(&labeling), 20, 40);
+        assert!(txt.contains("GH200"));
+        assert!(txt.contains('0'));
+        assert!(txt.contains('1'));
+        assert!(txt.contains('x'));
+    }
+
+    #[test]
+    fn renders_without_labels() {
+        let data = vec![5.0, 6.0, 5.5, 30.0];
+        let txt = render_scatter("plain", &data, None, 10, 20);
+        assert!(txt.contains('o'));
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let txt = render_scatter("none", &[], None, 10, 20);
+        assert!(txt.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_data_does_not_divide_by_zero() {
+        let data = vec![7.0; 10];
+        let txt = render_scatter("flat", &data, None, 10, 20);
+        assert!(txt.contains('o'));
+    }
+}

@@ -1,0 +1,130 @@
+//! Aligned plain-text tables — Table I (hardware setup) and Table II
+//! (latency summaries) renderers.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a header row.
+    pub fn with_header(cols: &[&str]) -> Self {
+        TextTable {
+            header: cols.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of display-able values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with per-column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_like() -> TextTable {
+        let mut t = TextTable::with_header(&["Model", "SM [#]", "Max SM [MHz]"]);
+        t.row_display(&["RTX Quadro 6000", "72", "2100"]);
+        t.row_display(&["A100 SXM-4", "108", "1410"]);
+        t.row_display(&["GH200", "132", "1980"]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = table1_like();
+        let txt = t.render();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        // All lines same length (alignment).
+        let lens: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
+        assert!(lens[2] >= lens[0] - 2 && lens[2] <= lens[0] + 2);
+        assert!(txt.contains("A100 SXM-4"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = table1_like().render_markdown();
+        assert!(md.starts_with("| Model |"));
+        assert!(md.contains("|---|---|---|"));
+        assert_eq!(md.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = TextTable::with_header(&["a", "b"]);
+        t.row_display(&["only-one"]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Null-hypothesis tests and interval criteria used by Algorithms 1 and 2.
+//!
+//! Phase one validates a frequency pair by testing whether the mean iteration
+//! times under the two frequencies are statistically distinguishable (the
+//! pair is *skipped* when the confidence interval of the difference includes
+//! zero). Phase three re-tests the post-transition iterations against the
+//! target-frequency mean. Both are expressed here as Welch-style tests with
+//! explicit intervals, plus the paper's two-standard-deviation detection band
+//! (Sec. V-A), which deliberately tracks sample variability rather than the
+//! collapsing standard error of the mean.
+
+use crate::dist::{normal_cdf, student_t_cdf, t_critical_two_sided, z_critical_two_sided};
+use crate::summary::Summary;
+
+/// A two-sided confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level in (0, 1), e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether the interval contains zero — the pair-skipping criterion of
+    /// Algorithm 1 and the acceptance criterion of Algorithm 2.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(0.0)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Outcome of a two-sample location test.
+#[derive(Clone, Copy, Debug)]
+pub struct TestResult {
+    /// The test statistic (t or z).
+    pub statistic: f64,
+    /// Degrees of freedom (Welch–Satterthwaite); infinite for the z-test.
+    pub dof: f64,
+    /// Two-sided p-value for H0: equal means.
+    pub p_value: f64,
+    /// Whether H0 (equal means) is rejected at the given significance.
+    pub reject_equal_means: bool,
+    /// Significance level used for the decision.
+    pub alpha: f64,
+}
+
+/// Welch's unequal-variances t-test on two summaries.
+///
+/// Returns `None` when either sample is too small (n < 2) or degenerate
+/// (both variances zero — in that case means are compared exactly).
+pub fn welch_t_test(a: &Summary, b: &Summary, alpha: f64) -> Option<TestResult> {
+    if a.n < 2 || b.n < 2 {
+        return None;
+    }
+    let va = a.stdev * a.stdev / a.n as f64;
+    let vb = b.stdev * b.stdev / b.n as f64;
+    let se2 = va + vb;
+    if se2 == 0.0 {
+        let equal = a.mean == b.mean;
+        return Some(TestResult {
+            statistic: if equal { 0.0 } else { f64::INFINITY },
+            dof: f64::INFINITY,
+            p_value: if equal { 1.0 } else { 0.0 },
+            reject_equal_means: !equal,
+            alpha,
+        });
+    }
+    let t = (a.mean - b.mean) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let dof = se2 * se2
+        / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), dof));
+    Some(TestResult {
+        statistic: t,
+        dof,
+        p_value: p.clamp(0.0, 1.0),
+        reject_equal_means: p < alpha,
+        alpha,
+    })
+}
+
+/// Large-sample z-test on two summaries (the paper allows "t-test or z-test
+/// or confidence interval test" interchangeably in phase one, where n is in
+/// the millions and they coincide).
+pub fn z_test(a: &Summary, b: &Summary, alpha: f64) -> Option<TestResult> {
+    if a.n < 2 || b.n < 2 {
+        return None;
+    }
+    let se2 = a.stderr * a.stderr + b.stderr * b.stderr;
+    if se2 == 0.0 {
+        let equal = a.mean == b.mean;
+        return Some(TestResult {
+            statistic: if equal { 0.0 } else { f64::INFINITY },
+            dof: f64::INFINITY,
+            p_value: if equal { 1.0 } else { 0.0 },
+            reject_equal_means: !equal,
+            alpha,
+        });
+    }
+    let z = (a.mean - b.mean) / se2.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(TestResult {
+        statistic: z,
+        dof: f64::INFINITY,
+        p_value: p.clamp(0.0, 1.0),
+        reject_equal_means: p < alpha,
+        alpha,
+    })
+}
+
+/// Confidence interval for the difference of means `a.mean - b.mean`
+/// (Welch construction). This is `getConfInterval` of Algorithm 1 and
+/// `meanDiffBounds` of Algorithm 2: the pair is usable iff the interval does
+/// **not** contain zero; the transition is confirmed iff it **does**.
+pub fn diff_confidence_interval(
+    a: &Summary,
+    b: &Summary,
+    confidence: f64,
+) -> Option<ConfidenceInterval> {
+    if a.n < 2 || b.n < 2 {
+        return None;
+    }
+    let va = a.stdev * a.stdev / a.n as f64;
+    let vb = b.stdev * b.stdev / b.n as f64;
+    let se = (va + vb).sqrt();
+    let diff = a.mean - b.mean;
+    let crit = if va + vb == 0.0 {
+        0.0
+    } else {
+        let dof = (va + vb) * (va + vb)
+            / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+        // For the huge phase-one samples dof is enormous and t == z; computing
+        // t throughout keeps small phase-three samples honest too.
+        if dof.is_finite() && dof > 0.0 {
+            t_critical_two_sided(confidence, dof)
+        } else {
+            z_critical_two_sided(confidence)
+        }
+    };
+    Some(ConfidenceInterval {
+        lo: diff - crit * se,
+        hi: diff + crit * se,
+        confidence,
+    })
+}
+
+/// The paper's transition-detection band (Sec. V-A): `mean ± k·stdev` with
+/// k = 2 by default.
+///
+/// The key design point reproduced here: with millions of pooled iterations
+/// the *standard error* collapses toward zero (narrower than the device timer
+/// resolution), so an FTaLaT-style `mean ± 2·stderr` acceptance band rejects
+/// nearly every honest iteration. The band must instead track the sample
+/// *standard deviation*, within which ~95 % of iterations fall.
+#[derive(Clone, Copy, Debug)]
+pub struct SigmaBand {
+    /// Band centre (target-frequency mean iteration time).
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+    /// Width multiplier (2.0 in the paper).
+    pub k: f64,
+}
+
+impl SigmaBand {
+    /// The two-standard-deviation band of the paper.
+    pub fn two_sigma(summary: &Summary) -> Self {
+        SigmaBand {
+            mean: summary.mean,
+            stdev: summary.stdev,
+            k: 2.0,
+        }
+    }
+
+    /// A custom-width band (used by the ablation benchmarks).
+    pub fn with_k(summary: &Summary, k: f64) -> Self {
+        SigmaBand {
+            mean: summary.mean,
+            stdev: summary.stdev,
+            k,
+        }
+    }
+
+    /// Lower edge of the band.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.k * self.stdev
+    }
+
+    /// Upper edge of the band.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.k * self.stdev
+    }
+
+    /// Whether a single iteration execution time falls inside the band —
+    /// line 16 of Algorithm 2.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo() <= x && x <= self.hi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RunningStats;
+
+    fn summary(mean: f64, stdev: f64, n: u64) -> Summary {
+        Summary {
+            n,
+            mean,
+            stdev,
+            stderr: stdev / (n as f64).sqrt(),
+            min: mean - 3.0 * stdev,
+            max: mean + 3.0 * stdev,
+        }
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a = summary(100.0, 1.0, 1000);
+        let b = summary(110.0, 1.0, 1000);
+        let r = welch_t_test(&a, &b, 0.05).unwrap();
+        assert!(r.reject_equal_means);
+        assert!(r.p_value < 1e-6);
+        assert!(r.statistic < 0.0); // a.mean < b.mean
+    }
+
+    #[test]
+    fn welch_accepts_identical_populations() {
+        let a = summary(100.0, 5.0, 50);
+        let b = summary(100.1, 5.0, 50);
+        let r = welch_t_test(&a, &b, 0.05).unwrap();
+        assert!(!r.reject_equal_means, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_requires_two_samples() {
+        let a = summary(1.0, 1.0, 1);
+        let b = summary(2.0, 1.0, 100);
+        assert!(welch_t_test(&a, &b, 0.05).is_none());
+    }
+
+    #[test]
+    fn welch_degenerate_zero_variance() {
+        let a = summary(5.0, 0.0, 10);
+        let b = summary(5.0, 0.0, 10);
+        let r = welch_t_test(&a, &b, 0.05).unwrap();
+        assert!(!r.reject_equal_means);
+        let c = summary(6.0, 0.0, 10);
+        let r = welch_t_test(&a, &c, 0.05).unwrap();
+        assert!(r.reject_equal_means);
+    }
+
+    #[test]
+    fn welch_dof_matches_satterthwaite_hand_calc() {
+        // Equal n, equal s: dof = 2(n-1).
+        let a = summary(0.0, 2.0, 25);
+        let b = summary(1.0, 2.0, 25);
+        let r = welch_t_test(&a, &b, 0.05).unwrap();
+        assert!((r.dof - 48.0).abs() < 1e-9, "dof = {}", r.dof);
+    }
+
+    #[test]
+    fn z_and_t_agree_for_large_n() {
+        let a = summary(10.0, 1.0, 100_000);
+        let b = summary(10.01, 1.0, 100_000);
+        let zt = z_test(&a, &b, 0.05).unwrap();
+        let tt = welch_t_test(&a, &b, 0.05).unwrap();
+        // t with dof ~ 2e5 differs from the normal by O(1/dof).
+        assert!((zt.p_value - tt.p_value).abs() < 1e-4);
+    }
+
+    #[test]
+    fn diff_ci_excludes_zero_for_distinguishable_pairs() {
+        let fast = summary(50.0, 0.5, 10_000); // high frequency: short iterations
+        let slow = summary(80.0, 0.8, 10_000);
+        let ci = diff_confidence_interval(&slow, &fast, 0.95).unwrap();
+        assert!(!ci.contains_zero());
+        assert!(ci.lo > 0.0);
+        assert!((ci.lo + ci.hi) / 2.0 - 30.0 < 1e-9);
+    }
+
+    #[test]
+    fn diff_ci_includes_zero_for_close_pairs() {
+        // Frequencies so close the runtimes are statistically identical.
+        let a = summary(50.0, 5.0, 30);
+        let b = summary(50.5, 5.0, 30);
+        let ci = diff_confidence_interval(&a, &b, 0.95).unwrap();
+        assert!(ci.contains_zero());
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_n() {
+        let a_small = summary(50.0, 5.0, 10);
+        let b_small = summary(52.0, 5.0, 10);
+        let a_big = summary(50.0, 5.0, 10_000);
+        let b_big = summary(52.0, 5.0, 10_000);
+        let w_small = diff_confidence_interval(&a_small, &b_small, 0.95).unwrap().width();
+        let w_big = diff_confidence_interval(&a_big, &b_big, 0.95).unwrap().width();
+        assert!(w_big < w_small / 10.0);
+    }
+
+    #[test]
+    fn sigma_band_semantics() {
+        let s = Summary::of(&[9.0, 10.0, 11.0, 10.0, 10.0]);
+        let band = SigmaBand::two_sigma(&s);
+        assert!(band.contains(s.mean));
+        assert!(band.contains(s.mean + 1.9 * s.stdev));
+        assert!(!band.contains(s.mean + 2.1 * s.stdev));
+        assert_eq!(band.lo(), s.mean - 2.0 * s.stdev);
+        assert_eq!(band.hi(), s.mean + 2.0 * s.stdev);
+    }
+
+    #[test]
+    fn sigma_band_vs_stderr_interval_paper_argument() {
+        // Reproduce the Sec. V-A argument numerically: with n = 10^6 samples
+        // of stdev 1, the 2-stderr interval has width 0.004 and contains a
+        // vanishing share of samples, while the 2-stdev band contains ~95 %.
+        let mut rs = RunningStats::new();
+        // Deterministic pseudo-normal sample via inverse-CDF stratification.
+        let n = 1_000_000u64;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            rs.push(100.0 + crate::dist::normal_quantile(p));
+        }
+        let s = rs.summary();
+        let band = SigmaBand::two_sigma(&s);
+        let stderr_band = SigmaBand { mean: s.mean, stdev: s.stderr, k: 2.0 };
+
+        let mut in_band = 0u64;
+        let mut in_stderr = 0u64;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            let x = 100.0 + crate::dist::normal_quantile(p);
+            if band.contains(x) {
+                in_band += 1;
+            }
+            if stderr_band.contains(x) {
+                in_stderr += 1;
+            }
+        }
+        let frac_band = in_band as f64 / n as f64;
+        let frac_stderr = in_stderr as f64 / n as f64;
+        assert!(frac_band > 0.94 && frac_band < 0.96, "2-sigma frac {frac_band}");
+        assert!(frac_stderr < 0.01, "2-stderr frac {frac_stderr}");
+    }
+}

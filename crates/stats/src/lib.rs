@@ -1,0 +1,34 @@
+//! Statistical machinery behind the LATEST methodology.
+//!
+//! The paper (Sec. IV, V-A, V-B) leans on a small but precise set of
+//! statistical tools; this crate implements them from scratch:
+//!
+//! * streaming descriptive statistics with exact pooling across GPU cores
+//!   ([`summary::RunningStats`], [`summary::Summary`]),
+//! * the normal and Student-t distributions ([`dist`]) — needed for
+//!   confidence intervals and the null-hypothesis tests of Algorithm 1/2,
+//! * Welch's t-test, z-test and the confidence interval on a difference of
+//!   means ([`hypothesis`]),
+//! * the paper's central measurement-theoretic point (Sec. V-A): transition
+//!   *detection* must use a two-standard-*deviation* band around the mean,
+//!   not the collapsing two-standard-*error* confidence interval
+//!   ([`hypothesis::SigmaBand`]),
+//! * the relative-standard-error stopping rule that bounds how many times a
+//!   switching-latency measurement must be repeated
+//!   ([`summary::relative_standard_error`]),
+//! * quantiles and quantile ranges ([`quantile`]) used by the adaptive
+//!   DBSCAN outlier filter (Algorithm 3).
+//!
+//! Everything is pure, allocation-light `f64` math with no external
+//! dependencies, unit-tested against closed-form values.
+
+pub mod dist;
+pub mod hypothesis;
+pub mod quantile;
+pub mod summary;
+
+pub use hypothesis::{
+    diff_confidence_interval, welch_t_test, z_test, ConfidenceInterval, SigmaBand, TestResult,
+};
+pub use quantile::{median, quantile, quantile_range};
+pub use summary::{relative_standard_error, robust_stats, RunningStats, Summary};

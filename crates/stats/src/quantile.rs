@@ -1,0 +1,167 @@
+//! Quantiles, quantile ranges and histograms.
+//!
+//! Algorithm 3 sets the DBSCAN `eps` from the 0.05–0.95 quantile range of the
+//! switching-latency dataset; the reporting crate uses quantiles for box and
+//! violin summaries. Quantiles use the type-7 (linear interpolation)
+//! definition, matching NumPy's default, so results are comparable with the
+//! authors' Python analysis.
+
+/// Type-7 quantile (linear interpolation between closest ranks) of `xs` at
+/// probability `p` in [0, 1]. Returns NaN on an empty slice.
+///
+/// The input need not be sorted; a sorted copy is made internally. Use
+/// [`quantile_sorted`] in hot paths that already hold sorted data.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, p)
+}
+
+/// Type-7 quantile of already-sorted data.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0,1], got {p}");
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The `quantile_range(lo, hi)` of Algorithm 3: `Q(hi) - Q(lo)`.
+pub fn quantile_range(xs: &[f64], lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "quantile_range requires lo <= hi");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, hi) - quantile_sorted(&sorted, lo)
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// A fixed-width histogram over [lo, hi) with values outside clamped into the
+/// edge bins. Used by the violin/ASCII renderers in `latest-report`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins spanning [lo, hi).
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn build(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in xs {
+            let idx = ((x - lo) / width).floor();
+            let idx = (idx.max(0.0) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        // Type-7: h = 0.25 * 3 = 0.75 -> 1 + 0.75*(2-1) = 1.75
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert_eq!(quantile(&[7.0], 0.25), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range_p() {
+        quantile(&[1.0, 2.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_range_definition() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        // Q(0.95) = 95, Q(0.05) = 5 on 0..=100.
+        assert!((quantile_range(&xs, 0.05, 0.95) - 90.0).abs() < 1e-9);
+        assert!(quantile_range(&[], 0.05, 0.95).is_nan());
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let xs = [0.1, 0.2, 0.9, 1.5, -3.0];
+        let h = Histogram::build(&xs, 0.0, 1.0, 4);
+        // -3.0 clamps into bin 0; 1.5 clamps into bin 3.
+        assert_eq!(h.counts, vec![3, 0, 0, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.mode_bin(), 0);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! Streaming descriptive statistics (Welford) with exact parallel pooling.
+//!
+//! Phase one of the methodology computes the mean iteration execution time and
+//! its standard deviation per frequency from *millions* of samples (every
+//! iteration on every SM). A numerically stable streaming accumulator that can
+//! be merged across SMs is therefore the workhorse of the whole pipeline.
+
+/// Numerically stable streaming mean/variance accumulator (Welford's
+/// algorithm) with Chan's parallel merge rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build directly from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (Chan et al.). The result is
+    /// identical (up to rounding) to having pushed all observations into one
+    /// accumulator, which is what lets per-SM statistics be pooled exactly.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (n-1 denominator); NaN for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; NaN for n < 2.
+    pub fn stdev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (eq. 2 of the paper); NaN for n < 2.
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Freeze into an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            stdev: self.stdev(),
+            stderr: self.stderr(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Immutable descriptive summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1).
+    pub stdev: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        RunningStats::from_slice(xs).summary()
+    }
+
+    /// Relative standard error of this sample (see
+    /// [`relative_standard_error`]).
+    pub fn rse(&self) -> f64 {
+        relative_standard_error(self.mean, self.stderr)
+    }
+}
+
+/// Relative standard error: `stderr / |mean|`.
+///
+/// Section VI: "the benchmark runs until the RSE of the switching latency
+/// falls below a predefined threshold" (default 5 %). Returns +inf for a zero
+/// mean and NaN when either input is NaN, so a not-yet-converged controller
+/// never stops early by accident.
+pub fn relative_standard_error(mean: f64, stderr: f64) -> f64 {
+    if mean == 0.0 {
+        f64::INFINITY
+    } else {
+        stderr / mean.abs()
+    }
+}
+
+/// Robust statistics: iteratively trim observations beyond `k_sigma` sample
+/// standard deviations of the sample mean, re-estimating up to `passes`
+/// times.
+///
+/// Device-side disturbances (ECC scrubs, context timeslices) produce rare
+/// multi-x iteration durations. Left in, one such spike inflates the
+/// standard deviation — and with it every σ-derived band and confidence
+/// interval — by a large factor: phase 1 would widen the 2σ detection band,
+/// and phase 3's confirmation interval would widen until it accepts streams
+/// that are demonstrably not at the target frequency yet. Both phases
+/// therefore estimate through this trimmer.
+pub fn robust_stats(xs: &[f64], k_sigma: f64, passes: usize) -> RunningStats {
+    let mut stats = RunningStats::from_slice(xs);
+    for _ in 0..passes {
+        let (mean, stdev) = (stats.mean(), stats.stdev());
+        if !stdev.is_finite() || stdev == 0.0 {
+            break;
+        }
+        let mut trimmed = RunningStats::new();
+        for &x in xs {
+            if (x - mean).abs() <= k_sigma * stdev {
+                trimmed.push(x);
+            }
+        }
+        if trimmed.count() == stats.count() || trimmed.count() < 16 {
+            break;
+        }
+        stats = trimmed;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // var([2,4,4,4,5,5,7,9]) with n-1 = 32/7
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 8);
+        assert!(close(s.mean, 5.0, 1e-12));
+        assert!(close(s.stdev, (32.0f64 / 7.0).sqrt(), 1e-12));
+        assert!(close(s.stderr, (32.0f64 / 7.0 / 8.0).sqrt(), 1e-12));
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.stdev().is_nan());
+
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert!(s.stdev().is_nan());
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let whole = RunningStats::from_slice(&xs);
+        let mut merged = RunningStats::new();
+        for chunk in xs.chunks(77) {
+            let part = RunningStats::from_slice(chunk);
+            merged.merge(&part);
+        }
+        assert_eq!(whole.count(), merged.count());
+        assert!(close(whole.mean(), merged.mean(), 1e-12));
+        assert!(close(whole.variance(), merged.variance(), 1e-10));
+        assert_eq!(whole.min(), merged.min());
+        assert_eq!(whole.max(), merged.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::from_slice(&[1.0, 2.0, 3.0]);
+        let before = a.summary();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.summary(), before);
+
+        let mut e = RunningStats::new();
+        e.merge(&RunningStats::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(e.summary(), before);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+        let xs: Vec<f64> = (0..10_000).map(|i| 1e9 + (i % 3) as f64).collect();
+        let s = Summary::of(&xs);
+        // exact variance of repeating 0,1,2 pattern is 2/3 (population),
+        // sample variance is close to that for n = 10_000.
+        assert!((s.stdev * s.stdev - 2.0 / 3.0).abs() < 1e-3, "var = {}", s.stdev * s.stdev);
+    }
+
+    #[test]
+    fn rse_definition() {
+        assert_eq!(relative_standard_error(0.0, 1.0), f64::INFINITY);
+        assert!(close(relative_standard_error(10.0, 0.5), 0.05, 1e-12));
+        assert!(close(relative_standard_error(-10.0, 0.5), 0.05, 1e-12));
+        let s = Summary::of(&[9.0, 10.0, 11.0]);
+        assert!(close(s.rse(), s.stderr / 10.0, 1e-12));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the statistics substrate: the methodology's
+//! stopping rules and detection bands are only as sound as these invariants.
+
+use latest_stats::quantile::{quantile_sorted, Histogram};
+use latest_stats::{
+    diff_confidence_interval, median, quantile, quantile_range, welch_t_test, z_test,
+    RunningStats, SigmaBand, Summary,
+};
+use proptest::prelude::*;
+
+/// Non-degenerate finite samples.
+fn samples(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, min_len..200)
+}
+
+proptest! {
+    // --- RunningStats / Summary -------------------------------------------
+
+    #[test]
+    fn running_stats_matches_two_pass_reference(xs in samples(2)) {
+        let s = RunningStats::from_slice(&xs).summary();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        // Welford vs naive two-pass: equal within floating-point slack.
+        prop_assert!((s.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.stdev - var.sqrt()).abs() <= 1e-5 * (1.0 + var.sqrt()));
+    }
+
+    #[test]
+    fn summary_orders_min_mean_max(xs in samples(1)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.n, xs.len() as u64);
+    }
+
+    #[test]
+    fn stderr_is_stdev_over_sqrt_n(xs in samples(2)) {
+        let s = Summary::of(&xs);
+        let expected = s.stdev / (xs.len() as f64).sqrt();
+        prop_assert!((s.stderr - expected).abs() <= 1e-9 * (1.0 + expected));
+    }
+
+    #[test]
+    fn merge_equals_concatenation(a in samples(1), b in samples(1)) {
+        let mut left = RunningStats::from_slice(&a);
+        left.merge(&RunningStats::from_slice(&b));
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let whole = RunningStats::from_slice(&joined);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.stdev() - whole.stdev()).abs() <= 1e-5 * (1.0 + whole.stdev()));
+    }
+
+    #[test]
+    fn shifting_data_shifts_mean_not_stdev(xs in samples(2), shift in -1.0e4..1.0e4f64) {
+        let base = Summary::of(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s = Summary::of(&shifted);
+        prop_assert!((s.mean - (base.mean + shift)).abs() <= 1e-6 * (1.0 + base.mean.abs() + shift.abs()));
+        prop_assert!((s.stdev - base.stdev).abs() <= 1e-6 * (1.0 + base.stdev));
+    }
+
+    #[test]
+    fn rse_is_scale_invariant(xs in samples(3), k in 0.001..1000.0f64) {
+        // All-positive data so the mean cannot cross zero.
+        let pos: Vec<f64> = xs.iter().map(|x| 1.0 + x.abs()).collect();
+        let scaled: Vec<f64> = pos.iter().map(|x| x * k).collect();
+        let a = Summary::of(&pos).rse();
+        let b = Summary::of(&scaled).rse();
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a));
+    }
+
+    // --- quantiles ---------------------------------------------------------
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in samples(1), p in 0.0..1.0f64, q in 0.0..1.0f64) {
+        let (lo, hi) = (p.min(q), p.max(q));
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    #[test]
+    fn quantile_sorted_agrees_with_unsorted(xs in samples(1), p in 0.0..1.0f64) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(quantile(&xs, p).to_bits(), quantile_sorted(&sorted, p).to_bits());
+    }
+
+    #[test]
+    fn median_between_extremes(xs in samples(1)) {
+        let m = median(&xs);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(m >= min - 1e-12 && m <= max + 1e-12);
+    }
+
+    #[test]
+    fn quantile_range_is_nonnegative(xs in samples(2)) {
+        prop_assert!(quantile_range(&xs, 0.05, 0.95) >= -1e-12);
+    }
+
+    // --- histogram ---------------------------------------------------------
+
+    #[test]
+    fn histogram_conserves_observations(xs in samples(1), bins in 1usize..64) {
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let h = Histogram::build(&xs, lo, hi + 1.0, bins);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    // --- bands & tests ------------------------------------------------------
+
+    #[test]
+    fn sigma_band_always_contains_the_mean(xs in samples(2), k in 0.1..6.0f64) {
+        let s = Summary::of(&xs);
+        let band = SigmaBand::with_k(&s, k);
+        prop_assert!(band.contains(s.mean));
+        prop_assert!(band.lo() <= band.hi());
+    }
+
+    #[test]
+    fn diff_ci_is_antisymmetric(a in samples(3), b in samples(3)) {
+        if let (Some(ab), Some(ba)) = (
+            diff_confidence_interval(&Summary::of(&a), &Summary::of(&b), 0.95),
+            diff_confidence_interval(&Summary::of(&b), &Summary::of(&a), 0.95),
+        ) {
+            prop_assert!((ab.lo + ba.hi).abs() <= 1e-6 * (1.0 + ab.lo.abs()));
+            prop_assert!((ab.hi + ba.lo).abs() <= 1e-6 * (1.0 + ab.hi.abs()));
+        }
+    }
+
+    #[test]
+    fn identical_samples_are_never_distinguished(xs in samples(3)) {
+        let s = Summary::of(&xs);
+        if let Some(ci) = diff_confidence_interval(&s, &s, 0.95) {
+            prop_assert!(ci.contains_zero());
+        }
+        if let Some(t) = welch_t_test(&s, &s, 0.05) {
+            prop_assert!(!t.reject_equal_means);
+        }
+        if let Some(z) = z_test(&s, &s, 0.05) {
+            prop_assert!(!z.reject_equal_means);
+        }
+    }
+
+    #[test]
+    fn far_separated_samples_are_distinguished(
+        xs in prop::collection::vec(0.0..1.0f64, 10..100),
+        gap in 100.0..1.0e4f64,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + gap).collect();
+        let a = Summary::of(&xs);
+        let b = Summary::of(&shifted);
+        // A 100x-the-spread separation must always reject the null.
+        if let Some(ci) = diff_confidence_interval(&a, &b, 0.95) {
+            prop_assert!(!ci.contains_zero());
+        }
+        if let Some(t) = welch_t_test(&a, &b, 0.05) {
+            prop_assert!(t.reject_equal_means);
+        }
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval(a in samples(3), b in samples(3)) {
+        let (sa, sb) = (Summary::of(&a), Summary::of(&b));
+        if let (Some(ci90), Some(ci99)) = (
+            diff_confidence_interval(&sa, &sb, 0.90),
+            diff_confidence_interval(&sa, &sb, 0.99),
+        ) {
+            prop_assert!(ci99.width() >= ci90.width() - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper's motivating application, end to end: measure a GPU's
+//! switching-latency table with the LATEST methodology, hand it to a DVFS
+//! governor, and show what the knowledge is worth on phase-structured
+//! workloads (Secs. I and VIII).
+//!
+//! ```text
+//! cargo run --release --example dvfs_governor
+//! ```
+//!
+//! Four policies are compared on three synthetic workload classes:
+//!
+//! * `run-at-max` — no DVFS (the runtime/energy reference),
+//! * `static-oracle` — the best single frequency (static tuning, Sec. III),
+//! * `latency-oblivious` — per-phase DVFS assuming switches are free (a
+//!   CPU-derived runtime system transplanted to a GPU),
+//! * `latency-aware` — per-phase DVFS that amortises the *measured*
+//!   latencies and detours around pathological pairs.
+
+use latest::core::{CampaignConfig, Latest};
+use latest::governor::simulate::TransitionReplay;
+use latest::governor::{
+    simulate_policy, GovernorPolicy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel,
+    RunAtMax, StaticOracle, TraceGenerator,
+};
+use latest::gpu_sim::devices;
+use latest::gpu_sim::freq::FreqMhz;
+
+fn main() {
+    // Step 1 — run a LATEST campaign on the simulated GH200 (the GPU with
+    // pathological target columns, where latency awareness matters most).
+    let spec = devices::gh200();
+    let (f_min, f_max) = (spec.ladder.min(), spec.ladder.max());
+    println!("measuring switching latencies on {} (LATEST campaign)...", spec.name);
+    let config = CampaignConfig::builder(spec)
+        .frequency_subset(8)
+        .measurements(25, 50)
+        .simulated_sms(Some(4))
+        .seed(0x60F)
+        .build();
+    let result = Latest::new(config).run().expect("campaign");
+    let table = LatencyTable::from_campaign(&result);
+    println!(
+        "table: {} pairs, typical latency {:.1} ms, {} pathological pairs (>5x typical)\n",
+        table.len(),
+        table.typical_ms().unwrap_or(f64::NAN),
+        table.avoid_list(5.0).len()
+    );
+
+    // Step 2 — the workloads the introduction motivates.
+    let mut generator = TraceGenerator::new(0xBEEF);
+    let traces = [
+        generator.llm_training(12, 900.0),
+        generator.iterative_solver(40, 120.0),
+        generator.streaming_bursts(80, 25.0),
+    ];
+
+    // Step 3 — policies.
+    let power = PowerModel::sxm_class(f_max);
+    let candidates: Vec<FreqMhz> = table.known_targets();
+
+    for trace in &traces {
+        println!("workload: {} ({} phases)", trace.name, trace.phases.len());
+        println!(
+            "  {:<20} {:>12} {:>11} {:>9} {:>10} {:>12} {:>10}",
+            "policy", "runtime[ms]", "energy[J]", "switches", "skipped", "saving[%]", "slower[%]"
+        );
+
+        let baseline = {
+            let mut replay = TransitionReplay::new(table.clone(), 1);
+            simulate_policy(&RunAtMax { f_max }, trace, &power, &mut replay, f_max)
+        };
+        let oracle = StaticOracle::plan(trace, &candidates, f_max, &power, 0.05);
+        let policies: Vec<Box<dyn GovernorPolicy>> = vec![
+            Box::new(RunAtMax { f_max }),
+            Box::new(oracle),
+            Box::new(LatencyOblivious { f_min, f_max }),
+            Box::new(LatencyAware::new(table.clone(), f_min, f_max)),
+        ];
+
+        for policy in &policies {
+            let mut replay = TransitionReplay::new(table.clone(), 1);
+            let r = simulate_policy(policy.as_ref(), trace, &power, &mut replay, f_max);
+            println!(
+                "  {:<20} {:>12.0} {:>11.0} {:>9} {:>10} {:>12.1} {:>10.1}",
+                r.policy,
+                r.runtime_ms,
+                r.energy_j,
+                r.switches,
+                r.suppressed,
+                100.0 * r.energy_saving_vs(&baseline),
+                100.0 * r.runtime_extension_vs(&baseline),
+            );
+        }
+        println!();
+    }
+
+    println!("reading: dynamic DVFS beats static tuning when phases are long enough to");
+    println!("amortise the measured latency; when they are not, the latency-aware governor");
+    println!("suppresses the switch and avoids the oblivious policy's transition churn.");
+}

@@ -1,0 +1,84 @@
+//! Full-device heatmap sweep, reproducing the Fig. 3 workflow of the paper:
+//! measure every ordered pair of a frequency subset, filter outliers, and
+//! render minimum (best-case) and maximum (worst-case) switching-latency
+//! heatmaps with initial frequency in rows and target frequency in columns.
+//!
+//! ```text
+//! cargo run --release --example heatmap_sweep [gh200|a100|quadro] [n_freqs]
+//! ```
+//!
+//! The paper's key structural observation — the **target** frequency
+//! dominates the latency (visible column pattern), the initial frequency is
+//! second-order — is quantified at the end by comparing the variance of
+//! column means against the variance of row means.
+
+use latest::core::{CampaignConfig, Latest};
+use latest::gpu_sim::devices::{self, DeviceSpec};
+use latest::report::Heatmap;
+
+fn device_by_name(name: &str) -> DeviceSpec {
+    match name {
+        "gh200" => devices::gh200(),
+        "a100" => devices::a100_sxm4(),
+        "quadro" => devices::rtx_quadro_6000(),
+        other => {
+            eprintln!("unknown device '{other}' (expected gh200|a100|quadro)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let spec = device_by_name(&args.next().unwrap_or_else(|| "gh200".into()));
+    let n_freqs: usize = args.next().map(|s| s.parse().expect("n_freqs")).unwrap_or(10);
+
+    println!("sweeping {} over a {}-frequency ladder subset...", spec.name, n_freqs);
+    let config = CampaignConfig::builder(spec)
+        .frequency_subset(n_freqs)
+        .measurements(25, 60)
+        .simulated_sms(Some(6))
+        .seed(0xF16_3)
+        .build();
+    let freqs: Vec<u32> = config.frequencies.iter().map(|f| f.0).collect();
+    let device_name = config.spec.name.clone();
+
+    let result = Latest::new(config).run().expect("sweep failed");
+
+    for (title, pick) in [
+        ("minimum (best-case)", true),
+        ("maximum (worst-case)", false),
+    ] {
+        let hm = Heatmap::build(&freqs, &freqs, |init, target| {
+            if init == target {
+                return None;
+            }
+            result
+                .pairs()
+                .iter()
+                .find(|p| p.init_mhz == init && p.target_mhz == target)
+                .and_then(|p| p.analysis.as_ref())
+                .filter(|a| !a.inliers_ms.is_empty())
+                .map(|a| if pick { a.filtered.min } else { a.filtered.max })
+        });
+        println!(
+            "\n{}",
+            hm.render(&format!("{device_name}: {title} switching latencies [ms]"), true)
+        );
+
+        // Quantify the paper's "row pattern": target frequency dominates.
+        let spread = |means: Vec<Option<f64>>| {
+            let vals: Vec<f64> = means.into_iter().flatten().collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let col_spread = spread(hm.col_means()); // per-target variation
+        let row_spread = spread(hm.row_means()); // per-initial variation
+        println!(
+            "structure: spread of per-target means {:.2} ms vs per-initial means {:.2} ms ({}x)",
+            col_spread,
+            row_spread,
+            (col_spread / row_spread).round()
+        );
+    }
+}

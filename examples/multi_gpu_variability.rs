@@ -1,0 +1,143 @@
+//! Manufacturing-variability study across four simulated A100-SXM4 units,
+//! reproducing the Sec. VII-C workflow (Figs. 7–9): benchmark the same
+//! frequency subset on four units of the same SKU and report the per-pair
+//! spread of best- and worst-case switching latencies.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_variability
+//! ```
+//!
+//! Each unit is `devices::a100_sxm4_unit(i)` — the same architecture model
+//! with a per-unit manufacturing perturbation of the transition engine, as
+//! the four front-row GPUs of a Karolina node would show.
+
+use latest::core::{CampaignConfig, Latest};
+use latest::gpu_sim::devices;
+use latest::report::{BoxStats, Heatmap};
+
+const UNITS: usize = 4;
+const N_FREQS: usize = 8;
+
+fn main() {
+    println!("benchmarking {UNITS} A100-SXM4 units over {N_FREQS} frequencies each...");
+
+    let results: Vec<_> = (0..UNITS)
+        .map(|unit| {
+            let config = CampaignConfig::builder(devices::a100_sxm4_unit(unit))
+                .frequency_subset(N_FREQS)
+                .measurements(25, 50)
+                .simulated_sms(Some(4))
+                .device_index(unit)
+                .seed(0xA100 + unit as u64)
+                .build();
+            Latest::new(config).run().expect("unit campaign")
+        })
+        .collect();
+    let freqs: Vec<u32> = {
+        let c = CampaignConfig::builder(devices::a100_sxm4()).frequency_subset(N_FREQS).build();
+        c.frequencies.iter().map(|f| f.0).collect()
+    };
+
+    // Figs. 7/8: range (max unit − min unit) of the per-pair best-case and
+    // worst-case latencies across the four units.
+    for (title, pick_min) in [("minimum (Fig. 7)", true), ("maximum (Fig. 8)", false)] {
+        let hm = Heatmap::build(&freqs, &freqs, |init, target| {
+            if init == target {
+                return None;
+            }
+            let per_unit: Vec<f64> = results
+                .iter()
+                .filter_map(|r| {
+                    r.pairs()
+                        .iter()
+                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                        .and_then(|p| p.analysis.as_ref())
+                        .filter(|a| !a.inliers_ms.is_empty())
+                        .map(|a| if pick_min { a.filtered.min } else { a.filtered.max })
+                })
+                .collect();
+            if per_unit.len() < 2 {
+                return None;
+            }
+            let lo = per_unit.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = per_unit.iter().cloned().fold(f64::MIN, f64::max);
+            Some(hi - lo)
+        });
+        println!(
+            "\n{}",
+            hm.render(&format!("Range of {title} switching latencies across {UNITS} units [ms]"), true)
+        );
+    }
+
+    // Fig. 9: per-unit boxplots for the pairs with the widest spread.
+    let mut spreads: Vec<(u32, u32, f64)> = Vec::new();
+    for &init in &freqs {
+        for &target in &freqs {
+            if init == target {
+                continue;
+            }
+            let maxes: Vec<f64> = results
+                .iter()
+                .filter_map(|r| {
+                    r.pairs()
+                        .iter()
+                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                        .and_then(|p| p.analysis.as_ref())
+                        .map(|a| a.filtered.max)
+                })
+                .collect();
+            if maxes.len() == UNITS {
+                let lo = maxes.iter().cloned().fold(f64::MAX, f64::min);
+                let hi = maxes.iter().cloned().fold(f64::MIN, f64::max);
+                spreads.push((init, target, hi - lo));
+            }
+        }
+    }
+    spreads.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+
+    println!("\nper-unit latency boxplots for the 3 widest-spread pairs (Fig. 9):");
+    for &(init, target, spread) in spreads.iter().take(3) {
+        println!("\n  {init} -> {target} MHz (unit spread {spread:.2} ms):");
+        for (unit, r) in results.iter().enumerate() {
+            let pair = r
+                .pairs()
+                .iter()
+                .find(|p| p.init_mhz == init && p.target_mhz == target)
+                .expect("pair present");
+            if let Some(a) = &pair.analysis {
+                if let Some(bs) = BoxStats::of(&a.inliers_ms) {
+                    println!("    {}", bs.render_line(&format!("unit {unit}")));
+                }
+            }
+        }
+    }
+
+    // Paper conclusion: no single unit is consistently the slowest.
+    let mut slowest_counts = [0usize; UNITS];
+    for &init in &freqs {
+        for &target in &freqs {
+            if init == target {
+                continue;
+            }
+            let per_unit: Vec<(usize, f64)> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(u, r)| {
+                    r.pairs()
+                        .iter()
+                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                        .and_then(|p| p.analysis.as_ref())
+                        .map(|a| (u, a.filtered.max))
+                })
+                .collect();
+            if let Some(&(u, _)) = per_unit
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            {
+                slowest_counts[u] += 1;
+            }
+        }
+    }
+    println!("\nhow often each unit was the slowest for a pair: {slowest_counts:?}");
+    println!("(the paper finds no unit consistently worse than the others)");
+}

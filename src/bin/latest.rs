@@ -1,0 +1,264 @@
+//! `latest` — the command-line benchmarking tool of Sec. VI, over the
+//! simulated CUDA substrate.
+//!
+//! Mirrors the paper tool's interface: one mandatory argument (the
+//! comma-separated list of benchmarked frequencies in MHz) plus the optional
+//! arguments the paper enumerates — device index, RSE threshold, minimum and
+//! maximum measurement counts — and simulation-specific extras (GPU model,
+//! seed, output directory).
+//!
+//! ```text
+//! latest 705,1095,1410
+//! latest --model gh200 --rse 0.05 --min 25 --max 150 --out ./results 705,1260,1980
+//! latest --model a100 --device 2 --seed 7 705,1410
+//! ```
+//!
+//! After each pair, latencies are written to
+//! `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv` in the output
+//! directory, exactly as the paper describes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use latest::core::output::write_pair_csv;
+use latest::core::{CampaignConfig, Latest, PairOutcome};
+use latest::gpu_sim::devices::{self, DeviceSpec};
+use latest::report::TextTable;
+
+struct Args {
+    frequencies: Vec<u32>,
+    model: String,
+    device_index: usize,
+    rse: f64,
+    min_measurements: usize,
+    max_measurements: usize,
+    seed: u64,
+    out_dir: Option<PathBuf>,
+    hostname: String,
+    simulated_sms: Option<u32>,
+}
+
+const USAGE: &str = "\
+usage: latest [OPTIONS] <freq,freq,...>
+
+Benchmark the SM frequency switching latency of a simulated CUDA GPU.
+
+arguments:
+  <freq,freq,...>      comma-separated frequencies in MHz (mandatory)
+
+options:
+  --model <name>       gpu model: a100 | gh200 | quadro      [a100]
+  --device <index>     device index (a100: per-unit model)   [0]
+  --rse <fraction>     RSE stopping threshold                [0.05]
+  --min <count>        measurements before RSE checks begin  [25]
+  --max <count>        hard cap on measurements per pair     [150]
+  --seed <u64>         simulation seed                       [0]
+  --out <dir>          write per-pair CSVs to this directory [off]
+  --hostname <name>    hostname used in CSV file names       [simnode]
+  --sms <count>        simulated SM record streams           [8]
+  --help               print this message
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        frequencies: Vec::new(),
+        model: "a100".to_string(),
+        device_index: 0,
+        rse: 0.05,
+        min_measurements: 25,
+        max_measurements: 150,
+        seed: 0,
+        out_dir: None,
+        hostname: "simnode".to_string(),
+        simulated_sms: Some(8),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--model" => args.model = value("--model")?,
+            "--device" => {
+                args.device_index =
+                    value("--device")?.parse().map_err(|e| format!("--device: {e}"))?
+            }
+            "--rse" => args.rse = value("--rse")?.parse().map_err(|e| format!("--rse: {e}"))?,
+            "--min" => {
+                args.min_measurements =
+                    value("--min")?.parse().map_err(|e| format!("--min: {e}"))?
+            }
+            "--max" => {
+                args.max_measurements =
+                    value("--max")?.parse().map_err(|e| format!("--max: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
+            "--hostname" => args.hostname = value("--hostname")?,
+            "--sms" => {
+                args.simulated_sms =
+                    Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?)
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            freq_list => {
+                if !args.frequencies.is_empty() {
+                    return Err("multiple frequency lists given".to_string());
+                }
+                for part in freq_list.split(',') {
+                    let mhz: u32 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad frequency {part:?} in list"))?;
+                    args.frequencies.push(mhz);
+                }
+            }
+        }
+    }
+    if args.frequencies.len() < 2 {
+        return Err("need a comma-separated list of at least two frequencies".to_string());
+    }
+    Ok(args)
+}
+
+fn device_spec(model: &str, index: usize) -> Result<DeviceSpec, String> {
+    match model {
+        "a100" => Ok(if index == 0 {
+            devices::a100_sxm4()
+        } else {
+            devices::a100_sxm4_unit(index)
+        }),
+        "gh200" => Ok(devices::gh200()),
+        "quadro" => Ok(devices::rtx_quadro_6000()),
+        other => Err(format!("unknown model {other:?} (a100 | gh200 | quadro)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let spec = match device_spec(&args.model, args.device_index) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "benchmarking {} (device {}), frequencies {:?} MHz",
+        spec.name, args.device_index, args.frequencies
+    );
+
+    let config = CampaignConfig::builder(spec)
+        .frequencies_mhz(&args.frequencies)
+        .rse_threshold(args.rse)
+        .measurements(args.min_measurements, args.max_measurements)
+        .device_index(args.device_index)
+        .hostname(args.hostname.clone())
+        .simulated_sms(args.simulated_sms)
+        .seed(args.seed)
+        .build();
+
+    let result = match Latest::new(config).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "phase 1: {} valid pairs, {} skipped as indistinguishable",
+        result.phase1.valid_pairs.len(),
+        result.phase1.skipped_pairs.len()
+    );
+
+    let mut table = TextTable::with_header(&[
+        "init[MHz]",
+        "target[MHz]",
+        "n",
+        "min[ms]",
+        "mean[ms]",
+        "max[ms]",
+        "outliers",
+        "status",
+    ]);
+    let mut csv_files = 0usize;
+    for pair in result.pairs() {
+        match &pair.outcome {
+            PairOutcome::Completed(run) => {
+                let a = pair.analysis.as_ref().expect("completed implies analysed");
+                table.row(&[
+                    pair.init_mhz.to_string(),
+                    pair.target_mhz.to_string(),
+                    a.inliers_ms.len().to_string(),
+                    format!("{:.3}", a.filtered.min),
+                    format!("{:.3}", a.filtered.mean),
+                    format!("{:.3}", a.filtered.max),
+                    a.outliers_ms.len().to_string(),
+                    "ok".to_string(),
+                ]);
+                if let Some(dir) = &args.out_dir {
+                    match write_pair_csv(dir, run, &args.hostname, args.device_index) {
+                        Ok(_) => csv_files += 1,
+                        Err(e) => eprintln!(
+                            "warning: writing CSV for {}->{}: {e}",
+                            pair.init_mhz, pair.target_mhz
+                        ),
+                    }
+                }
+            }
+            PairOutcome::PowerLimited { measurements_before } => {
+                table.row(&[
+                    pair.init_mhz.to_string(),
+                    pair.target_mhz.to_string(),
+                    measurements_before.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "power-limited".to_string(),
+                ]);
+            }
+            PairOutcome::SkippedIndistinguishable => {
+                table.row(&[
+                    pair.init_mhz.to_string(),
+                    pair.target_mhz.to_string(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "indistinguishable".to_string(),
+                ]);
+            }
+            PairOutcome::RetriesExhausted { attempts, .. } => {
+                table.row(&[
+                    pair.init_mhz.to_string(),
+                    pair.target_mhz.to_string(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("unmeasurable ({attempts} attempts)"),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    if let Some(dir) = &args.out_dir {
+        eprintln!("wrote {csv_files} CSV files to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! # latest-rs
+//!
+//! A from-scratch Rust reproduction of *"Methodology for GPU Frequency
+//! Switching Latency Measurement"* (Velička, Vysocky, Riha — IT4Innovations,
+//! IPPS 2025, arXiv:2502.20075), including the paper's LATEST benchmarking
+//! tool and every substrate it depends on, running against a deterministic
+//! virtual-time GPU simulator.
+//!
+//! This facade crate re-exports the workspace crates under one namespace so
+//! examples, integration tests and downstream users deal with a single
+//! dependency:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`sim_clock`] | `latest-sim-clock` | virtual time, clock views |
+//! | [`gpu_sim`] | `latest-gpu-sim` | the simulated GPU (SMs, DVFS, thermals) |
+//! | [`nvml`] | `latest-nvml-sim` | NVML-shaped driver façade |
+//! | [`cuda`] | `latest-cuda-sim` | CUDA-shaped host runtime façade |
+//! | [`clock_sync`] | `latest-clock-sync` | IEEE 1588 host↔device timer sync |
+//! | [`stats`] | `latest-stats` | tests, intervals, RSE, quantiles |
+//! | [`cluster`] | `latest-cluster` | DBSCAN, k-NN, silhouette, Alg. 3 |
+//! | [`core`] | `latest-core` | the LATEST methodology (Alg. 1 & 2) |
+//! | [`ftalat`] | `latest-ftalat` | FTaLaT CPU baseline (Sec. IV) |
+//! | [`governor`] | `latest-governor` | latency-aware DVFS governor (Sec. VIII application) |
+//! | [`report`] | `latest-report` | heatmaps, violins, tables, CSV |
+//!
+//! ## Quick start
+//!
+//! See `examples/quickstart.rs`; the one-paragraph version:
+//!
+//! ```no_run
+//! use latest::core::{CampaignConfig, Latest};
+//! use latest::gpu_sim::devices;
+//!
+//! // Measure the SM frequency switching latency between two frequencies on
+//! // a simulated A100-SXM4.
+//! let spec = devices::a100_sxm4();
+//! let config = CampaignConfig::builder(spec)
+//!     .frequencies_mhz(&[1095, 1410])
+//!     .seed(42)
+//!     .build();
+//! let campaign = Latest::new(config).run().expect("campaign failed");
+//! for pair in campaign.pairs() {
+//!     println!("{} -> {}: {:?}", pair.init_mhz, pair.target_mhz, pair.filtered_summary());
+//! }
+//! ```
+
+pub use latest_clock_sync as clock_sync;
+pub use latest_cluster as cluster;
+pub use latest_core as core;
+pub use latest_cuda_sim as cuda;
+pub use latest_ftalat as ftalat;
+pub use latest_governor as governor;
+pub use latest_gpu_sim as gpu_sim;
+pub use latest_nvml_sim as nvml;
+pub use latest_report as report;
+pub use latest_sim_clock as sim_clock;
+pub use latest_stats as stats;

@@ -1,0 +1,101 @@
+//! Campaign → CSV files → reload → report: the external data path a user of
+//! the tool actually exercises (Sec. VI's naming convention included).
+
+use std::fs;
+use std::sync::Arc;
+
+use latest::core::output::{csv_filename, parse_csv_filename, read_pair_csv, write_pair_csv};
+use latest::core::{CampaignConfig, Latest};
+use latest::gpu_sim::devices;
+use latest::gpu_sim::freq::FreqMhz;
+use latest::gpu_sim::transition::FixedTransition;
+use latest::report::Heatmap;
+use latest::sim_clock::SimDuration;
+
+#[test]
+fn campaign_to_csv_to_heatmap_round_trip() {
+    let mut spec = devices::a100_sxm4();
+    spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(7) });
+    let config = CampaignConfig::builder(spec)
+        .frequencies_mhz(&[705, 1095, 1410])
+        .measurements(8, 15)
+        .simulated_sms(Some(3))
+        .hostname("testnode")
+        .seed(20)
+        .build();
+    let freqs: Vec<u32> = config.frequencies.iter().map(|f| f.0).collect();
+    let result = Latest::new(config).run().unwrap();
+
+    // Write every completed pair to the standardised files.
+    let dir = std::env::temp_dir().join(format!("latest_rs_it_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let mut written = 0;
+    for p in result.completed() {
+        let run = p.outcome.run().unwrap();
+        let path = write_pair_csv(&dir, run, "testnode", 0).unwrap();
+        assert!(path.exists());
+        written += 1;
+    }
+    assert_eq!(written, 6);
+
+    // Re-discover the files purely from their names and rebuild a heatmap.
+    let mut hm = Heatmap::build(&freqs, &freqs, |_, _| None);
+    for entry in fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        let (init, target, host, gpu) = parse_csv_filename(&name).expect("standardised name");
+        assert_eq!(host, "testnode");
+        assert_eq!(gpu, 0);
+        let latencies = read_pair_csv(&dir.join(&name)).unwrap();
+        assert!(!latencies.is_empty());
+        let row = freqs.iter().position(|&f| f == init.0).unwrap();
+        let col = freqs.iter().position(|&f| f == target.0).unwrap();
+        let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        hm.set(row, col, Some(max));
+    }
+    fs::remove_dir_all(&dir).ok();
+
+    // The reloaded heatmap must agree with the in-memory campaign.
+    for p in result.completed() {
+        let row = freqs.iter().position(|&f| f == p.init_mhz).unwrap();
+        let col = freqs.iter().position(|&f| f == p.target_mhz).unwrap();
+        let from_csv = hm.get(row, col).expect("cell filled");
+        let run = p.outcome.run().unwrap();
+        let in_memory = run.latencies_ms.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (from_csv - in_memory).abs() < 1e-5,
+            "{}->{}: csv {from_csv} vs memory {in_memory}",
+            p.init_mhz,
+            p.target_mhz
+        );
+    }
+}
+
+#[test]
+fn filename_convention_matches_paper_format() {
+    // "the .csv filename contains the initial, the target frequency, the
+    // hostname, and the index of the benchmarked GPU"
+    let name = csv_filename(FreqMhz(1095), FreqMhz(705), "karolina-acn12", 3);
+    assert_eq!(name, "latest_1095MHz_705MHz_karolina-acn12_gpu3.csv");
+    let (i, t, h, g) = parse_csv_filename(&name).unwrap();
+    assert_eq!((i.0, t.0, h.as_str(), g), (1095, 705, "karolina-acn12", 3));
+}
+
+#[test]
+fn heatmap_csv_export_is_parseable() {
+    let freqs = [705u32, 1095];
+    let hm = Heatmap::build(&freqs, &freqs, |a, b| {
+        if a == b {
+            None
+        } else {
+            Some((a + b) as f64 / 100.0)
+        }
+    });
+    let csv = hm.to_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(header.contains("705") && header.contains("1095"));
+    // One row per initial frequency, diagonal blank.
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 2);
+    assert!(rows[0].starts_with("705,,"));
+}

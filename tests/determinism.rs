@@ -1,0 +1,66 @@
+//! Reproducibility: identical seeds must give bitwise-identical campaigns,
+//! regardless of rayon scheduling, and different seeds must differ.
+
+use latest::core::{CampaignConfig, CampaignResult, Latest};
+use latest::gpu_sim::devices;
+
+fn run(seed: u64, threads: usize) -> CampaignResult {
+    let config = CampaignConfig::builder(devices::a100_sxm4())
+        .frequencies_mhz(&[705, 1095, 1410])
+        .measurements(10, 25)
+        .simulated_sms(Some(4))
+        .seed(seed)
+        .build();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    pool.install(|| Latest::new(config).run().expect("campaign"))
+}
+
+fn all_latencies(result: &CampaignResult) -> Vec<(u32, u32, Vec<u64>)> {
+    result
+        .pairs()
+        .iter()
+        .map(|p| {
+            let bits = p
+                .latencies_ms()
+                .unwrap_or(&[])
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            (p.init_mhz, p.target_mhz, bits)
+        })
+        .collect()
+}
+
+#[test]
+fn identical_seeds_are_bitwise_identical() {
+    let a = run(77, 4);
+    let b = run(77, 4);
+    assert_eq!(all_latencies(&a), all_latencies(&b));
+}
+
+#[test]
+fn scheduling_does_not_affect_results() {
+    // 1 worker vs many workers: per-pair platforms are seeded from
+    // (campaign seed, pair), so the execution order cannot matter.
+    let serial = run(78, 1);
+    let parallel = run(78, 8);
+    assert_eq!(all_latencies(&serial), all_latencies(&parallel));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(79, 4);
+    let b = run(80, 4);
+    assert_ne!(all_latencies(&a), all_latencies(&b));
+}
+
+#[test]
+fn phase1_characterisation_is_reproducible() {
+    let a = run(81, 2);
+    let b = run(81, 2);
+    for (fa, fb) in a.phase1.freqs.values().zip(b.phase1.freqs.values()) {
+        assert_eq!(fa.iter_ns.mean.to_bits(), fb.iter_ns.mean.to_bits());
+        assert_eq!(fa.iter_ns.stdev.to_bits(), fb.iter_ns.stdev.to_bits());
+    }
+    assert_eq!(a.phase1.valid_pairs, b.phase1.valid_pairs);
+}

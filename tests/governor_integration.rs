@@ -1,0 +1,155 @@
+//! Measurement-to-deployment integration: a LATEST campaign feeds the DVFS
+//! governor, and the latency knowledge must change (and improve) its
+//! decisions — the full loop the paper's Sec. VIII motivates.
+
+use latest::core::{CampaignConfig, Latest};
+use latest::governor::simulate::TransitionReplay;
+use latest::governor::{
+    simulate_policy, GovernorPolicy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel,
+    RunAtMax, TraceGenerator,
+};
+use latest::gpu_sim::devices;
+
+fn measured_table(seed: u64) -> (LatencyTable, latest::gpu_sim::freq::FreqMhz, latest::gpu_sim::freq::FreqMhz) {
+    let spec = devices::gh200();
+    let (f_min, f_max) = (spec.ladder.min(), spec.ladder.max());
+    let config = CampaignConfig::builder(spec)
+        .frequency_subset(6)
+        .measurements(15, 30)
+        .simulated_sms(Some(3))
+        .seed(seed)
+        .build();
+    let result = Latest::new(config).run().expect("campaign");
+    (LatencyTable::from_campaign(&result), f_min, f_max)
+}
+
+#[test]
+fn campaign_table_is_complete_and_sane() {
+    let (table, _, _) = measured_table(201);
+    // 6 frequencies -> up to 30 ordered pairs (minus skipped/power-limited).
+    assert!(table.len() >= 24, "only {} pairs measured", table.len());
+    for pair in table.pairs() {
+        assert!(pair.mean_ms() > 0.0);
+        assert!(pair.quantile_ms(1.0) >= pair.quantile_ms(0.0));
+    }
+    let typical = table.typical_ms().unwrap();
+    assert!((2.0..50.0).contains(&typical), "typical {typical} ms");
+}
+
+#[test]
+fn table_survives_json_deployment_round_trip() {
+    let (table, _, _) = measured_table(202);
+    let restored = LatencyTable::from_json(&table.to_json()).unwrap();
+    assert_eq!(restored.len(), table.len());
+    for pair in table.pairs() {
+        let r = restored
+            .pair(latest::gpu_sim::freq::FreqMhz(pair.init_mhz), latest::gpu_sim::freq::FreqMhz(pair.target_mhz))
+            .expect("pair preserved");
+        assert_eq!(r.latencies_ms, pair.latencies_ms);
+    }
+}
+
+#[test]
+fn latency_aware_governor_has_better_edp_on_hostile_workloads() {
+    // Short bursts against GH200-scale latencies: churn loses, knowledge
+    // wins. The aware governor must beat the oblivious one on energy-delay
+    // product and runtime extension.
+    let (table, f_min, f_max) = measured_table(203);
+    let trace = TraceGenerator::new(77).streaming_bursts(60, 20.0);
+    let power = PowerModel::sxm_class(f_max);
+
+    let baseline = {
+        let mut replay = TransitionReplay::new(table.clone(), 7);
+        simulate_policy(&RunAtMax { f_max }, &trace, &power, &mut replay, f_max)
+    };
+    let oblivious = {
+        let mut replay = TransitionReplay::new(table.clone(), 7);
+        simulate_policy(&LatencyOblivious { f_min, f_max }, &trace, &power, &mut replay, f_max)
+    };
+    let aware = {
+        let mut replay = TransitionReplay::new(table.clone(), 7);
+        simulate_policy(
+            &LatencyAware::new(table.clone(), f_min, f_max),
+            &trace,
+            &power,
+            &mut replay,
+            f_max,
+        )
+    };
+
+    assert!(aware.switches < oblivious.switches, "no suppression happened");
+    assert!(
+        aware.runtime_extension_vs(&baseline) < oblivious.runtime_extension_vs(&baseline),
+        "aware {:.1}% vs oblivious {:.1}% slower",
+        100.0 * aware.runtime_extension_vs(&baseline),
+        100.0 * oblivious.runtime_extension_vs(&baseline)
+    );
+    assert!(
+        aware.edp() < oblivious.edp(),
+        "aware EDP {:.0} vs oblivious {:.0}",
+        aware.edp(),
+        oblivious.edp()
+    );
+}
+
+#[test]
+fn latency_aware_governor_keeps_dvfs_savings_on_friendly_workloads() {
+    // Long LLM-training phases amortise everything: the aware governor must
+    // not be *more* conservative than necessary — it should keep most of the
+    // oblivious policy's energy saving.
+    let (table, f_min, f_max) = measured_table(204);
+    let trace = TraceGenerator::new(78).llm_training(10, 800.0);
+    let power = PowerModel::sxm_class(f_max);
+
+    let baseline = {
+        let mut replay = TransitionReplay::new(table.clone(), 9);
+        simulate_policy(&RunAtMax { f_max }, &trace, &power, &mut replay, f_max)
+    };
+    let oblivious = {
+        let mut replay = TransitionReplay::new(table.clone(), 9);
+        simulate_policy(&LatencyOblivious { f_min, f_max }, &trace, &power, &mut replay, f_max)
+    };
+    let aware = {
+        let mut replay = TransitionReplay::new(table.clone(), 9);
+        simulate_policy(
+            &LatencyAware::new(table.clone(), f_min, f_max),
+            &trace,
+            &power,
+            &mut replay,
+            f_max,
+        )
+    };
+
+    let s_obl = oblivious.energy_saving_vs(&baseline);
+    let s_aware = aware.energy_saving_vs(&baseline);
+    assert!(s_obl > 0.02, "oblivious saving {:.1}% too small to compare", 100.0 * s_obl);
+    assert!(
+        s_aware >= 0.8 * s_obl,
+        "aware saving {:.1}% lost too much of oblivious {:.1}%",
+        100.0 * s_aware,
+        100.0 * s_obl
+    );
+}
+
+#[test]
+fn avoid_list_matches_pathological_columns() {
+    // GH200's slow target columns must show up in the table's avoid list
+    // when the sweep touched them.
+    let spec = devices::gh200();
+    let config = CampaignConfig::builder(spec)
+        .frequency_subset(10)
+        .measurements(15, 30)
+        .simulated_sms(Some(3))
+        .seed(205)
+        .build();
+    let result = Latest::new(config).run().expect("campaign");
+    let table = LatencyTable::from_campaign(&result);
+    let avoid = table.avoid_list(5.0);
+    if !avoid.is_empty() {
+        // Pathological pairs concentrate on few targets (column structure).
+        let mut targets: Vec<u32> = avoid.iter().map(|&(_, t)| t).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert!(targets.len() <= 3, "avoid-list targets {targets:?}");
+    }
+}
