@@ -16,7 +16,7 @@ fn main() {
     let config = CampaignConfig::builder(devices::gh200())
         .frequencies_mhz(&[705, 1500])
         .simulated_sms(Some(8))
-        .seed(0xAB_2)
+        .seed(0xAB2)
         .build();
     let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
     let p1 = run_phase1(&mut platform, &config).unwrap();

@@ -22,7 +22,7 @@ fn main() {
     let config = CampaignConfig::builder(devices::a100_sxm4())
         .frequencies_mhz(&[705, 1410])
         .simulated_sms(Some(4))
-        .seed(0xAB_1)
+        .seed(0xAB1)
         .build();
     let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
     let p1 = run_phase1(&mut platform, &config).unwrap();

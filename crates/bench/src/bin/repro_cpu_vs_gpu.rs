@@ -56,13 +56,13 @@ fn main() {
     println!("Sec. VII: CPU transition latency vs GPU switching latency\n");
 
     let cpus = [
-        cpu_latency_ms(intel_skylake_sp(), 0xC9_1),
-        cpu_latency_ms(slow_governor_cpu(), 0xC9_2),
+        cpu_latency_ms(intel_skylake_sp(), 0xC91),
+        cpu_latency_ms(slow_governor_cpu(), 0xC92),
     ];
     let gpus = [
-        gpu_latency_ms(devices::rtx_quadro_6000(), 0x69_1),
-        gpu_latency_ms(devices::a100_sxm4(), 0x69_2),
-        gpu_latency_ms(devices::gh200(), 0x69_3),
+        gpu_latency_ms(devices::rtx_quadro_6000(), 0x691),
+        gpu_latency_ms(devices::a100_sxm4(), 0x692),
+        gpu_latency_ms(devices::gh200(), 0x693),
     ];
 
     let mut t = TextTable::with_header(&["Device", "Class", "Latency range [ms]"]);

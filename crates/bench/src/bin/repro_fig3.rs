@@ -29,7 +29,7 @@ fn main() {
     let color = std::env::var("NO_COLOR").is_err();
 
     // --- GH200: min and max (Fig. 3a, 3b) ---
-    let config = repro_config(devices::gh200(), 18, 0xF16_3A);
+    let config = repro_config(devices::gh200(), 18, 0xF163A);
     let freqs = freqs_mhz(&config);
     let gh = Latest::new(config).run().expect("GH200 sweep");
     let gh_min = campaign_heatmap(&gh, &freqs, CellStat::Min);
@@ -38,14 +38,14 @@ fn main() {
     println!("{}", gh_max.render("FIG. 3b: GH200 maximum switching latencies [ms]", color));
 
     // --- A100 max (Fig. 3c) ---
-    let config = repro_config(devices::a100_sxm4(), 18, 0xF16_3C);
+    let config = repro_config(devices::a100_sxm4(), 18, 0xF163C);
     let freqs = freqs_mhz(&config);
     let a100 = Latest::new(config).run().expect("A100 sweep");
     let a100_max = campaign_heatmap(&a100, &freqs, CellStat::Max);
     println!("{}", a100_max.render("FIG. 3c: A100 maximum switching latencies [ms]", color));
 
     // --- RTX Quadro 6000 max (Fig. 3d) ---
-    let config = repro_config(devices::rtx_quadro_6000(), 14, 0xF16_3D);
+    let config = repro_config(devices::rtx_quadro_6000(), 14, 0xF163D);
     let freqs = freqs_mhz(&config);
     let quadro = Latest::new(config).run().expect("Quadro sweep");
     let quadro_max = campaign_heatmap(&quadro, &freqs, CellStat::Max);

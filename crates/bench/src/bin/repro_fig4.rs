@@ -14,9 +14,9 @@ use latest_report::ViolinSummary;
 
 fn main() {
     let sweeps = [
-        (devices::rtx_quadro_6000(), 14usize, 0xF16_4Au64),
-        (devices::a100_sxm4(), 18, 0xF16_4B),
-        (devices::gh200(), 18, 0xF16_4C),
+        (devices::rtx_quadro_6000(), 14usize, 0xF164Au64),
+        (devices::a100_sxm4(), 18, 0xF164B),
+        (devices::gh200(), 18, 0xF164C),
     ];
 
     println!("FIG. 4: switching-latency distributions, increasing vs decreasing\n");

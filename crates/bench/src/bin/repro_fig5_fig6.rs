@@ -59,10 +59,10 @@ fn main() {
     println!("FIG. 5 / FIG. 6: per-pair switching-latency scatter (GH200)\n");
 
     // Fig. 5: into the slow 1260 MHz band -> multi-cluster.
-    let fig5 = measure_pair(1770, 1260, 0xF16_5);
+    let fig5 = measure_pair(1770, 1260, 0xF165);
     show("FIG. 5: 1770 -> 1260 MHz (expect multiple clusters)", &fig5);
 
     // Fig. 6: a baseline pair -> one cluster + stray outliers.
-    let fig6 = measure_pair(1305, 1845, 0xF16_6);
+    let fig6 = measure_pair(1305, 1845, 0xF166);
     show("FIG. 6: 1305 -> 1845 MHz (expect one dominant cluster)", &fig6);
 }

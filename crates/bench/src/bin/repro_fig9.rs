@@ -15,6 +15,7 @@ fn main() {
 
     // medians[pair][unit]
     let mut medians = vec![vec![0.0f64; 4]; PAIRS.len()];
+    #[allow(clippy::needless_range_loop)] // `unit` is a device index, not just a position in `medians`
     for unit in 0..4usize {
         println!("--- device index {unit} ---");
         // One campaign covering all three pairs' frequencies.
@@ -29,7 +30,7 @@ fn main() {
             .measurements(40, 60)
             .simulated_sms(Some(4))
             .device_index(unit)
-            .seed(0xF16_9 + unit as u64)
+            .seed(0xF169 + unit as u64)
             .build();
         let result = Latest::new(config).run().expect("unit campaign");
         for (pi, &(init, target)) in PAIRS.iter().enumerate() {

@@ -14,9 +14,9 @@ fn fmt_pair(v: (f64, u32, u32)) -> String {
 
 fn main() {
     let sweeps = [
-        (devices::rtx_quadro_6000(), 14usize, 0x7AB_2Au64),
-        (devices::a100_sxm4(), 18, 0x7AB_2B),
-        (devices::gh200(), 18, 0x7AB_2C),
+        (devices::rtx_quadro_6000(), 14usize, 0x7AB2Au64),
+        (devices::a100_sxm4(), 18, 0x7AB2B),
+        (devices::gh200(), 18, 0x7AB2C),
     ];
 
     let mut worst: Vec<Table2Row> = Vec::new();
@@ -97,7 +97,7 @@ fn main() {
     );
     rec.compare(
         "Quadro vs A100 worst mean ratio",
-        &format!("{:.1}", 81.891 / 15.637),
+        format!("{:.1}", 81.891 / 15.637),
         format!("{:.1}", worst[0].mean / worst[1].mean),
         worst[0].mean > 2.0 * worst[1].mean,
         "Quadro an order of magnitude slower on average",

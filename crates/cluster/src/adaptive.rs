@@ -42,6 +42,15 @@ pub struct AdaptiveConfig {
     /// Hard floor for minPts: the "dimensionality + 1" DBSCAN guideline, and
     /// a guard for tiny datasets where 2 % rounds to zero.
     pub min_pts_floor: usize,
+    /// When the minPts descent alone cannot reach `max_noise_ratio` (on
+    /// small datasets the 2–4 % bounds collapse onto the floor and leave a
+    /// single attempt), eps is widened by this factor and the descent
+    /// re-run. Algorithm 3's stated goal is the noise target; widening the
+    /// neighbourhood is the standard DBSCAN lever left once minPts is
+    /// exhausted.
+    pub eps_growth: f64,
+    /// Maximum eps-widening rounds after the initial one (0 disables).
+    pub max_eps_rounds: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -53,6 +62,8 @@ impl Default for AdaptiveConfig {
             max_noise_ratio: 0.10,
             min_pts_step: 2,
             min_pts_floor: 4,
+            eps_growth: 1.5,
+            max_eps_rounds: 4,
         }
     }
 }
@@ -108,38 +119,50 @@ pub fn adaptive_outlier_filter(data: &[f64], config: &AdaptiveConfig) -> Option<
     if !range.is_finite() || range <= 0.0 {
         return None;
     }
-    let eps = config.eps_multiplier * range;
+    let base_eps = config.eps_multiplier * range;
 
     let start = ((config.min_pts_hi_frac * n as f64).ceil() as usize).max(config.min_pts_floor);
     let end = ((config.min_pts_lo_frac * n as f64).floor() as usize).max(config.min_pts_floor - 1);
 
+    // Eps widening only applies where the minPts descent is degenerate —
+    // small datasets whose 2-4 % bounds collapse onto the floor, leaving it
+    // one or two attempts. On large datasets the descent has real room, and
+    // widening eps there could merge legitimately distinct latency clusters
+    // (the tight multi-modal structure of Fig. 5 survives precisely because
+    // eps stays at 0.15 x the quantile range).
+    let descent_degenerate = start <= config.min_pts_floor + config.min_pts_step;
+    let eps_rounds = if descent_degenerate { config.max_eps_rounds } else { 0 };
+
     let mut attempts = 0usize;
-    let mut last: Option<(Labeling, usize)> = None;
-    let mut min_pts = start;
-    // `for i = start; i > end; i -= step`, with a floor guard.
-    while min_pts > end && min_pts >= config.min_pts_floor {
-        let labeling = Dbscan::new(eps, min_pts).fit_1d(data);
-        attempts += 1;
-        let ratio = labeling.noise_ratio();
-        let accepted = ratio <= config.max_noise_ratio;
-        last = Some((labeling, min_pts));
-        if accepted {
-            let (labeling, min_pts) = last.unwrap();
-            return Some(AdaptiveOutcome {
-                labeling,
-                eps,
-                min_pts,
-                converged: true,
-                attempts,
-            });
+    let mut last: Option<(Labeling, usize, f64)> = None;
+    let mut eps = base_eps;
+    for round in 0..=eps_rounds {
+        if round > 0 {
+            eps *= config.eps_growth.max(1.0 + f64::EPSILON);
         }
-        if min_pts < config.min_pts_step {
-            break;
+        let mut min_pts = start;
+        // `for i = start; i > end; i -= step`, with a floor guard.
+        while min_pts > end && min_pts >= config.min_pts_floor {
+            let labeling = Dbscan::new(eps, min_pts).fit_1d(data);
+            attempts += 1;
+            if labeling.noise_ratio() <= config.max_noise_ratio {
+                return Some(AdaptiveOutcome {
+                    labeling,
+                    eps,
+                    min_pts,
+                    converged: true,
+                    attempts,
+                });
+            }
+            last = Some((labeling, min_pts, eps));
+            if min_pts < config.min_pts_step {
+                break;
+            }
+            min_pts -= config.min_pts_step;
         }
-        min_pts -= config.min_pts_step;
     }
 
-    last.map(|(labeling, min_pts)| AdaptiveOutcome {
+    last.map(|(labeling, min_pts, eps)| AdaptiveOutcome {
         labeling,
         eps,
         min_pts,

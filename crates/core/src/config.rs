@@ -43,6 +43,14 @@ pub struct CampaignConfig {
     pub thermal_discard: usize,
     /// Cool-down pause after a thermal event (10 s).
     pub thermal_backoff: SimDuration,
+    /// Consecutive thermal discards tolerated with no net progress before
+    /// the controller stops discarding and keeps measurements. On a device
+    /// whose busy steady-state sits above the throttle threshold, every
+    /// poll window re-trips the thermal event; discarding each window's
+    /// measurements would livelock the pair. Past this limit the data is
+    /// kept — per-pass phase-3 evaluation remains the quality gate for
+    /// measurements taken under a clamped clock.
+    pub thermal_discard_limit: usize,
 
     // --- methodology constants (Sec. V) ---
     /// Iterations executed at the initial frequency before the change call
@@ -145,6 +153,7 @@ impl CampaignConfigBuilder {
                 throttle_check_every: 5,
                 thermal_discard: 5,
                 thermal_backoff: SimDuration::from_secs(10),
+                thermal_discard_limit: 3,
                 delay_iterations: 300,
                 confirm_iterations: 300,
                 sigma_k: 2.0,

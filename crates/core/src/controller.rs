@@ -117,6 +117,8 @@ pub fn run_pair(
     let mut thermal_events = 0usize;
     let mut bound_ms = initial_bound_ms.max(1.0);
 
+    let mut consecutive_thermal_discards = 0usize;
+
     while latencies_ms.len() < config.max_measurements {
         // One measurement, with the GOTO-line-1 retry loop.
         let mut measured: Option<(f64, f64)> = None;
@@ -152,23 +154,38 @@ pub fn run_pair(
         let n = latencies_ms.len();
 
         // Throttle poll every 5 passes.
-        if n % config.throttle_check_every == 0 {
+        if n.is_multiple_of(config.throttle_check_every) {
             let reasons = platform.nvml.throttle_reasons();
             if reasons.sw_power_cap {
                 return Ok(PairOutcome::PowerLimited { measurements_before: n });
             }
             if reasons.hw_thermal_slowdown {
                 thermal_events += 1;
-                let drop = config.thermal_discard.min(latencies_ms.len());
-                latencies_ms.truncate(latencies_ms.len() - drop);
-                ground_truth_ms.truncate(ground_truth_ms.len() - drop);
+                // Discard the (possibly contaminated) newest measurements —
+                // but only while doing so can still make progress. A device
+                // whose busy steady-state temperature exceeds the throttle
+                // threshold re-trips this event on *every* poll window; an
+                // unconditional discard would then remove exactly the
+                // window's measurements each time and livelock the pair.
+                // Past the limit the data is kept: phase-3 evaluation has
+                // already vetted each pass against the target-frequency
+                // regime, which is the actual quality gate.
+                if consecutive_thermal_discards < config.thermal_discard_limit {
+                    consecutive_thermal_discards += 1;
+                    let drop = config.thermal_discard.min(latencies_ms.len());
+                    latencies_ms.truncate(latencies_ms.len() - drop);
+                    ground_truth_ms.truncate(ground_truth_ms.len() - drop);
+                    platform.cuda.usleep(config.thermal_backoff);
+                    continue;
+                }
                 platform.cuda.usleep(config.thermal_backoff);
-                continue;
+            } else {
+                consecutive_thermal_discards = 0;
             }
         }
 
         // RSE check every 25 passes, once past the minimum.
-        if n >= config.min_measurements && n % config.rse_check_every == 0 {
+        if n >= config.min_measurements && n.is_multiple_of(config.rse_check_every) {
             let s = RunningStats::from_slice(&latencies_ms).summary();
             if s.rse() < config.rse_threshold {
                 break;
@@ -203,6 +220,10 @@ mod tests {
         spec.transition = Arc::new(FixedTransition {
             latency: SimDuration::from_millis(ms),
         });
+        // A genuinely stable device: the stock driver profile injects rare
+        // multi-ms stalls (the paper's outlier sources), which are real
+        // latency and would legitimately keep the RSE above threshold.
+        spec.driver.stall_prob = 0.0;
         CampaignConfig::builder(spec)
             .frequencies_mhz(&[705, 1410])
             .measurements(min, max)

@@ -186,6 +186,11 @@ mod tests {
             .build();
         config.workload.noise_rel_sigma = 0.5;
         config.phase1_iters = 40; // few samples, wide intervals
+        // At 95 % confidence the validation CI has a 5 % type-I rate by
+        // construction, so with *any* fixed seed this assertion is a coin
+        // the seed either wins or loses. 99.9 % keeps the skip mechanism
+        // under test while making the false-reject odds negligible.
+        config.confidence = 0.999;
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let r = run_phase1(&mut platform, &config).unwrap();
         assert!(

@@ -5,7 +5,10 @@
 //! 1. skip iterations that started before `t_s`,
 //! 2. find the first iteration whose execution time falls inside the
 //!    two-standard-deviation band of the *target* frequency's phase-1
-//!    characterisation — its end timestamp is the candidate `t_e`,
+//!    characterisation, then walk back over immediately preceding
+//!    iterations that are still target-regime evidence (noisy at-target
+//!    draws, isolated disturbance spikes) — the entry iteration's start
+//!    read is the candidate `t_e`,
 //! 3. confirm: the mean of the iterations from the candidate onward must be
 //!    statistically indistinguishable from the phase-1 target mean (the
 //!    difference interval contains zero, or the difference is inside the
@@ -120,14 +123,58 @@ fn evaluate_core(
     else {
         return Err(CoreRejection::NoBandEntry);
     };
-    let te = relevant[hit].end;
+
+    // The first in-band iteration can lag the true regime entry: an
+    // iteration already at the target can fall outside the 2σ band (≈ 4.6 %
+    // of honest draws), and a disturbance spike (a rare multi-x iteration)
+    // right at the boundary pushes the first band hit later by its whole
+    // duration. Both would inflate the reported latency by whole
+    // iterations. Walk back over immediately preceding iterations that are
+    // still evidence of the *target* regime:
+    //   * durations inside a 1.5×-widened band (noisy at-target draws), or
+    //   * durations slower than `spike_floor` — slower than both regimes,
+    //     so they cannot be initial-frequency or adaptation-ramp
+    //     iterations, only disturbances.
+    // The transition straddler and ramp iterations have durations between
+    // the two regimes and stop the walk. The walk is capped: spikes are
+    // isolated events, and an unbounded walk must not crawl into the
+    // initial regime. Residual bias: a spiked iteration that *straddles*
+    // the boundary is walked over too, undershooting by up to one spike
+    // length (spike_scale x one iteration) — the same order as the
+    // detection granularity already accepted, and bounded by the cap.
+    let init_est = {
+        let pre = &records[..first_after];
+        let tail = &pre[pre.len().saturating_sub(32)..];
+        if tail.is_empty() {
+            target_iter_ns.mean
+        } else {
+            tail.iter().map(|r| r.duration().as_nanos() as f64).sum::<f64>() / tail.len() as f64
+        }
+    };
+    let wide = SigmaBand::with_k(target_iter_ns, config.sigma_k * 1.5);
+    let spike_floor = 1.25 * init_est.max(target_iter_ns.mean);
+    let mut entry = hit;
+    while entry > 0 && hit - entry < 8 {
+        let d = relevant[entry - 1].duration().as_nanos() as f64;
+        if wide.contains(d) || d > spike_floor {
+            entry -= 1;
+        } else {
+            break;
+        }
+    }
+
+    // `t_e`: the entry iteration's start read — the end read of the last
+    // iteration that still carried pre-target content. Using the entry's
+    // *end* read would systematically overshoot by one full iteration (and
+    // by the whole spike length when a spike sits on the boundary).
+    let te = relevant[entry].start;
 
     // Lines 19-20: confirm with the remaining iterations. The window is
     // estimated through the same 4σ spike trimmer as phase 1: one untrimmed
     // disturbance spike (a rare multi-x iteration) inflates the window's
     // standard deviation enough to widen the Welch interval over zero and
     // launder a false early detection into an acceptance.
-    let confirm_window = &relevant[hit..];
+    let confirm_window = &relevant[entry..];
     if confirm_window.len() < 8 {
         return Err(CoreRejection::WindowTooShort);
     }

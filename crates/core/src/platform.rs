@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn platform_wires_one_device() {
-        let mut p = SimPlatform::new(devices::a100_sxm4(), 7).unwrap();
+        let p = SimPlatform::new(devices::a100_sxm4(), 7).unwrap();
         assert!(p.nvml.name().contains("A100"));
         assert_eq!(p.cuda.clock().now(), p.clock.now());
         assert!(p.ground_truth().is_empty());

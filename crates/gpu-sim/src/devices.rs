@@ -244,7 +244,10 @@ pub fn gh200() -> DeviceSpec {
             // The ~1260 MHz column: strongly multi-modal when slow
             // (Fig. 5 shows five distinct clusters on 1770 -> 1260).
             SlowTargetBand {
-                targets: vec![FreqMhz(1260), FreqMhz(1275)],
+                // Fig. 3b's column is a *band* around ~1260: it spans the
+                // neighbouring ladder steps, so coarse sweep subsets (which
+                // land on 1245 rather than 1260 exactly) still cross it.
+                targets: vec![FreqMhz(1245), FreqMhz(1260), FreqMhz(1275)],
                 probability: 0.38,
                 // Tight modes (ln-σ 0.03): Fig. 5 shows distinct horizontal
                 // bands; wider modes merge under Algorithm 3's
@@ -553,17 +556,21 @@ mod tests {
             / 50.0;
         assert!(m930 > 180.0, "930-column mean {m930:.1} ms too low");
         // Column structure: for a fixed target, different inits land in the
-        // same latency regime.
+        // same latency regime. Compare *medians*: the model deliberately
+        // gives ~30 % of pairs a secondary minority cluster (Sec. VII-B)
+        // and rare spikes, which shift a 30-sample mean but not the median
+        // of the majority regime.
         let regime = |init: u32, target: u32, rng: &mut ChaCha8Rng| -> f64 {
-            (0..30)
+            let mut xs: Vec<f64> = (0..30)
                 .map(|_| {
                     spec.transition
                         .sample(FreqMhz(init), FreqMhz(target), &spec.ladder, rng)
                         .settle_duration()
                         .as_millis_f64()
                 })
-                .sum::<f64>()
-                / 30.0
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
         };
         for &t in &[750u32, 1170, 1440, 1650] {
             let a = regime(375, t, &mut rng);

@@ -180,7 +180,7 @@ proptest! {
         let mut now = SimTime::EPOCH;
         let mut last = state.temp_c;
         for dt in dts {
-            now = now + SimDuration::from_nanos(dt);
+            now += SimDuration::from_nanos(dt);
             state.advance(&params, now, power);
             // Heating from ambient: monotone rise, never overshooting.
             prop_assert!(state.temp_c >= last - 1e-9);

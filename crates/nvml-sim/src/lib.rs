@@ -115,7 +115,7 @@ impl Nvml {
             clock: self.clock.clone(),
             device,
             index,
-            rng: ChaCha8Rng::seed_from_u64(0xD21_5E_ED ^ seed),
+            rng: ChaCha8Rng::seed_from_u64(0xD215EED ^ seed),
             trace: Vec::new(),
         })
     }

@@ -132,7 +132,7 @@ proptest! {
     fn render_contains_every_cell(cells in prop::collection::vec("[a-z]{1,8}", 1..20)) {
         let mut t = TextTable::with_header(&["col"]);
         for c in &cells {
-            t.row(&[c.clone()]);
+            t.row(std::slice::from_ref(c));
         }
         let rendered = t.render();
         for c in &cells {

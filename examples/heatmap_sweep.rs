@@ -38,7 +38,7 @@ fn main() {
         .frequency_subset(n_freqs)
         .measurements(25, 60)
         .simulated_sms(Some(6))
-        .seed(0xF16_3)
+        .seed(0xF163)
         .build();
     let freqs: Vec<u32> = config.frequencies.iter().map(|f| f.0).collect();
     let device_name = config.spec.name.clone();

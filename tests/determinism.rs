@@ -55,6 +55,35 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn filtered_summaries_are_identical_for_identical_seeds() {
+    // Smoke test for the rand_chacha seeding path end to end: not just the
+    // raw latencies but the post-analysis (DBSCAN-filtered) summaries must
+    // be bitwise identical between two campaigns with the same seed.
+    let a = run(82, 4);
+    let b = run(82, 4);
+    let summaries = |r: &CampaignResult| -> Vec<(u32, u32, u64, u64, u64, u64)> {
+        r.pairs()
+            .iter()
+            .filter_map(|p| {
+                p.filtered_summary().map(|s| {
+                    (
+                        p.init_mhz,
+                        p.target_mhz,
+                        s.mean.to_bits(),
+                        s.stdev.to_bits(),
+                        s.min.to_bits(),
+                        s.max.to_bits(),
+                    )
+                })
+            })
+            .collect()
+    };
+    let (sa, sb) = (summaries(&a), summaries(&b));
+    assert!(!sa.is_empty(), "campaign produced no filtered summaries");
+    assert_eq!(sa, sb);
+}
+
+#[test]
 fn phase1_characterisation_is_reproducible() {
     let a = run(81, 2);
     let b = run(81, 2);

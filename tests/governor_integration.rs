@@ -5,7 +5,7 @@
 use latest::core::{CampaignConfig, Latest};
 use latest::governor::simulate::TransitionReplay;
 use latest::governor::{
-    simulate_policy, GovernorPolicy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel,
+    simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel,
     RunAtMax, TraceGenerator,
 };
 use latest::gpu_sim::devices;

@@ -1,0 +1,440 @@
+//! Offline stand-in for `proptest` (1.x API subset): deterministic
+//! generate-and-assert property testing.
+//!
+//! The real proptest shrinks failing inputs; this stub does not — a
+//! failing case panics with the case number so it can be replayed (the
+//! RNG stream for a test is derived from the test's module path and name,
+//! so failures are stable across runs and machines). The strategy surface
+//! matches what this workspace uses: numeric ranges, `Just`, tuples,
+//! `prop::collection::vec`, `prop_map`, `prop_oneof!` and the `proptest!`
+//! macro with `pattern in strategy` parameters.
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The RNG handed to strategies. A concrete type keeps the `Strategy`
+    /// trait object-safe (needed by `prop_oneof!`).
+    pub struct TestRng(pub ChaCha8Rng);
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's full name.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(hash))
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. `generate` draws one value; no shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, map }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($idx:tt $name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// `&str` is a regex-shaped string strategy in proptest. This stub
+    /// supports the subset the workspace uses: literal characters,
+    /// character classes (`[a-z0-9_]`), and the quantifiers `{n}`,
+    /// `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repeats).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_regex_subset(self);
+            let mut out = String::new();
+            for (ranges, min, max) in &atoms {
+                let reps = rng.gen_range(*min..=*max);
+                for _ in 0..reps {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo));
+                }
+            }
+            out
+        }
+    }
+
+    type RegexAtom = (Vec<(char, char)>, usize, usize);
+
+    fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<RegexAtom> = Vec::new();
+        while let Some(c) = chars.next() {
+            let ranges: Vec<(char, char)> = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for c in chars.by_ref() {
+                        if c == ']' {
+                            break;
+                        }
+                        class.push(c);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            ranges.push((class[i], class[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((class[i], class[i]));
+                            i += 1;
+                        }
+                    }
+                    ranges
+                }
+                '\\' => {
+                    let escaped = chars.next().unwrap_or('\\');
+                    vec![(escaped, escaped)]
+                }
+                literal => vec![(literal, literal)],
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((ranges, min, max));
+        }
+        atoms
+    }
+
+    /// Uniform choice between strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], inclusive on both ends.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut rng = $crate::test_runner::rng_for(
+                ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+            );
+            for case in 0..cases {
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let ($($arg,)+) = (
+                            $($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+
+                        );
+                        $body
+                    }),
+                );
+                if let ::std::result::Result::Err(panic) = result {
+                    ::std::eprintln!(
+                        "proptest stub: property `{}` failed at case {}/{}",
+                        ::std::stringify!($name),
+                        case + 1,
+                        cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(options.push(::std::boxed::Box::new($strategy));)+
+        $crate::strategy::OneOf::new(options)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { ::std::assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { ::std::assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { ::std::assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { ::std::assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skip the current case when an assumption fails. Without shrinking or
+/// case regeneration, rejecting means returning early from the case body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3..10u32, y in -2.0..2.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            xs in prop::collection::vec(0..100u32, 2..9).prop_map(|v| v.len()),
+        ) {
+            prop_assert!((2..=8).contains(&xs));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!(k >= 1 && k <= 3);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_stable_per_name() {
+        use rand::RngCore;
+        let a = crate::test_runner::rng_for("x").0.next_u64();
+        let b = crate::test_runner::rng_for("x").0.next_u64();
+        let c = crate::test_runner::rng_for("y").0.next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

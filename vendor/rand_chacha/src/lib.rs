@@ -1,0 +1,167 @@
+//! Offline stand-in for `rand_chacha` (0.3 API subset): a genuine ChaCha
+//! stream cipher core driving the `rand` trait surface.
+//!
+//! The workspace only needs [`ChaCha8Rng`] — a deterministic, seedable,
+//! statistically strong generator. The keystream is real ChaCha with 8
+//! double-rounds; it is *not* guaranteed to be bit-identical to upstream
+//! `rand_chacha` (the workspace never relies on that, only on seed →
+//! stream determinism within itself).
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha generator with a configurable double-round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaCore<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaCore<DOUBLE_ROUNDS> {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaCore { key, counter: 0, stream: 0, buffer: [0; 16], index: 16 }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    /// Select an independent keystream (matches `rand_chacha`'s API shape).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = 16;
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaCore<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaCore<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::from_seed_bytes(seed)
+    }
+}
+
+/// ChaCha with 8 double-rounds — the fast paper-simulation workhorse.
+pub type ChaCha8Rng = ChaChaCore<4>;
+/// ChaCha with 12 double-rounds.
+pub type ChaCha12Rng = ChaChaCore<6>;
+/// ChaCha with 20 double-rounds (the IETF standard round count).
+pub type ChaCha20Rng = ChaChaCore<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_known_answer() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00. Our block layout uses a
+        // 64-bit counter + 64-bit stream, so replicate the state directly.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(key);
+        rng.counter = 1 | ((0x0900_0000u64) << 32);
+        rng.stream = 0x4a00_0000 | (0u64 << 32);
+        rng.index = 16;
+        let first = rng.next_u32();
+        assert_eq!(first, 0xe4e7_f110);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        b.set_stream(1);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `rayon` (1.x API subset): the parallel-iterator
+//! entry points the workspace uses, executed sequentially.
+//!
+//! The LATEST campaign is *designed* so scheduling cannot affect results —
+//! every pair platform is seeded from `(campaign seed, pair)` — and the
+//! determinism integration tests assert exactly that. Running the "parallel"
+//! iterators sequentially is therefore semantics-preserving; it only
+//! forgoes the wall-clock speedup until a real thread pool is wired in.
+
+/// `into_par_iter()` — returns the ordinary sequential iterator, whose
+/// `map`/`filter`/`collect` chains compile unchanged.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` / `par_iter_mut()` over references.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Join two closures "in parallel" (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Scope stub: runs the body immediately.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope { _marker: std::marker::PhantomData })
+}
+
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F: FnOnce(&Scope<'scope>) + 'scope>(&self, f: F) {
+        f(self);
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]. The thread count is recorded but unused:
+/// execution is sequential.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+    }
+}
+
+/// A "thread pool" that installs work on the current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

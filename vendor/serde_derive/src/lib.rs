@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` targeting the vendored value-model `serde`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item is
+//! parsed with a small hand-rolled walker and the impl is emitted as
+//! source text. Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialise transparently),
+//! * enums with unit variants (serialised as the variant-name string),
+//! * the `#[serde(from = "Type", into = "Type")]` container attribute.
+//!
+//! Anything else panics at expansion time with a descriptive message, so
+//! an unsupported shape fails the build loudly rather than misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum made of unit variants.
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "...")]` / `#[serde(into = "...")]` container attrs.
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+/// Split a token sequence on top-level commas, tracking `<...>` depth so
+/// commas inside generic argument lists do not split (parens/brackets are
+/// already atomic groups in a token tree).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// From one comma-separated field/variant segment, skip attributes and
+/// visibility and return the leading identifier (field or variant name),
+/// plus whether a payload group follows an enum variant name.
+fn leading_ident(segment: &[TokenTree]) -> Option<(String, bool)> {
+    let mut i = 0;
+    while i < segment.len() {
+        match &segment[i] {
+            // Attribute (incl. doc comments): `#` followed by a `[...]` group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if matches!(&segment.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let has_payload =
+                    matches!(segment.get(i + 1), Some(TokenTree::Group(_)));
+                return Some((id.to_string(), has_payload));
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Parse `from = "X"` / `into = "X"` pairs out of a `serde(...)` group.
+fn parse_serde_attr(tokens: &[TokenTree], from_ty: &mut Option<String>, into_ty: &mut Option<String>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(key) = &tokens[i] {
+            let key = key.to_string();
+            let is_eq = matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+            if is_eq {
+                if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                    let text = lit.to_string();
+                    let inner = text.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "from" => *from_ty = Some(inner),
+                        "into" => *into_ty = Some(inner),
+                        other => panic!(
+                            "vendored serde_derive: unsupported #[serde({other} = ...)] attribute"
+                        ),
+                    }
+                    i += 3;
+                    continue;
+                }
+            }
+            panic!("vendored serde_derive: unsupported #[serde(...)] attribute form");
+        }
+        i += 1;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    let mut i = 0;
+
+    // Attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                    let attr_tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = attr_tokens.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = attr_tokens.get(1) {
+                                let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                                parse_serde_attr(&args, &mut from_ty, &mut into_ty);
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => panic!("vendored serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported (deriving on `{name}`)");
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let segments = split_top_level_commas(&body_tokens);
+            if kind == "struct" {
+                let mut fields = Vec::new();
+                for seg in &segments {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    let (field, _) = leading_ident(seg).unwrap_or_else(|| {
+                        panic!("vendored serde_derive: cannot parse a field of `{name}`")
+                    });
+                    fields.push(field);
+                }
+                Shape::Named(fields)
+            } else {
+                let mut variants = Vec::new();
+                for seg in &segments {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    let (variant, has_payload) = leading_ident(seg).unwrap_or_else(|| {
+                        panic!("vendored serde_derive: cannot parse a variant of `{name}`")
+                    });
+                    if has_payload {
+                        panic!(
+                            "vendored serde_derive: enum `{name}` variant `{variant}` carries data; only unit variants are supported"
+                        );
+                    }
+                    variants.push(variant);
+                }
+                Shape::UnitEnum(variants)
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            if kind == "enum" {
+                panic!("vendored serde_derive: unexpected parenthesised enum body in `{name}`");
+            }
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            Shape::Tuple(split_top_level_commas(&body_tokens).len())
+        }
+        other => panic!("vendored serde_derive: unsupported item body for `{name}`: {other:?}"),
+    };
+
+    Item { name, shape, from_ty, into_ty }
+}
+
+fn derive_serialize_src(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(into_ty) = &item.into_ty {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let repr: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&repr)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn derive_deserialize_src(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(from_ty) = &item.from_ty {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let repr: {from_ty} = ::serde::Deserialize::from_value(value)?;\n\
+                     ::std::result::Result::Ok(::std::convert::Into::into(repr))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(entries, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| ::serde::Error::custom(\
+                     ::std::format!(\"expected map for {name}, got {{value:?}}\")))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     ::std::format!(\"expected sequence for {name}, got {{value:?}}\")))?;\n\
+                 if seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {n} elements for {name}, got {{}}\", seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let text = value.as_str().ok_or_else(|| ::serde::Error::custom(\
+                     ::std::format!(\"expected variant string for {name}, got {{value:?}}\")))?;\n\
+                 match text {{\n\
+                     {},\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_src(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_src(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}
