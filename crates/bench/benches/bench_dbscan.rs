@@ -53,7 +53,12 @@ fn bench_silhouette(c: &mut Criterion) {
     let data = latency_dataset(1_000);
     let labeling = Dbscan::new(1.0, 8).fit_1d(&data);
     c.bench_function("silhouette_1000", |b| {
-        b.iter(|| black_box(latest_cluster::silhouette_score_1d(black_box(&data), &labeling)))
+        b.iter(|| {
+            black_box(latest_cluster::silhouette_score_1d(
+                black_box(&data),
+                &labeling,
+            ))
+        })
     });
 }
 

@@ -23,7 +23,12 @@ fn busy_trajectory() -> FreqTrajectory {
 
 fn bench_sm_engine(c: &mut Criterion) {
     let traj = busy_trajectory();
-    let timer = ClockView::skewed(SharedClock::new(), 7_340_000, 2.5, SimDuration::from_micros(1));
+    let timer = ClockView::skewed(
+        SharedClock::new(),
+        7_340_000,
+        2.5,
+        SimDuration::from_micros(1),
+    );
     let params = WorkloadParams::default_micro();
     let mut g = c.benchmark_group("sm_iterations");
     for n in [1_000u32, 10_000] {
@@ -52,10 +57,7 @@ fn bench_trajectory_ops(c: &mut Criterion) {
     });
     c.bench_function("cycles_between", |b| {
         b.iter(|| {
-            black_box(traj.cycles_between(
-                SimTime::from_millis(19),
-                SimTime::from_millis(26),
-            ))
+            black_box(traj.cycles_between(SimTime::from_millis(19), SimTime::from_millis(26)))
         })
     });
 }

@@ -36,7 +36,13 @@ fn bench_welch(c: &mut Criterion) {
         b.iter(|| black_box(welch_t_test(black_box(&a), black_box(&b2), 0.05)))
     });
     c.bench_function("diff_confidence_interval", |b| {
-        b.iter(|| black_box(diff_confidence_interval(black_box(&a), black_box(&b2), 0.95)))
+        b.iter(|| {
+            black_box(diff_confidence_interval(
+                black_box(&a),
+                black_box(&b2),
+                0.95,
+            ))
+        })
     });
 }
 

@@ -18,10 +18,14 @@ impl TimestampProbe for BenchProbe {
     fn exchange(&mut self) -> (SimTime, SimTime, SimTime) {
         let before = self.clock.now();
         let out: f64 = self.rng.gen_range(6.0..20.0);
-        let at = self.clock.advance(SimDuration::from_nanos((out * 1e3) as u64));
+        let at = self
+            .clock
+            .advance(SimDuration::from_nanos((out * 1e3) as u64));
         let stamp = self.device.project(at);
         let back: f64 = self.rng.gen_range(4.0..15.0);
-        let after = self.clock.advance(SimDuration::from_nanos((back * 1e3) as u64));
+        let after = self
+            .clock
+            .advance(SimDuration::from_nanos((back * 1e3) as u64));
         (before, stamp, after)
     }
 }
@@ -29,23 +33,31 @@ impl TimestampProbe for BenchProbe {
 fn bench_sync_rounds(c: &mut Criterion) {
     let mut g = c.benchmark_group("ptp_synchronize");
     for rounds in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            b.iter(|| {
-                let clock = SharedClock::new();
-                let mut probe = BenchProbe {
-                    device: ClockView::skewed(
-                        clock.clone(),
-                        7_340_000,
-                        2.5,
-                        SimDuration::from_micros(1),
-                    ),
-                    clock,
-                    rng: ChaCha8Rng::seed_from_u64(3),
-                };
-                let cfg = SyncConfig { rounds, keep_best: 4, ..Default::default() };
-                black_box(synchronize(&mut probe, &cfg))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let clock = SharedClock::new();
+                    let mut probe = BenchProbe {
+                        device: ClockView::skewed(
+                            clock.clone(),
+                            7_340_000,
+                            2.5,
+                            SimDuration::from_micros(1),
+                        ),
+                        clock,
+                        rng: ChaCha8Rng::seed_from_u64(3),
+                    };
+                    let cfg = SyncConfig {
+                        rounds,
+                        keep_best: 4,
+                        ..Default::default()
+                    };
+                    black_box(synchronize(&mut probe, &cfg))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -31,8 +31,8 @@ fn main() {
     let mut under_min = 0usize;
     let mut rows: Vec<[f64; 4]> = Vec::new();
     for _ in 0..PASSES {
-        let cap = run_phase2(&mut platform, &config, init, target, &init_stats, 25.0)
-            .expect("phase 2");
+        let cap =
+            run_phase2(&mut platform, &config, init, target, &init_stats, 25.0).expect("phase 2");
         let truth = platform
             .last_ground_truth()
             .unwrap()
@@ -64,7 +64,8 @@ fn main() {
     }
 
     println!("ABLATION: per-core aggregation (max vs mean vs min over cores)\n");
-    let mut t = TextTable::with_header(&["pass", "truth [ms]", "max [ms]", "mean [ms]", "min [ms]"]);
+    let mut t =
+        TextTable::with_header(&["pass", "truth [ms]", "max [ms]", "mean [ms]", "min [ms]"]);
     for (i, r) in rows.iter().take(8).enumerate() {
         t.row(&[
             i.to_string(),

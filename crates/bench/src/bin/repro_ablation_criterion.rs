@@ -40,8 +40,10 @@ fn main() {
 
     const PASSES: usize = 40;
     let mut results: Vec<(&str, usize, f64, f64)> = Vec::new(); // name, ok, mean |err|, mean rel err
-    for (name, stats) in [("2-standard-deviation band (paper)", target_stats),
-                          ("2-standard-error band (FTaLaT CI)", stderr_variant)] {
+    for (name, stats) in [
+        ("2-standard-deviation band (paper)", target_stats),
+        ("2-standard-error band (FTaLaT CI)", stderr_variant),
+    ] {
         let mut ok = 0usize;
         let mut abs_err = 0.0f64;
         let mut rel_err = 0.0f64;
@@ -78,7 +80,12 @@ fn main() {
         2.0 * target_stats.stdev / 1e3,
         2.0 * target_stats.stderr / 1e3
     );
-    let mut t = TextTable::with_header(&["Detection band", "passes OK", "mean |err| [ms]", "mean rel err"]);
+    let mut t = TextTable::with_header(&[
+        "Detection band",
+        "passes OK",
+        "mean |err| [ms]",
+        "mean rel err",
+    ]);
     for (name, ok, abs, rel) in &results {
         t.row(&[
             name.to_string(),

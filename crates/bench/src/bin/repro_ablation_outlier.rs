@@ -58,29 +58,42 @@ fn three_sigma_flags(data: &[f64]) -> Vec<bool> {
 
 fn main() {
     println!("ABLATION: outlier filtering (adaptive DBSCAN vs fixed DBSCAN vs 3-sigma)\n");
-    let mut t = TextTable::with_header(&[
-        "dataset",
-        "filter",
-        "false pos",
-        "false neg",
-    ]);
+    let mut t = TextTable::with_header(&["dataset", "filter", "false pos", "false neg"]);
 
-    for (name, multi) in [("unimodal (A100-like)", false), ("bimodal (GH200-like)", true)] {
+    for (name, multi) in [
+        ("unimodal (A100-like)", false),
+        ("bimodal (GH200-like)", true),
+    ] {
         let (data, truth) = synth(multi, 300, 0.03, 0x071);
         // Adaptive DBSCAN (Alg. 3).
         if let Some(out) = adaptive_outlier_filter(&data, &AdaptiveConfig::default()) {
             let flags: Vec<bool> = out.labeling.labels.iter().map(|l| l.is_noise()).collect();
             let (fp, fnn) = score(&flags, &truth);
-            t.row(&[name.into(), "adaptive DBSCAN (Alg. 3)".into(), fp.to_string(), fnn.to_string()]);
+            t.row(&[
+                name.into(),
+                "adaptive DBSCAN (Alg. 3)".into(),
+                fp.to_string(),
+                fnn.to_string(),
+            ]);
         }
         // Fixed DBSCAN with a deliberately generic parameterisation.
         let fixed = Dbscan::new(1.0, 12).fit_1d(&data);
         let flags: Vec<bool> = fixed.labels.iter().map(|l| l.is_noise()).collect();
         let (fp, fnn) = score(&flags, &truth);
-        t.row(&[name.into(), "fixed DBSCAN (eps=1, minPts=12)".into(), fp.to_string(), fnn.to_string()]);
+        t.row(&[
+            name.into(),
+            "fixed DBSCAN (eps=1, minPts=12)".into(),
+            fp.to_string(),
+            fnn.to_string(),
+        ]);
         // 3-sigma trimming.
         let (fp, fnn) = score(&three_sigma_flags(&data), &truth);
-        t.row(&[name.into(), "3-sigma trim".into(), fp.to_string(), fnn.to_string()]);
+        t.row(&[
+            name.into(),
+            "3-sigma trim".into(),
+            fp.to_string(),
+            fnn.to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!(

@@ -4,7 +4,7 @@
 //! every measured latency, so the sync budget matters.
 
 use latest_clock_sync::SyncConfig;
-use latest_core::SimPlatform;
+use latest_core::{Platform, SimPlatform};
 use latest_gpu_sim::devices;
 use latest_report::TextTable;
 
@@ -27,7 +27,11 @@ fn main() {
             let spec = devices::a100_sxm4();
             let truth = spec.timer_offset_ns;
             let mut platform = SimPlatform::new(spec, 1000 + rep as u64).unwrap();
-            let cfg = SyncConfig { rounds, keep_best: 4.min(rounds), ..Default::default() };
+            let cfg = SyncConfig {
+                rounds,
+                keep_best: 4.min(rounds),
+                ..Default::default()
+            };
             let r = platform.synchronize_timers(&cfg);
             let err = (r.offset_ns - truth).unsigned_abs();
             errs.push(err as f64 / 1e3);

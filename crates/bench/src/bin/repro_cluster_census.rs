@@ -71,11 +71,7 @@ fn main() {
     for (c, paper) in censuses.iter().zip(paper_pct) {
         let total = (c.single + c.multi).max(1);
         let pct = 100.0 * c.single as f64 / total as f64;
-        let min_sil = c
-            .silhouettes
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min_sil = c.silhouettes.iter().cloned().fold(f64::INFINITY, f64::min);
         all_sil.extend(&c.silhouettes);
         t.row(&[
             c.device.clone(),

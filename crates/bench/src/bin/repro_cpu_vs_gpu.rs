@@ -67,11 +67,7 @@ fn main() {
 
     let mut t = TextTable::with_header(&["Device", "Class", "Latency range [ms]"]);
     for (name, worst) in &cpus {
-        t.row(&[
-            name.clone(),
-            "CPU".to_string(),
-            format!("<= {worst:.3}"),
-        ]);
+        t.row(&[name.clone(), "CPU".to_string(), format!("<= {worst:.3}")]);
     }
     for (name, best, worst) in &gpus {
         t.row(&[
@@ -92,6 +88,10 @@ fn main() {
     println!(
         "shape check: CPUs in microseconds-to-milliseconds, GPUs in tens-to-hundreds \
          of milliseconds: {}",
-        if cpu_worst < 3.0 && gpu_best > 3.0 { "holds" } else { "DOES NOT HOLD" }
+        if cpu_worst < 3.0 && gpu_best > 3.0 {
+            "holds"
+        } else {
+            "DOES NOT HOLD"
+        }
     );
 }

@@ -21,8 +21,14 @@ fn main() {
     );
     println!("{:>12}  {:>10}   event", "t-rel [us]", "freq [MHz]");
     println!("{}", "-".repeat(48));
-    println!("{:>12.1}  {:>10}   running at initial frequency", -20.0, trace.init);
-    println!("{:>12.1}  {:>10}   frequency change REQUEST issued", 0.0, trace.init);
+    println!(
+        "{:>12.1}  {:>10}   running at initial frequency",
+        -20.0, trace.init
+    );
+    println!(
+        "{:>12.1}  {:>10}   frequency change REQUEST issued",
+        0.0, trace.init
+    );
     for e in &trace.events {
         if e.t_rel_ns >= 0 {
             let label = if (e.freq_mhz - trace.target.as_f64()).abs() < 1e-9 {

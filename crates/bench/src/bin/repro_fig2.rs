@@ -13,7 +13,9 @@ fn main() {
     let mut platform = SimPlatform::new(devices::a100_sxm4(), 42).expect("platform");
     // Settle at an initial frequency first.
     platform.nvml.set_gpu_locked_clocks(FreqMhz(1095)).unwrap();
-    platform.cuda.usleep(latest_sim_clock::SimDuration::from_millis(100));
+    platform
+        .cuda
+        .usleep(latest_sim_clock::SimDuration::from_millis(100));
     platform.nvml.take_trace();
 
     // The traced request.
@@ -28,7 +30,10 @@ fn main() {
     println!("transition {} -> {} MHz\n", gt.from, gt.to);
     println!("{:>12}   side     event", "t [us]");
     println!("{}", "-".repeat(64));
-    println!("{:>12.1}   CPU      nvmlDeviceSetGpuLockedClocks() entered", 0.0);
+    println!(
+        "{:>12.1}   CPU      nvmlDeviceSetGpuLockedClocks() entered",
+        0.0
+    );
     println!(
         "{:>12.1}   CPU      call returned (host unblocked)",
         rel_us(trace.ret)

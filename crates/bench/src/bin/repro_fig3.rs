@@ -34,15 +34,24 @@ fn main() {
     let gh = Latest::new(config).run().expect("GH200 sweep");
     let gh_min = campaign_heatmap(&gh, &freqs, CellStat::Min);
     let gh_max = campaign_heatmap(&gh, &freqs, CellStat::Max);
-    println!("{}", gh_min.render("FIG. 3a: GH200 minimum switching latencies [ms]", color));
-    println!("{}", gh_max.render("FIG. 3b: GH200 maximum switching latencies [ms]", color));
+    println!(
+        "{}",
+        gh_min.render("FIG. 3a: GH200 minimum switching latencies [ms]", color)
+    );
+    println!(
+        "{}",
+        gh_max.render("FIG. 3b: GH200 maximum switching latencies [ms]", color)
+    );
 
     // --- A100 max (Fig. 3c) ---
     let config = repro_config(devices::a100_sxm4(), 18, 0xF163C);
     let freqs = freqs_mhz(&config);
     let a100 = Latest::new(config).run().expect("A100 sweep");
     let a100_max = campaign_heatmap(&a100, &freqs, CellStat::Max);
-    println!("{}", a100_max.render("FIG. 3c: A100 maximum switching latencies [ms]", color));
+    println!(
+        "{}",
+        a100_max.render("FIG. 3c: A100 maximum switching latencies [ms]", color)
+    );
 
     // --- RTX Quadro 6000 max (Fig. 3d) ---
     let config = repro_config(devices::rtx_quadro_6000(), 14, 0xF163D);
@@ -51,16 +60,17 @@ fn main() {
     let quadro_max = campaign_heatmap(&quadro, &freqs, CellStat::Max);
     println!(
         "{}",
-        quadro_max.render("FIG. 3d: RTX Quadro 6000 maximum switching latencies [ms]", color)
+        quadro_max.render(
+            "FIG. 3d: RTX Quadro 6000 maximum switching latencies [ms]",
+            color
+        )
     );
 
     // --- Shape checks ---
     println!("Shape checks vs the paper:");
     let (gmin, _, vmin) = gh_min.min_cell().unwrap();
     let _ = gmin;
-    println!(
-        "  GH200 minimum-heatmap floor: {vmin:.2} ms (paper: ~5.2-6.7 ms baseline)"
-    );
+    println!("  GH200 minimum-heatmap floor: {vmin:.2} ms (paper: ~5.2-6.7 ms baseline)");
     let (_, _, vmax) = gh_max.max_cell().unwrap();
     println!("  GH200 maximum-heatmap peak:  {vmax:.1} ms (paper: 477.3 ms)");
     let (_, _, amax) = a100_max.max_cell().unwrap();

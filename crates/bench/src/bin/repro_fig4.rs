@@ -22,12 +22,21 @@ fn main() {
     println!("FIG. 4: switching-latency distributions, increasing vs decreasing\n");
     for (spec, n, seed) in sweeps {
         let name = spec.name.clone();
-        let result = Latest::new(repro_config(spec, n, seed)).run().expect("sweep");
+        let result = Latest::new(repro_config(spec, n, seed))
+            .run()
+            .expect("sweep");
         let split = direction_split(&result);
 
         println!("=== {name} ===");
-        for (dir, data) in [("increasing", &split.increasing), ("decreasing", &split.decreasing)] {
-            match ViolinSummary::build(format!("{dir} (init<target: {})", dir == "increasing"), data, 160) {
+        for (dir, data) in [
+            ("increasing", &split.increasing),
+            ("decreasing", &split.decreasing),
+        ] {
+            match ViolinSummary::build(
+                format!("{dir} (init<target: {})", dir == "increasing"),
+                data,
+                160,
+            ) {
                 Some(v) => {
                     println!(
                         "  {dir:<10}: n={:>5}  median={:>8.2} ms  IQR=[{:>7.2}, {:>7.2}]  \

@@ -32,10 +32,7 @@ fn measure_pair(init: u32, target: u32, seed: u64) -> Vec<f64> {
 fn show(title: &str, data: &[f64]) {
     let outcome = adaptive_outlier_filter(data, &AdaptiveConfig::default());
     let labeling = outcome.as_ref().map(|o| &o.labeling);
-    println!(
-        "{}",
-        render_scatter(title, data, labeling, 24, 72)
-    );
+    println!("{}", render_scatter(title, data, labeling, 24, 72));
     if let Some(o) = &outcome {
         let sil = silhouette_score_1d(data, &o.labeling);
         println!(
@@ -43,7 +40,8 @@ fn show(title: &str, data: &[f64]) {
             o.labeling.n_clusters,
             o.labeling.noise_count(),
             data.len(),
-            sil.map(|s| format!("{s:.2}")).unwrap_or_else(|| "n/a (single cluster)".into()),
+            sil.map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "n/a (single cluster)".into()),
         );
         if let Some(s) = sil {
             println!(
@@ -64,5 +62,8 @@ fn main() {
 
     // Fig. 6: a baseline pair -> one cluster + stray outliers.
     let fig6 = measure_pair(1305, 1845, 0xF166);
-    show("FIG. 6: 1305 -> 1845 MHz (expect one dominant cluster)", &fig6);
+    show(
+        "FIG. 6: 1305 -> 1845 MHz (expect one dominant cluster)",
+        &fig6,
+    );
 }

@@ -20,7 +20,11 @@ fn main() {
     let mut mins: Vec<Heatmap> = Vec::new();
     let mut maxs: Vec<Heatmap> = Vec::new();
     for unit in 0..4 {
-        let config = repro_config(devices::a100_sxm4_unit(unit), n_freqs, 0xF1678 + unit as u64);
+        let config = repro_config(
+            devices::a100_sxm4_unit(unit),
+            n_freqs,
+            0xF1678 + unit as u64,
+        );
         let result = Latest::new(config).run().expect("unit sweep");
         mins.push(campaign_heatmap(&result, &freqs, CellStat::Min));
         maxs.push(campaign_heatmap(&result, &freqs, CellStat::Max));
@@ -67,6 +71,10 @@ fn main() {
     );
     println!(
         "  worst-case spread exceeds best-case spread: {}",
-        if f8_mean > f7_mean { "yes (matches paper)" } else { "NO" }
+        if f8_mean > f7_mean {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
     );
 }

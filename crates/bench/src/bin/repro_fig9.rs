@@ -15,7 +15,8 @@ fn main() {
 
     // medians[pair][unit]
     let mut medians = vec![vec![0.0f64; 4]; PAIRS.len()];
-    #[allow(clippy::needless_range_loop)] // `unit` is a device index, not just a position in `medians`
+    #[allow(clippy::needless_range_loop)]
+    // `unit` is a device index, not just a position in `medians`
     for unit in 0..4usize {
         println!("--- device index {unit} ---");
         // One campaign covering all three pairs' frequencies.
@@ -65,6 +66,10 @@ fn main() {
     println!(
         "  single unit consistently worst: {} (paper: no single instance \
          consistently exhibits worse behaviour)",
-        if consistent { "YES (differs from paper)" } else { "no (matches paper)" }
+        if consistent {
+            "YES (differs from paper)"
+        } else {
+            "no (matches paper)"
+        }
     );
 }

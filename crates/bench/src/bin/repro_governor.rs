@@ -12,8 +12,8 @@ use bench_support::repro_config;
 use latest_core::Latest;
 use latest_governor::simulate::TransitionReplay;
 use latest_governor::{
-    simulate_policy, GovernorPolicy, GovernorReport, LatencyAware, LatencyOblivious,
-    LatencyTable, PowerModel, RunAtMax, StaticOracle, TraceGenerator,
+    simulate_policy, GovernorPolicy, GovernorReport, LatencyAware, LatencyOblivious, LatencyTable,
+    PowerModel, RunAtMax, StaticOracle, TraceGenerator,
 };
 use latest_gpu_sim::devices;
 use latest_report::TextTable;
@@ -40,7 +40,9 @@ fn main() {
     for (spec, seed) in sweeps {
         let name = spec.name.clone();
         let (f_min, f_max) = (spec.ladder.min(), spec.ladder.max());
-        let result = Latest::new(repro_config(spec, 8, seed)).run().expect("campaign");
+        let result = Latest::new(repro_config(spec, 8, seed))
+            .run()
+            .expect("campaign");
         let table = LatencyTable::from_campaign(&result);
         println!(
             "\n=== {name}: table of {} pairs, typical {:.1} ms, {} pathological ===",
@@ -72,7 +74,12 @@ fn main() {
             ];
             println!("\n{}:", trace.name);
             let mut t = TextTable::with_header(&[
-                "policy", "runtime[ms]", "energy[J]", "switches", "saving[%]", "slower[%]",
+                "policy",
+                "runtime[ms]",
+                "energy[J]",
+                "switches",
+                "saving[%]",
+                "slower[%]",
                 "EDP[J*s]",
             ]);
             for policy in &policies {

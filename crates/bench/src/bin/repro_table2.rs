@@ -22,14 +22,18 @@ fn main() {
     let mut worst: Vec<Table2Row> = Vec::new();
     let mut best: Vec<Table2Row> = Vec::new();
     for (spec, n, seed) in sweeps {
-        let result = Latest::new(repro_config(spec, n, seed)).run().expect("sweep");
+        let result = Latest::new(repro_config(spec, n, seed))
+            .run()
+            .expect("sweep");
         worst.push(table2_row(&result, CellStat::Max).expect("worst row"));
         best.push(table2_row(&result, CellStat::Min).expect("best row"));
     }
 
     println!("TABLE II: Summary of switching latencies across GPUs [ms]\n");
-    for (title, rows) in [("The worst-case latencies", &worst), ("The best-case latencies", &best)]
-    {
+    for (title, rows) in [
+        ("The worst-case latencies", &worst),
+        ("The best-case latencies", &best),
+    ] {
         println!("{title}:");
         let mut t = TextTable::with_header(&["Metric", "RTX Quadro 6000", "A100 SXM-4", "GH200"]);
         t.row(&[

@@ -58,14 +58,13 @@ pub fn pair_stat(p: &PairMeasurement, stat: CellStat) -> Option<f64> {
 /// Build the paper-layout heatmap (initial frequency in rows, target in
 /// columns) from a campaign.
 pub fn campaign_heatmap(result: &CampaignResult, freqs_mhz: &[u32], stat: CellStat) -> Heatmap {
+    use latest_gpu_sim::freq::FreqMhz;
     Heatmap::build(freqs_mhz, freqs_mhz, |init, target| {
         if init == target {
             return None;
         }
         result
-            .pairs()
-            .iter()
-            .find(|p| p.init_mhz == init && p.target_mhz == target)
+            .pair(FreqMhz(init), FreqMhz(target))
             .and_then(|p| pair_stat(p, stat))
     })
 }

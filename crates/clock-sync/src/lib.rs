@@ -91,7 +91,10 @@ impl Default for SyncConfig {
 ///
 /// Panics if `config.rounds == 0`.
 pub fn synchronize(probe: &mut dyn TimestampProbe, config: &SyncConfig) -> SyncResult {
-    assert!(config.rounds > 0, "synchronisation needs at least one round");
+    assert!(
+        config.rounds > 0,
+        "synchronisation needs at least one round"
+    );
     let mut exchanges: Vec<(u64, i64)> = Vec::with_capacity(config.rounds);
     for _ in 0..config.rounds {
         let (before, stamp, after) = probe.exchange();
@@ -104,8 +107,11 @@ pub fn synchronize(probe: &mut dyn TimestampProbe, config: &SyncConfig) -> SyncR
     }
     exchanges.sort_by_key(|&(w, _)| w);
     let keep = config.keep_best.clamp(1, exchanges.len());
-    let offset_ns =
-        exchanges[..keep].iter().map(|&(_, o)| o as i128).sum::<i128>() / keep as i128;
+    let offset_ns = exchanges[..keep]
+        .iter()
+        .map(|&(_, o)| o as i128)
+        .sum::<i128>()
+        / keep as i128;
     let best_round_trip_ns = exchanges[0].0;
     SyncResult {
         offset_ns: offset_ns as i64,
@@ -180,7 +186,11 @@ mod tests {
         let mut errs = Vec::new();
         for &rounds in &[1usize, 8, 64, 256] {
             let mut probe = probe_with_offset(7_777_777, 5);
-            let cfg = SyncConfig { rounds, keep_best: 4.min(rounds), ..Default::default() };
+            let cfg = SyncConfig {
+                rounds,
+                keep_best: 4.min(rounds),
+                ..Default::default()
+            };
             let r = synchronize(&mut probe, &cfg);
             errs.push((rounds, (r.offset_ns - 7_777_777).unsigned_abs()));
         }
@@ -215,7 +225,13 @@ mod tests {
     #[should_panic]
     fn zero_rounds_panics() {
         let mut probe = probe_with_offset(0, 4);
-        synchronize(&mut probe, &SyncConfig { rounds: 0, ..Default::default() });
+        synchronize(
+            &mut probe,
+            &SyncConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
@@ -229,7 +245,14 @@ mod tests {
             let after = SimTime::from_nanos(t + 10_000);
             (before, stamp, after)
         };
-        let r = synchronize(&mut probe, &SyncConfig { rounds: 8, keep_best: 2, device_resolution: SimDuration::ZERO });
+        let r = synchronize(
+            &mut probe,
+            &SyncConfig {
+                rounds: 8,
+                keep_best: 2,
+                device_resolution: SimDuration::ZERO,
+            },
+        );
         assert_eq!(r.offset_ns, 1_000_000);
     }
 }

@@ -131,7 +131,11 @@ pub fn adaptive_outlier_filter(data: &[f64], config: &AdaptiveConfig) -> Option<
     // (the tight multi-modal structure of Fig. 5 survives precisely because
     // eps stays at 0.15 x the quantile range).
     let descent_degenerate = start <= config.min_pts_floor + config.min_pts_step;
-    let eps_rounds = if descent_degenerate { config.max_eps_rounds } else { 0 };
+    let eps_rounds = if descent_degenerate {
+        config.max_eps_rounds
+    } else {
+        0
+    };
 
     let mut attempts = 0usize;
     let mut last: Option<(Labeling, usize, f64)> = None;

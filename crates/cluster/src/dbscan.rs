@@ -98,7 +98,10 @@ impl Dbscan {
     ///
     /// Panics if `eps` is not strictly positive and finite or `min_pts == 0`.
     pub fn new(eps: f64, min_pts: usize) -> Self {
-        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite, got {eps}");
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "eps must be positive and finite, got {eps}"
+        );
         assert!(min_pts >= 1, "min_pts must be at least 1");
         Dbscan { eps, min_pts }
     }
@@ -107,7 +110,10 @@ impl Dbscan {
     pub fn fit_1d(&self, data: &[f64]) -> Labeling {
         let n = data.len();
         if n == 0 {
-            return Labeling { labels: Vec::new(), n_clusters: 0 };
+            return Labeling {
+                labels: Vec::new(),
+                n_clusters: 0,
+            };
         }
 
         // Sort once; neighbourhoods become contiguous index ranges.
@@ -153,7 +159,9 @@ impl Dbscan {
                         let (qlo, qhi) = range_of(q);
                         if qhi - qlo >= self.min_pts {
                             // q is itself core: its neighbourhood joins.
-                            frontier.extend((qlo..qhi).filter(|&r| labels_sorted[r].is_none() || labels_sorted[r] == Some(Label::Noise)));
+                            frontier.extend((qlo..qhi).filter(|&r| {
+                                labels_sorted[r].is_none() || labels_sorted[r] == Some(Label::Noise)
+                            }));
                         }
                     }
                 }
@@ -175,7 +183,10 @@ impl Dbscan {
     pub fn fit_euclidean(&self, points: &[Vec<f64>]) -> Labeling {
         let n = points.len();
         if n == 0 {
-            return Labeling { labels: Vec::new(), n_clusters: 0 };
+            return Labeling {
+                labels: Vec::new(),
+                n_clusters: 0,
+            };
         }
         let dim = points[0].len();
         assert!(
@@ -183,11 +194,12 @@ impl Dbscan {
             "inconsistent point dimensionality"
         );
         let eps2 = self.eps * self.eps;
-        let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist2 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let neighbors = |i: usize| -> Vec<usize> {
-            (0..n).filter(|&j| dist2(&points[i], &points[j]) <= eps2).collect()
+            (0..n)
+                .filter(|&j| dist2(&points[i], &points[j]) <= eps2)
+                .collect()
         };
 
         let mut labels: Vec<Option<Label>> = vec![None; n];
@@ -235,7 +247,9 @@ mod tests {
     #[test]
     fn two_obvious_clusters_and_one_outlier() {
         // 5 points near 10, 5 near 100, one lone point at 500.
-        let data = [9.8, 10.0, 10.1, 10.2, 9.9, 99.8, 100.0, 100.1, 100.2, 99.9, 500.0];
+        let data = [
+            9.8, 10.0, 10.1, 10.2, 9.9, 99.8, 100.0, 100.1, 100.2, 99.9, 500.0,
+        ];
         let out = Dbscan::new(1.0, 3).fit_1d(&data);
         assert_eq!(out.n_clusters, 2);
         assert_eq!(out.noise_count(), 1);

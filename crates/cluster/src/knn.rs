@@ -32,8 +32,16 @@ pub fn kth_neighbor_distances(data: &[f64], k: usize) -> Vec<f64> {
         let mut right = pos + 1; // next candidate on the right
         let mut kth = 0.0;
         for _ in 0..k {
-            let dl = if left > 0 { x - sorted[left - 1] } else { f64::INFINITY };
-            let dr = if right < n { sorted[right] - x } else { f64::INFINITY };
+            let dl = if left > 0 {
+                x - sorted[left - 1]
+            } else {
+                f64::INFINITY
+            };
+            let dr = if right < n {
+                sorted[right] - x
+            } else {
+                f64::INFINITY
+            };
             if dl <= dr {
                 kth = dl;
                 left -= 1;

@@ -5,7 +5,7 @@ use latest_cluster::{adaptive_outlier_filter, silhouette_score_1d, AdaptiveConfi
 use latest_stats::Summary;
 
 /// The analysed view of one pair's latency dataset.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PairAnalysis {
     /// Latencies that survived the outlier filter (all of them when the
     /// dataset was too small/degenerate to cluster).

@@ -1,27 +1,33 @@
-//! The end-to-end LATEST tool: phase 1 once, then every valid frequency
-//! pair through phases 2–3 under the RSE controller, then per-pair analysis.
+//! Campaign results and the classic blocking entry point.
 //!
-//! Pairs run in parallel with rayon, each on a freshly instantiated
-//! simulated platform seeded deterministically from `(campaign seed, pair)`.
-//! On physical hardware the pairs share one GPU and must run sequentially;
-//! parallelism here is a simulation-only speedup that preserves per-pair
-//! semantics and bitwise reproducibility (results are independent of
-//! scheduling order by construction).
+//! [`CampaignResult`] is the serialisable record of one device's campaign:
+//! phase-1 characterisation, the probe bound, and every pair's measurements
+//! plus Algorithm-3 analysis. It doubles as the *checkpoint* format — a
+//! partial result (some pairs [`PairOutcome::Cancelled`]) can be written to
+//! JSON and handed back to
+//! [`CampaignSession::resume_from`](crate::session::CampaignSession::resume_from),
+//! which re-runs exactly the missing pairs and reproduces the uninterrupted
+//! campaign bit for bit.
+//!
+//! [`Latest`] is the original one-call API, kept as a thin wrapper over
+//! [`CampaignSession`] so downstream code
+//! migrates incrementally.
+
+use std::collections::HashMap;
 
 use latest_cluster::AdaptiveConfig;
 use latest_gpu_sim::freq::FreqMhz;
-use rayon::prelude::*;
 
-use crate::analysis::{analyze_pair, PairAnalysis};
+use crate::analysis::PairAnalysis;
 use crate::config::CampaignConfig;
-use crate::controller::{run_pair, PairOutcome};
+use crate::controller::PairOutcome;
 use crate::error::CoreResult;
-use crate::phase1::{run_phase1, Phase1Result};
-use crate::platform::SimPlatform;
-use crate::probe::{estimate_upper_bound, ProbeResult};
+use crate::phase1::Phase1Result;
+use crate::probe::ProbeResult;
+use crate::session::CampaignSession;
 
 /// One pair's full result: measurements plus analysis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PairMeasurement {
     /// Initial frequency (MHz).
     pub init_mhz: u32,
@@ -57,15 +63,48 @@ pub struct CampaignResult {
     pub device_name: String,
     /// Device index.
     pub device_index: usize,
+    /// The campaign seed the measurements were produced under. Resume
+    /// validation refuses checkpoints taken under a different seed (their
+    /// restored pairs would silently mix noise streams with re-run ones).
+    pub seed: u64,
     /// Phase-1 characterisation.
     pub phase1: Phase1Result,
     /// Probe-phase result.
     pub probe: ProbeResult,
     /// All pair measurements, in `ordered_pairs` order.
-    pub pairs: Vec<PairMeasurement>,
+    pairs: Vec<PairMeasurement>,
+    /// `(init, target) → pairs index`, built once at construction so
+    /// [`CampaignResult::pair`] is O(1) instead of a linear scan (heatmap
+    /// renderers call it once per cell).
+    index: HashMap<(u32, u32), usize>,
 }
 
 impl CampaignResult {
+    /// Assemble a result; builds the pair lookup index.
+    pub fn new(
+        device_name: String,
+        device_index: usize,
+        seed: u64,
+        phase1: Phase1Result,
+        probe: ProbeResult,
+        pairs: Vec<PairMeasurement>,
+    ) -> Self {
+        let index = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((p.init_mhz, p.target_mhz), i))
+            .collect();
+        CampaignResult {
+            device_name,
+            device_index,
+            seed,
+            phase1,
+            probe,
+            pairs,
+            index,
+        }
+    }
+
     /// All pair measurements.
     pub fn pairs(&self) -> &[PairMeasurement] {
         &self.pairs
@@ -76,15 +115,67 @@ impl CampaignResult {
         self.pairs.iter().filter(|p| p.outcome.run().is_some())
     }
 
-    /// Look up one pair.
+    /// Look up one pair in O(1).
     pub fn pair(&self, init: FreqMhz, target: FreqMhz) -> Option<&PairMeasurement> {
-        self.pairs
-            .iter()
-            .find(|p| p.init_mhz == init.0 && p.target_mhz == target.0)
+        self.index.get(&(init.0, target.0)).map(|&i| &self.pairs[i])
+    }
+
+    /// Whether any pair was left unmeasured by a cancellation — i.e. this
+    /// result is a resumable checkpoint rather than a finished campaign.
+    pub fn is_partial(&self) -> bool {
+        self.pairs.iter().any(|p| p.outcome.is_cancelled())
+    }
+
+    /// Serialise to pretty JSON (the checkpoint / `--json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign result serialises")
+    }
+
+    /// Parse a result back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
     }
 }
 
-/// The LATEST tool.
+// Hand-written (de)serialisation: the lookup index is derived state and
+// must not appear in (or be trusted from) the JSON.
+impl serde::Serialize for CampaignResult {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("device_name".to_string(), self.device_name.to_value()),
+            ("device_index".to_string(), self.device_index.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("phase1".to_string(), self.phase1.to_value()),
+            ("probe".to_string(), self.probe.to_value()),
+            ("pairs".to_string(), self.pairs.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for CampaignResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("expected map for CampaignResult, got {value:?}"))
+        })?;
+        let field = |name: &str| serde::field(entries, name, "CampaignResult");
+        Ok(CampaignResult::new(
+            serde::Deserialize::from_value(field("device_name")?)?,
+            serde::Deserialize::from_value(field("device_index")?)?,
+            serde::Deserialize::from_value(field("seed")?)?,
+            serde::Deserialize::from_value(field("phase1")?)?,
+            serde::Deserialize::from_value(field("probe")?)?,
+            serde::Deserialize::from_value(field("pairs")?)?,
+        ))
+    }
+}
+
+/// The LATEST tool's classic blocking API.
+///
+/// `Latest::new(config).run()` is now a thin compatibility wrapper over
+/// [`CampaignSession`]: same results, same
+/// determinism, none of the streaming machinery. New code that wants
+/// progress events, cancellation or checkpointing should use the session
+/// directly.
 pub struct Latest {
     config: CampaignConfig,
     adaptive: AdaptiveConfig,
@@ -93,7 +184,10 @@ pub struct Latest {
 impl Latest {
     /// Build a tool instance from a campaign configuration.
     pub fn new(config: CampaignConfig) -> Self {
-        Latest { config, adaptive: AdaptiveConfig::default() }
+        Latest {
+            config,
+            adaptive: AdaptiveConfig::default(),
+        }
     }
 
     /// Override the Algorithm-3 parameters.
@@ -107,43 +201,11 @@ impl Latest {
         &self.config
     }
 
-    /// Run the whole campaign.
+    /// Run the whole campaign to completion (blocking).
     pub fn run(&self) -> CoreResult<CampaignResult> {
-        let config = &self.config;
-
-        // Phase 1 + probe on a dedicated platform.
-        let mut p0 = SimPlatform::new(config.spec.clone(), config.seed)?;
-        let phase1 = run_phase1(&mut p0, config)?;
-        let probe = estimate_upper_bound(&mut p0, config, &phase1)?;
-
-        // Every ordered pair, in parallel, each on its own platform.
-        let pairs: CoreResult<Vec<PairMeasurement>> = config
-            .ordered_pairs()
-            .into_par_iter()
-            .map(|(init, target)| {
-                let seed = config.pair_seed(init, target);
-                let mut platform = SimPlatform::new(config.spec.clone(), seed)?;
-                let outcome =
-                    run_pair(&mut platform, config, &phase1, init, target, probe.max_latency_ms)?;
-                let analysis = outcome
-                    .run()
-                    .map(|r| analyze_pair(&r.latencies_ms, &self.adaptive));
-                Ok(PairMeasurement {
-                    init_mhz: init.0,
-                    target_mhz: target.0,
-                    outcome,
-                    analysis,
-                })
-            })
-            .collect();
-
-        Ok(CampaignResult {
-            device_name: config.spec.name.clone(),
-            device_index: config.device_index,
-            phase1,
-            probe,
-            pairs: pairs?,
-        })
+        CampaignSession::new(self.config.clone())
+            .with_adaptive(self.adaptive)
+            .run()
     }
 }
 
@@ -188,6 +250,22 @@ mod tests {
     }
 
     #[test]
+    fn pair_lookup_agrees_with_linear_scan() {
+        let result = Latest::new(small_campaign(5)).run().unwrap();
+        for p in result.pairs() {
+            let (init, target) = (FreqMhz(p.init_mhz), FreqMhz(p.target_mhz));
+            let via_index = result.pair(init, target).unwrap();
+            let via_scan = result
+                .pairs()
+                .iter()
+                .find(|q| q.init_mhz == init.0 && q.target_mhz == target.0)
+                .unwrap();
+            assert!(std::ptr::eq(via_index, via_scan));
+        }
+        assert!(result.pair(FreqMhz(1), FreqMhz(2)).is_none());
+    }
+
+    #[test]
     fn campaign_is_deterministic_across_runs() {
         let a = Latest::new(small_campaign(11)).run().unwrap();
         let b = Latest::new(small_campaign(11)).run().unwrap();
@@ -218,5 +296,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bitwise_faithful() {
+        let result = Latest::new(small_campaign(13)).run().unwrap();
+        let back = CampaignResult::from_json(&result.to_json()).unwrap();
+        assert_eq!(back.device_name, result.device_name);
+        assert_eq!(back.seed, result.seed);
+        assert_eq!(back.pairs().len(), result.pairs().len());
+        assert!(!back.is_partial());
+        for (a, b) in result.pairs().iter().zip(back.pairs()) {
+            let bits =
+                |xs: Option<&[f64]>| xs.map(|v| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>());
+            assert_eq!(bits(a.latencies_ms()), bits(b.latencies_ms()));
+            assert_eq!(
+                a.filtered_summary().map(|s| s.mean.to_bits()),
+                b.filtered_summary().map(|s| s.mean.to_bits())
+            );
+        }
+        // The rebuilt index must serve lookups too.
+        assert!(back.pair(FreqMhz(1095), FreqMhz(705)).is_some());
+        // Phase-1 state survives: validity drives resume decisions.
+        assert_eq!(back.phase1.valid_pairs, result.phase1.valid_pairs);
+        assert_eq!(
+            back.probe.max_latency_ms.to_bits(),
+            result.probe.max_latency_ms.to_bits()
+        );
     }
 }

@@ -314,7 +314,9 @@ mod tests {
 
     #[test]
     fn pair_seed_is_order_sensitive_and_stable() {
-        let c = CampaignConfig::builder(devices::a100_sxm4()).seed(5).build();
+        let c = CampaignConfig::builder(devices::a100_sxm4())
+            .seed(5)
+            .build();
         let a = c.pair_seed(FreqMhz(705), FreqMhz(1410));
         let b = c.pair_seed(FreqMhz(1410), FreqMhz(705));
         assert_ne!(a, b);

@@ -22,10 +22,10 @@ use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::phase2::run_phase2;
 use crate::phase3::evaluate_pass;
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 
 /// The collected measurements for one pair.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PairRun {
     /// Initial frequency.
     pub init: FreqMhz,
@@ -33,8 +33,10 @@ pub struct PairRun {
     pub target: FreqMhz,
     /// Accepted switching latencies (ms), in measurement order.
     pub latencies_ms: Vec<f64>,
-    /// Ground-truth switching latencies (ms) for the same passes — simulator
-    /// only; used for closed-loop validation.
+    /// Ground-truth switching latencies (ms) for the same passes, when the
+    /// platform offers the [`GroundTruth`](crate::platform::GroundTruth)
+    /// capability (simulator only; used for closed-loop validation). `NaN`
+    /// entries mean the backend could not know the truth.
     pub ground_truth_ms: Vec<f64>,
     /// Total phase-2/3 retries over the whole run.
     pub retries: usize,
@@ -75,6 +77,9 @@ pub enum PairOutcome {
         /// Attempts spent on the failing measurement.
         attempts: usize,
     },
+    /// The session was cancelled before this pair was scheduled. Resuming
+    /// from a checkpoint re-runs exactly these pairs.
+    Cancelled,
 }
 
 impl PairOutcome {
@@ -85,14 +90,98 @@ impl PairOutcome {
             _ => None,
         }
     }
+
+    /// Whether the session was cancelled before measuring this pair.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, PairOutcome::Cancelled)
+    }
+}
+
+// The vendored serde derive handles unit-variant enums only, so the
+// data-carrying outcome is (de)serialised by hand as a tagged map — the
+// same externally-visible shape upstream serde's adjacently-tagged enums
+// would produce.
+impl serde::Serialize for PairOutcome {
+    fn to_value(&self) -> serde::Value {
+        let tag = |s: &str| ("status".to_string(), serde::Value::Str(s.to_string()));
+        match self {
+            PairOutcome::Completed(run) => {
+                serde::Value::Map(vec![tag("completed"), ("run".to_string(), run.to_value())])
+            }
+            PairOutcome::PowerLimited {
+                measurements_before,
+            } => serde::Value::Map(vec![
+                tag("power_limited"),
+                (
+                    "measurements_before".to_string(),
+                    measurements_before.to_value(),
+                ),
+            ]),
+            PairOutcome::SkippedIndistinguishable => {
+                serde::Value::Map(vec![tag("skipped_indistinguishable")])
+            }
+            PairOutcome::RetriesExhausted {
+                measurements_before,
+                attempts,
+            } => serde::Value::Map(vec![
+                tag("retries_exhausted"),
+                (
+                    "measurements_before".to_string(),
+                    measurements_before.to_value(),
+                ),
+                ("attempts".to_string(), attempts.to_value()),
+            ]),
+            PairOutcome::Cancelled => serde::Value::Map(vec![tag("cancelled")]),
+        }
+    }
+}
+
+impl serde::Deserialize for PairOutcome {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("expected map for PairOutcome, got {value:?}"))
+        })?;
+        let status = serde::field(entries, "status", "PairOutcome")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("PairOutcome status must be a string"))?;
+        match status {
+            "completed" => Ok(PairOutcome::Completed(serde::Deserialize::from_value(
+                serde::field(entries, "run", "PairOutcome")?,
+            )?)),
+            "power_limited" => Ok(PairOutcome::PowerLimited {
+                measurements_before: serde::Deserialize::from_value(serde::field(
+                    entries,
+                    "measurements_before",
+                    "PairOutcome",
+                )?)?,
+            }),
+            "skipped_indistinguishable" => Ok(PairOutcome::SkippedIndistinguishable),
+            "retries_exhausted" => Ok(PairOutcome::RetriesExhausted {
+                measurements_before: serde::Deserialize::from_value(serde::field(
+                    entries,
+                    "measurements_before",
+                    "PairOutcome",
+                )?)?,
+                attempts: serde::Deserialize::from_value(serde::field(
+                    entries,
+                    "attempts",
+                    "PairOutcome",
+                )?)?,
+            }),
+            "cancelled" => Ok(PairOutcome::Cancelled),
+            other => Err(serde::Error::custom(format!(
+                "unknown PairOutcome status `{other}`"
+            ))),
+        }
+    }
 }
 
 /// Measure one pair to completion.
 ///
 /// `initial_bound_ms` is the probe phase's upper-bound estimate for the
 /// switching latency (used to size capture windows).
-pub fn run_pair(
-    platform: &mut SimPlatform,
+pub fn run_pair<P: Platform>(
+    platform: &mut P,
     config: &CampaignConfig,
     phase1: &Phase1Result,
     init: FreqMhz,
@@ -127,8 +216,11 @@ pub fn run_pair(
             let eval = evaluate_pass(&capture, &target_stats, config);
             match eval.latency_ns {
                 Some(ns) => {
+                    // Closed-loop bookkeeping is gated on the capability:
+                    // only a backend that knows the truth can report it.
                     let gt = platform
-                        .last_ground_truth()
+                        .as_ground_truth()
+                        .and_then(|g| g.last_transition())
                         .map(|g| g.switching_latency().as_millis_f64())
                         .unwrap_or(f64::NAN);
                     measured = Some((ns as f64 / 1e6, gt));
@@ -155,9 +247,11 @@ pub fn run_pair(
 
         // Throttle poll every 5 passes.
         if n.is_multiple_of(config.throttle_check_every) {
-            let reasons = platform.nvml.throttle_reasons();
+            let reasons = platform.throttle_reasons();
             if reasons.sw_power_cap {
-                return Ok(PairOutcome::PowerLimited { measurements_before: n });
+                return Ok(PairOutcome::PowerLimited {
+                    measurements_before: n,
+                });
             }
             if reasons.hw_thermal_slowdown {
                 thermal_events += 1;
@@ -175,10 +269,10 @@ pub fn run_pair(
                     let drop = config.thermal_discard.min(latencies_ms.len());
                     latencies_ms.truncate(latencies_ms.len() - drop);
                     ground_truth_ms.truncate(ground_truth_ms.len() - drop);
-                    platform.cuda.usleep(config.thermal_backoff);
+                    platform.sleep(config.thermal_backoff);
                     continue;
                 }
-                platform.cuda.usleep(config.thermal_backoff);
+                platform.sleep(config.thermal_backoff);
             } else {
                 consecutive_thermal_discards = 0;
             }
@@ -210,6 +304,7 @@ pub fn run_pair(
 mod tests {
     use super::*;
     use crate::phase1::run_phase1;
+    use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
     use latest_gpu_sim::transition::FixedTransition;
     use latest_sim_clock::SimDuration;
@@ -278,7 +373,15 @@ mod tests {
         config.initial_latency_guess_ms = 2.0;
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let p1 = run_phase1(&mut platform, &config).unwrap();
-        let out = run_pair(&mut platform, &config, &p1, FreqMhz(1410), FreqMhz(705), 2.0).unwrap();
+        let out = run_pair(
+            &mut platform,
+            &config,
+            &p1,
+            FreqMhz(1410),
+            FreqMhz(705),
+            2.0,
+        )
+        .unwrap();
         let r = out.run().expect("completed");
         assert!(r.retries >= 1, "no retry recorded");
         assert!(r.final_bound_ms >= 20.0, "bound {}", r.final_bound_ms);

@@ -42,6 +42,14 @@ pub enum CoreError {
         /// Description.
         message: String,
     },
+    /// The session was cancelled before phase 1 produced anything worth
+    /// checkpointing.
+    Cancelled,
+    /// A resume checkpoint does not match the configured campaign.
+    CheckpointMismatch {
+        /// What disagreed.
+        reason: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -63,6 +71,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::CsvFormat { line, message } => {
                 write!(f, "CSV line {line}: {message}")
+            }
+            CoreError::Cancelled => write!(f, "campaign cancelled before any pair was measured"),
+            CoreError::CheckpointMismatch { reason } => {
+                write!(f, "resume checkpoint mismatch: {reason}")
             }
             CoreError::Io(e) => write!(f, "I/O: {e}"),
         }

@@ -1,0 +1,304 @@
+//! The multi-device fleet driver: one campaign per [`DeviceSpec`], run in
+//! parallel, aggregated per device.
+//!
+//! The paper benchmarks three GPU models and four units of the same SKU;
+//! related frequency-scaling studies sweep whole clusters. [`Fleet`] is the
+//! orchestration layer for that shape: add one [`CampaignConfig`] per
+//! device (different models, or units of one model), run them all — each
+//! device is an independent [`CampaignSession`] scheduled at pair
+//! granularity — and collect a [`FleetResult`] holding per-device
+//! [`CampaignResult`]s plus cross-device summary rows ready for
+//! `latest-report`'s table renderers.
+//!
+//! Cancellation and progress events compose: one shared [`CancelToken`]
+//! winds down every member session, and a [`FleetObserver`] sees every
+//! member's [`CampaignEvent`] tagged with its device slot.
+
+use latest_cluster::AdaptiveConfig;
+use latest_gpu_sim::devices::DeviceSpec;
+use rayon::prelude::*;
+
+use crate::campaign::CampaignResult;
+use crate::config::CampaignConfig;
+use crate::error::{CoreError, CoreResult};
+use crate::session::{CampaignEvent, CampaignSession, CancelToken};
+
+/// Observer hook for fleet-wide progress: every member session's event,
+/// tagged with the member's slot in the fleet.
+pub trait FleetObserver: Send + Sync {
+    /// Called for every event of every member campaign.
+    fn event(&self, device_slot: usize, event: &CampaignEvent);
+}
+
+impl<F: Fn(usize, &CampaignEvent) + Send + Sync> FleetObserver for F {
+    fn event(&self, device_slot: usize, event: &CampaignEvent) {
+        self(device_slot, event)
+    }
+}
+
+/// A fleet of devices to measure, one campaign each.
+#[derive(Default)]
+pub struct Fleet {
+    members: Vec<CampaignConfig>,
+    adaptive: AdaptiveConfig,
+    observers: Vec<std::sync::Arc<dyn FleetObserver>>,
+    cancel: CancelToken,
+    sequential: bool,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Add one device's campaign configuration.
+    pub fn add_campaign(mut self, config: CampaignConfig) -> Self {
+        self.members.push(config);
+        self
+    }
+
+    /// Convenience: add a device spec measured over `frequencies_mhz`, with
+    /// the device index and a per-device seed derived from the slot.
+    pub fn add_device(self, spec: DeviceSpec, frequencies_mhz: &[u32], base_seed: u64) -> Self {
+        let slot = self.members.len();
+        let config = CampaignConfig::builder(spec)
+            .frequencies_mhz(frequencies_mhz)
+            .device_index(slot)
+            .seed(base_seed.wrapping_add(slot as u64))
+            .build();
+        self.add_campaign(config)
+    }
+
+    /// Override the Algorithm-3 parameters for every member.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Attach a fleet-wide observer.
+    pub fn observe(mut self, observer: impl FleetObserver + 'static) -> Self {
+        self.observers.push(std::sync::Arc::new(observer));
+        self
+    }
+
+    /// The shared cancellation token: cancelling it winds down every member.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Force sequential scheduling (members and their pairs).
+    pub fn sequential(mut self, on: bool) -> Self {
+        self.sequential = on;
+        self
+    }
+
+    /// Number of member devices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Run every member campaign and aggregate per-device results.
+    ///
+    /// Members run in parallel (each internally parallel over pairs); the
+    /// per-device seeding makes the outcome independent of scheduling. A
+    /// shared-token cancellation that lands before a member even starts its
+    /// phase 1 leaves that member in [`FleetResult::unstarted`] rather than
+    /// failing the whole fleet.
+    pub fn run(&self) -> CoreResult<FleetResult> {
+        let run_one =
+            |(slot, config): (usize, &CampaignConfig)| -> CoreResult<Option<CampaignResult>> {
+                let mut session = CampaignSession::new(config.clone())
+                    .with_adaptive(self.adaptive)
+                    .with_cancel_token(self.cancel.clone())
+                    .sequential(self.sequential);
+                for obs in &self.observers {
+                    let obs = obs.clone();
+                    session = session.observe(move |e: &CampaignEvent| obs.event(slot, e));
+                }
+                match session.run() {
+                    Ok(r) => Ok(Some(r)),
+                    Err(CoreError::Cancelled) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            };
+        let outcomes: CoreResult<Vec<Option<CampaignResult>>> = if self.sequential {
+            self.members.iter().enumerate().map(run_one).collect()
+        } else {
+            self.members.par_iter().enumerate().map(run_one).collect()
+        };
+        let mut devices = Vec::new();
+        let mut unstarted = Vec::new();
+        for (slot, outcome) in outcomes?.into_iter().enumerate() {
+            match outcome {
+                Some(r) => devices.push(r),
+                None => unstarted.push(slot),
+            }
+        }
+        Ok(FleetResult { devices, unstarted })
+    }
+}
+
+/// Aggregated result of a fleet run: one [`CampaignResult`] per member that
+/// ran, in fleet order.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FleetResult {
+    devices: Vec<CampaignResult>,
+    unstarted: Vec<usize>,
+}
+
+impl FleetResult {
+    /// Per-device results, in the order devices were added (members that
+    /// were cancelled before starting are absent; see
+    /// [`FleetResult::unstarted`]).
+    pub fn devices(&self) -> &[CampaignResult] {
+        &self.devices
+    }
+
+    /// Fleet slots whose campaigns were cancelled before phase 1 ran.
+    pub fn unstarted(&self) -> &[usize] {
+        &self.unstarted
+    }
+
+    /// The result for the first device with this name, if any.
+    pub fn by_name(&self, name: &str) -> Option<&CampaignResult> {
+        self.devices.iter().find(|d| d.device_name == name)
+    }
+
+    /// Cross-device summary rows (per device: pair counts and the filtered
+    /// best/mean/worst latency over completed pairs) — the input shape of
+    /// `latest_report::cross_device_table`.
+    pub fn summary_rows(&self) -> Vec<FleetDeviceSummary> {
+        self.devices
+            .iter()
+            .map(|r| {
+                let stats: Vec<(f64, f64, f64)> = r
+                    .completed()
+                    .filter_map(|p| p.analysis.as_ref())
+                    .filter(|a| !a.inliers_ms.is_empty())
+                    .map(|a| (a.filtered.min, a.filtered.mean, a.filtered.max))
+                    .collect();
+                let completed = r.completed().count();
+                FleetDeviceSummary {
+                    device_name: r.device_name.clone(),
+                    device_index: r.device_index,
+                    pairs_total: r.pairs().len(),
+                    pairs_completed: completed,
+                    best_ms: stats.iter().map(|s| s.0).fold(f64::INFINITY, f64::min),
+                    mean_ms: if stats.is_empty() {
+                        f64::NAN
+                    } else {
+                        stats.iter().map(|s| s.1).sum::<f64>() / stats.len() as f64
+                    },
+                    worst_ms: stats.iter().map(|s| s.2).fold(f64::NEG_INFINITY, f64::max),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One device's row in the cross-device summary.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FleetDeviceSummary {
+    /// Device name.
+    pub device_name: String,
+    /// Device index within its campaign config.
+    pub device_index: usize,
+    /// Ordered pairs scheduled.
+    pub pairs_total: usize,
+    /// Pairs that completed with measurements.
+    pub pairs_completed: usize,
+    /// Best (minimum) filtered per-pair latency (ms); `inf` if none.
+    pub best_ms: f64,
+    /// Mean of the filtered per-pair means (ms); `NaN` if none.
+    pub mean_ms: f64,
+    /// Worst (maximum) filtered per-pair latency (ms); `-inf` if none.
+    pub worst_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use latest_sim_clock::SimDuration;
+    use std::sync::Arc;
+
+    fn quick(
+        spec: latest_gpu_sim::devices::DeviceSpec,
+        freqs: &[u32],
+        seed: u64,
+    ) -> CampaignConfig {
+        let mut spec = spec;
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(6),
+        });
+        CampaignConfig::builder(spec)
+            .frequencies_mhz(freqs)
+            .measurements(5, 12)
+            .simulated_sms(Some(2))
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn fleet_aggregates_per_device_results() {
+        let fleet = Fleet::new()
+            .add_campaign(quick(devices::a100_sxm4(), &[705, 1410], 1))
+            .add_campaign(quick(devices::gh200(), &[705, 1980], 2));
+        assert_eq!(fleet.len(), 2);
+        let result = fleet.run().unwrap();
+        assert_eq!(result.devices().len(), 2);
+        assert!(result.by_name("NVIDIA A100-SXM4-40GB").is_some());
+        assert!(result.devices().iter().all(|d| d.completed().count() > 0));
+        let rows = result.summary_rows();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.best_ms <= row.mean_ms && row.mean_ms <= row.worst_ms);
+            assert_eq!(row.pairs_total, 2);
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let build = || {
+            Fleet::new()
+                .add_campaign(quick(devices::a100_sxm4(), &[705, 1410], 7))
+                .add_campaign(quick(devices::a100_sxm4_unit(1), &[705, 1410], 8))
+        };
+        let a = build().run().unwrap();
+        let b = build().sequential(true).run().unwrap();
+        for (da, db) in a.devices().iter().zip(b.devices()) {
+            for (pa, pb) in da.pairs().iter().zip(db.pairs()) {
+                assert_eq!(pa.latencies_ms(), pb.latencies_ms());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cancel_token_reaches_every_member() {
+        let fleet = Fleet::new()
+            .add_campaign(quick(devices::a100_sxm4(), &[705, 1410], 3))
+            .add_campaign(quick(devices::gh200(), &[705, 1980], 4))
+            .sequential(true);
+        let token = fleet.cancel_token();
+        let fleet = fleet.observe(move |_slot: usize, e: &CampaignEvent| {
+            if matches!(e, CampaignEvent::PairFinished { .. }) {
+                token.cancel();
+            }
+        });
+        let result = fleet.run().unwrap();
+        // The first pair of the first device completes; the rest of that
+        // device is marked cancelled and the second device never starts.
+        let completed: usize = result.devices().iter().map(|d| d.completed().count()).sum();
+        assert_eq!(completed, 1);
+        assert_eq!(result.devices().len(), 1);
+        assert!(result.devices()[0].is_partial());
+        assert_eq!(result.unstarted(), &[1]);
+    }
+}

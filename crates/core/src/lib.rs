@@ -23,11 +23,17 @@
 //! * **Analysis** ([`analysis`]) — the adaptive DBSCAN outlier filter
 //!   (Algorithm 3) applied per pair, with cluster census and silhouette
 //!   validation.
-//! * **Campaign** ([`campaign`]) — the end-to-end LATEST tool: all phases
-//!   over all requested pairs, parallelised across pairs (each pair runs on
-//!   its own simulated platform instance; on real hardware the tool is
-//!   sequential — the parallelism is a simulation-only speedup that
-//!   preserves per-pair semantics).
+//! * **Session** ([`session`]) — the streaming campaign engine: work
+//!   scheduled at pair granularity, typed progress events through observer
+//!   hooks or channels, cooperative cancellation, and checkpoint/resume
+//!   over the serialisable [`CampaignResult`]. [`Latest`] is a thin
+//!   blocking wrapper over it.
+//! * **Fleet** ([`fleet`]) — multi-device orchestration: one campaign per
+//!   device spec, run in parallel, aggregated into per-device results and
+//!   cross-device summary rows.
+//! * **Platform** ([`platform`]) — the backend abstraction the methodology
+//!   is generic over: NVML-style control plus CUDA-style execution, with
+//!   ground truth as an optional capability only the simulator implements.
 //! * **Output** ([`output`]) — the `.csv` convention of Sec. VI:
 //!   `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv`.
 //!
@@ -42,18 +48,24 @@ pub mod campaign;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod fleet;
 pub mod output;
 pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod platform;
 pub mod probe;
+pub mod session;
 pub mod wakeup;
 
-pub use analysis::{PairAnalysis, analyze_pair};
+pub use analysis::{analyze_pair, PairAnalysis};
 pub use campaign::{CampaignResult, Latest, PairMeasurement};
 pub use config::{CampaignConfig, CampaignConfigBuilder};
 pub use controller::{PairOutcome, PairRun};
 pub use error::{CoreError, CoreResult};
+pub use fleet::{Fleet, FleetDeviceSummary, FleetObserver, FleetResult};
 pub use phase1::{FreqCharacterization, Phase1Result};
-pub use platform::SimPlatform;
+pub use platform::{GroundTruth, Platform, PlatformFactory, SimPlatform, SimPlatformFactory};
+pub use session::{
+    CampaignEvent, CampaignObserver, CampaignSession, CancelToken, ChannelObserver, SkipReason,
+};

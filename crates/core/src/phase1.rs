@@ -21,10 +21,10 @@ use latest_stats::{diff_confidence_interval, Summary};
 
 use crate::config::CampaignConfig;
 use crate::error::{CoreError, CoreResult};
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 
 /// Per-frequency characterisation from the last warm kernel.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct FreqCharacterization {
     /// The frequency.
     pub freq: FreqMhz,
@@ -33,7 +33,8 @@ pub struct FreqCharacterization {
 }
 
 /// Output of phase 1.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(from = "Phase1ResultRepr", into = "Phase1ResultRepr")]
 pub struct Phase1Result {
     /// Characterisation per frequency.
     pub freqs: BTreeMap<FreqMhz, FreqCharacterization>,
@@ -41,6 +42,36 @@ pub struct Phase1Result {
     pub valid_pairs: Vec<(FreqMhz, FreqMhz)>,
     /// Ordered pairs excluded as statistically indistinguishable.
     pub skipped_pairs: Vec<(FreqMhz, FreqMhz)>,
+}
+
+/// Serialised shape of [`Phase1Result`]: the frequency map flattens into a
+/// sequence (each characterisation carries its own frequency), which keeps
+/// the JSON free of non-string map keys.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+struct Phase1ResultRepr {
+    freqs: Vec<FreqCharacterization>,
+    valid_pairs: Vec<(FreqMhz, FreqMhz)>,
+    skipped_pairs: Vec<(FreqMhz, FreqMhz)>,
+}
+
+impl From<Phase1Result> for Phase1ResultRepr {
+    fn from(r: Phase1Result) -> Self {
+        Phase1ResultRepr {
+            freqs: r.freqs.into_values().collect(),
+            valid_pairs: r.valid_pairs,
+            skipped_pairs: r.skipped_pairs,
+        }
+    }
+}
+
+impl From<Phase1ResultRepr> for Phase1Result {
+    fn from(r: Phase1ResultRepr) -> Self {
+        Phase1Result {
+            freqs: r.freqs.into_iter().map(|c| (c.freq, c)).collect(),
+            valid_pairs: r.valid_pairs,
+            skipped_pairs: r.skipped_pairs,
+        }
+    }
 }
 
 impl Phase1Result {
@@ -56,9 +87,14 @@ impl Phase1Result {
 }
 
 /// Run phase 1 on `platform` for every configured frequency.
-pub fn run_phase1(platform: &mut SimPlatform, config: &CampaignConfig) -> CoreResult<Phase1Result> {
+pub fn run_phase1<P: Platform>(
+    platform: &mut P,
+    config: &CampaignConfig,
+) -> CoreResult<Phase1Result> {
     if config.frequencies.len() < 2 {
-        return Err(CoreError::NotEnoughFrequencies { got: config.frequencies.len() });
+        return Err(CoreError::NotEnoughFrequencies {
+            got: config.frequencies.len(),
+        });
     }
     for &f in &config.frequencies {
         if !config.spec.ladder.contains(f) {
@@ -88,17 +124,21 @@ pub fn run_phase1(platform: &mut SimPlatform, config: &CampaignConfig) -> CoreRe
         }
     }
 
-    Ok(Phase1Result { freqs, valid_pairs, skipped_pairs })
+    Ok(Phase1Result {
+        freqs,
+        valid_pairs,
+        skipped_pairs,
+    })
 }
 
 /// Characterise one frequency: lock clocks, run `phase1_kernels` kernels,
 /// keep only the last kernel's pooled statistics.
-pub fn characterize_frequency(
-    platform: &mut SimPlatform,
+pub fn characterize_frequency<P: Platform>(
+    platform: &mut P,
     config: &CampaignConfig,
     freq: FreqMhz,
 ) -> CoreResult<FreqCharacterization> {
-    platform.nvml.set_gpu_locked_clocks(freq)?;
+    platform.set_locked_clocks(freq)?;
     let kernel_cfg = KernelConfig {
         iters_per_sm: config.phase1_iters,
         workload: config.workload,
@@ -109,22 +149,22 @@ pub fn characterize_frequency(
     // (covers wake-up *and* the transition into `freq`, which can itself
     // take hundreds of ms on some targets), then at least the configured
     // kernel count. Only the final kernel is measured.
-    let settle_from = platform.clock.now();
+    let settle_from = platform.now();
     let mut warm_kernels = 0usize;
     while warm_kernels + 1 < config.phase1_kernels.max(2)
-        || platform.clock.now().saturating_since(settle_from) < config.phase1_settle
+        || platform.now().saturating_since(settle_from) < config.phase1_settle
     {
-        let id = platform.cuda.launch_benchmark(kernel_cfg)?;
-        platform.cuda.synchronize();
-        let _ = platform.cuda.copy_records(id)?; // warm-up data discarded
+        let id = platform.launch_benchmark(kernel_cfg)?;
+        platform.synchronize();
+        let _ = platform.collect_records(id)?; // warm-up data discarded
         warm_kernels += 1;
         if warm_kernels > 10_000 {
             break; // defensive bound; unreachable with sane configs
         }
     }
-    let id = platform.cuda.launch_benchmark(kernel_cfg)?;
-    platform.cuda.synchronize();
-    let records = platform.cuda.copy_records(id)?;
+    let id = platform.launch_benchmark(kernel_cfg)?;
+    platform.synchronize();
+    let records = platform.collect_records(id)?;
 
     // Pool all SM streams, dropping the first few iterations of each (they
     // may straddle a residual ramp after a cold start).
@@ -138,13 +178,17 @@ pub fn characterize_frequency(
     // inflate the standard deviation — and with it the 2σ detection band —
     // by several times.
     let stats = latest_stats::robust_stats(&durations, 4.0, 2);
-    Ok(FreqCharacterization { freq, iter_ns: stats.summary() })
+    Ok(FreqCharacterization {
+        freq,
+        iter_ns: stats.summary(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::CampaignConfig;
+    use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
 
     fn quick_config(freqs: &[u32]) -> CampaignConfig {
@@ -162,7 +206,11 @@ mod tests {
         let slow = r.of(FreqMhz(705)).unwrap().iter_ns;
         let fast = r.of(FreqMhz(1410)).unwrap().iter_ns;
         // 100k cycles: ~141.8 us at 705 MHz, ~70.9 us at 1410 MHz.
-        assert!((slow.mean - 141_844.0).abs() < 1_500.0, "slow {}", slow.mean);
+        assert!(
+            (slow.mean - 141_844.0).abs() < 1_500.0,
+            "slow {}",
+            slow.mean
+        );
         assert!((fast.mean - 70_922.0).abs() < 1_000.0, "fast {}", fast.mean);
         assert!(slow.n > 1_000);
     }
@@ -186,10 +234,10 @@ mod tests {
             .build();
         config.workload.noise_rel_sigma = 0.5;
         config.phase1_iters = 40; // few samples, wide intervals
-        // At 95 % confidence the validation CI has a 5 % type-I rate by
-        // construction, so with *any* fixed seed this assertion is a coin
-        // the seed either wins or loses. 99.9 % keeps the skip mechanism
-        // under test while making the false-reject odds negligible.
+                                  // At 95 % confidence the validation CI has a 5 % type-I rate by
+                                  // construction, so with *any* fixed seed this assertion is a coin
+                                  // the seed either wins or loses. 99.9 % keeps the skip mechanism
+                                  // under test while making the false-reject odds negligible.
         config.confidence = 0.999;
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let r = run_phase1(&mut platform, &config).unwrap();

@@ -21,7 +21,7 @@ use latest_stats::{SigmaBand, Summary};
 
 use crate::config::CampaignConfig;
 use crate::error::CoreResult;
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 
 /// Everything phase 3 needs from one benchmark pass.
 #[derive(Clone, Debug)]
@@ -52,7 +52,8 @@ pub fn kernel_iterations(
 ) -> u32 {
     let slow = init.min(target);
     let iter_ns = config.expected_iter_ns(slow);
-    let latency_iters = (latency_bound_ms * 1e6 * config.probe_safety_factor / iter_ns).ceil() as u32;
+    let latency_iters =
+        (latency_bound_ms * 1e6 * config.probe_safety_factor / iter_ns).ceil() as u32;
     config.delay_iterations + latency_iters + config.confirm_iterations
 }
 
@@ -66,8 +67,8 @@ pub fn kernel_iterations(
 /// `latency_bound_ms` is the current upper-bound estimate for this pair's
 /// switching latency (from the probe phase, or grown by the retry logic when
 /// the capture window proved too short).
-pub fn run_phase2(
-    platform: &mut SimPlatform,
+pub fn run_phase2<P: Platform>(
+    platform: &mut P,
     config: &CampaignConfig,
     init: FreqMhz,
     target: FreqMhz,
@@ -80,7 +81,7 @@ pub fn run_phase2(
     // 2. Initial frequency + warm-up workload, verified against the init
     //    characterisation: keep running until the tail of a warm kernel
     //    sits inside the init band.
-    platform.nvml.set_gpu_locked_clocks(init)?;
+    platform.set_locked_clocks(init)?;
     let warm_cfg = KernelConfig {
         iters_per_sm: config.delay_iterations.max(200),
         workload: config.workload,
@@ -89,9 +90,9 @@ pub fn run_phase2(
     let init_band = SigmaBand::with_k(init_stats, config.sigma_k);
     const MAX_WARM_KERNELS: usize = 64;
     for _ in 0..MAX_WARM_KERNELS {
-        let warm_id = platform.cuda.launch_benchmark(warm_cfg)?;
-        platform.cuda.synchronize();
-        let records = platform.cuda.copy_records(warm_id)?;
+        let warm_id = platform.launch_benchmark(warm_cfg)?;
+        platform.synchronize();
+        let records = platform.collect_records(warm_id)?;
         let tail = &records[0][records[0].len().saturating_sub(32)..];
         let in_band = tail
             .iter()
@@ -109,21 +110,21 @@ pub fn run_phase2(
         workload: config.workload,
         simulated_sms: config.simulated_sms,
     };
-    let bench_id = platform.cuda.launch_benchmark(bench_cfg)?;
+    let bench_id = platform.launch_benchmark(bench_cfg)?;
 
     // 4. Delay period: sleep while the kernel accumulates initial-frequency
     //    iterations.
     let delay_ns = config.delay_iterations as f64 * config.expected_iter_ns(init);
-    platform.cuda.usleep(SimDuration::from_nanos(delay_ns as u64));
+    platform.sleep(SimDuration::from_nanos(delay_ns as u64));
 
     // 5. t_s, then the frequency-change call.
-    let ts_host = platform.clock.now();
+    let ts_host = platform.now();
     let ts_device = sync.host_to_device(ts_host);
-    platform.nvml.set_gpu_locked_clocks(target)?;
+    platform.set_locked_clocks(target)?;
 
     // 6. Wait for the kernel and fetch records.
-    platform.cuda.synchronize();
-    let records = platform.cuda.copy_records(bench_id)?;
+    platform.synchronize();
+    let records = platform.collect_records(bench_id)?;
 
     Ok(SwitchCapture {
         init,
@@ -139,6 +140,7 @@ pub fn run_phase2(
 mod tests {
     use super::*;
     use crate::config::CampaignConfig;
+    use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
     use latest_gpu_sim::transition::FixedTransition;
     use std::sync::Arc;
@@ -165,8 +167,8 @@ mod tests {
 
     /// Phase-1 characterisation for the fixture frequencies, as the real
     /// pipeline provides it.
-    fn stats_for(
-        platform: &mut SimPlatform,
+    fn stats_for<P: Platform>(
+        platform: &mut P,
         config: &CampaignConfig,
         freq: FreqMhz,
     ) -> latest_stats::Summary {
@@ -180,9 +182,15 @@ mod tests {
         let config = fixed_latency_config(8);
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let init_stats = stats_for(&mut platform, &config, FreqMhz(1410));
-        let cap =
-            run_phase2(&mut platform, &config, FreqMhz(1410), FreqMhz(705), &init_stats, 10.0)
-                .unwrap();
+        let cap = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            FreqMhz(705),
+            &init_stats,
+            10.0,
+        )
+        .unwrap();
         assert_eq!(cap.records.len(), 8);
 
         let fast_ns = config.expected_iter_ns(FreqMhz(1410));
@@ -205,9 +213,15 @@ mod tests {
         let config = fixed_latency_config(8);
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let init_stats = stats_for(&mut platform, &config, FreqMhz(1410));
-        let cap =
-            run_phase2(&mut platform, &config, FreqMhz(1410), FreqMhz(705), &init_stats, 10.0)
-                .unwrap();
+        let cap = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            FreqMhz(705),
+            &init_stats,
+            10.0,
+        )
+        .unwrap();
         let sm = &cap.records[0];
         let before_ts = sm.iter().filter(|r| r.start < cap.ts_device).count();
         // The delay period is 300 iterations; allow slack for launch overhead
@@ -223,8 +237,15 @@ mod tests {
         let config = fixed_latency_config(12);
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let init_stats = stats_for(&mut platform, &config, FreqMhz(705));
-        let _ = run_phase2(&mut platform, &config, FreqMhz(705), FreqMhz(1410), &init_stats, 15.0)
-            .unwrap();
+        let _ = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(705),
+            FreqMhz(1410),
+            &init_stats,
+            15.0,
+        )
+        .unwrap();
         let gt = platform.last_ground_truth().unwrap();
         assert_eq!(gt.to, FreqMhz(1410));
         // 12 ms fixed + sub-ms driver travel.

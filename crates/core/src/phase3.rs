@@ -71,10 +71,12 @@ impl PassEvaluation {
     /// retry rather than just re-rolling.
     pub fn looks_truncated(&self) -> bool {
         self.latency_ns.is_none()
-            && self
-                .cores
-                .iter()
-                .all(|c| matches!(c.outcome, Err(CoreRejection::NoBandEntry | CoreRejection::WindowTooShort)))
+            && self.cores.iter().all(|c| {
+                matches!(
+                    c.outcome,
+                    Err(CoreRejection::NoBandEntry | CoreRejection::WindowTooShort)
+                )
+            })
     }
 }
 
@@ -94,10 +96,7 @@ pub fn evaluate_pass(
             outcome: evaluate_core(records, capture, &band, target_iter_ns, config),
         })
         .collect();
-    let latency_ns = cores
-        .iter()
-        .filter_map(|c| c.outcome.ok())
-        .max();
+    let latency_ns = cores.iter().filter_map(|c| c.outcome.ok()).max();
     PassEvaluation { cores, latency_ns }
 }
 
@@ -148,7 +147,10 @@ fn evaluate_core(
         if tail.is_empty() {
             target_iter_ns.mean
         } else {
-            tail.iter().map(|r| r.duration().as_nanos() as f64).sum::<f64>() / tail.len() as f64
+            tail.iter()
+                .map(|r| r.duration().as_nanos() as f64)
+                .sum::<f64>()
+                / tail.len() as f64
         }
     };
     let wide = SigmaBand::with_k(target_iter_ns, config.sigma_k * 1.5);
@@ -233,12 +235,24 @@ mod tests {
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let p1 = run_phase1(&mut platform, &config).unwrap();
         let init_stats = p1.of(FreqMhz(1410)).unwrap().iter_ns;
-        let cap = run_phase2(&mut platform, &config, FreqMhz(1410), FreqMhz(705), &init_stats, 15.0).unwrap();
+        let cap = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            FreqMhz(705),
+            &init_stats,
+            15.0,
+        )
+        .unwrap();
         let target_stats = p1.of(FreqMhz(705)).unwrap().iter_ns;
         let eval = evaluate_pass(&cap, &target_stats, &config);
         let measured_ms = eval.latency_ns.expect("pass must evaluate") as f64 / 1e6;
 
-        let gt = platform.last_ground_truth().unwrap().switching_latency().as_millis_f64();
+        let gt = platform
+            .last_ground_truth()
+            .unwrap()
+            .switching_latency()
+            .as_millis_f64();
         // Detection granularity: one iteration at the slow clock (~142 us)
         // plus sync uncertainty (~10 us) plus driver travel.
         assert!(
@@ -254,7 +268,15 @@ mod tests {
         let mut platform = SimPlatform::new(config.spec.clone(), config.seed).unwrap();
         let p1 = run_phase1(&mut platform, &config).unwrap();
         let init_stats = p1.of(FreqMhz(705)).unwrap().iter_ns;
-        let cap = run_phase2(&mut platform, &config, FreqMhz(705), FreqMhz(1410), &init_stats, 10.0).unwrap();
+        let cap = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(705),
+            FreqMhz(1410),
+            &init_stats,
+            10.0,
+        )
+        .unwrap();
         let target_stats = p1.of(FreqMhz(1410)).unwrap().iter_ns;
         let eval = evaluate_pass(&cap, &target_stats, &config);
         let per_core: Vec<u64> = eval.cores.iter().filter_map(|c| c.outcome.ok()).collect();
@@ -271,7 +293,15 @@ mod tests {
         let p1 = run_phase1(&mut platform, &config).unwrap();
         // Bound lied: claim 2 ms so the kernel is far too short.
         let init_stats = p1.of(FreqMhz(1410)).unwrap().iter_ns;
-        let cap = run_phase2(&mut platform, &config, FreqMhz(1410), FreqMhz(705), &init_stats, 2.0).unwrap();
+        let cap = run_phase2(
+            &mut platform,
+            &config,
+            FreqMhz(1410),
+            FreqMhz(705),
+            &init_stats,
+            2.0,
+        )
+        .unwrap();
         let target_stats = p1.of(FreqMhz(705)).unwrap().iter_ns;
         let eval = evaluate_pass(&cap, &target_stats, &config);
         assert!(eval.latency_ns.is_none());

@@ -1,24 +1,138 @@
-//! The platform layer: one simulated GPU wired up behind the NVML and CUDA
-//! façades, plus the PTP probe adapter.
+//! The platform abstraction: what the methodology needs from an accelerator.
 //!
-//! On real hardware the analogous layer is "the machine": one NVML handle
-//! and one CUDA context sharing a physical device. Here both façades share
-//! one [`GpuDevice`](latest_gpu_sim::GpuDevice) and one virtual clock. The
-//! campaign creates a *fresh* platform per frequency pair (seeded from the
+//! Phases 1–3, the probe, the wake-up estimator and the RSE controller are
+//! defined over *any* accelerator exposing NVML-style control and CUDA-style
+//! execution (Secs. V–VI make no simulator assumptions). The [`Platform`]
+//! trait captures exactly that contract — clock access, frequency control,
+//! kernel launch/collect, timer synchronisation and thermal/power polling —
+//! so every phase function is generic over the backend.
+//!
+//! [`SimPlatform`] is the first implementor: one simulated GPU wired up
+//! behind the NVML and CUDA façades, sharing one virtual clock. It
+//! additionally implements the optional [`GroundTruth`] capability (the
+//! device records the exact moment each transition settled), which is what
+//! makes closed-loop validation possible — a real-hardware backend cannot
+//! offer it, and everything downstream treats it as optional.
+//!
+//! [`PlatformFactory`] abstracts platform *construction*: the campaign
+//! driver creates a fresh platform per frequency pair (seeded from the
 //! pair) so pairs can run in parallel with bitwise-reproducible results.
 
 use std::sync::Arc;
 
 use latest_clock_sync::{synchronize, SyncConfig, SyncResult, TimestampProbe};
-use latest_cuda_sim::CudaContext;
+use latest_cuda_sim::{CudaContext, TimerData};
 use latest_gpu_sim::devices::DeviceSpec;
+use latest_gpu_sim::freq::FreqMhz;
 use latest_gpu_sim::transition::TransitionGroundTruth;
-use latest_gpu_sim::GpuDevice;
+use latest_gpu_sim::{GpuDevice, KernelConfig, KernelId, ThrottleReasons};
 use latest_nvml_sim::{Nvml, NvmlDevice};
-use latest_sim_clock::SharedClock;
+use latest_sim_clock::{SharedClock, SimDuration, SimTime};
 use parking_lot::Mutex;
 
 use crate::error::CoreResult;
+
+/// The accelerator contract the LATEST methodology runs against.
+///
+/// A platform is "the machine": one driver control handle and one execution
+/// context sharing a physical device and a host clock. The methodology only
+/// ever talks to this trait; backends decide what sits behind it (a
+/// simulated GPU here, NVML + CUDA on real hardware).
+pub trait Platform: Send {
+    // --- clock access ---
+
+    /// Current host time.
+    fn now(&self) -> SimTime;
+
+    /// Host-side sleep (`usleep`): the tool sleeps through the delay period
+    /// and thermal backoffs.
+    fn sleep(&mut self, d: SimDuration);
+
+    // --- frequency control (NVML-style) ---
+
+    /// Lock the SM clock to `target` (`nvmlDeviceSetGpuLockedClocks` with
+    /// `min == max`). Returns the ladder-snapped frequency. The call blocks
+    /// briefly on the host; the device applies the change asynchronously.
+    fn set_locked_clocks(&mut self, target: FreqMhz) -> CoreResult<FreqMhz>;
+
+    /// Release the lock and return to the nominal clock.
+    fn reset_locked_clocks(&mut self) -> CoreResult<FreqMhz>;
+
+    /// The instantaneous SM clock (`nvmlDeviceGetClockInfo`).
+    fn current_clock(&mut self) -> FreqMhz;
+
+    /// The device's supported frequency ladder.
+    fn supported_clocks(&self) -> Vec<FreqMhz>;
+
+    // --- kernel launch / collect (CUDA-style) ---
+
+    /// Asynchronously launch the timing microbenchmark kernel.
+    fn launch_benchmark(&mut self, config: KernelConfig) -> CoreResult<KernelId>;
+
+    /// Block until every queued kernel finishes; returns the completion time.
+    fn synchronize(&mut self) -> SimTime;
+
+    /// Copy a finished kernel's per-SM iteration records to the host.
+    fn collect_records(&mut self, id: KernelId) -> CoreResult<TimerData>;
+
+    // --- timer synchronisation ---
+
+    /// Run an IEEE 1588 host↔device timer synchronisation.
+    fn synchronize_timers(&mut self, config: &SyncConfig) -> SyncResult;
+
+    // --- thermal / power polling ---
+
+    /// The current throttle-reason bitmask
+    /// (`nvmlDeviceGetCurrentClocksThrottleReasons`).
+    fn throttle_reasons(&mut self) -> ThrottleReasons;
+
+    /// The GPU temperature in °C (`nvmlDeviceGetTemperature`).
+    fn temperature_c(&mut self) -> f64;
+
+    // --- metadata ---
+
+    /// Human-readable device name.
+    fn device_name(&self) -> String;
+
+    // --- capability discovery ---
+
+    /// The closed-loop validation capability, when the backend offers it.
+    ///
+    /// Only backends that *know* the true transition times (the simulator)
+    /// return `Some`; the methodology itself never requires it, and every
+    /// ground-truth assertion downstream is gated on this returning `Some`.
+    fn as_ground_truth(&self) -> Option<&dyn GroundTruth> {
+        None
+    }
+}
+
+/// Optional capability: the platform records ground-truth transitions.
+///
+/// Implemented by the simulator only — real hardware cannot know the true
+/// switching latency (that is why the paper needs a methodology at all).
+pub trait GroundTruth {
+    /// All ground-truth transitions recorded so far.
+    fn transitions(&self) -> Vec<TransitionGroundTruth>;
+
+    /// The most recent ground-truth transition.
+    fn last_transition(&self) -> Option<TransitionGroundTruth>;
+}
+
+/// Builds fresh [`Platform`] instances for campaign workers.
+///
+/// The campaign schedules work at pair granularity and gives every pair its
+/// own platform seeded from `(campaign seed, pair)`; this trait is how it
+/// asks the backend for one.
+pub trait PlatformFactory: Send + Sync {
+    /// The platform type this factory builds.
+    type Platform: Platform;
+
+    /// Create a platform seeded with `seed`.
+    fn create(&self, seed: u64) -> CoreResult<Self::Platform>;
+
+    /// Name of the device the platforms will run on.
+    fn device_name(&self) -> String;
+}
 
 /// One simulated machine: clock + device + NVML handle + CUDA context.
 pub struct SimPlatform {
@@ -38,13 +152,12 @@ impl SimPlatform {
         let nvml = nvml_lib.device(0)?;
         let device = nvml_lib.raw_device(0)?;
         let cuda = CudaContext::new(clock.clone(), device.clone(), seed ^ 0xCAFE);
-        Ok(SimPlatform { clock, nvml, cuda, device })
-    }
-
-    /// Run an IEEE 1588 synchronisation over the CUDA globaltimer probe.
-    pub fn synchronize_timers(&mut self, config: &SyncConfig) -> SyncResult {
-        let mut probe = CudaProbe { cuda: &mut self.cuda };
-        synchronize(&mut probe, config)
+        Ok(SimPlatform {
+            clock,
+            nvml,
+            cuda,
+            device,
+        })
     }
 
     /// Ground-truth transitions recorded by the device (closed-loop tests).
@@ -63,13 +176,120 @@ impl SimPlatform {
     }
 }
 
+impl Platform for SimPlatform {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        self.cuda.usleep(d);
+    }
+
+    fn set_locked_clocks(&mut self, target: FreqMhz) -> CoreResult<FreqMhz> {
+        Ok(self.nvml.set_gpu_locked_clocks(target)?)
+    }
+
+    fn reset_locked_clocks(&mut self) -> CoreResult<FreqMhz> {
+        Ok(self.nvml.reset_gpu_locked_clocks()?)
+    }
+
+    fn current_clock(&mut self) -> FreqMhz {
+        self.nvml.clock_info()
+    }
+
+    fn supported_clocks(&self) -> Vec<FreqMhz> {
+        self.nvml.supported_graphics_clocks()
+    }
+
+    fn launch_benchmark(&mut self, config: KernelConfig) -> CoreResult<KernelId> {
+        Ok(self.cuda.launch_benchmark(config)?)
+    }
+
+    fn synchronize(&mut self) -> SimTime {
+        self.cuda.synchronize()
+    }
+
+    fn collect_records(&mut self, id: KernelId) -> CoreResult<TimerData> {
+        Ok(self.cuda.copy_records(id)?)
+    }
+
+    fn synchronize_timers(&mut self, config: &SyncConfig) -> SyncResult {
+        let mut probe = CudaProbe {
+            cuda: &mut self.cuda,
+        };
+        synchronize(&mut probe, config)
+    }
+
+    fn throttle_reasons(&mut self) -> ThrottleReasons {
+        self.nvml.throttle_reasons()
+    }
+
+    fn temperature_c(&mut self) -> f64 {
+        self.nvml.temperature_c()
+    }
+
+    fn device_name(&self) -> String {
+        self.nvml.name()
+    }
+
+    fn as_ground_truth(&self) -> Option<&dyn GroundTruth> {
+        Some(self)
+    }
+}
+
+impl GroundTruth for SimPlatform {
+    fn transitions(&self) -> Vec<TransitionGroundTruth> {
+        self.ground_truth()
+    }
+
+    fn last_transition(&self) -> Option<TransitionGroundTruth> {
+        self.last_ground_truth()
+    }
+}
+
+/// Factory for [`SimPlatform`]s over one device spec.
+#[derive(Clone, Debug)]
+pub struct SimPlatformFactory {
+    spec: DeviceSpec,
+}
+
+impl SimPlatformFactory {
+    /// Build platforms for `spec`.
+    pub fn new(spec: DeviceSpec) -> Self {
+        SimPlatformFactory { spec }
+    }
+
+    /// The device spec platforms are built from.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+}
+
+impl PlatformFactory for SimPlatformFactory {
+    type Platform = SimPlatform;
+
+    fn create(&self, seed: u64) -> CoreResult<SimPlatform> {
+        SimPlatform::new(self.spec.clone(), seed)
+    }
+
+    fn device_name(&self) -> String {
+        self.spec.name.clone()
+    }
+}
+
 /// Adapter: the CUDA globaltimer round trip as a PTP probe.
 struct CudaProbe<'a> {
     cuda: &'a mut CudaContext,
 }
 
 impl TimestampProbe for CudaProbe<'_> {
-    fn exchange(&mut self) -> (latest_sim_clock::SimTime, latest_sim_clock::SimTime, latest_sim_clock::SimTime) {
+    fn exchange(
+        &mut self,
+    ) -> (
+        latest_sim_clock::SimTime,
+        latest_sim_clock::SimTime,
+        latest_sim_clock::SimTime,
+    ) {
         self.cuda.read_globaltimer()
     }
 }
@@ -111,5 +331,41 @@ mod tests {
             .unwrap();
         assert_eq!(p.ground_truth().len(), 1);
         assert_eq!(p.last_ground_truth().unwrap().to.0, 705);
+    }
+
+    /// The methodology's contract: every phase sees the simulator only
+    /// through the trait, and the ground-truth capability is discoverable.
+    #[test]
+    fn trait_surface_matches_facades() {
+        let mut p = SimPlatform::new(devices::a100_sxm4(), 5).unwrap();
+        assert!(Platform::device_name(&p).contains("A100"));
+        assert_eq!(p.supported_clocks().len(), 81);
+        let snapped = p.set_locked_clocks(FreqMhz(1001)).unwrap();
+        assert_eq!(snapped, FreqMhz(1005));
+        let gt = p.as_ground_truth().expect("simulator offers ground truth");
+        assert_eq!(gt.last_transition().unwrap().to, FreqMhz(1005));
+        let t0 = Platform::now(&p);
+        p.sleep(SimDuration::from_micros(250));
+        assert_eq!(
+            Platform::now(&p).saturating_since(t0),
+            SimDuration::from_micros(250)
+        );
+    }
+
+    #[test]
+    fn factory_builds_seeded_platforms() {
+        let factory = SimPlatformFactory::new(devices::gh200());
+        assert!(factory.device_name().contains("GH200"));
+        let mut a = factory.create(9).unwrap();
+        let mut b = factory.create(9).unwrap();
+        // Same seed, same behaviour: the first control call lands at the
+        // same virtual instant on both instances.
+        a.set_locked_clocks(FreqMhz(1980)).unwrap();
+        b.set_locked_clocks(FreqMhz(1980)).unwrap();
+        let (ga, gb) = (
+            a.last_ground_truth().unwrap(),
+            b.last_ground_truth().unwrap(),
+        );
+        assert_eq!(ga.device_arrival, gb.device_arrival);
     }
 }

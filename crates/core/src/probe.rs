@@ -14,10 +14,10 @@ use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::phase2::run_phase2;
 use crate::phase3::evaluate_pass;
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 
 /// Result of the probe phase.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ProbeResult {
     /// Latencies observed per probed pair (ms).
     pub samples: Vec<(FreqMhz, FreqMhz, f64)>,
@@ -41,8 +41,8 @@ pub fn probe_frequencies(config: &CampaignConfig) -> Vec<FreqMhz> {
 
 /// Run the probe on `platform`. Probes each ordered pair of the
 /// representative frequencies once.
-pub fn estimate_upper_bound(
-    platform: &mut SimPlatform,
+pub fn estimate_upper_bound<P: Platform>(
+    platform: &mut P,
     config: &CampaignConfig,
     phase1: &Phase1Result,
 ) -> CoreResult<ProbeResult> {
@@ -82,13 +82,17 @@ pub fn estimate_upper_bound(
     if max_latency_ms == 0.0 {
         max_latency_ms = config.initial_latency_guess_ms;
     }
-    Ok(ProbeResult { samples, max_latency_ms })
+    Ok(ProbeResult {
+        samples,
+        max_latency_ms,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::phase1::run_phase1;
+    use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
     use latest_gpu_sim::transition::FixedTransition;
     use latest_sim_clock::SimDuration;

@@ -1,0 +1,751 @@
+//! The streaming campaign engine: pair-granular scheduling, typed progress
+//! events, cooperative cancellation and checkpoint/resume.
+//!
+//! [`CampaignSession`] replaces the monolithic blocking `Latest::run()` with
+//! an engine that
+//!
+//! * schedules work at **pair granularity** — phase 1 and the probe run
+//!   once, then every ordered pair is an independent work item on its own
+//!   freshly seeded platform (parallel by default, sequential on request,
+//!   bitwise identical either way);
+//! * emits **typed progress events** ([`CampaignEvent`]) through any number
+//!   of observer hooks or a plain [`std::sync::mpsc`] channel, so UIs and
+//!   loggers watch the campaign in real time;
+//! * honours a **cooperative [`CancelToken`]**: cancellation is checked
+//!   before each pair, unmeasured pairs are recorded as
+//!   [`PairOutcome::Cancelled`], and the partial [`CampaignResult`] is a
+//!   valid checkpoint;
+//! * **resumes** from such a checkpoint: completed pairs are restored
+//!   verbatim, only the missing ones run, and — because every pair's
+//!   platform is seeded from `(campaign seed, pair)` — the resumed result
+//!   is bitwise identical to an uninterrupted run.
+//!
+//! The engine is generic over [`PlatformFactory`], so the same scheduling,
+//! eventing and checkpointing applies to any backend implementing
+//! [`Platform`](crate::platform::Platform).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+use latest_cluster::AdaptiveConfig;
+use latest_gpu_sim::freq::FreqMhz;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::analysis::analyze_pair;
+use crate::campaign::{CampaignResult, PairMeasurement};
+use crate::config::CampaignConfig;
+use crate::controller::{run_pair, PairOutcome};
+use crate::error::{CoreError, CoreResult};
+use crate::phase1::run_phase1;
+use crate::platform::{PlatformFactory, SimPlatformFactory};
+use crate::probe::estimate_upper_bound;
+
+/// Why a pair produced no measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Phase 1 found the pair statistically indistinguishable.
+    Indistinguishable,
+    /// Power throttling made the pair unmeasurable.
+    PowerLimited,
+    /// Every evaluation retry failed.
+    RetriesExhausted,
+    /// The session was cancelled before the pair was scheduled.
+    Cancelled,
+}
+
+impl SkipReason {
+    fn of(outcome: &PairOutcome) -> Option<SkipReason> {
+        match outcome {
+            PairOutcome::Completed(_) => None,
+            PairOutcome::SkippedIndistinguishable => Some(SkipReason::Indistinguishable),
+            PairOutcome::PowerLimited { .. } => Some(SkipReason::PowerLimited),
+            PairOutcome::RetriesExhausted { .. } => Some(SkipReason::RetriesExhausted),
+            PairOutcome::Cancelled => Some(SkipReason::Cancelled),
+        }
+    }
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SkipReason::Indistinguishable => "indistinguishable",
+            SkipReason::PowerLimited => "power-limited",
+            SkipReason::RetriesExhausted => "retries exhausted",
+            SkipReason::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed progress events emitted by a [`CampaignSession`].
+///
+/// Pair-level events may interleave arbitrarily between pairs when the
+/// session runs in parallel; per pair, `PairStarted` always precedes
+/// `PairFinished`/`PairSkipped`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignEvent {
+    /// The session started.
+    CampaignStarted {
+        /// Device under measurement.
+        device_name: String,
+        /// Number of ordered pairs scheduled.
+        n_pairs: usize,
+    },
+    /// Phase 1 finished characterising and validating.
+    Phase1Done {
+        /// Pairs whose difference interval excluded zero.
+        valid_pairs: usize,
+        /// Pairs excluded as indistinguishable.
+        skipped_pairs: usize,
+    },
+    /// The probe phase produced a capture-window bound.
+    ProbeDone {
+        /// Largest observed latency (ms).
+        max_latency_ms: f64,
+    },
+    /// One pair's measurement loop is starting.
+    PairStarted {
+        /// Position in `ordered_pairs` order.
+        index: usize,
+        /// Initial frequency (MHz).
+        init_mhz: u32,
+        /// Target frequency (MHz).
+        target_mhz: u32,
+    },
+    /// One pair completed with measurements.
+    PairFinished {
+        /// Position in `ordered_pairs` order.
+        index: usize,
+        /// Initial frequency (MHz).
+        init_mhz: u32,
+        /// Target frequency (MHz).
+        target_mhz: u32,
+        /// Accepted measurement count.
+        measurements: usize,
+        /// Outlier-filtered mean latency (ms).
+        mean_ms: f64,
+    },
+    /// One pair ended without measurements.
+    PairSkipped {
+        /// Position in `ordered_pairs` order.
+        index: usize,
+        /// Initial frequency (MHz).
+        init_mhz: u32,
+        /// Target frequency (MHz).
+        target_mhz: u32,
+        /// Why.
+        reason: SkipReason,
+    },
+    /// One pair was restored from a resume checkpoint without re-running.
+    PairRestored {
+        /// Position in `ordered_pairs` order.
+        index: usize,
+        /// Initial frequency (MHz).
+        init_mhz: u32,
+        /// Target frequency (MHz).
+        target_mhz: u32,
+    },
+    /// The session finished (possibly partially, after cancellation).
+    CampaignFinished {
+        /// Pairs that completed with measurements.
+        completed: usize,
+        /// Pairs skipped for statistical/thermal reasons.
+        skipped: usize,
+        /// Pairs left unmeasured by cancellation.
+        cancelled: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignEvent::CampaignStarted {
+                device_name,
+                n_pairs,
+            } => {
+                write!(f, "campaign started on {device_name}: {n_pairs} pairs")
+            }
+            CampaignEvent::Phase1Done {
+                valid_pairs,
+                skipped_pairs,
+            } => {
+                write!(
+                    f,
+                    "phase 1 done: {valid_pairs} valid, {skipped_pairs} skipped"
+                )
+            }
+            CampaignEvent::ProbeDone { max_latency_ms } => {
+                write!(f, "probe done: bound {max_latency_ms:.3} ms")
+            }
+            CampaignEvent::PairStarted {
+                init_mhz,
+                target_mhz,
+                ..
+            } => {
+                write!(f, "pair {init_mhz}->{target_mhz} MHz started")
+            }
+            CampaignEvent::PairFinished {
+                init_mhz,
+                target_mhz,
+                measurements,
+                mean_ms,
+                ..
+            } => {
+                write!(
+                    f,
+                    "pair {init_mhz}->{target_mhz} MHz finished: n={measurements}, mean {mean_ms:.3} ms"
+                )
+            }
+            CampaignEvent::PairSkipped {
+                init_mhz,
+                target_mhz,
+                reason,
+                ..
+            } => {
+                write!(f, "pair {init_mhz}->{target_mhz} MHz skipped ({reason})")
+            }
+            CampaignEvent::PairRestored {
+                init_mhz,
+                target_mhz,
+                ..
+            } => {
+                write!(
+                    f,
+                    "pair {init_mhz}->{target_mhz} MHz restored from checkpoint"
+                )
+            }
+            CampaignEvent::CampaignFinished {
+                completed,
+                skipped,
+                cancelled,
+            } => {
+                write!(
+                    f,
+                    "campaign finished: {completed} completed, {skipped} skipped, {cancelled} cancelled"
+                )
+            }
+        }
+    }
+}
+
+/// Observer hook for [`CampaignEvent`]s.
+///
+/// Implemented for any `Fn(&CampaignEvent) + Send + Sync` closure; events
+/// may arrive from worker threads when the session runs in parallel.
+pub trait CampaignObserver: Send + Sync {
+    /// Called for every event, in emission order per pair.
+    fn event(&self, event: &CampaignEvent);
+}
+
+impl<F: Fn(&CampaignEvent) + Send + Sync> CampaignObserver for F {
+    fn event(&self, event: &CampaignEvent) {
+        self(event)
+    }
+}
+
+/// Observer that forwards every event into an mpsc channel.
+pub struct ChannelObserver {
+    tx: Mutex<Sender<CampaignEvent>>,
+}
+
+impl ChannelObserver {
+    /// Wrap a sender.
+    pub fn new(tx: Sender<CampaignEvent>) -> Self {
+        ChannelObserver { tx: Mutex::new(tx) }
+    }
+}
+
+impl CampaignObserver for ChannelObserver {
+    fn event(&self, event: &CampaignEvent) {
+        // A dropped receiver only means nobody is listening any more.
+        let _ = self.tx.lock().send(event.clone());
+    }
+}
+
+/// Cooperative cancellation handle.
+///
+/// Clone it out of the session, hand it to another thread (or an observer),
+/// and call [`CancelToken::cancel`]; the session checks it at pair
+/// granularity and winds down, recording unmeasured pairs as
+/// [`PairOutcome::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent, thread-safe).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The streaming campaign engine. See the [module docs](self) for the tour.
+pub struct CampaignSession<F: PlatformFactory = SimPlatformFactory> {
+    config: CampaignConfig,
+    adaptive: AdaptiveConfig,
+    factory: F,
+    observers: Vec<Arc<dyn CampaignObserver>>,
+    cancel: CancelToken,
+    sequential: bool,
+    checkpoint: Option<CampaignResult>,
+}
+
+impl CampaignSession<SimPlatformFactory> {
+    /// A session over the simulated backend described by `config.spec`.
+    pub fn new(config: CampaignConfig) -> Self {
+        let factory = SimPlatformFactory::new(config.spec.clone());
+        CampaignSession::with_factory(config, factory)
+    }
+}
+
+impl<F: PlatformFactory> CampaignSession<F> {
+    /// A session over an arbitrary backend.
+    pub fn with_factory(config: CampaignConfig, factory: F) -> Self {
+        CampaignSession {
+            config,
+            adaptive: AdaptiveConfig::default(),
+            factory,
+            observers: Vec::new(),
+            cancel: CancelToken::new(),
+            sequential: false,
+            checkpoint: None,
+        }
+    }
+
+    /// Override the Algorithm-3 parameters.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Attach an observer; may be called several times.
+    pub fn observe(mut self, observer: impl CampaignObserver + 'static) -> Self {
+        self.observers.push(Arc::new(observer));
+        self
+    }
+
+    /// Attach a channel observer and return its receiving end.
+    pub fn events(&mut self) -> Receiver<CampaignEvent> {
+        let (tx, rx) = channel();
+        self.observers.push(Arc::new(ChannelObserver::new(tx)));
+        rx
+    }
+
+    /// Share a caller-owned cancellation token with the session.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The session's cancellation token (clone it before `run`).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Force sequential pair scheduling (parallel is the default; both give
+    /// bitwise-identical results).
+    pub fn sequential(mut self, on: bool) -> Self {
+        self.sequential = on;
+        self
+    }
+
+    /// Resume from a partial result: pairs already measured (or skipped for
+    /// statistical/thermal reasons) are restored verbatim, only
+    /// [`PairOutcome::Cancelled`] pairs run.
+    ///
+    /// Fails fast at [`CampaignSession::run`] time if the checkpoint does
+    /// not match the configuration (different device or pair set).
+    pub fn resume_from(mut self, checkpoint: CampaignResult) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    fn emit(&self, event: CampaignEvent) {
+        for obs in &self.observers {
+            obs.event(&event);
+        }
+    }
+
+    /// Validate a checkpoint against the configured campaign.
+    ///
+    /// A checkpoint is only usable when it was taken by *this* campaign:
+    /// same device, same seed (restored pairs would otherwise mix noise
+    /// streams with re-run ones) and the exact configured pair set (the
+    /// restored phase 1 must have characterised every configured
+    /// frequency, or missing pairs would be silently mis-skipped as
+    /// indistinguishable).
+    fn check_checkpoint(&self, cp: &CampaignResult) -> CoreResult<()> {
+        let expected = self.factory.device_name();
+        if cp.device_name != expected {
+            return Err(CoreError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint is for device {:?}, session runs {expected:?}",
+                    cp.device_name
+                ),
+            });
+        }
+        if cp.seed != self.config.seed {
+            return Err(CoreError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint was taken under seed {}, session is configured with seed {}",
+                    cp.seed, self.config.seed
+                ),
+            });
+        }
+        let ordered = self.config.ordered_pairs();
+        if cp.pairs().len() != ordered.len() {
+            return Err(CoreError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint covers {} pairs, the configuration schedules {}",
+                    cp.pairs().len(),
+                    ordered.len()
+                ),
+            });
+        }
+        for &(init, target) in &ordered {
+            if cp.pair(init, target).is_none() {
+                return Err(CoreError::CheckpointMismatch {
+                    reason: format!(
+                        "configured pair {init}->{target} MHz is missing from the checkpoint"
+                    ),
+                });
+            }
+        }
+        for &freq in &self.config.frequencies {
+            if cp.phase1.of(freq).is_none() {
+                return Err(CoreError::CheckpointMismatch {
+                    reason: format!("checkpoint phase 1 never characterised {freq} MHz"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the campaign to completion (or cancellation).
+    ///
+    /// Returns the full [`CampaignResult`]; after a cancellation the result
+    /// is partial ([`CampaignResult::is_partial`]) and can be fed back
+    /// through [`CampaignSession::resume_from`].
+    pub fn run(&self) -> CoreResult<CampaignResult> {
+        let config = &self.config;
+        let ordered = config.ordered_pairs();
+        self.emit(CampaignEvent::CampaignStarted {
+            device_name: self.factory.device_name(),
+            n_pairs: ordered.len(),
+        });
+
+        if let Some(cp) = &self.checkpoint {
+            self.check_checkpoint(cp)?;
+        }
+
+        // Phase 1 + probe: restored from the checkpoint when present (their
+        // platform is seeded from the campaign seed alone, so a re-run would
+        // reproduce them bit for bit anyway), otherwise run on a dedicated
+        // platform.
+        let (phase1, probe) = match &self.checkpoint {
+            Some(cp) => (cp.phase1.clone(), cp.probe.clone()),
+            None => {
+                if self.cancel.is_cancelled() {
+                    return Err(CoreError::Cancelled);
+                }
+                let mut p0 = self.factory.create(config.seed)?;
+                let phase1 = run_phase1(&mut p0, config)?;
+                let probe = estimate_upper_bound(&mut p0, config, &phase1)?;
+                (phase1, probe)
+            }
+        };
+        self.emit(CampaignEvent::Phase1Done {
+            valid_pairs: phase1.valid_pairs.len(),
+            skipped_pairs: phase1.skipped_pairs.len(),
+        });
+        self.emit(CampaignEvent::ProbeDone {
+            max_latency_ms: probe.max_latency_ms,
+        });
+
+        // One work item per ordered pair.
+        let work: Vec<(usize, FreqMhz, FreqMhz)> = ordered
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (i, a, b))
+            .collect();
+        let run_one =
+            |&(index, init, target): &(usize, FreqMhz, FreqMhz)| -> CoreResult<PairMeasurement> {
+                // Checkpoint hit: restore without touching the device.
+                if let Some(prev) = self
+                    .checkpoint
+                    .as_ref()
+                    .and_then(|cp| cp.pair(init, target))
+                    .filter(|p| !p.outcome.is_cancelled())
+                {
+                    self.emit(CampaignEvent::PairRestored {
+                        index,
+                        init_mhz: init.0,
+                        target_mhz: target.0,
+                    });
+                    return Ok(prev.clone());
+                }
+                if self.cancel.is_cancelled() {
+                    self.emit(CampaignEvent::PairSkipped {
+                        index,
+                        init_mhz: init.0,
+                        target_mhz: target.0,
+                        reason: SkipReason::Cancelled,
+                    });
+                    return Ok(PairMeasurement {
+                        init_mhz: init.0,
+                        target_mhz: target.0,
+                        outcome: PairOutcome::Cancelled,
+                        analysis: None,
+                    });
+                }
+                self.emit(CampaignEvent::PairStarted {
+                    index,
+                    init_mhz: init.0,
+                    target_mhz: target.0,
+                });
+                let seed = config.pair_seed(init, target);
+                let mut platform = self.factory.create(seed)?;
+                let outcome = run_pair(
+                    &mut platform,
+                    config,
+                    &phase1,
+                    init,
+                    target,
+                    probe.max_latency_ms,
+                )?;
+                let analysis = outcome
+                    .run()
+                    .map(|r| analyze_pair(&r.latencies_ms, &self.adaptive));
+                match (&outcome, &analysis) {
+                    (PairOutcome::Completed(run), Some(a)) => {
+                        self.emit(CampaignEvent::PairFinished {
+                            index,
+                            init_mhz: init.0,
+                            target_mhz: target.0,
+                            measurements: run.latencies_ms.len(),
+                            mean_ms: a.filtered.mean,
+                        });
+                    }
+                    _ => {
+                        if let Some(reason) = SkipReason::of(&outcome) {
+                            self.emit(CampaignEvent::PairSkipped {
+                                index,
+                                init_mhz: init.0,
+                                target_mhz: target.0,
+                                reason,
+                            });
+                        }
+                    }
+                }
+                Ok(PairMeasurement {
+                    init_mhz: init.0,
+                    target_mhz: target.0,
+                    outcome,
+                    analysis,
+                })
+            };
+
+        let pairs: CoreResult<Vec<PairMeasurement>> = if self.sequential {
+            work.iter().map(run_one).collect()
+        } else {
+            work.par_iter().map(run_one).collect()
+        };
+        let pairs = pairs?;
+
+        let completed = pairs.iter().filter(|p| p.outcome.run().is_some()).count();
+        let cancelled = pairs.iter().filter(|p| p.outcome.is_cancelled()).count();
+        self.emit(CampaignEvent::CampaignFinished {
+            completed,
+            skipped: pairs.len() - completed - cancelled,
+            cancelled,
+        });
+
+        Ok(CampaignResult::new(
+            self.factory.device_name(),
+            config.device_index,
+            config.seed,
+            phase1,
+            probe,
+            pairs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latest_gpu_sim::devices;
+    use latest_gpu_sim::transition::FixedTransition;
+    use latest_sim_clock::SimDuration;
+    use std::sync::Arc;
+
+    fn small_campaign(seed: u64) -> CampaignConfig {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(7),
+        });
+        CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1410])
+            .measurements(8, 20)
+            .simulated_sms(Some(4))
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn session_reproduces_latest_results() {
+        let via_latest = crate::campaign::Latest::new(small_campaign(21))
+            .run()
+            .unwrap();
+        let via_session = CampaignSession::new(small_campaign(21)).run().unwrap();
+        for (a, b) in via_latest.pairs().iter().zip(via_session.pairs()) {
+            assert_eq!(a.latencies_ms(), b.latencies_ms());
+        }
+    }
+
+    #[test]
+    fn events_cover_every_pair_in_order() {
+        let mut session = CampaignSession::new(small_campaign(22)).sequential(true);
+        let rx = session.events();
+        let result = session.run().unwrap();
+        drop(session);
+        let events: Vec<CampaignEvent> = rx.try_iter().collect();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::CampaignStarted { n_pairs: 2, .. })
+        ));
+        let phase1_at = events
+            .iter()
+            .position(|e| matches!(e, CampaignEvent::Phase1Done { .. }))
+            .unwrap();
+        let first_start = events
+            .iter()
+            .position(|e| matches!(e, CampaignEvent::PairStarted { .. }))
+            .unwrap();
+        assert!(phase1_at < first_start, "phase 1 must precede pair work");
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::PairFinished { .. }))
+            .count();
+        assert_eq!(finishes, result.completed().count());
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::CampaignFinished { .. })
+        ));
+    }
+
+    #[test]
+    fn cancellation_yields_partial_checkpoint() {
+        let session = CampaignSession::new(small_campaign(23)).sequential(true);
+        let token = session.cancel_token();
+        // Cancel as soon as the first pair finishes: the second must be
+        // recorded as cancelled, not measured.
+        let session = session.observe(move |e: &CampaignEvent| {
+            if matches!(e, CampaignEvent::PairFinished { .. }) {
+                token.cancel();
+            }
+        });
+        let result = session.run().unwrap();
+        assert!(result.is_partial());
+        assert_eq!(result.completed().count(), 1);
+        assert_eq!(
+            result
+                .pairs()
+                .iter()
+                .filter(|p| p.outcome.is_cancelled())
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cancel_before_start_aborts_cleanly() {
+        let session = CampaignSession::new(small_campaign(24));
+        session.cancel_token().cancel();
+        assert!(matches!(session.run(), Err(CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn resume_completes_a_cancelled_run_bitwise() {
+        let full = CampaignSession::new(small_campaign(25))
+            .sequential(true)
+            .run()
+            .unwrap();
+
+        let session = CampaignSession::new(small_campaign(25)).sequential(true);
+        let token = session.cancel_token();
+        let session = session.observe(move |e: &CampaignEvent| {
+            if matches!(e, CampaignEvent::PairFinished { .. }) {
+                token.cancel();
+            }
+        });
+        let partial = session.run().unwrap();
+        assert!(partial.is_partial());
+
+        // Round-trip the checkpoint through its serialised form, as a
+        // process restart would.
+        let checkpoint = CampaignResult::from_json(&partial.to_json()).unwrap();
+        let resumed = CampaignSession::new(small_campaign(25))
+            .sequential(true)
+            .resume_from(checkpoint)
+            .run()
+            .unwrap();
+        assert!(!resumed.is_partial());
+        for (a, b) in full.pairs().iter().zip(resumed.pairs()) {
+            let bits =
+                |xs: Option<&[f64]>| xs.map(|v| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>());
+            assert_eq!(bits(a.latencies_ms()), bits(b.latencies_ms()));
+        }
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let cp = CampaignSession::new(small_campaign(26)).run().unwrap();
+
+        // Wrong device.
+        let other = CampaignConfig::builder(devices::gh200())
+            .frequencies_mhz(&[705, 1980])
+            .measurements(8, 20)
+            .seed(26)
+            .build();
+        let err = CampaignSession::new(other).resume_from(cp.clone()).run();
+        assert!(matches!(err, Err(CoreError::CheckpointMismatch { .. })));
+
+        // Wrong seed: restored pairs would mix noise streams with re-runs.
+        let err = CampaignSession::new(small_campaign(27))
+            .resume_from(cp.clone())
+            .run();
+        assert!(matches!(err, Err(CoreError::CheckpointMismatch { .. })));
+
+        // Wrong frequency set: the checkpoint's phase 1 never characterised
+        // 1095 MHz, so its pairs could not be scheduled from this resume.
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(7),
+        });
+        let wider = CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1095, 1410])
+            .measurements(8, 20)
+            .simulated_sms(Some(4))
+            .seed(26)
+            .build();
+        let err = CampaignSession::new(wider).resume_from(cp).run();
+        assert!(matches!(err, Err(CoreError::CheckpointMismatch { .. })));
+    }
+}

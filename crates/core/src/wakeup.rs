@@ -14,7 +14,7 @@ use latest_stats::{RunningStats, SigmaBand};
 
 use crate::config::CampaignConfig;
 use crate::error::CoreResult;
-use crate::platform::SimPlatform;
+use crate::platform::Platform;
 
 /// Result of a wake-up estimation run.
 #[derive(Clone, Debug)]
@@ -35,15 +35,15 @@ const SUSTAIN: usize = 16;
 
 /// Estimate the wake-up latency at `freq` after at least `idle_for` of
 /// device idleness.
-pub fn estimate_wakeup(
-    platform: &mut SimPlatform,
+pub fn estimate_wakeup<P: Platform>(
+    platform: &mut P,
     config: &CampaignConfig,
     freq: FreqMhz,
     idle_for: SimDuration,
 ) -> CoreResult<WakeupEstimate> {
-    platform.nvml.set_gpu_locked_clocks(freq)?;
+    platform.set_locked_clocks(freq)?;
     // Let the clock request settle, then go idle long enough to sleep.
-    platform.cuda.usleep(idle_for);
+    platform.sleep(idle_for);
 
     let kernel_cfg = KernelConfig {
         iters_per_sm: config.phase1_iters,
@@ -54,9 +54,9 @@ pub fn estimate_wakeup(
     let n_kernels = config.phase1_kernels.max(2);
     let mut all = Vec::with_capacity(n_kernels);
     for _ in 0..n_kernels {
-        let id = platform.cuda.launch_benchmark(kernel_cfg)?;
-        platform.cuda.synchronize();
-        all.push(platform.cuda.copy_records(id)?.remove(0));
+        let id = platform.launch_benchmark(kernel_cfg)?;
+        platform.synchronize();
+        all.push(platform.collect_records(id)?.remove(0));
     }
 
     // Settled statistics from the last kernel.
@@ -102,6 +102,7 @@ pub fn estimate_wakeup(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
     use latest_gpu_sim::transition::FixedTransition;
     use std::sync::Arc;

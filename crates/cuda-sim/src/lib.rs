@@ -88,7 +88,9 @@ impl CudaContext {
     /// Asynchronously launch the benchmark kernel (returns after the launch
     /// overhead, *not* after completion).
     pub fn launch_benchmark(&mut self, config: KernelConfig) -> Result<KernelId, CudaError> {
-        let overhead_us = self.rng.gen_range(self.launch_overhead_us.0..self.launch_overhead_us.1);
+        let overhead_us = self
+            .rng
+            .gen_range(self.launch_overhead_us.0..self.launch_overhead_us.1);
         let enqueue = self
             .clock
             .advance(SimDuration::from_nanos((overhead_us * 1e3) as u64));
@@ -174,7 +176,9 @@ mod tests {
         let clock = SharedClock::new();
         let mut spec = devices::a100_sxm4();
         spec.wakeup_ramp = SimDuration::ZERO;
-        spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(5) });
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(5),
+        });
         let device = Arc::new(Mutex::new(GpuDevice::new(spec, 3, clock.clone())));
         (CudaContext::new(clock.clone(), device, 3), clock)
     }
@@ -195,7 +199,10 @@ mod tests {
         let launch_cost = clock.now().saturating_since(t0);
         // Launch returns in tens of microseconds, far less than the ~20 ms
         // the kernel itself needs.
-        assert!(launch_cost < SimDuration::from_micros(100), "launch {launch_cost}");
+        assert!(
+            launch_cost < SimDuration::from_micros(100),
+            "launch {launch_cost}"
+        );
     }
 
     #[test]
@@ -236,7 +243,10 @@ mod tests {
         let (ctx, clock) = make_ctx();
         let t0 = clock.now();
         ctx.usleep(SimDuration::from_micros(1500));
-        assert_eq!(clock.now().saturating_since(t0), SimDuration::from_micros(1500));
+        assert_eq!(
+            clock.now().saturating_since(t0),
+            SimDuration::from_micros(1500)
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub struct CpuSpec {
 }
 
 /// Intel Skylake-SP-like core: 1.2–3.0 GHz, ~25 µs transitions (Fig. 1 and
-/// ref. [6] of the paper).
+/// ref. \[6\] of the paper).
 pub fn intel_skylake_sp() -> CpuSpec {
     CpuSpec {
         name: "Intel Skylake-SP (simulated)",
@@ -117,9 +117,9 @@ impl SimCpuCore {
     /// request, as on the paper's Haswell example).
     pub fn set_frequency(&mut self, target: FreqMhz) -> FreqMhz {
         let target = self.spec.ladder.snap(target);
-        let request = self
-            .clock
-            .advance(SimDuration::from_nanos((self.spec.request_cost_us * 1e3) as u64));
+        let request = self.clock.advance(SimDuration::from_nanos(
+            (self.spec.request_cost_us * 1e3) as u64,
+        ));
         let latency_us = Normal::new(self.spec.transition_us, self.spec.transition_jitter_us)
             .sample_clamped(&mut self.rng, 3.0)
             .max(1.0);

@@ -52,7 +52,10 @@ pub fn ftalat_phase1(
             for r in &recs {
                 s.push(r.duration().as_nanos() as f64);
             }
-            CpuFreqStats { freq: f, iter_ns: s.summary() }
+            CpuFreqStats {
+                freq: f,
+                iter_ns: s.summary(),
+            }
         })
         .collect()
 }
@@ -162,12 +165,7 @@ mod tests {
     #[test]
     fn phase1_distinguishes_cpu_frequencies() {
         let mut core = SimCpuCore::new(intel_skylake_sp(), 1, SharedClock::new());
-        let stats = ftalat_phase1(
-            &mut core,
-            &[FreqMhz(1200), FreqMhz(3000)],
-            400,
-            WORK,
-        );
+        let stats = ftalat_phase1(&mut core, &[FreqMhz(1200), FreqMhz(3000)], 400, WORK);
         let slow = stats[0].iter_ns.mean;
         let fast = stats[1].iter_ns.mean;
         assert!((slow / fast - 2.5).abs() < 0.1, "ratio {}", slow / fast);
@@ -208,14 +206,8 @@ mod tests {
     fn unknown_target_returns_none() {
         let mut core = SimCpuCore::new(intel_skylake_sp(), 4, SharedClock::new());
         let stats = ftalat_phase1(&mut core, &[FreqMhz(1200)], 100, WORK);
-        assert!(measure_transition(
-            &mut core,
-            FreqMhz(1200),
-            FreqMhz(2000),
-            &stats,
-            WORK,
-            5
-        )
-        .is_none());
+        assert!(
+            measure_transition(&mut core, FreqMhz(1200), FreqMhz(2000), &stats, WORK, 5).is_none()
+        );
     }
 }

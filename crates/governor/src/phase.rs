@@ -20,7 +20,7 @@ pub enum PhaseKind {
     /// Arithmetic-throughput bound: runtime scales ~1/f. Wants max clocks.
     ComputeBound,
     /// HBM-bandwidth bound: runtime barely improves with SM clock. Wants
-    /// the knee frequency (the ~75 % sweet spot of ref. [9]).
+    /// the knee frequency (the ~75 % sweet spot of the paper's ref. 9).
     MemoryBound,
     /// Host/device transfer or communication wait: runtime independent of
     /// the SM clock. Wants the floor frequency.
@@ -83,7 +83,10 @@ pub struct PhaseTrace {
 impl PhaseTrace {
     /// Total runtime at a fixed frequency (no switches).
     pub fn runtime_at_ms(&self, freq: FreqMhz, reference: FreqMhz) -> f64 {
-        self.phases.iter().map(|p| p.duration_at_ms(freq, reference)).sum()
+        self.phases
+            .iter()
+            .map(|p| p.duration_at_ms(freq, reference))
+            .sum()
     }
 
     /// Number of phase boundaries (switch opportunities).
@@ -102,7 +105,9 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Deterministic generator from a seed.
     pub fn new(seed: u64) -> Self {
-        TraceGenerator { rng: ChaCha8Rng::seed_from_u64(seed) }
+        TraceGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     fn jitter(&mut self, base_ms: f64, rel: f64) -> f64 {
@@ -125,7 +130,10 @@ impl TraceGenerator {
                 ref_duration_ms: self.jitter(step_ms * 0.35, 0.25),
             });
         }
-        PhaseTrace { name: format!("llm-training-{steps}x{step_ms}ms"), phases }
+        PhaseTrace {
+            name: format!("llm-training-{steps}x{step_ms}ms"),
+            phases,
+        }
     }
 
     /// Iterative-solver-like trace: medium compute phases with communication
@@ -144,7 +152,10 @@ impl TraceGenerator {
                 ref_duration_ms: self.jitter(compute_ms * 0.4, 0.4),
             });
         }
-        PhaseTrace { name: format!("iterative-solver-{iterations}x{compute_ms}ms"), phases }
+        PhaseTrace {
+            name: format!("iterative-solver-{iterations}x{compute_ms}ms"),
+            phases,
+        }
     }
 
     /// Streaming-analytics-like trace: alternating short memory-bound bursts
@@ -162,7 +173,10 @@ impl TraceGenerator {
                 ref_duration_ms: self.jitter(burst_ms * 0.6, 0.3),
             });
         }
-        PhaseTrace { name: format!("streaming-{bursts}x{burst_ms}ms"), phases }
+        PhaseTrace {
+            name: format!("streaming-{bursts}x{burst_ms}ms"),
+            phases,
+        }
     }
 }
 
@@ -174,7 +188,10 @@ mod tests {
 
     #[test]
     fn compute_phase_scales_with_frequency() {
-        let p = Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 100.0 };
+        let p = Phase {
+            kind: PhaseKind::ComputeBound,
+            ref_duration_ms: 100.0,
+        };
         let at_half = p.duration_at_ms(FreqMhz(705), REF);
         // 95 % sensitive: 100 * (0.05 + 0.95 * 2) = 195 ms.
         assert!((at_half - 195.0).abs() < 1e-9, "{at_half}");
@@ -183,7 +200,10 @@ mod tests {
 
     #[test]
     fn communication_phase_is_frequency_invariant() {
-        let p = Phase { kind: PhaseKind::Communication, ref_duration_ms: 50.0 };
+        let p = Phase {
+            kind: PhaseKind::Communication,
+            ref_duration_ms: 50.0,
+        };
         assert_eq!(p.duration_at_ms(FreqMhz(210), REF), 50.0);
         assert_eq!(p.duration_at_ms(REF, REF), 50.0);
     }
@@ -204,7 +224,12 @@ mod tests {
         let a = TraceGenerator::new(9).llm_training(5, 300.0);
         let b = TraceGenerator::new(9).llm_training(5, 300.0);
         let c = TraceGenerator::new(10).llm_training(5, 300.0);
-        let durs = |t: &PhaseTrace| t.phases.iter().map(|p| p.ref_duration_ms).collect::<Vec<_>>();
+        let durs = |t: &PhaseTrace| {
+            t.phases
+                .iter()
+                .map(|p| p.ref_duration_ms)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(durs(&a), durs(&b));
         assert_ne!(durs(&a), durs(&c));
     }

@@ -31,12 +31,16 @@ pub struct Decision {
 impl Decision {
     /// Keep the current frequency.
     pub fn stay() -> Self {
-        Decision { set_frequency: None }
+        Decision {
+            set_frequency: None,
+        }
     }
 
     /// Request `f` before the phase starts.
     pub fn switch_to(f: FreqMhz) -> Self {
-        Decision { set_frequency: Some(f) }
+        Decision {
+            set_frequency: Some(f),
+        }
     }
 }
 
@@ -154,7 +158,9 @@ impl GovernorPolicy for LatencyOblivious {
     }
 
     fn decide(&self, trace: &PhaseTrace, index: usize, current: FreqMhz) -> Decision {
-        let want = trace.phases[index].kind.preferred_frequency(self.f_min, self.f_max);
+        let want = trace.phases[index]
+            .kind
+            .preferred_frequency(self.f_min, self.f_max);
         if want == current {
             Decision::stay()
         } else {
@@ -211,10 +217,16 @@ impl LatencyAware {
     /// exists. Returns the target and its expected latency (ms).
     fn effective_target(&self, current: FreqMhz, want: FreqMhz) -> Option<(FreqMhz, f64)> {
         let straight = self.table.expected_ms(current, want)?;
-        if !self.table.is_pathological(current, want, self.pathological_factor) {
+        if !self
+            .table
+            .is_pathological(current, want, self.pathological_factor)
+        {
             return Some((want, straight));
         }
-        match self.table.cheapest_near(current, want, self.detour_window_mhz) {
+        match self
+            .table
+            .cheapest_near(current, want, self.detour_window_mhz)
+        {
             Some((alt, alt_ms)) if alt_ms < straight => Some((alt, alt_ms)),
             _ => Some((want, straight)),
         }
@@ -323,12 +335,18 @@ mod tests {
 
     #[test]
     fn oblivious_switches_at_every_kind_change() {
-        let p = LatencyOblivious { f_min: MIN, f_max: MAX };
+        let p = LatencyOblivious {
+            f_min: MIN,
+            f_max: MAX,
+        };
         let t = solver_trace(); // alternating compute / communication
         let mut current = p.initial_frequency(&t);
         let mut switches = 0;
         for i in 0..t.phases.len() {
-            if let Decision { set_frequency: Some(f) } = p.decide(&t, i, current) {
+            if let Decision {
+                set_frequency: Some(f),
+            } = p.decide(&t, i, current)
+            {
                 current = f;
                 switches += 1;
             }
@@ -378,8 +396,14 @@ mod tests {
         let t = PhaseTrace {
             name: "one-comm".into(),
             phases: vec![
-                Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 500.0 },
-                Phase { kind: PhaseKind::Communication, ref_duration_ms: 500.0 },
+                Phase {
+                    kind: PhaseKind::ComputeBound,
+                    ref_duration_ms: 500.0,
+                },
+                Phase {
+                    kind: PhaseKind::Communication,
+                    ref_duration_ms: 500.0,
+                },
             ],
         };
         let d = p.decide(&t, 1, FreqMhz(1410));

@@ -26,7 +26,11 @@ pub struct PowerModel {
 impl PowerModel {
     /// A400 W-class SXM accelerator (A100-like nominal numbers).
     pub fn sxm_class(f_max: FreqMhz) -> Self {
-        PowerModel { static_w: 90.0, dynamic_max_w: 310.0, f_max }
+        PowerModel {
+            static_w: 90.0,
+            dynamic_max_w: 310.0,
+            f_max,
+        }
     }
 
     /// How hard each phase kind drives the dynamic part.
@@ -80,7 +84,11 @@ mod tests {
 
     #[test]
     fn cubic_scaling_halves_to_an_eighth() {
-        let m = PowerModel { static_w: 0.0, dynamic_max_w: 320.0, f_max: MAX };
+        let m = PowerModel {
+            static_w: 0.0,
+            dynamic_max_w: 320.0,
+            f_max: MAX,
+        };
         let full = m.power_w(MAX, PhaseKind::ComputeBound);
         let half = m.power_w(FreqMhz(705), PhaseKind::ComputeBound);
         assert!((full / half - 8.0).abs() < 0.01, "ratio {}", full / half);

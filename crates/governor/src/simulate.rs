@@ -33,7 +33,11 @@ impl TransitionReplay {
     /// Build a replay source from a measured table.
     pub fn new(table: LatencyTable, seed: u64) -> Self {
         let fallback_ms = table.typical_ms().unwrap_or(10.0);
-        TransitionReplay { table, rng: ChaCha8Rng::seed_from_u64(seed), fallback_ms }
+        TransitionReplay {
+            table,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            fallback_ms,
+        }
     }
 
     /// Draw the latency of one `init → target` transition (ms).
@@ -129,8 +133,8 @@ pub fn simulate_policy(
                 }
                 Some(_) => {}
                 None => {
-                    let want_changed = index > 0
-                        && trace.phases[index].kind != trace.phases[index - 1].kind;
+                    let want_changed =
+                        index > 0 && trace.phases[index].kind != trace.phases[index - 1].kind;
                     if want_changed {
                         suppressed += 1;
                     }
@@ -145,8 +149,8 @@ pub fn simulate_policy(
                 Some((left_ms, landing)) => {
                     // The device runs at `current` until the transition
                     // lands `left_ms` from now (wall time).
-                    let wall_per_ref = phase.duration_at_ms(current, reference)
-                        / phase.ref_duration_ms;
+                    let wall_per_ref =
+                        phase.duration_at_ms(current, reference) / phase.ref_duration_ms;
                     let ref_until_landing = left_ms / wall_per_ref;
                     if ref_until_landing >= remaining_work_ms {
                         // Lands after this phase ends.
@@ -234,7 +238,10 @@ mod tests {
         let table = flat_table(20.0);
         let mut replay = TransitionReplay::new(table, 2);
         let r = simulate_policy(
-            &LatencyOblivious { f_min: MIN, f_max: MAX },
+            &LatencyOblivious {
+                f_min: MIN,
+                f_max: MAX,
+            },
             &trace,
             &power(),
             &mut replay,
@@ -255,7 +262,10 @@ mod tests {
         let oblivious = {
             let mut replay = TransitionReplay::new(table.clone(), 3);
             simulate_policy(
-                &LatencyOblivious { f_min: MIN, f_max: MAX },
+                &LatencyOblivious {
+                    f_min: MIN,
+                    f_max: MAX,
+                },
                 &trace,
                 &power,
                 &mut replay,
@@ -289,8 +299,14 @@ mod tests {
         let trace = PhaseTrace {
             name: "two-phase".into(),
             phases: vec![
-                Phase { kind: PhaseKind::ComputeBound, ref_duration_ms: 100.0 },
-                Phase { kind: PhaseKind::Communication, ref_duration_ms: 1_000.0 },
+                Phase {
+                    kind: PhaseKind::ComputeBound,
+                    ref_duration_ms: 100.0,
+                },
+                Phase {
+                    kind: PhaseKind::Communication,
+                    ref_duration_ms: 1_000.0,
+                },
             ],
         };
         let mut table = LatencyTable::new("one");
@@ -312,7 +328,10 @@ mod tests {
         let e_max = power().energy_j(MAX, PhaseKind::Communication, 1_000.0);
         let e_phase0 = power().energy_j(MAX, PhaseKind::ComputeBound, 100.0);
         let e_comm = r.energy_j - e_phase0;
-        assert!(e_comm > e_floor && e_comm < e_max, "{e_comm} vs [{e_floor}, {e_max}]");
+        assert!(
+            e_comm > e_floor && e_comm < e_max,
+            "{e_comm} vs [{e_floor}, {e_max}]"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl PairLatency {
     /// Build from an unsorted sample.
     pub fn new(init_mhz: u32, target_mhz: u32, mut latencies_ms: Vec<f64>) -> Self {
         latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        PairLatency { init_mhz, target_mhz, latencies_ms }
+        PairLatency {
+            init_mhz,
+            target_mhz,
+            latencies_ms,
+        }
     }
 
     /// Mean latency (ms).
@@ -95,7 +99,10 @@ impl From<LatencyTable> for LatencyTableRepr {
 impl LatencyTable {
     /// Empty table for `device_name`.
     pub fn new(device_name: impl Into<String>) -> Self {
-        LatencyTable { device_name: device_name.into(), entries: BTreeMap::new() }
+        LatencyTable {
+            device_name: device_name.into(),
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Build from a completed LATEST campaign, taking each pair's
@@ -175,7 +182,9 @@ impl LatencyTable {
 
     /// All pathological pairs under `factor` (the avoid list).
     pub fn avoid_list(&self, factor: f64) -> Vec<(u32, u32)> {
-        let Some(typical) = self.typical_ms() else { return Vec::new() };
+        let Some(typical) = self.typical_ms() else {
+            return Vec::new();
+        };
         self.entries
             .values()
             .filter(|p| p.mean_ms() > factor * typical)

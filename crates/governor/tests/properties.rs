@@ -3,8 +3,8 @@
 
 use latest_governor::simulate::TransitionReplay;
 use latest_governor::{
-    simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PairLatency, Phase, PhaseKind,
-    PhaseTrace, PowerModel, RunAtMax, GovernorPolicy,
+    simulate_policy, GovernorPolicy, LatencyAware, LatencyOblivious, LatencyTable, PairLatency,
+    Phase, PhaseKind, PhaseTrace, PowerModel, RunAtMax,
 };
 use latest_gpu_sim::freq::FreqMhz;
 use proptest::prelude::*;
@@ -25,7 +25,10 @@ fn traces() -> impl Strategy<Value = PhaseTrace> {
         name: "prop".into(),
         phases: phases
             .into_iter()
-            .map(|(kind, ref_duration_ms)| Phase { kind, ref_duration_ms })
+            .map(|(kind, ref_duration_ms)| Phase {
+                kind,
+                ref_duration_ms,
+            })
             .collect(),
     })
 }

@@ -8,7 +8,7 @@
 //!
 //! * [`GpuDevice::apply_locked_clocks`] — a locked-clocks request *arrives*
 //!   at the device (the façade has already paid bus/driver latency). The
-//!   device samples its [`TransitionModel`], extends the *requested*
+//!   device samples its [`TransitionModel`](crate::transition::TransitionModel), extends the *requested*
 //!   frequency trajectory with the pending/ramp/target breakpoints, and
 //!   records a [`TransitionGroundTruth`].
 //! * [`GpuDevice::enqueue_kernel`] — queues a kernel (single in-order
@@ -259,7 +259,8 @@ impl GpuDevice {
         let k = self.kernels.iter_mut().find(|k| k.id == id)?;
         let recs = k.records.take();
         // Garbage-collect fully consumed kernels.
-        self.kernels.retain(|k| k.records.is_some() || k.end.is_none());
+        self.kernels
+            .retain(|k| k.records.is_some() || k.end.is_none());
         recs
     }
 
@@ -361,7 +362,8 @@ impl GpuDevice {
             }
         }
 
-        let was_idle_long = start.saturating_since(self.busy_until) >= self.spec.wakeup_idle_threshold
+        let was_idle_long = start.saturating_since(self.busy_until)
+            >= self.spec.wakeup_idle_threshold
             || self.busy_until == SimTime::EPOCH;
 
         // Pass 1: effective trajectory without thermal events.
@@ -671,11 +673,15 @@ mod tests {
         let t2 = SimTime::from_millis(2);
         dev.apply_locked_clocks(t2, t2, FreqMhz(705));
         let settled = dev.last_transition().unwrap().settled;
-        assert_eq!(dev.requested.freq_at(settled + SimDuration::from_millis(1)), 705.0);
+        assert_eq!(
+            dev.requested.freq_at(settled + SimDuration::from_millis(1)),
+            705.0
+        );
         // At t = 10.5 ms (when the first would have settled) the plan must
         // not be 1410.
         assert_ne!(
-            dev.requested.freq_at(SimTime::from_millis(10) + SimDuration::from_micros(500)),
+            dev.requested
+                .freq_at(SimTime::from_millis(10) + SimDuration::from_micros(500)),
             1410.0
         );
     }
@@ -736,7 +742,9 @@ mod tests {
         let mut spec = devices::a100_sxm4();
         spec.timer_resolution = SimDuration::from_nanos(1);
         spec.wakeup_ramp = SimDuration::ZERO;
-        spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_micros(100) });
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_micros(100),
+        });
         spec.thermal.tdp_w = spec.power.busy_power(900.0); // cap near 900 MHz
         let mut dev = GpuDevice::new(spec, 1, clock);
         dev.apply_locked_clocks(SimTime::EPOCH, SimTime::EPOCH, FreqMhz(1410));
@@ -766,7 +774,9 @@ mod tests {
         let mut spec = devices::a100_sxm4();
         spec.timer_resolution = SimDuration::from_nanos(1);
         spec.wakeup_ramp = SimDuration::ZERO;
-        spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_micros(100) });
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_micros(100),
+        });
         // Aggressive thermals: tiny tau, low threshold -> throttles quickly.
         spec.thermal.tau_s = 0.02;
         spec.thermal.throttle_temp_c = 50.0;
@@ -847,7 +857,9 @@ mod tests {
         let clock = SharedClock::new();
         let mut spec = devices::a100_sxm4();
         spec.timer_resolution = SimDuration::from_nanos(1);
-        spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_micros(100) });
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_micros(100),
+        });
         spec.wakeup_ramp = SimDuration::from_millis(20);
         spec.wakeup_idle_threshold = SimDuration::from_millis(1);
         let mut dev = GpuDevice::new(spec, 1, clock);

@@ -142,8 +142,16 @@ fn default_driver_profile() -> DriverProfile {
         request_travel_sigma_ln: 0.30,
         stall_prob: 0.015,
         stall: LatencyMixture::new(vec![
-            MixtureComponent { weight: 0.7, median_ms: 12.0, sigma_ln: 0.5 },
-            MixtureComponent { weight: 0.3, median_ms: 60.0, sigma_ln: 0.4 },
+            MixtureComponent {
+                weight: 0.7,
+                median_ms: 12.0,
+                sigma_ln: 0.5,
+            },
+            MixtureComponent {
+                weight: 0.3,
+                median_ms: 60.0,
+                sigma_ln: 0.4,
+            },
         ]),
     }
 }
@@ -160,10 +168,13 @@ pub fn a100_sxm4() -> DeviceSpec {
         pair_jitter_ln: 0.08,
         mode_by: ModeSelection::Measurement,
         minority_flip: None,
-        ramp: RampPolicy { fraction: 0.25, max_steps: 3 },
+        ramp: RampPolicy {
+            fraction: 0.25,
+            max_steps: 3,
+        },
         unit_scale: 1.0,
         pair_salt: 0xA100,
-        };
+    };
     DeviceSpec {
         name: "NVIDIA A100-SXM4-40GB".to_string(),
         architecture: GpuArchitecture::Ampere,
@@ -226,7 +237,10 @@ fn a100_transition_with(unit_scale: f64, pair_salt: u64) -> ArchTransitionModel 
         pair_jitter_ln: 0.08,
         mode_by: ModeSelection::Measurement,
         minority_flip: None,
-        ramp: RampPolicy { fraction: 0.25, max_steps: 3 },
+        ramp: RampPolicy {
+            fraction: 0.25,
+            max_steps: 3,
+        },
         unit_scale,
         pair_salt,
     }
@@ -254,10 +268,26 @@ pub fn gh200() -> DeviceSpec {
                 // eps = 0.15 × quantile-range and the five-cluster
                 // structure disappears.
                 mixture: LatencyMixture::new(vec![
-                    MixtureComponent { weight: 0.30, median_ms: 63.0, sigma_ln: 0.03 },
-                    MixtureComponent { weight: 0.25, median_ms: 121.0, sigma_ln: 0.03 },
-                    MixtureComponent { weight: 0.20, median_ms: 189.0, sigma_ln: 0.03 },
-                    MixtureComponent { weight: 0.25, median_ms: 262.0, sigma_ln: 0.03 },
+                    MixtureComponent {
+                        weight: 0.30,
+                        median_ms: 63.0,
+                        sigma_ln: 0.03,
+                    },
+                    MixtureComponent {
+                        weight: 0.25,
+                        median_ms: 121.0,
+                        sigma_ln: 0.03,
+                    },
+                    MixtureComponent {
+                        weight: 0.20,
+                        median_ms: 189.0,
+                        sigma_ln: 0.03,
+                    },
+                    MixtureComponent {
+                        weight: 0.25,
+                        median_ms: 262.0,
+                        sigma_ln: 0.03,
+                    },
                 ]),
             },
             // The ~1875 MHz column: consistently slow worst cases.
@@ -265,8 +295,16 @@ pub fn gh200() -> DeviceSpec {
                 targets: vec![FreqMhz(1875)],
                 probability: 0.45,
                 mixture: LatencyMixture::new(vec![
-                    MixtureComponent { weight: 0.35, median_ms: 55.0, sigma_ln: 0.35 },
-                    MixtureComponent { weight: 0.65, median_ms: 272.0, sigma_ln: 0.09 },
+                    MixtureComponent {
+                        weight: 0.35,
+                        median_ms: 55.0,
+                        sigma_ln: 0.35,
+                    },
+                    MixtureComponent {
+                        weight: 0.65,
+                        median_ms: 272.0,
+                        sigma_ln: 0.09,
+                    },
                 ]),
             },
         ],
@@ -277,7 +315,10 @@ pub fn gh200() -> DeviceSpec {
         pair_jitter_ln: 0.10,
         mode_by: ModeSelection::Measurement,
         minority_flip: None,
-        ramp: RampPolicy { fraction: 0.20, max_steps: 4 },
+        ramp: RampPolicy {
+            fraction: 0.20,
+            max_steps: 4,
+        },
         unit_scale: 1.0,
         pair_salt: 0x61_4200,
     };
@@ -321,8 +362,16 @@ pub fn gh200() -> DeviceSpec {
             request_travel_sigma_ln: 0.25,
             stall_prob: 0.02,
             stall: LatencyMixture::new(vec![
-                MixtureComponent { weight: 0.6, median_ms: 15.0, sigma_ln: 0.5 },
-                MixtureComponent { weight: 0.4, median_ms: 90.0, sigma_ln: 0.5 },
+                MixtureComponent {
+                    weight: 0.6,
+                    median_ms: 15.0,
+                    sigma_ln: 0.5,
+                },
+                MixtureComponent {
+                    weight: 0.4,
+                    median_ms: 90.0,
+                    sigma_ln: 0.5,
+                },
             ]),
         },
     }
@@ -337,23 +386,63 @@ pub fn rtx_quadro_6000() -> DeviceSpec {
     let transition = ArchTransitionModel {
         // Baseline regimes, ownership per *target* frequency.
         up: LatencyMixture::new(vec![
-            MixtureComponent { weight: 0.28, median_ms: 20.5, sigma_ln: 0.10 },
-            MixtureComponent { weight: 0.52, median_ms: 136.0, sigma_ln: 0.035 },
-            MixtureComponent { weight: 0.12, median_ms: 75.0, sigma_ln: 0.30 },
-            MixtureComponent { weight: 0.08, median_ms: 155.0, sigma_ln: 0.25 },
+            MixtureComponent {
+                weight: 0.28,
+                median_ms: 20.5,
+                sigma_ln: 0.10,
+            },
+            MixtureComponent {
+                weight: 0.52,
+                median_ms: 136.0,
+                sigma_ln: 0.035,
+            },
+            MixtureComponent {
+                weight: 0.12,
+                median_ms: 75.0,
+                sigma_ln: 0.30,
+            },
+            MixtureComponent {
+                weight: 0.08,
+                median_ms: 155.0,
+                sigma_ln: 0.25,
+            },
         ]),
         down: LatencyMixture::new(vec![
-            MixtureComponent { weight: 0.34, median_ms: 19.5, sigma_ln: 0.10 },
-            MixtureComponent { weight: 0.48, median_ms: 135.0, sigma_ln: 0.035 },
-            MixtureComponent { weight: 0.10, median_ms: 70.0, sigma_ln: 0.30 },
-            MixtureComponent { weight: 0.08, median_ms: 150.0, sigma_ln: 0.25 },
+            MixtureComponent {
+                weight: 0.34,
+                median_ms: 19.5,
+                sigma_ln: 0.10,
+            },
+            MixtureComponent {
+                weight: 0.48,
+                median_ms: 135.0,
+                sigma_ln: 0.035,
+            },
+            MixtureComponent {
+                weight: 0.10,
+                median_ms: 70.0,
+                sigma_ln: 0.30,
+            },
+            MixtureComponent {
+                weight: 0.08,
+                median_ms: 150.0,
+                sigma_ln: 0.25,
+            },
         ]),
         slow_bands: vec![SlowTargetBand {
             targets: vec![FreqMhz(930), FreqMhz(990)],
             probability: 0.92,
             mixture: LatencyMixture::new(vec![
-                MixtureComponent { weight: 0.85, median_ms: 237.5, sigma_ln: 0.012 },
-                MixtureComponent { weight: 0.15, median_ms: 300.0, sigma_ln: 0.10 },
+                MixtureComponent {
+                    weight: 0.85,
+                    median_ms: 237.5,
+                    sigma_ln: 0.012,
+                },
+                MixtureComponent {
+                    weight: 0.15,
+                    median_ms: 300.0,
+                    sigma_ln: 0.10,
+                },
             ]),
         }],
         rare_spike: Some(RareSpike {
@@ -364,8 +453,14 @@ pub fn rtx_quadro_6000() -> DeviceSpec {
         mode_by: ModeSelection::Target,
         // Sec. VII-B: ~30 % of Quadro pairs show a smaller secondary
         // cluster besides the column-owned regime.
-        minority_flip: Some(MinorityFlip { pair_fraction: 0.30, flip_prob: 0.25 }),
-        ramp: RampPolicy { fraction: 0.30, max_steps: 5 },
+        minority_flip: Some(MinorityFlip {
+            pair_fraction: 0.30,
+            flip_prob: 0.25,
+        }),
+        ramp: RampPolicy {
+            fraction: 0.30,
+            max_steps: 5,
+        },
         unit_scale: 1.0,
         pair_salt: 0x6000,
     };
@@ -408,8 +503,16 @@ pub fn rtx_quadro_6000() -> DeviceSpec {
             request_travel_sigma_ln: 0.40,
             stall_prob: 0.025,
             stall: LatencyMixture::new(vec![
-                MixtureComponent { weight: 0.6, median_ms: 20.0, sigma_ln: 0.6 },
-                MixtureComponent { weight: 0.4, median_ms: 80.0, sigma_ln: 0.5 },
+                MixtureComponent {
+                    weight: 0.6,
+                    median_ms: 20.0,
+                    sigma_ln: 0.6,
+                },
+                MixtureComponent {
+                    weight: 0.4,
+                    median_ms: 80.0,
+                    sigma_ln: 0.5,
+                },
             ]),
         },
     }
@@ -537,7 +640,10 @@ mod tests {
                     > 50.0
             })
             .count();
-        assert!(slow_hits > 30, "GH200 1260-column slow path too rare: {slow_hits}");
+        assert!(
+            slow_hits > 30,
+            "GH200 1260-column slow path too rare: {slow_hits}"
+        );
     }
 
     #[test]
@@ -576,7 +682,10 @@ mod tests {
             let a = regime(375, t, &mut rng);
             let b = regime(2085, t, &mut rng);
             let ratio = a.max(b) / a.min(b);
-            assert!(ratio < 2.0, "target {t}: init changes regime ({a:.1} vs {b:.1})");
+            assert!(
+                ratio < 2.0,
+                "target {t}: init changes regime ({a:.1} vs {b:.1})"
+            );
         }
     }
 

@@ -20,7 +20,10 @@ pub struct Normal {
 impl Normal {
     /// Construct; panics on negative or non-finite sigma.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0, got {sigma}");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be >= 0, got {sigma}"
+        );
         Normal { mu, sigma }
     }
 
@@ -60,12 +63,20 @@ impl LogNormal {
     pub fn from_median(median: f64, sigma_ln: f64) -> Self {
         assert!(median > 0.0, "median must be positive");
         assert!(sigma_ln >= 0.0, "sigma_ln must be >= 0");
-        LogNormal { mu: median.ln(), sigma: sigma_ln }
+        LogNormal {
+            mu: median.ln(),
+            sigma: sigma_ln,
+        }
     }
 
     /// Draw one sample.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        Normal { mu: self.mu, sigma: self.sigma }.sample(rng).exp()
+        Normal {
+            mu: self.mu,
+            sigma: self.sigma,
+        }
+        .sample(rng)
+        .exp()
     }
 }
 
@@ -93,15 +104,25 @@ pub struct LatencyMixture {
 impl LatencyMixture {
     /// Build from components; panics if empty or all weights are zero.
     pub fn new(components: Vec<MixtureComponent>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total_weight: f64 = components.iter().map(|c| c.weight).sum();
         assert!(total_weight > 0.0, "mixture weights must sum to > 0");
-        LatencyMixture { components, total_weight }
+        LatencyMixture {
+            components,
+            total_weight,
+        }
     }
 
     /// A single-mode mixture.
     pub fn single(median_ms: f64, sigma_ln: f64) -> Self {
-        Self::new(vec![MixtureComponent { weight: 1.0, median_ms, sigma_ln }])
+        Self::new(vec![MixtureComponent {
+            weight: 1.0,
+            median_ms,
+            sigma_ln,
+        }])
     }
 
     /// Draw a latency in milliseconds.
@@ -144,7 +165,10 @@ impl LatencyMixture {
             components: self
                 .components
                 .iter()
-                .map(|c| MixtureComponent { median_ms: c.median_ms * k, ..*c })
+                .map(|c| MixtureComponent {
+                    median_ms: c.median_ms * k,
+                    ..*c
+                })
                 .collect(),
             total_weight: self.total_weight,
         }
@@ -209,8 +233,16 @@ mod tests {
         let mut r = rng(5);
         // 80 % fast mode at ~5 ms, 20 % slow mode at ~250 ms.
         let m = LatencyMixture::new(vec![
-            MixtureComponent { weight: 0.8, median_ms: 5.0, sigma_ln: 0.05 },
-            MixtureComponent { weight: 0.2, median_ms: 250.0, sigma_ln: 0.05 },
+            MixtureComponent {
+                weight: 0.8,
+                median_ms: 5.0,
+                sigma_ln: 0.05,
+            },
+            MixtureComponent {
+                weight: 0.2,
+                median_ms: 250.0,
+                sigma_ln: 0.05,
+            },
         ]);
         let n = 10_000;
         let slow = (0..n).filter(|_| m.sample_ms(&mut r) > 100.0).count();
@@ -227,8 +259,14 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_stream() {
         let d = LogNormal::from_median(7.0, 0.3);
-        let a: Vec<f64> = { let mut r = rng(9); (0..50).map(|_| d.sample(&mut r)).collect() };
-        let b: Vec<f64> = { let mut r = rng(9); (0..50).map(|_| d.sample(&mut r)).collect() };
+        let a: Vec<f64> = {
+            let mut r = rng(9);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(9);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
         assert_eq!(a, b);
     }
 

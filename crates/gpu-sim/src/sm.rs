@@ -170,7 +170,14 @@ mod tests {
     fn slower_clock_means_longer_iterations() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let slow = FreqTrajectory::flat(500.0);
-        let (recs, _) = run_sm(&slow, SimTime::EPOCH, 5, &quiet_params(), &timer_exact(), &mut rng);
+        let (recs, _) = run_sm(
+            &slow,
+            SimTime::EPOCH,
+            5,
+            &quiet_params(),
+            &timer_exact(),
+            &mut rng,
+        );
         for r in &recs {
             assert_eq!(r.duration().as_nanos(), 200_000);
         }
@@ -183,7 +190,14 @@ mod tests {
         let mut traj = FreqTrajectory::flat(1000.0);
         traj.push(SimTime::from_micros(250), 500.0);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 6, &quiet_params(), &timer_exact(), &mut rng);
+        let (recs, _) = run_sm(
+            &traj,
+            SimTime::EPOCH,
+            6,
+            &quiet_params(),
+            &timer_exact(),
+            &mut rng,
+        );
         let durs: Vec<u64> = recs.iter().map(|r| r.duration().as_nanos()).collect();
         assert_eq!(durs[0], 100_000);
         assert_eq!(durs[1], 100_000);
@@ -220,7 +234,10 @@ mod tests {
         let mut p = quiet_params();
         p.noise_rel_sigma = 0.01;
         let (recs, _) = run_sm(&traj, SimTime::EPOCH, 4000, &p, &timer_exact(), &mut rng);
-        let durs: Vec<f64> = recs.iter().map(|r| r.duration().as_nanos() as f64).collect();
+        let durs: Vec<f64> = recs
+            .iter()
+            .map(|r| r.duration().as_nanos() as f64)
+            .collect();
         let mean = durs.iter().sum::<f64>() / durs.len() as f64;
         assert!((mean - 100_000.0).abs() < 200.0, "mean = {mean}");
         let var = durs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / durs.len() as f64;

@@ -104,7 +104,10 @@ pub struct ThermalState {
 impl ThermalState {
     /// Start at thermal equilibrium with the environment.
     pub fn equilibrium(params: &ThermalParams, at: SimTime) -> Self {
-        ThermalState { temp_c: params.ambient_c, at }
+        ThermalState {
+            temp_c: params.ambient_c,
+            at,
+        }
     }
 
     /// Advance to `to` under constant power `power_w`; exact first-order
@@ -229,7 +232,10 @@ mod tests {
     #[test]
     fn thermal_cools_when_idle() {
         let pr = params();
-        let mut s = ThermalState { temp_c: 85.0, at: SimTime::EPOCH };
+        let mut s = ThermalState {
+            temp_c: 85.0,
+            at: SimTime::EPOCH,
+        };
         s.advance(&pr, SimTime::from_nanos(100_000_000_000), 0.0);
         assert!(s.temp_c < 40.0, "temp = {}", s.temp_c);
         assert!(s.temp_c >= pr.ambient_c);
@@ -238,7 +244,10 @@ mod tests {
     #[test]
     fn time_to_reach_roundtrips_with_advance() {
         let pr = params();
-        let s = ThermalState { temp_c: 40.0, at: SimTime::EPOCH };
+        let s = ThermalState {
+            temp_c: 40.0,
+            at: SimTime::EPOCH,
+        };
         // 500 W -> T_ss = 105 C > 90 C: will throttle.
         let dt = s.time_to_reach(&pr, 90.0, 500.0).expect("must reach");
         let mut s2 = s;
@@ -249,11 +258,17 @@ mod tests {
     #[test]
     fn time_to_reach_none_when_steady_state_below_target() {
         let pr = params();
-        let s = ThermalState { temp_c: 40.0, at: SimTime::EPOCH };
+        let s = ThermalState {
+            temp_c: 40.0,
+            at: SimTime::EPOCH,
+        };
         // 100 W -> T_ss = 45 C, never reaches 90 C.
         assert!(s.time_to_reach(&pr, 90.0, 100.0).is_none());
         // Cooling away from target.
-        let hot = ThermalState { temp_c: 95.0, at: SimTime::EPOCH };
+        let hot = ThermalState {
+            temp_c: 95.0,
+            at: SimTime::EPOCH,
+        };
         assert!(hot.time_to_reach(&pr, 96.0, 0.0).is_none());
     }
 
@@ -261,8 +276,13 @@ mod tests {
     fn time_to_reach_cooling_crossing() {
         let pr = params();
         // Hot device cooling toward ambient must cross the release threshold.
-        let s = ThermalState { temp_c: 95.0, at: SimTime::EPOCH };
-        let dt = s.time_to_reach(&pr, pr.release_temp_c, 0.0).expect("cools past release");
+        let s = ThermalState {
+            temp_c: 95.0,
+            at: SimTime::EPOCH,
+        };
+        let dt = s
+            .time_to_reach(&pr, pr.release_temp_c, 0.0)
+            .expect("cools past release");
         let mut s2 = s;
         s2.advance(&pr, SimTime::EPOCH + dt, 0.0);
         assert!((s2.temp_c - pr.release_temp_c).abs() < 1e-6);

@@ -33,7 +33,10 @@ impl FreqTrajectory {
     pub fn flat(freq_mhz: f64) -> Self {
         assert!(freq_mhz > 0.0, "frequency must be positive");
         FreqTrajectory {
-            segments: vec![Segment { start: SimTime::EPOCH, freq_mhz }],
+            segments: vec![Segment {
+                start: SimTime::EPOCH,
+                freq_mhz,
+            }],
         }
     }
 
@@ -83,7 +86,10 @@ impl FreqTrajectory {
         assert!(t1 >= t0, "t1 must not precede t0");
         let mut cycles = 0.0;
         let mut cur = t0;
-        let mut idx = self.segments.partition_point(|s| s.start <= t0).saturating_sub(1);
+        let mut idx = self
+            .segments
+            .partition_point(|s| s.start <= t0)
+            .saturating_sub(1);
         while cur < t1 {
             let seg_end = self
                 .segments
@@ -111,7 +117,10 @@ impl FreqTrajectory {
         assert!(cycles >= 0.0, "cycles must be non-negative");
         let mut remaining = cycles;
         let mut cur = t0;
-        let mut idx = self.segments.partition_point(|s| s.start <= t0).saturating_sub(1);
+        let mut idx = self
+            .segments
+            .partition_point(|s| s.start <= t0)
+            .saturating_sub(1);
         loop {
             let freq = self.segments[idx].freq_mhz;
             let rate = freq * 1e-3; // cycles per ns
@@ -142,8 +151,15 @@ impl FreqTrajectory {
     /// A stateful forward-walking cursor for integrating many consecutive
     /// iterations in O(1) amortised per call instead of O(log n).
     pub fn cursor(&self, t0: SimTime) -> TrajectoryCursor<'_> {
-        let idx = self.segments.partition_point(|s| s.start <= t0).saturating_sub(1);
-        TrajectoryCursor { traj: self, time: t0, idx }
+        let idx = self
+            .segments
+            .partition_point(|s| s.start <= t0)
+            .saturating_sub(1);
+        TrajectoryCursor {
+            traj: self,
+            time: t0,
+            idx,
+        }
     }
 }
 

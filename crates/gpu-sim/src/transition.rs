@@ -40,14 +40,15 @@ pub struct TransitionShape {
 impl TransitionShape {
     /// A pure-pending shape with no adaptation ramp.
     pub fn pending_only(pending: SimDuration) -> Self {
-        TransitionShape { pending, ramp: Vec::new() }
+        TransitionShape {
+            pending,
+            ramp: Vec::new(),
+        }
     }
 
     /// Total time from acceptance to stable target frequency.
     pub fn settle_duration(&self) -> SimDuration {
-        self.ramp
-            .iter()
-            .fold(self.pending, |acc, (_, d)| acc + *d)
+        self.ramp.iter().fold(self.pending, |acc, (_, d)| acc + *d)
     }
 }
 
@@ -373,7 +374,10 @@ mod tests {
             pair_jitter_ln: 0.0,
             mode_by: ModeSelection::Measurement,
             minority_flip: None,
-            ramp: RampPolicy { fraction: 0.3, max_steps: 4 },
+            ramp: RampPolicy {
+                fraction: 0.3,
+                max_steps: 4,
+            },
             unit_scale: 1.0,
             pair_salt: 7,
         }
@@ -385,10 +389,21 @@ mod tests {
         // every transition into the same target land in the same mode.
         let mut m = simple_model();
         m.slow_bands.clear();
-        m.ramp = RampPolicy { fraction: 0.0, max_steps: 0 };
+        m.ramp = RampPolicy {
+            fraction: 0.0,
+            max_steps: 0,
+        };
         m.up = LatencyMixture::new(vec![
-            MixtureComponent { weight: 0.5, median_ms: 20.0, sigma_ln: 0.02 },
-            MixtureComponent { weight: 0.5, median_ms: 136.0, sigma_ln: 0.02 },
+            MixtureComponent {
+                weight: 0.5,
+                median_ms: 20.0,
+                sigma_ln: 0.02,
+            },
+            MixtureComponent {
+                weight: 0.5,
+                median_ms: 136.0,
+                sigma_ln: 0.02,
+            },
         ]);
         m.down = m.up.clone();
         m.mode_by = ModeSelection::Target;
@@ -400,7 +415,10 @@ mod tests {
             let mut modes = std::collections::HashSet::new();
             for &from in &[FreqMhz(300), FreqMhz(600), FreqMhz(1410)] {
                 for _ in 0..20 {
-                    let ms = m.sample(from, to, &l, &mut r).settle_duration().as_millis_f64();
+                    let ms = m
+                        .sample(from, to, &l, &mut r)
+                        .settle_duration()
+                        .as_millis_f64();
                     modes.insert(if ms < 60.0 { "fast" } else { "slow" });
                 }
             }
@@ -422,7 +440,9 @@ mod tests {
 
     #[test]
     fn fixed_model_is_exact() {
-        let m = FixedTransition { latency: SimDuration::from_millis(12) };
+        let m = FixedTransition {
+            latency: SimDuration::from_millis(12),
+        };
         let s = m.sample(FreqMhz(210), FreqMhz(1410), &ladder(), &mut rng(0));
         assert_eq!(s.settle_duration(), SimDuration::from_millis(12));
         assert!(s.ramp.is_empty());
@@ -435,11 +455,19 @@ mod tests {
         let mut r = rng(1);
         let n = 300;
         let up: f64 = (0..n)
-            .map(|_| m.sample(FreqMhz(300), FreqMhz(1200), &l, &mut r).settle_duration().as_millis_f64())
+            .map(|_| {
+                m.sample(FreqMhz(300), FreqMhz(1200), &l, &mut r)
+                    .settle_duration()
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / n as f64;
         let down: f64 = (0..n)
-            .map(|_| m.sample(FreqMhz(1200), FreqMhz(300), &l, &mut r).settle_duration().as_millis_f64())
+            .map(|_| {
+                m.sample(FreqMhz(1200), FreqMhz(300), &l, &mut r)
+                    .settle_duration()
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / n as f64;
         assert!(up > 2.0 * down, "up={up} down={down}");
@@ -505,13 +533,19 @@ mod tests {
         // Different salt, different texture.
         let mut m2 = m.clone();
         m2.pair_salt = 8;
-        assert_ne!(m.pair_factor(FreqMhz(300), FreqMhz(600)), m2.pair_factor(FreqMhz(300), FreqMhz(600)));
+        assert_ne!(
+            m.pair_factor(FreqMhz(300), FreqMhz(600)),
+            m2.pair_factor(FreqMhz(300), FreqMhz(600))
+        );
     }
 
     #[test]
     fn unit_scale_scales_latency() {
         let mut fast = simple_model();
-        fast.ramp = RampPolicy { fraction: 0.0, max_steps: 0 };
+        fast.ramp = RampPolicy {
+            fraction: 0.0,
+            max_steps: 0,
+        };
         let mut slow = fast.clone();
         slow.unit_scale = 2.0;
         // Compare means over the same seed stream.
@@ -519,7 +553,11 @@ mod tests {
         let mean = |m: &ArchTransitionModel| {
             let mut r = rng(5);
             (0..200)
-                .map(|_| m.sample(FreqMhz(300), FreqMhz(600), &l, &mut r).settle_duration().as_millis_f64())
+                .map(|_| {
+                    m.sample(FreqMhz(300), FreqMhz(600), &l, &mut r)
+                        .settle_duration()
+                        .as_millis_f64()
+                })
                 .sum::<f64>()
                 / 200.0
         };

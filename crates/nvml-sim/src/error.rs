@@ -33,7 +33,11 @@ impl fmt::Display for NvmlError {
             NvmlError::InvalidDeviceIndex { index, count } => {
                 write!(f, "invalid device index {index} (have {count} devices)")
             }
-            NvmlError::InvalidClock { requested, min, max } => {
+            NvmlError::InvalidClock {
+                requested,
+                min,
+                max,
+            } => {
                 write!(
                     f,
                     "clock {requested} MHz outside supported range [{min}, {max}] MHz"
@@ -53,7 +57,11 @@ mod tests {
     fn display_messages() {
         let e = NvmlError::InvalidDeviceIndex { index: 5, count: 2 };
         assert!(e.to_string().contains("index 5"));
-        let e = NvmlError::InvalidClock { requested: 99, min: 210, max: 1410 };
+        let e = NvmlError::InvalidClock {
+            requested: 99,
+            min: 210,
+            max: 1410,
+        };
         assert!(e.to_string().contains("99 MHz"));
         assert!(e.to_string().contains("[210, 1410]"));
     }

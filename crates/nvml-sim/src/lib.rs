@@ -105,7 +105,10 @@ impl Nvml {
         let device = self
             .devices
             .get(index)
-            .ok_or(NvmlError::InvalidDeviceIndex { index, count: self.devices.len() })?
+            .ok_or(NvmlError::InvalidDeviceIndex {
+                index,
+                count: self.devices.len(),
+            })?
             .clone();
         let seed = {
             let d = device.lock();
@@ -130,7 +133,10 @@ impl Nvml {
         self.devices
             .get(index)
             .cloned()
-            .ok_or(NvmlError::InvalidDeviceIndex { index, count: self.devices.len() })
+            .ok_or(NvmlError::InvalidDeviceIndex {
+                index,
+                count: self.devices.len(),
+            })
     }
 }
 
@@ -187,20 +193,29 @@ impl NvmlDevice {
             (d.spec().ladder.min(), d.spec().ladder.max())
         };
         if target < min || target > max {
-            return Err(NvmlError::InvalidClock { requested: target.0, min: min.0, max: max.0 });
+            return Err(NvmlError::InvalidClock {
+                requested: target.0,
+                min: min.0,
+                max: max.0,
+            });
         }
 
         let profile = self.device.lock().spec().driver.clone();
         let call = self.clock.now();
-        let blocking_us = LogNormal::from_median(profile.call_blocking_us, profile.call_blocking_sigma_ln)
-            .sample(&mut self.rng);
-        let mut travel_us = LogNormal::from_median(profile.request_travel_us, profile.request_travel_sigma_ln)
-            .sample(&mut self.rng);
+        let blocking_us =
+            LogNormal::from_median(profile.call_blocking_us, profile.call_blocking_sigma_ln)
+                .sample(&mut self.rng);
+        let mut travel_us =
+            LogNormal::from_median(profile.request_travel_us, profile.request_travel_sigma_ln)
+                .sample(&mut self.rng);
         if self.rng.gen::<f64>() < profile.stall_prob {
             travel_us += profile.stall.sample_ms(&mut self.rng) * 1e3;
         }
         let arrival = call + SimDuration::from_nanos((travel_us * 1e3).round() as u64);
-        let snapped = self.device.lock().apply_locked_clocks(call, arrival, target);
+        let snapped = self
+            .device
+            .lock()
+            .apply_locked_clocks(call, arrival, target);
         let ret = self
             .clock
             .advance(SimDuration::from_nanos((blocking_us * 1e3).round() as u64));
@@ -275,7 +290,8 @@ impl NvmlDevice {
     fn query_cost(&mut self) -> SimTime {
         // Queries are cheap but not free: ~20-60 us.
         let us: f64 = self.rng.gen_range(20.0..60.0);
-        self.clock.advance(SimDuration::from_nanos((us * 1e3) as u64))
+        self.clock
+            .advance(SimDuration::from_nanos((us * 1e3) as u64))
     }
 }
 
@@ -346,7 +362,11 @@ mod tests {
         let mut dev = nvml.device(0).unwrap();
         assert!(matches!(
             dev.set_gpu_locked_clocks(FreqMhz(100)),
-            Err(NvmlError::InvalidClock { requested: 100, min: 210, max: 1410 })
+            Err(NvmlError::InvalidClock {
+                requested: 100,
+                min: 210,
+                max: 1410
+            })
         ));
         assert!(dev.set_gpu_locked_clocks(FreqMhz(5000)).is_err());
     }
@@ -403,7 +423,10 @@ mod tests {
         assert_eq!(nvml.device_count(), 4);
         for i in 0..4 {
             let mut dev = nvml.device(i).unwrap();
-            assert_eq!(dev.set_gpu_locked_clocks(FreqMhz(1095)).unwrap(), FreqMhz(1095));
+            assert_eq!(
+                dev.set_gpu_locked_clocks(FreqMhz(1095)).unwrap(),
+                FreqMhz(1095)
+            );
         }
     }
 }

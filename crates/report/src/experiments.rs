@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// One paper-value vs measured-value comparison row.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct MetricRow {
-    /// What is being compared (e.g. "A100 worst-case max [ms]").
+    /// What is being compared (e.g. "A100 worst-case max \[ms\]").
     pub metric: String,
     /// The paper's value, as reported.
     pub paper: String,
@@ -38,7 +38,11 @@ pub struct ExperimentRecord {
 
 impl ExperimentRecord {
     /// Start a record.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, parameters: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        parameters: impl Into<String>,
+    ) -> Self {
         ExperimentRecord {
             id: id.into(),
             title: title.into(),
@@ -119,7 +123,13 @@ mod tests {
             true,
             "all A100 worst cases < 25 ms",
         );
-        r.compare("GH200 worst-case max [ms]", "477.318", "455.0", true, "rare spike");
+        r.compare(
+            "GH200 worst-case max [ms]",
+            "477.318",
+            "455.0",
+            true,
+            "rare spike",
+        );
         r
     }
 

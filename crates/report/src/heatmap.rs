@@ -18,7 +18,11 @@ impl Heatmap {
     /// An empty heatmap with the given labels.
     pub fn new(row_labels: Vec<String>, col_labels: Vec<String>) -> Self {
         let values = vec![None; row_labels.len() * col_labels.len()];
-        Heatmap { row_labels, col_labels, values }
+        Heatmap {
+            row_labels,
+            col_labels,
+            values,
+        }
     }
 
     /// Build from row/column keys and a cell function (None = blank, e.g.

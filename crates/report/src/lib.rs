@@ -31,5 +31,5 @@ pub use experiments::{ExperimentRecord, MetricRow};
 pub use heatmap::Heatmap;
 pub use scatter::render_scatter;
 pub use svg::{boxplot_svg, heatmap_svg, scatter_svg, violin_pair_svg, SvgStyle};
-pub use table::TextTable;
+pub use table::{cross_device_table, CrossDeviceRow, TextTable};
 pub use violin::{DirectionSplit, ViolinSummary};

@@ -27,7 +27,12 @@ pub struct SvgStyle {
 
 impl Default for SvgStyle {
     fn default() -> Self {
-        SvgStyle { width: 760.0, height: 560.0, margin: 70.0, font_px: 11.0 }
+        SvgStyle {
+            width: 760.0,
+            height: 560.0,
+            margin: 70.0,
+            font_px: 11.0,
+        }
     }
 }
 
@@ -48,7 +53,9 @@ fn svg_header(out: &mut String, style: &SvgStyle, title: &str) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Green→yellow→red colour scale over `[0, 1]`, matching the heatmap
@@ -60,7 +67,10 @@ pub fn heat_color(t: f64) -> String {
         (255.0 * (t * 2.0), 200.0 + 20.0 * (t * 2.0))
     } else {
         // yellow -> red (220,0,0)
-        (255.0 - 35.0 * ((t - 0.5) * 2.0), 220.0 * (1.0 - (t - 0.5) * 2.0))
+        (
+            255.0 - 35.0 * ((t - 0.5) * 2.0),
+            220.0 * (1.0 - (t - 0.5) * 2.0),
+        )
     };
     format!("rgb({},{},0)", r.round() as u8, g.round() as u8)
 }
@@ -177,15 +187,21 @@ pub fn violin_pair_svg(
     let mut out = String::new();
     svg_header(&mut out, style, title);
     let plot_h = style.height - 2.0 * style.margin;
-    let lo = left.grid.first().copied().unwrap_or(0.0).min(right.grid.first().copied().unwrap_or(0.0));
-    let hi = left.grid.last().copied().unwrap_or(1.0).max(right.grid.last().copied().unwrap_or(1.0));
-    let y_of = |v: f64| {
-        style.margin + plot_h * (1.0 - (v - lo) / (hi - lo).max(1e-12))
-    };
+    let lo = left
+        .grid
+        .first()
+        .copied()
+        .unwrap_or(0.0)
+        .min(right.grid.first().copied().unwrap_or(0.0));
+    let hi = left
+        .grid
+        .last()
+        .copied()
+        .unwrap_or(1.0)
+        .max(right.grid.last().copied().unwrap_or(1.0));
+    let y_of = |v: f64| style.margin + plot_h * (1.0 - (v - lo) / (hi - lo).max(1e-12));
     let half_w = (style.width - 2.0 * style.margin) / 4.5;
-    for (summary, center_frac, color) in
-        [(left, 0.3, "#4878d0"), (right, 0.7, "#ee854a")]
-    {
+    for (summary, center_frac, color) in [(left, 0.3, "#4878d0"), (right, 0.7, "#ee854a")] {
         let cx = style.margin + (style.width - 2.0 * style.margin) * center_frac;
         let mut pts_right: Vec<(f64, f64)> = Vec::new();
         let mut pts_left: Vec<(f64, f64)> = Vec::new();
@@ -202,7 +218,10 @@ pub fn violin_pair_svg(
             .map(|(i, (x, y))| format!("{}{x:.1},{y:.1}", if i == 0 { "M" } else { "L" }))
             .collect::<Vec<_>>()
             .join(" ");
-        let _ = writeln!(out, r#"<path d="{path} Z" fill="{color}" fill-opacity="0.6" stroke="{color}"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<path d="{path} Z" fill="{color}" fill-opacity="0.6" stroke="{color}"/>"#
+        );
         // Median line.
         let my = y_of(summary.median);
         let _ = writeln!(
@@ -249,7 +268,9 @@ pub fn scatter_svg(
     title: &str,
     style: &SvgStyle,
 ) -> String {
-    const PALETTE: [&str; 6] = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+    const PALETTE: [&str; 6] = [
+        "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+    ];
     let mut out = String::new();
     svg_header(&mut out, style, title);
     if latencies_ms.is_empty() {

@@ -78,15 +78,81 @@ impl TextTable {
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.header.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
     }
+}
+
+/// One device's row in a cross-device latency comparison (the fleet
+/// driver's aggregation feeds this; Table II of the paper is the
+/// single-statistic ancestor of the shape).
+#[derive(Clone, Debug)]
+pub struct CrossDeviceRow {
+    /// Device name.
+    pub device: String,
+    /// Ordered pairs scheduled on the device.
+    pub pairs_total: usize,
+    /// Pairs that completed with measurements.
+    pub pairs_completed: usize,
+    /// Best (minimum) filtered per-pair latency (ms).
+    pub best_ms: f64,
+    /// Mean of the filtered per-pair means (ms).
+    pub mean_ms: f64,
+    /// Worst (maximum) filtered per-pair latency (ms).
+    pub worst_ms: f64,
+}
+
+impl From<&latest_core::FleetDeviceSummary> for CrossDeviceRow {
+    fn from(s: &latest_core::FleetDeviceSummary) -> Self {
+        CrossDeviceRow {
+            device: s.device_name.clone(),
+            pairs_total: s.pairs_total,
+            pairs_completed: s.pairs_completed,
+            best_ms: s.best_ms,
+            mean_ms: s.mean_ms,
+            worst_ms: s.worst_ms,
+        }
+    }
+}
+
+impl From<latest_core::FleetDeviceSummary> for CrossDeviceRow {
+    fn from(s: latest_core::FleetDeviceSummary) -> Self {
+        CrossDeviceRow::from(&s)
+    }
+}
+
+/// Render the cross-device comparison table: one row per device of a fleet
+/// run, latency statistics over its completed pairs.
+pub fn cross_device_table(rows: &[CrossDeviceRow]) -> TextTable {
+    let mut table = TextTable::with_header(&[
+        "device",
+        "pairs",
+        "completed",
+        "best[ms]",
+        "mean[ms]",
+        "worst[ms]",
+    ]);
+    let fmt = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.3}")
+        } else {
+            "-".to_string()
+        }
+    };
+    for r in rows {
+        table.row(&[
+            r.device.clone(),
+            r.pairs_total.to_string(),
+            r.pairs_completed.to_string(),
+            fmt(r.best_ms),
+            fmt(r.mean_ms),
+            fmt(r.worst_ms),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -107,7 +173,7 @@ mod tests {
         let txt = t.render();
         let lines: Vec<&str> = txt.lines().collect();
         assert_eq!(lines.len(), 5); // header + rule + 3 rows
-        // All lines same length (alignment).
+                                    // All lines same length (alignment).
         let lens: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
         assert!(lens[2] >= lens[0] - 2 && lens[2] <= lens[0] + 2);
         assert!(txt.contains("A100 SXM-4"));
@@ -126,5 +192,44 @@ mod tests {
     fn row_width_mismatch_panics() {
         let mut t = TextTable::with_header(&["a", "b"]);
         t.row_display(&["only-one"]);
+    }
+
+    #[test]
+    fn cross_device_rows_render_per_device() {
+        let rows = vec![
+            CrossDeviceRow {
+                device: "NVIDIA A100-SXM4-40GB".into(),
+                pairs_total: 6,
+                pairs_completed: 6,
+                best_ms: 8.1,
+                mean_ms: 9.8,
+                worst_ms: 21.4,
+            },
+            CrossDeviceRow {
+                device: "NVIDIA GH200".into(),
+                pairs_total: 6,
+                pairs_completed: 4,
+                best_ms: 55.0,
+                mean_ms: 180.5,
+                worst_ms: 455.0,
+            },
+        ];
+        let txt = cross_device_table(&rows).render();
+        assert!(txt.contains("A100"));
+        assert!(txt.contains("GH200"));
+        assert!(txt.contains("455.000"));
+        assert_eq!(txt.lines().count(), 4); // header + rule + 2 devices
+
+        // A device with no completed pairs renders dashes, not inf/NaN.
+        let empty = vec![CrossDeviceRow {
+            device: "idle".into(),
+            pairs_total: 2,
+            pairs_completed: 0,
+            best_ms: f64::INFINITY,
+            mean_ms: f64::NAN,
+            worst_ms: f64::NEG_INFINITY,
+        }];
+        let txt = cross_device_table(&empty).render();
+        assert!(!txt.contains("inf") && !txt.contains("NaN"));
     }
 }

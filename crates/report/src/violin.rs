@@ -167,7 +167,9 @@ mod tests {
 
     #[test]
     fn unimodal_data_has_one_mode() {
-        let data: Vec<f64> = (0..300).map(|i| 15.0 + ((i * 37) % 100) as f64 * 0.01).collect();
+        let data: Vec<f64> = (0..300)
+            .map(|i| 15.0 + ((i * 37) % 100) as f64 * 0.01)
+            .collect();
         let v = ViolinSummary::build("a100-like", &data, 150).unwrap();
         assert_eq!(v.mode_count(0.5), 1);
     }

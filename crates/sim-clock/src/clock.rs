@@ -68,7 +68,9 @@ impl Default for SharedClock {
 
 impl std::fmt::Debug for SharedClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedClock").field("now", &self.now()).finish()
+        f.debug_struct("SharedClock")
+            .field("now", &self.now())
+            .finish()
     }
 }
 
@@ -132,7 +134,9 @@ impl ClockView {
             let ns = t.as_nanos() as f64 * (1.0 + self.drift_ppm / 1e6);
             SimTime::from_nanos(ns.round().max(0.0) as u64)
         };
-        drifted.offset_by(self.offset_ns).quantize_floor(self.resolution)
+        drifted
+            .offset_by(self.offset_ns)
+            .quantize_floor(self.resolution)
     }
 
     /// Invert the (un-quantised) view mapping: the global time at which this

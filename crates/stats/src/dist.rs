@@ -34,7 +34,10 @@ pub fn normal_pdf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside (0, 1).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
 
     // Acklam coefficients.
     const A: [f64; 6] = [
@@ -209,7 +212,10 @@ pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
 ///
 /// Panics if `p` is outside (0, 1).
 pub fn student_t_quantile(p: f64, dof: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "student_t_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "student_t_quantile requires p in (0,1), got {p}"
+    );
     assert!(dof > 0.0);
     if (p - 0.5).abs() < 1e-15 {
         return 0.0;
@@ -272,7 +278,11 @@ mod tests {
             (-1.0, -0.8427007929),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
         }
     }
 

@@ -79,8 +79,7 @@ pub fn welch_t_test(a: &Summary, b: &Summary, alpha: f64) -> Option<TestResult> 
     }
     let t = (a.mean - b.mean) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let dof = se2 * se2
-        / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+    let dof = se2 * se2 / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), dof));
     Some(TestResult {
         statistic: t,
@@ -139,8 +138,8 @@ pub fn diff_confidence_interval(
     let crit = if va + vb == 0.0 {
         0.0
     } else {
-        let dof = (va + vb) * (va + vb)
-            / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+        let dof =
+            (va + vb) * (va + vb) / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
         // For the huge phase-one samples dof is enormous and t == z; computing
         // t throughout keeps small phase-three samples honest too.
         if dof.is_finite() && dof > 0.0 {
@@ -306,8 +305,12 @@ mod tests {
         let b_small = summary(52.0, 5.0, 10);
         let a_big = summary(50.0, 5.0, 10_000);
         let b_big = summary(52.0, 5.0, 10_000);
-        let w_small = diff_confidence_interval(&a_small, &b_small, 0.95).unwrap().width();
-        let w_big = diff_confidence_interval(&a_big, &b_big, 0.95).unwrap().width();
+        let w_small = diff_confidence_interval(&a_small, &b_small, 0.95)
+            .unwrap()
+            .width();
+        let w_big = diff_confidence_interval(&a_big, &b_big, 0.95)
+            .unwrap()
+            .width();
         assert!(w_big < w_small / 10.0);
     }
 
@@ -336,7 +339,11 @@ mod tests {
         }
         let s = rs.summary();
         let band = SigmaBand::two_sigma(&s);
-        let stderr_band = SigmaBand { mean: s.mean, stdev: s.stderr, k: 2.0 };
+        let stderr_band = SigmaBand {
+            mean: s.mean,
+            stdev: s.stderr,
+            k: 2.0,
+        };
 
         let mut in_band = 0u64;
         let mut in_stderr = 0u64;
@@ -352,7 +359,10 @@ mod tests {
         }
         let frac_band = in_band as f64 / n as f64;
         let frac_stderr = in_stderr as f64 / n as f64;
-        assert!(frac_band > 0.94 && frac_band < 0.96, "2-sigma frac {frac_band}");
+        assert!(
+            frac_band > 0.94 && frac_band < 0.96,
+            "2-sigma frac {frac_band}"
+        );
         assert!(frac_stderr < 0.01, "2-stderr frac {frac_stderr}");
     }
 }

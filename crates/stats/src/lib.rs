@@ -16,7 +16,7 @@
 //! * the relative-standard-error stopping rule that bounds how many times a
 //!   switching-latency measurement must be repeated
 //!   ([`summary::relative_standard_error`]),
-//! * quantiles and quantile ranges ([`quantile`]) used by the adaptive
+//! * quantiles and quantile ranges ([`mod@quantile`]) used by the adaptive
 //!   DBSCAN outlier filter (Algorithm 3).
 //!
 //! Everything is pure, allocation-light `f64` math with no external

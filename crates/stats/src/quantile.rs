@@ -22,7 +22,10 @@ pub fn quantile(xs: &[f64], p: f64) -> f64 {
 
 /// Type-7 quantile of already-sorted data.
 pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile probability must be in [0,1], got {p}"
+    );
     let n = sorted.len();
     if n == 0 {
         return f64::NAN;

@@ -131,7 +131,7 @@ impl RunningStats {
 }
 
 /// Immutable descriptive summary of a sample.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
     /// Number of observations.
     pub n: u64,
@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let whole = RunningStats::from_slice(&xs);
         let mut merged = RunningStats::new();
         for chunk in xs.chunks(77) {
@@ -277,7 +279,11 @@ mod tests {
         let s = Summary::of(&xs);
         // exact variance of repeating 0,1,2 pattern is 2/3 (population),
         // sample variance is close to that for n = 10_000.
-        assert!((s.stdev * s.stdev - 2.0 / 3.0).abs() < 1e-3, "var = {}", s.stdev * s.stdev);
+        assert!(
+            (s.stdev * s.stdev - 2.0 / 3.0).abs() < 1e-3,
+            "var = {}",
+            s.stdev * s.stdev
+        );
     }
 
     #[test]

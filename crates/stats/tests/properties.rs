@@ -3,8 +3,8 @@
 
 use latest_stats::quantile::{quantile_sorted, Histogram};
 use latest_stats::{
-    diff_confidence_interval, median, quantile, quantile_range, welch_t_test, z_test,
-    RunningStats, SigmaBand, Summary,
+    diff_confidence_interval, median, quantile, quantile_range, welch_t_test, z_test, RunningStats,
+    SigmaBand, Summary,
 };
 use proptest::prelude::*;
 

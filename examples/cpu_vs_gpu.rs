@@ -9,7 +9,9 @@
 //! ```
 
 use latest::core::{CampaignConfig, Latest};
-use latest::ftalat::{ftalat_phase1, intel_skylake_sp, measure_transition, slow_governor_cpu, SimCpuCore};
+use latest::ftalat::{
+    ftalat_phase1, intel_skylake_sp, measure_transition, slow_governor_cpu, SimCpuCore,
+};
 use latest::gpu_sim::devices;
 use latest::gpu_sim::freq::FreqMhz;
 use latest::sim_clock::SharedClock;
@@ -64,9 +66,18 @@ fn main() {
         gpu_worst_mean_ms(devices::gh200(), 23),
     ];
 
-    println!("{:<28} {:>16} {:>16}", "platform", "worst mean [ms]", "worst max [ms]");
-    println!("{:<28} {:>16.3} {:>16}", "Intel Skylake SP (CPU)", skylake_ms, "-");
-    println!("{:<28} {:>16.3} {:>16}", "slow-governor CPU", governor_ms, "-");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "platform", "worst mean [ms]", "worst max [ms]"
+    );
+    println!(
+        "{:<28} {:>16.3} {:>16}",
+        "Intel Skylake SP (CPU)", skylake_ms, "-"
+    );
+    println!(
+        "{:<28} {:>16.3} {:>16}",
+        "slow-governor CPU", governor_ms, "-"
+    );
     for (name, mean, max) in &gpus {
         println!("{:<28} {:>16.3} {:>16.3}", name, mean, max);
     }
@@ -77,5 +88,7 @@ fn main() {
         "\neven the fastest GPU adjusts its clocks {:.0}x slower than the slowest CPU model",
         fastest_gpu / slowest_cpu
     );
-    println!("(the paper: CPUs finish in microseconds or units of ms, GPUs need tens to hundreds of ms)");
+    println!(
+        "(the paper: CPUs finish in microseconds or units of ms, GPUs need tens to hundreds of ms)"
+    );
 }

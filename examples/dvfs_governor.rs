@@ -30,7 +30,10 @@ fn main() {
     // pathological target columns, where latency awareness matters most).
     let spec = devices::gh200();
     let (f_min, f_max) = (spec.ladder.min(), spec.ladder.max());
-    println!("measuring switching latencies on {} (LATEST campaign)...", spec.name);
+    println!(
+        "measuring switching latencies on {} (LATEST campaign)...",
+        spec.name
+    );
     let config = CampaignConfig::builder(spec)
         .frequency_subset(8)
         .measurements(25, 50)

@@ -31,9 +31,15 @@ fn device_by_name(name: &str) -> DeviceSpec {
 fn main() {
     let mut args = std::env::args().skip(1);
     let spec = device_by_name(&args.next().unwrap_or_else(|| "gh200".into()));
-    let n_freqs: usize = args.next().map(|s| s.parse().expect("n_freqs")).unwrap_or(10);
+    let n_freqs: usize = args
+        .next()
+        .map(|s| s.parse().expect("n_freqs"))
+        .unwrap_or(10);
 
-    println!("sweeping {} over a {}-frequency ladder subset...", spec.name, n_freqs);
+    println!(
+        "sweeping {} over a {}-frequency ladder subset...",
+        spec.name, n_freqs
+    );
     let config = CampaignConfig::builder(spec)
         .frequency_subset(n_freqs)
         .measurements(25, 60)
@@ -63,7 +69,10 @@ fn main() {
         });
         println!(
             "\n{}",
-            hm.render(&format!("{device_name}: {title} switching latencies [ms]"), true)
+            hm.render(
+                &format!("{device_name}: {title} switching latencies [ms]"),
+                true
+            )
         );
 
         // Quantify the paper's "row pattern": target frequency dominates.

@@ -9,11 +9,14 @@
 //!
 //! Each unit is `devices::a100_sxm4_unit(i)` — the same architecture model
 //! with a per-unit manufacturing perturbation of the transition engine, as
-//! the four front-row GPUs of a Karolina node would show.
+//! the four front-row GPUs of a Karolina node would show. The four unit
+//! campaigns run as one `Fleet`: every unit is an independent member with
+//! its own seed, executed in parallel and aggregated per device.
 
-use latest::core::{CampaignConfig, Latest};
+use latest::core::{CampaignConfig, Fleet};
 use latest::gpu_sim::devices;
-use latest::report::{BoxStats, Heatmap};
+use latest::gpu_sim::freq::FreqMhz;
+use latest::report::{cross_device_table, BoxStats, CrossDeviceRow, Heatmap};
 
 const UNITS: usize = 4;
 const N_FREQS: usize = 8;
@@ -21,20 +24,31 @@ const N_FREQS: usize = 8;
 fn main() {
     println!("benchmarking {UNITS} A100-SXM4 units over {N_FREQS} frequencies each...");
 
-    let results: Vec<_> = (0..UNITS)
-        .map(|unit| {
-            let config = CampaignConfig::builder(devices::a100_sxm4_unit(unit))
-                .frequency_subset(N_FREQS)
-                .measurements(25, 50)
-                .simulated_sms(Some(4))
-                .device_index(unit)
-                .seed(0xA100 + unit as u64)
-                .build();
-            Latest::new(config).run().expect("unit campaign")
-        })
+    let mut fleet = Fleet::new();
+    for unit in 0..UNITS {
+        let config = CampaignConfig::builder(devices::a100_sxm4_unit(unit))
+            .frequency_subset(N_FREQS)
+            .measurements(25, 50)
+            .simulated_sms(Some(4))
+            .device_index(unit)
+            .seed(0xA100 + unit as u64)
+            .build();
+        fleet = fleet.add_campaign(config);
+    }
+    let fleet_result = fleet.run().expect("fleet campaign");
+    let results = fleet_result.devices();
+
+    // The fleet's own aggregation: one summary row per unit.
+    let rows: Vec<CrossDeviceRow> = fleet_result
+        .summary_rows()
+        .into_iter()
+        .map(Into::into)
         .collect();
+    println!("\n{}", cross_device_table(&rows).render());
     let freqs: Vec<u32> = {
-        let c = CampaignConfig::builder(devices::a100_sxm4()).frequency_subset(N_FREQS).build();
+        let c = CampaignConfig::builder(devices::a100_sxm4())
+            .frequency_subset(N_FREQS)
+            .build();
         c.frequencies.iter().map(|f| f.0).collect()
     };
 
@@ -48,12 +62,16 @@ fn main() {
             let per_unit: Vec<f64> = results
                 .iter()
                 .filter_map(|r| {
-                    r.pairs()
-                        .iter()
-                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                    r.pair(FreqMhz(init), FreqMhz(target))
                         .and_then(|p| p.analysis.as_ref())
                         .filter(|a| !a.inliers_ms.is_empty())
-                        .map(|a| if pick_min { a.filtered.min } else { a.filtered.max })
+                        .map(|a| {
+                            if pick_min {
+                                a.filtered.min
+                            } else {
+                                a.filtered.max
+                            }
+                        })
                 })
                 .collect();
             if per_unit.len() < 2 {
@@ -65,7 +83,10 @@ fn main() {
         });
         println!(
             "\n{}",
-            hm.render(&format!("Range of {title} switching latencies across {UNITS} units [ms]"), true)
+            hm.render(
+                &format!("Range of {title} switching latencies across {UNITS} units [ms]"),
+                true
+            )
         );
     }
 
@@ -79,9 +100,7 @@ fn main() {
             let maxes: Vec<f64> = results
                 .iter()
                 .filter_map(|r| {
-                    r.pairs()
-                        .iter()
-                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                    r.pair(FreqMhz(init), FreqMhz(target))
                         .and_then(|p| p.analysis.as_ref())
                         .map(|a| a.filtered.max)
                 })
@@ -100,9 +119,7 @@ fn main() {
         println!("\n  {init} -> {target} MHz (unit spread {spread:.2} ms):");
         for (unit, r) in results.iter().enumerate() {
             let pair = r
-                .pairs()
-                .iter()
-                .find(|p| p.init_mhz == init && p.target_mhz == target)
+                .pair(FreqMhz(init), FreqMhz(target))
                 .expect("pair present");
             if let Some(a) = &pair.analysis {
                 if let Some(bs) = BoxStats::of(&a.inliers_ms) {
@@ -123,9 +140,7 @@ fn main() {
                 .iter()
                 .enumerate()
                 .filter_map(|(u, r)| {
-                    r.pairs()
-                        .iter()
-                        .find(|p| p.init_mhz == init && p.target_mhz == target)
+                    r.pair(FreqMhz(init), FreqMhz(target))
                         .and_then(|p| p.analysis.as_ref())
                         .map(|a| (u, a.filtered.max))
                 })

@@ -19,23 +19,36 @@
 //! 4. The repetition controller re-runs phases 2–3 until the relative
 //!    standard error of the collected latencies drops below 5 %, then the
 //!    adaptive DBSCAN filter (Algorithm 3) removes outliers.
+//!
+//! The campaign runs through the streaming `CampaignSession` API: pairs are
+//! scheduled individually and every start/finish is observable as a typed
+//! event while the campaign is still running. (The old one-liner
+//! `Latest::new(config).run()` still works and gives identical results.)
 
-use latest::core::{CampaignConfig, Latest};
+use latest::core::{CampaignConfig, CampaignEvent, CampaignSession};
 use latest::gpu_sim::devices;
 
 fn main() {
     // A simulated A100-SXM4: 108 SMs, the 210–1410 MHz ladder of Table I,
     // and a transition model calibrated to the paper's measured shape.
     let spec = devices::a100_sxm4();
-    println!("device: {} ({} SMs, {} ladder steps)", spec.name, spec.sm_count, spec.ladder.len());
+    println!(
+        "device: {} ({} SMs, {} ladder steps)",
+        spec.name,
+        spec.sm_count,
+        spec.ladder.len()
+    );
 
     let config = CampaignConfig::builder(spec)
         .frequencies_mhz(&[705, 1095, 1410]) // min-ish / nominal / max
-        .measurements(25, 60)                // stop on 5 % RSE within [25, 60]
+        .measurements(25, 60) // stop on 5 % RSE within [25, 60]
         .seed(42)
         .build();
 
-    let result = Latest::new(config).run().expect("campaign failed");
+    // Watch the campaign happen: phase-1 validation, the probe bound, then
+    // one started/finished event per frequency pair.
+    let session = CampaignSession::new(config).observe(|e: &CampaignEvent| println!(".. {e}"));
+    let result = session.run().expect("campaign failed");
 
     println!(
         "phase 1: {} frequencies characterised, {} of {} ordered pairs valid\n",
@@ -44,9 +57,15 @@ fn main() {
         result.pairs().len(),
     );
 
-    println!("{:>6} {:>6}  {:>5}  {:>9} {:>9} {:>9}  {:>8}", "init", "target", "n", "min[ms]", "mean[ms]", "max[ms]", "outliers");
+    println!(
+        "{:>6} {:>6}  {:>5}  {:>9} {:>9} {:>9}  {:>8}",
+        "init", "target", "n", "min[ms]", "mean[ms]", "max[ms]", "outliers"
+    );
     for pair in result.completed() {
-        let analysis = pair.analysis.as_ref().expect("completed pairs are analysed");
+        let analysis = pair
+            .analysis
+            .as_ref()
+            .expect("completed pairs are analysed");
         let s = analysis.filtered;
         println!(
             "{:>6} {:>6}  {:>5}  {:>9.3} {:>9.3} {:>9.3}  {:>8}",

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use latest::core::output::write_pair_csv;
-use latest::core::{CampaignConfig, Latest, PairOutcome};
+use latest::core::{CampaignConfig, CampaignEvent, CampaignSession, PairOutcome};
 use latest::gpu_sim::devices::{self, DeviceSpec};
 use latest::report::TextTable;
 
@@ -36,6 +36,8 @@ struct Args {
     out_dir: Option<PathBuf>,
     hostname: String,
     simulated_sms: Option<u32>,
+    json: bool,
+    progress: bool,
 }
 
 const USAGE: &str = "\
@@ -56,6 +58,8 @@ options:
   --out <dir>          write per-pair CSVs to this directory [off]
   --hostname <name>    hostname used in CSV file names       [simnode]
   --sms <count>        simulated SM record streams           [8]
+  --json               emit the full campaign result as JSON on stdout
+  --progress           stream per-pair progress events to stderr
   --help               print this message
 ";
 
@@ -71,18 +75,19 @@ fn parse_args() -> Result<Args, String> {
         out_dir: None,
         hostname: "simnode".to_string(),
         simulated_sms: Some(8),
+        json: false,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--model" => args.model = value("--model")?,
             "--device" => {
-                args.device_index =
-                    value("--device")?.parse().map_err(|e| format!("--device: {e}"))?
+                args.device_index = value("--device")?
+                    .parse()
+                    .map_err(|e| format!("--device: {e}"))?
             }
             "--rse" => args.rse = value("--rse")?.parse().map_err(|e| format!("--rse: {e}"))?,
             "--min" => {
@@ -93,13 +98,19 @@ fn parse_args() -> Result<Args, String> {
                 args.max_measurements =
                     value("--max")?.parse().map_err(|e| format!("--max: {e}"))?
             }
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
             "--hostname" => args.hostname = value("--hostname")?,
             "--sms" => {
                 args.simulated_sms =
                     Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?)
             }
+            "--json" => args.json = true,
+            "--progress" => args.progress = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             freq_list => {
                 if !args.frequencies.is_empty() {
@@ -169,7 +180,11 @@ fn main() -> ExitCode {
         .seed(args.seed)
         .build();
 
-    let result = match Latest::new(config).run() {
+    let mut session = CampaignSession::new(config);
+    if args.progress {
+        session = session.observe(|e: &CampaignEvent| eprintln!("progress: {e}"));
+    }
+    let result = match session.run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -218,7 +233,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            PairOutcome::PowerLimited { measurements_before } => {
+            PairOutcome::PowerLimited {
+                measurements_before,
+            } => {
                 table.row(&[
                     pair.init_mhz.to_string(),
                     pair.target_mhz.to_string(),
@@ -254,9 +271,28 @@ fn main() -> ExitCode {
                     format!("unmeasurable ({attempts} attempts)"),
                 ]);
             }
+            PairOutcome::Cancelled => {
+                table.row(&[
+                    pair.init_mhz.to_string(),
+                    pair.target_mhz.to_string(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "cancelled".to_string(),
+                ]);
+            }
         }
     }
-    println!("{}", table.render());
+    if args.json {
+        // The serialisable result is the machine interface; the table stays
+        // on stderr so `latest --json | jq` composes cleanly.
+        println!("{}", result.to_json());
+        eprintln!("{}", table.render());
+    } else {
+        println!("{}", table.render());
+    }
     if let Some(dir) = &args.out_dir {
         eprintln!("wrote {csv_files} CSV files to {}", dir.display());
     }

@@ -29,21 +29,28 @@
 //! See `examples/quickstart.rs`; the one-paragraph version:
 //!
 //! ```no_run
-//! use latest::core::{CampaignConfig, Latest};
+//! use latest::core::{CampaignConfig, CampaignEvent, CampaignSession};
 //! use latest::gpu_sim::devices;
 //!
 //! // Measure the SM frequency switching latency between two frequencies on
-//! // a simulated A100-SXM4.
+//! // a simulated A100-SXM4, streaming progress as pairs finish.
 //! let spec = devices::a100_sxm4();
 //! let config = CampaignConfig::builder(spec)
 //!     .frequencies_mhz(&[1095, 1410])
 //!     .seed(42)
 //!     .build();
-//! let campaign = Latest::new(config).run().expect("campaign failed");
+//! let session = CampaignSession::new(config)
+//!     .observe(|e: &CampaignEvent| eprintln!("{e}"));
+//! let campaign = session.run().expect("campaign failed");
 //! for pair in campaign.pairs() {
 //!     println!("{} -> {}: {:?}", pair.init_mhz, pair.target_mhz, pair.filtered_summary());
 //! }
 //! ```
+//!
+//! The blocking one-liner `Latest::new(config).run()` remains as a thin
+//! wrapper over the session; multi-device sweeps use
+//! [`core::Fleet`](latest_core::fleet::Fleet). See the README's "Migrating
+//! from `Latest::run()`" section.
 
 pub use latest_clock_sync as clock_sync;
 pub use latest_cluster as cluster;

@@ -16,7 +16,9 @@ use latest::sim_clock::SimDuration;
 
 fn fixed_spec(base: DeviceSpec, ms: u64) -> DeviceSpec {
     let mut spec = base;
-    spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(ms) });
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(ms),
+    });
     spec
 }
 
@@ -78,7 +80,12 @@ fn measured_latency_never_precedes_the_request() {
     let result = campaign(fixed_spec(devices::a100_sxm4(), 5), &[705, 1410], 3);
     for pair in result.completed() {
         for &ms in &pair.outcome.run().unwrap().latencies_ms {
-            assert!(ms > 0.0, "{}->{}: non-positive latency {ms}", pair.init_mhz, pair.target_mhz);
+            assert!(
+                ms > 0.0,
+                "{}->{}: non-positive latency {ms}",
+                pair.init_mhz,
+                pair.target_mhz
+            );
         }
     }
 }

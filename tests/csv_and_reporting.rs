@@ -15,7 +15,9 @@ use latest::sim_clock::SimDuration;
 #[test]
 fn campaign_to_csv_to_heatmap_round_trip() {
     let mut spec = devices::a100_sxm4();
-    spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(7) });
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(7),
+    });
     let config = CampaignConfig::builder(spec)
         .frequencies_mhz(&[705, 1095, 1410])
         .measurements(8, 15)

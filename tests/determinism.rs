@@ -1,18 +1,28 @@
 //! Reproducibility: identical seeds must give bitwise-identical campaigns,
-//! regardless of rayon scheduling, and different seeds must differ.
+//! regardless of rayon scheduling, session scheduling mode (sequential vs
+//! parallel), or a checkpoint/resume round-trip — and different seeds must
+//! differ.
 
-use latest::core::{CampaignConfig, CampaignResult, Latest};
+use latest::core::{CampaignConfig, CampaignEvent, CampaignResult, CampaignSession, Latest};
 use latest::gpu_sim::devices;
+use latest::gpu_sim::freq::FreqMhz;
+use proptest::prelude::*;
 
-fn run(seed: u64, threads: usize) -> CampaignResult {
-    let config = CampaignConfig::builder(devices::a100_sxm4())
+fn config(seed: u64) -> CampaignConfig {
+    CampaignConfig::builder(devices::a100_sxm4())
         .frequencies_mhz(&[705, 1095, 1410])
         .measurements(10, 25)
         .simulated_sms(Some(4))
         .seed(seed)
-        .build();
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-    pool.install(|| Latest::new(config).run().expect("campaign"))
+        .build()
+}
+
+fn run(seed: u64, threads: usize) -> CampaignResult {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| Latest::new(config(seed)).run().expect("campaign"))
 }
 
 fn all_latencies(result: &CampaignResult) -> Vec<(u32, u32, Vec<u64>)> {
@@ -92,4 +102,88 @@ fn phase1_characterisation_is_reproducible() {
         assert_eq!(fa.iter_ns.stdev.to_bits(), fb.iter_ns.stdev.to_bits());
     }
     assert_eq!(a.phase1.valid_pairs, b.phase1.valid_pairs);
+}
+
+// --- the session engine -----------------------------------------------------
+
+#[test]
+fn session_sequential_and_parallel_schedules_are_bitwise_identical() {
+    // The session schedules pairs either inline or through rayon; per-pair
+    // platform seeding makes the schedule invisible in the results.
+    let sequential = CampaignSession::new(config(83))
+        .sequential(true)
+        .run()
+        .unwrap();
+    let parallel = CampaignSession::new(config(83)).run().unwrap();
+    assert_eq!(all_latencies(&sequential), all_latencies(&parallel));
+    // And the session agrees with the legacy wrapper it replaced.
+    let legacy = Latest::new(config(83)).run().unwrap();
+    assert_eq!(all_latencies(&sequential), all_latencies(&legacy));
+}
+
+#[test]
+fn checkpoint_resume_roundtrip_is_bitwise_identical() {
+    let uninterrupted = CampaignSession::new(config(84))
+        .sequential(true)
+        .run()
+        .unwrap();
+
+    // Cancel after the third pair completes, checkpoint through JSON (as a
+    // process restart would), then resume the remaining pairs.
+    let session = CampaignSession::new(config(84)).sequential(true);
+    let token = session.cancel_token();
+    let seen = std::sync::atomic::AtomicUsize::new(0);
+    let session = session.observe(move |e: &CampaignEvent| {
+        if matches!(e, CampaignEvent::PairFinished { .. })
+            && seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 == 3
+        {
+            token.cancel();
+        }
+    });
+    let partial = session.run().unwrap();
+    assert!(
+        partial.is_partial(),
+        "cancellation must leave pairs unmeasured"
+    );
+    let measured_before = partial.completed().count();
+    assert!(measured_before < uninterrupted.completed().count());
+
+    let checkpoint = CampaignResult::from_json(&partial.to_json()).expect("checkpoint parses");
+    let resumed = CampaignSession::new(config(84))
+        .sequential(true)
+        .resume_from(checkpoint)
+        .run()
+        .unwrap();
+    assert!(!resumed.is_partial());
+    assert_eq!(all_latencies(&uninterrupted), all_latencies(&resumed));
+}
+
+// --- pair seeding -----------------------------------------------------------
+
+proptest! {
+    /// `pair_seed` must be collision-free across all ordered pairs of a
+    /// realistic frequency ladder: two pairs sharing a seed would run
+    /// identical simulations, silently correlating their noise.
+    #[test]
+    fn pair_seed_is_collision_free_over_a_ladder(
+        base in 200u32..1200,
+        step in 15u32..120,
+        n in 2usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let c = CampaignConfig::builder(devices::a100_sxm4()).seed(seed).build();
+        let freqs: Vec<FreqMhz> = (0..n).map(|i| FreqMhz(base + step * i as u32)).collect();
+        let mut seeds = std::collections::HashSet::new();
+        for &init in &freqs {
+            for &target in &freqs {
+                if init != target {
+                    prop_assert!(
+                        seeds.insert(c.pair_seed(init, target)),
+                        "seed collision at {init}->{target} MHz"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(seeds.len(), n * (n - 1));
+    }
 }

@@ -25,9 +25,13 @@ fn power_capped_frequency_pairs_are_skipped_not_fatal() {
     // pairs targeting it must end PowerLimited while the rest of the
     // campaign completes.
     let mut spec = devices::a100_sxm4();
-    spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(6) });
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(6),
+    });
     spec.thermal.tdp_w = spec.power.busy_power(1200.0);
-    let result = Latest::new(base_config(spec, &[705, 1095, 1410], 10)).run().unwrap();
+    let result = Latest::new(base_config(spec, &[705, 1095, 1410], 10))
+        .run()
+        .unwrap();
 
     let power_limited: Vec<_> = result
         .pairs()
@@ -36,8 +40,14 @@ fn power_capped_frequency_pairs_are_skipped_not_fatal() {
         .collect();
     assert!(!power_limited.is_empty(), "no pair hit the power cap");
     for p in &power_limited {
-        assert_eq!(p.target_mhz, 1410, "only the unsustainable clock should power-limit");
-        assert!(p.analysis.is_none(), "power-limited pairs must carry no analysis");
+        assert_eq!(
+            p.target_mhz, 1410,
+            "only the unsustainable clock should power-limit"
+        );
+        assert!(
+            p.analysis.is_none(),
+            "power-limited pairs must carry no analysis"
+        );
     }
     // Pairs between sustainable clocks still completed.
     assert!(
@@ -51,13 +61,17 @@ fn thermal_events_discard_and_continue() {
     // Aggressive thermal model: throttling fires mid-run; the controller
     // must discard the newest measurements, back off and still complete.
     let mut spec = devices::a100_sxm4();
-    spec.transition = Arc::new(FixedTransition { latency: SimDuration::from_millis(8) });
+    spec.transition = Arc::new(FixedTransition {
+        latency: SimDuration::from_millis(8),
+    });
     spec.thermal.tau_s = 0.5;
     spec.thermal.r_th = 0.16;
     spec.thermal.throttle_temp_c = 66.0;
     spec.thermal.release_temp_c = 60.0;
     spec.thermal.throttle_cap_mhz = 1410.0;
-    let result = Latest::new(base_config(spec, &[705, 1410], 11)).run().unwrap();
+    let result = Latest::new(base_config(spec, &[705, 1410], 11))
+        .run()
+        .unwrap();
 
     let mut saw_thermal = false;
     for p in result.completed() {
@@ -65,7 +79,11 @@ fn thermal_events_discard_and_continue() {
         saw_thermal |= run.thermal_events > 0;
         // The data that survived must still be sane.
         let a = p.analysis.as_ref().unwrap();
-        assert!((a.filtered.mean - 8.0).abs() < 2.0, "mean {}", a.filtered.mean);
+        assert!(
+            (a.filtered.mean - 8.0).abs() < 2.0,
+            "mean {}",
+            a.filtered.mean
+        );
     }
     assert!(saw_thermal, "thermal injection never fired");
 }
@@ -109,6 +127,7 @@ fn campaign_survives_unmeasurable_pairs() {
             PairOutcome::Completed(run) => assert!(!run.latencies_ms.is_empty()),
             PairOutcome::RetriesExhausted { attempts, .. } => assert_eq!(*attempts, 1),
             PairOutcome::PowerLimited { .. } | PairOutcome::SkippedIndistinguishable => {}
+            PairOutcome::Cancelled => panic!("nothing cancelled this campaign"),
         }
     }
 }

@@ -5,12 +5,18 @@
 use latest::core::{CampaignConfig, Latest};
 use latest::governor::simulate::TransitionReplay;
 use latest::governor::{
-    simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel,
-    RunAtMax, TraceGenerator,
+    simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel, RunAtMax,
+    TraceGenerator,
 };
 use latest::gpu_sim::devices;
 
-fn measured_table(seed: u64) -> (LatencyTable, latest::gpu_sim::freq::FreqMhz, latest::gpu_sim::freq::FreqMhz) {
+fn measured_table(
+    seed: u64,
+) -> (
+    LatencyTable,
+    latest::gpu_sim::freq::FreqMhz,
+    latest::gpu_sim::freq::FreqMhz,
+) {
     let spec = devices::gh200();
     let (f_min, f_max) = (spec.ladder.min(), spec.ladder.max());
     let config = CampaignConfig::builder(spec)
@@ -43,7 +49,10 @@ fn table_survives_json_deployment_round_trip() {
     assert_eq!(restored.len(), table.len());
     for pair in table.pairs() {
         let r = restored
-            .pair(latest::gpu_sim::freq::FreqMhz(pair.init_mhz), latest::gpu_sim::freq::FreqMhz(pair.target_mhz))
+            .pair(
+                latest::gpu_sim::freq::FreqMhz(pair.init_mhz),
+                latest::gpu_sim::freq::FreqMhz(pair.target_mhz),
+            )
             .expect("pair preserved");
         assert_eq!(r.latencies_ms, pair.latencies_ms);
     }
@@ -64,7 +73,13 @@ fn latency_aware_governor_has_better_edp_on_hostile_workloads() {
     };
     let oblivious = {
         let mut replay = TransitionReplay::new(table.clone(), 7);
-        simulate_policy(&LatencyOblivious { f_min, f_max }, &trace, &power, &mut replay, f_max)
+        simulate_policy(
+            &LatencyOblivious { f_min, f_max },
+            &trace,
+            &power,
+            &mut replay,
+            f_max,
+        )
     };
     let aware = {
         let mut replay = TransitionReplay::new(table.clone(), 7);
@@ -77,7 +92,10 @@ fn latency_aware_governor_has_better_edp_on_hostile_workloads() {
         )
     };
 
-    assert!(aware.switches < oblivious.switches, "no suppression happened");
+    assert!(
+        aware.switches < oblivious.switches,
+        "no suppression happened"
+    );
     assert!(
         aware.runtime_extension_vs(&baseline) < oblivious.runtime_extension_vs(&baseline),
         "aware {:.1}% vs oblivious {:.1}% slower",
@@ -107,7 +125,13 @@ fn latency_aware_governor_keeps_dvfs_savings_on_friendly_workloads() {
     };
     let oblivious = {
         let mut replay = TransitionReplay::new(table.clone(), 9);
-        simulate_policy(&LatencyOblivious { f_min, f_max }, &trace, &power, &mut replay, f_max)
+        simulate_policy(
+            &LatencyOblivious { f_min, f_max },
+            &trace,
+            &power,
+            &mut replay,
+            f_max,
+        )
     };
     let aware = {
         let mut replay = TransitionReplay::new(table.clone(), 9);
@@ -122,7 +146,11 @@ fn latency_aware_governor_keeps_dvfs_savings_on_friendly_workloads() {
 
     let s_obl = oblivious.energy_saving_vs(&baseline);
     let s_aware = aware.energy_saving_vs(&baseline);
-    assert!(s_obl > 0.02, "oblivious saving {:.1}% too small to compare", 100.0 * s_obl);
+    assert!(
+        s_obl > 0.02,
+        "oblivious saving {:.1}% too small to compare",
+        100.0 * s_obl
+    );
     assert!(
         s_aware >= 0.8 * s_obl,
         "aware saving {:.1}% lost too much of oblivious {:.1}%",

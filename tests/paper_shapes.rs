@@ -48,7 +48,11 @@ fn a100_decreases_are_faster_and_tighter_than_increases() {
     let (mut down, mut up) = (Vec::new(), Vec::new());
     for p in result.completed() {
         if let Some(a) = &p.analysis {
-            let side = if p.target_mhz < p.init_mhz { &mut down } else { &mut up };
+            let side = if p.target_mhz < p.init_mhz {
+                &mut down
+            } else {
+                &mut up
+            };
             side.extend_from_slice(&a.inliers_ms);
         }
     }
@@ -138,8 +142,10 @@ fn target_frequency_dominates_the_latency() {
         for c in &cells {
             groups.entry(key(c)).or_default().push(c.2);
         }
-        let means: Vec<f64> =
-            groups.values().map(|v| v.iter().sum::<f64>() / v.len() as f64).collect();
+        let means: Vec<f64> = groups
+            .values()
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+            .collect();
         let m = means.iter().sum::<f64>() / means.len() as f64;
         (means.iter().map(|x| (x - m).powi(2)).sum::<f64>() / means.len() as f64).sqrt()
     };
@@ -178,7 +184,12 @@ fn multi_cluster_pairs_score_decent_silhouettes() {
         if a.n_clusters >= 2 {
             multi += 1;
             let s = a.silhouette.expect("silhouette defined for 2+ clusters");
-            assert!(s > 0.4, "{}->{}: silhouette {s:.2}", p.init_mhz, p.target_mhz);
+            assert!(
+                s > 0.4,
+                "{}->{}: silhouette {s:.2}",
+                p.init_mhz,
+                p.target_mhz
+            );
         }
     }
     assert!(multi >= 1, "no multi-cluster pair found on GH200");

@@ -24,7 +24,10 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10);
-        Criterion { sample_size, test_mode }
+        Criterion {
+            sample_size,
+            test_mode,
+        }
     }
 }
 
@@ -90,9 +93,12 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_one(&full, samples, self.criterion.test_mode, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(
+            &full,
+            samples,
+            self.criterion.test_mode,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -184,7 +190,9 @@ pub enum BatchSize {
 }
 
 fn run_one(id: &str, samples: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
     if test_mode {
         f(&mut bencher);
         println!("test {id} ... ok");
@@ -233,7 +241,10 @@ mod tests {
 
     #[test]
     fn group_and_function_run() {
-        let mut c = Criterion { sample_size: 2, test_mode: true };
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
         let mut calls = 0usize;
         c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
         {

@@ -39,7 +39,13 @@ impl<const DOUBLE_ROUNDS: usize> ChaChaCore<DOUBLE_ROUNDS> {
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
             key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
         }
-        ChaChaCore { key, counter: 0, stream: 0, buffer: [0; 16], index: 16 }
+        ChaChaCore {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
     }
 
     fn refill(&mut self) {

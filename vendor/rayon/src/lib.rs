@@ -59,9 +59,7 @@ where
 }
 
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-    };
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 /// Join two closures "in parallel" (sequentially here).
@@ -78,7 +76,9 @@ pub fn scope<'scope, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'scope>) -> R,
 {
-    f(&Scope { _marker: std::marker::PhantomData })
+    f(&Scope {
+        _marker: std::marker::PhantomData,
+    })
 }
 
 pub struct Scope<'scope> {
@@ -121,7 +121,9 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
     }
 }
 
@@ -159,7 +161,10 @@ mod tests {
 
     #[test]
     fn pool_installs_inline() {
-        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         assert_eq!(pool.install(|| 7), 7);
     }
 }

@@ -79,8 +79,7 @@ fn leading_ident(segment: &[TokenTree]) -> Option<(String, bool)> {
                 }
             }
             TokenTree::Ident(id) => {
-                let has_payload =
-                    matches!(segment.get(i + 1), Some(TokenTree::Group(_)));
+                let has_payload = matches!(segment.get(i + 1), Some(TokenTree::Group(_)));
                 return Some((id.to_string(), has_payload));
             }
             _ => return None,
@@ -90,12 +89,17 @@ fn leading_ident(segment: &[TokenTree]) -> Option<(String, bool)> {
 }
 
 /// Parse `from = "X"` / `into = "X"` pairs out of a `serde(...)` group.
-fn parse_serde_attr(tokens: &[TokenTree], from_ty: &mut Option<String>, into_ty: &mut Option<String>) {
+fn parse_serde_attr(
+    tokens: &[TokenTree],
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) {
     let mut i = 0;
     while i < tokens.len() {
         if let TokenTree::Ident(key) = &tokens[i] {
             let key = key.to_string();
-            let is_eq = matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+            let is_eq =
+                matches!(&tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
             if is_eq {
                 if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
                     let text = lit.to_string();
@@ -152,7 +156,9 @@ fn parse_item(input: TokenStream) -> Item {
             {
                 break id.to_string();
             }
-            other => panic!("vendored serde_derive: unexpected token before item keyword: {other:?}"),
+            other => {
+                panic!("vendored serde_derive: unexpected token before item keyword: {other:?}")
+            }
         }
     };
     i += 1;
@@ -212,7 +218,12 @@ fn parse_item(input: TokenStream) -> Item {
         other => panic!("vendored serde_derive: unsupported item body for `{name}`: {other:?}"),
     };
 
-    Item { name, shape, from_ty, into_ty }
+    Item {
+        name,
+        shape,
+        from_ty,
+        into_ty,
+    }
 }
 
 fn derive_serialize_src(item: &Item) -> String {
@@ -241,14 +252,19 @@ fn derive_serialize_src(item: &Item) -> String {
         }
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
         }
         Shape::UnitEnum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"))
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
         }

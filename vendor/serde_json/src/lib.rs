@@ -141,7 +141,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, msg: impl std::fmt::Display) -> Error {
@@ -278,7 +281,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_value(&mut self) -> Result<Value> {
-        match self.peek().ok_or_else(|| self.error("unexpected end of input"))? {
+        match self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of input"))?
+        {
             b'{' => {
                 self.expect(b'{')?;
                 let mut entries = Vec::new();
@@ -363,11 +369,19 @@ mod tests {
             ("name".into(), Value::Str("a\"b\\c\nd".into())),
             (
                 "xs".into(),
-                Value::Seq(vec![Value::F64(1.5), Value::U64(7), Value::Bool(true), Value::Null]),
+                Value::Seq(vec![
+                    Value::F64(1.5),
+                    Value::U64(7),
+                    Value::Bool(true),
+                    Value::Null,
+                ]),
             ),
             ("empty".into(), Value::Seq(vec![])),
         ]);
-        for text in [to_string(&VWrap(v.clone())).unwrap(), to_string_pretty(&VWrap(v.clone())).unwrap()] {
+        for text in [
+            to_string(&VWrap(v.clone())).unwrap(),
+            to_string_pretty(&VWrap(v.clone())).unwrap(),
+        ] {
             let mut p = Parser::new(&text);
             assert_eq!(p.parse_value().unwrap(), v);
         }
