@@ -3,9 +3,7 @@
 //! (per-pair minimum) latencies, with the frequency pairs achieving the
 //! extremes, after outlier removal.
 
-use bench_support::{repro_config, table2_row, CellStat, Table2Row};
-use latest_core::Latest;
-use latest_gpu_sim::devices;
+use bench_support::{repro_spec, table2_row, CellStat, Table2Row};
 use latest_report::{ExperimentRecord, TextTable};
 
 fn fmt_pair(v: (f64, u32, u32)) -> String {
@@ -13,16 +11,21 @@ fn fmt_pair(v: (f64, u32, u32)) -> String {
 }
 
 fn main() {
+    // The paper's three-device sweep, declaratively: device registry names
+    // instead of hand-built configs (scenarios/table2.json is the
+    // single-device scenario-file counterpart).
     let sweeps = [
-        (devices::rtx_quadro_6000(), 14usize, 0x7AB2Au64),
-        (devices::a100_sxm4(), 18, 0x7AB2B),
-        (devices::gh200(), 18, 0x7AB2C),
+        ("quadro", 14usize, 0x7AB2Au64),
+        ("a100", 18, 0x7AB2B),
+        ("gh200", 18, 0x7AB2C),
     ];
 
     let mut worst: Vec<Table2Row> = Vec::new();
     let mut best: Vec<Table2Row> = Vec::new();
-    for (spec, n, seed) in sweeps {
-        let result = Latest::new(repro_config(spec, n, seed))
+    for (device, n, seed) in sweeps {
+        let result = repro_spec(device, n, seed)
+            .into_session()
+            .expect("repro spec resolves")
             .run()
             .expect("sweep");
         worst.push(table2_row(&result, CellStat::Max).expect("worst row"));

@@ -31,6 +31,19 @@ pub fn run_sweep(spec: DeviceSpec, n_freqs: usize, seed: u64) -> CampaignResult 
         .expect("repro campaign")
 }
 
+/// Declarative equivalent of [`repro_config`]: the same campaign described
+/// by registry device name, resolving to a bitwise-identical run (the
+/// spec's `to_json()` is a ready-made `latest run` scenario file).
+pub fn repro_spec(device: &str, n_freqs: usize, seed: u64) -> latest_core::spec::CampaignSpec {
+    latest_core::spec::CampaignSpec::builder(device)
+        .frequency_subset(n_freqs)
+        .seed(seed)
+        .measurements(25, 60)
+        .simulated_sms(Some(6))
+        .build()
+        .expect("repro spec is valid")
+}
+
 /// Which per-pair statistic feeds a heatmap cell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CellStat {

@@ -250,28 +250,61 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Confidence level for every interval/test (0.95 = paper).
+    pub fn confidence(mut self, c: f64) -> Self {
+        self.config.confidence = c;
+        self
+    }
+
     /// Replace the workload.
     pub fn workload(mut self, w: WorkloadParams) -> Self {
         self.config.workload = w;
         self
     }
 
-    /// Finish. Panics on an obviously broken configuration (the paper tool
-    /// likewise validates its CLI arguments up front).
-    pub fn build(self) -> CampaignConfig {
+    /// Validate and finish, enumerating every violated constraint (the
+    /// same [`SpecError`](crate::spec::SpecError) vocabulary the
+    /// declarative [`CampaignSpec`](crate::spec::CampaignSpec) layer uses).
+    pub fn try_build(self) -> Result<CampaignConfig, crate::spec::SpecErrors> {
+        use crate::spec::SpecError;
         let c = &self.config;
-        assert!(c.rse_threshold > 0.0, "RSE threshold must be positive");
-        assert!(c.min_measurements >= 1, "need at least one measurement");
-        assert!(
-            c.max_measurements >= c.min_measurements,
-            "max_measurements < min_measurements"
-        );
-        assert!(c.sigma_k > 0.0, "sigma_k must be positive");
-        assert!(
-            c.confidence > 0.0 && c.confidence < 1.0,
-            "confidence must be in (0,1)"
-        );
-        self.config
+        let mut errors = Vec::new();
+        if !(c.rse_threshold > 0.0 && c.rse_threshold < 1.0) {
+            errors.push(SpecError::RseThresholdOutOfRange {
+                value: c.rse_threshold,
+            });
+        }
+        if c.min_measurements == 0 {
+            errors.push(SpecError::ZeroMinMeasurements);
+        } else if c.min_measurements > c.max_measurements {
+            errors.push(SpecError::MeasurementBoundsInverted {
+                min: c.min_measurements,
+                max: c.max_measurements,
+            });
+        }
+        if c.simulated_sms == Some(0) {
+            errors.push(SpecError::ZeroSimulatedSms);
+        }
+        if c.sigma_k <= 0.0 || c.sigma_k.is_nan() {
+            errors.push(SpecError::SigmaNonPositive { value: c.sigma_k });
+        }
+        if !(c.confidence > 0.0 && c.confidence < 1.0) {
+            errors.push(SpecError::ConfidenceOutOfRange {
+                value: c.confidence,
+            });
+        }
+        crate::spec::SpecErrors::collect(errors)?;
+        Ok(self.config)
+    }
+
+    /// Finish. Panics on an obviously broken configuration (the paper tool
+    /// likewise validates its CLI arguments up front); [`Self::try_build`]
+    /// is the non-panicking variant.
+    pub fn build(self) -> CampaignConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(errors) => panic!("invalid campaign configuration: {errors}"),
+        }
     }
 }
 

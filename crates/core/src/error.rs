@@ -50,6 +50,8 @@ pub enum CoreError {
         /// What disagreed.
         reason: String,
     },
+    /// A declarative campaign spec failed validation or resolution.
+    Spec(crate::spec::SpecErrors),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -76,6 +78,7 @@ impl fmt::Display for CoreError {
             CoreError::CheckpointMismatch { reason } => {
                 write!(f, "resume checkpoint mismatch: {reason}")
             }
+            CoreError::Spec(e) => write!(f, "invalid campaign spec: {e}"),
             CoreError::Io(e) => write!(f, "I/O: {e}"),
         }
     }
@@ -86,6 +89,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Nvml(e) => Some(e),
             CoreError::Cuda(e) => Some(e),
+            CoreError::Spec(e) => Some(e),
             CoreError::Io(e) => Some(e),
             _ => None,
         }
@@ -107,6 +111,12 @@ impl From<CudaError> for CoreError {
 impl From<std::io::Error> for CoreError {
     fn from(e: std::io::Error) -> Self {
         CoreError::Io(e)
+    }
+}
+
+impl From<crate::spec::SpecErrors> for CoreError {
+    fn from(e: crate::spec::SpecErrors) -> Self {
+        CoreError::Spec(e)
     }
 }
 

@@ -200,6 +200,49 @@ impl FleetResult {
             })
             .collect()
     }
+
+    /// Serialise to pretty JSON (the `latest run --json` fleet format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet result serialises")
+    }
+
+    /// Parse a fleet result back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Cross-device summary as CSV, mirroring `Heatmap::to_csv`'s
+    /// conventions: one row per device, non-finite statistics (a device
+    /// with no completed pairs) left as empty cells.
+    pub fn summary_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "device_name,device_index,pairs_total,pairs_completed,best_ms,mean_ms,worst_ms\n",
+        );
+        let cell = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                String::new()
+            }
+        };
+        for row in self.summary_rows() {
+            // Device names contain spaces and parentheses; quote them so
+            // the CSV stays one-field-per-column under any reader.
+            let _ = writeln!(
+                out,
+                "\"{}\",{},{},{},{},{},{}",
+                row.device_name.replace('"', "\"\""),
+                row.device_index,
+                row.pairs_total,
+                row.pairs_completed,
+                cell(row.best_ms),
+                cell(row.mean_ms),
+                cell(row.worst_ms),
+            );
+        }
+        out
+    }
 }
 
 /// One device's row in the cross-device summary.
@@ -261,6 +304,23 @@ mod tests {
         for row in &rows {
             assert!(row.best_ms <= row.mean_ms && row.mean_ms <= row.worst_ms);
             assert_eq!(row.pairs_total, 2);
+        }
+    }
+
+    #[test]
+    fn summary_csv_has_one_quoted_row_per_device() {
+        let fleet = Fleet::new()
+            .add_campaign(quick(devices::a100_sxm4(), &[705, 1410], 1))
+            .add_campaign(quick(devices::gh200(), &[705, 1980], 2));
+        let csv = fleet.run().unwrap().summary_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("device_name,device_index,pairs_total"));
+        assert!(lines[1].starts_with("\"NVIDIA A100-SXM4-40GB\",0,2,"));
+        assert!(lines[2].starts_with("\"NVIDIA GH200 (Grace Hopper)\",0,2,"));
+        // Every row has exactly 7 columns (the quoted name contains no comma).
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 7, "{line}");
         }
     }
 

@@ -31,6 +31,10 @@
 //! * **Fleet** ([`fleet`]) — multi-device orchestration: one campaign per
 //!   device spec, run in parallel, aggregated into per-device results and
 //!   cross-device summary rows.
+//! * **Spec** ([`spec`]) — declarative campaign descriptions: serialisable
+//!   [`CampaignSpec`]/[`FleetSpec`] with fail-fast validation that
+//!   enumerates every violated constraint, resolved through device and
+//!   workload registries into sessions and fleets.
 //! * **Platform** ([`platform`]) — the backend abstraction the methodology
 //!   is generic over: NVML-style control plus CUDA-style execution, with
 //!   ground truth as an optional capability only the simulator implements.
@@ -56,6 +60,7 @@ pub mod phase3;
 pub mod platform;
 pub mod probe;
 pub mod session;
+pub mod spec;
 pub mod wakeup;
 
 pub use analysis::{analyze_pair, PairAnalysis};
@@ -68,4 +73,8 @@ pub use phase1::{FreqCharacterization, Phase1Result};
 pub use platform::{GroundTruth, Platform, PlatformFactory, SimPlatform, SimPlatformFactory};
 pub use session::{
     CampaignEvent, CampaignObserver, CampaignSession, CancelToken, ChannelObserver, SkipReason,
+};
+pub use spec::{
+    CampaignSpec, CampaignSpecBuilder, FleetSpec, FreqSelection, ScenarioSpec, SpecCheckpoint,
+    SpecError, SpecErrors,
 };

@@ -290,6 +290,10 @@ impl CancelToken {
     }
 }
 
+/// Receives periodic partial-result snapshots; see
+/// [`CampaignSession::checkpoint_to`].
+type CheckpointSink = Arc<dyn Fn(&CampaignResult) + Send + Sync>;
+
 /// The streaming campaign engine. See the [module docs](self) for the tour.
 pub struct CampaignSession<F: PlatformFactory = SimPlatformFactory> {
     config: CampaignConfig,
@@ -299,6 +303,8 @@ pub struct CampaignSession<F: PlatformFactory = SimPlatformFactory> {
     cancel: CancelToken,
     sequential: bool,
     checkpoint: Option<CampaignResult>,
+    checkpoint_every: usize,
+    checkpoint_sink: Option<CheckpointSink>,
 }
 
 impl CampaignSession<SimPlatformFactory> {
@@ -320,6 +326,8 @@ impl<F: PlatformFactory> CampaignSession<F> {
             cancel: CancelToken::new(),
             sequential: false,
             checkpoint: None,
+            checkpoint_every: 0,
+            checkpoint_sink: None,
         }
     }
 
@@ -357,6 +365,25 @@ impl<F: PlatformFactory> CampaignSession<F> {
     /// bitwise-identical results).
     pub fn sequential(mut self, on: bool) -> Self {
         self.sequential = on;
+        self
+    }
+
+    /// Stream resumable checkpoints while the campaign runs: after every
+    /// `every` settled pairs (and once more when the last pair settles),
+    /// `sink` receives a partial [`CampaignResult`] whose unmeasured pairs
+    /// are recorded as [`PairOutcome::Cancelled`] — exactly the shape
+    /// [`CampaignSession::resume_from`] accepts, so persisting each
+    /// snapshot gives crash recovery for free.
+    ///
+    /// The sink is called from worker threads (serialised by an internal
+    /// lock) and must not assume any particular pair order.
+    pub fn checkpoint_to(
+        mut self,
+        every: usize,
+        sink: impl Fn(&CampaignResult) + Send + Sync + 'static,
+    ) -> Self {
+        self.checkpoint_every = every.max(1);
+        self.checkpoint_sink = Some(Arc::new(sink));
         self
     }
 
@@ -484,6 +511,44 @@ impl<F: PlatformFactory> CampaignSession<F> {
             .enumerate()
             .map(|(i, &(a, b))| (i, a, b))
             .collect();
+
+        // Periodic checkpointing: settled pairs are recorded slot-wise so a
+        // snapshot can stand Cancelled placeholders in for pairs still
+        // running — giving the sink exactly the resumable partial-result
+        // shape `resume_from` validates.
+        let snapshot_slots: Mutex<Vec<Option<PairMeasurement>>> =
+            Mutex::new(vec![None; ordered.len()]);
+        let settle = |index: usize, meas: &PairMeasurement| {
+            let Some(sink) = &self.checkpoint_sink else {
+                return;
+            };
+            let mut slots = snapshot_slots.lock();
+            slots[index] = Some(meas.clone());
+            let settled = slots.iter().filter(|s| s.is_some()).count();
+            if settled % self.checkpoint_every == 0 || settled == slots.len() {
+                let pairs: Vec<PairMeasurement> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        s.clone().unwrap_or_else(|| PairMeasurement {
+                            init_mhz: ordered[i].0 .0,
+                            target_mhz: ordered[i].1 .0,
+                            outcome: PairOutcome::Cancelled,
+                            analysis: None,
+                        })
+                    })
+                    .collect();
+                let snapshot = CampaignResult::new(
+                    self.factory.device_name(),
+                    config.device_index,
+                    config.seed,
+                    phase1.clone(),
+                    probe.clone(),
+                    pairs,
+                );
+                sink(&snapshot);
+            }
+        };
         let run_one =
             |&(index, init, target): &(usize, FreqMhz, FreqMhz)| -> CoreResult<PairMeasurement> {
                 // Checkpoint hit: restore without touching the device.
@@ -498,6 +563,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
                         init_mhz: init.0,
                         target_mhz: target.0,
                     });
+                    settle(index, prev);
                     return Ok(prev.clone());
                 }
                 if self.cancel.is_cancelled() {
@@ -553,12 +619,14 @@ impl<F: PlatformFactory> CampaignSession<F> {
                         }
                     }
                 }
-                Ok(PairMeasurement {
+                let measurement = PairMeasurement {
                     init_mhz: init.0,
                     target_mhz: target.0,
                     outcome,
                     analysis,
-                })
+                };
+                settle(index, &measurement);
+                Ok(measurement)
             };
 
         let pairs: CoreResult<Vec<PairMeasurement>> = if self.sequential {
@@ -711,6 +779,41 @@ mod tests {
             let bits =
                 |xs: Option<&[f64]>| xs.map(|v| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>());
             assert_eq!(bits(a.latencies_ms()), bits(b.latencies_ms()));
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_resumable_and_converge() {
+        let snapshots: Arc<Mutex<Vec<CampaignResult>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = snapshots.clone();
+        let full = CampaignSession::new(small_campaign(30))
+            .sequential(true)
+            .checkpoint_to(1, move |cp: &CampaignResult| sink.lock().push(cp.clone()))
+            .run()
+            .unwrap();
+
+        let snaps = snapshots.lock();
+        // Two pairs, every = 1: one snapshot per settled pair.
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps[0].is_partial(), "first snapshot must be partial");
+        assert!(!snaps[1].is_partial(), "last snapshot must be complete");
+
+        // A mid-run snapshot round-trips through JSON (as a process restart
+        // would) and resumes to the uninterrupted result, bit for bit.
+        let cp = CampaignResult::from_json(&snaps[0].to_json()).unwrap();
+        let resumed = CampaignSession::new(small_campaign(30))
+            .sequential(true)
+            .resume_from(cp)
+            .run()
+            .unwrap();
+        for (a, b) in full.pairs().iter().zip(resumed.pairs()) {
+            let bits =
+                |xs: Option<&[f64]>| xs.map(|v| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>());
+            assert_eq!(bits(a.latencies_ms()), bits(b.latencies_ms()));
+        }
+        // And the final snapshot IS the final result.
+        for (a, b) in full.pairs().iter().zip(snaps[1].pairs()) {
+            assert_eq!(a.latencies_ms(), b.latencies_ms());
         }
     }
 

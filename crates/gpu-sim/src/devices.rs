@@ -520,7 +520,199 @@ pub fn rtx_quadro_6000() -> DeviceSpec {
 
 /// All three paper devices, in Table I order.
 pub fn paper_devices() -> Vec<DeviceSpec> {
-    vec![rtx_quadro_6000(), a100_sxm4(), gh200()]
+    DeviceRegistry::builtin()
+        .entries()
+        .iter()
+        .map(|e| e.make(0))
+        .collect()
+}
+
+/// One named device family in a [`DeviceRegistry`]: a canonical short name
+/// (the CLI/scenario key), optional aliases, a human description, and a
+/// constructor covering the family's per-unit variants.
+#[derive(Clone)]
+pub struct DeviceEntry {
+    name: String,
+    aliases: Vec<String>,
+    description: String,
+    units: usize,
+    make: Arc<dyn Fn(usize) -> DeviceSpec + Send + Sync>,
+}
+
+impl DeviceEntry {
+    /// A single-unit entry.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        make: impl Fn(usize) -> DeviceSpec + Send + Sync + 'static,
+    ) -> Self {
+        DeviceEntry {
+            name: name.into(),
+            aliases: Vec::new(),
+            description: description.into(),
+            units: 1,
+            make: Arc::new(make),
+        }
+    }
+
+    /// Add lookup aliases (matched case-insensitively, like the name).
+    pub fn with_aliases(mut self, aliases: &[&str]) -> Self {
+        self.aliases = aliases.iter().map(|a| a.to_string()).collect();
+        self
+    }
+
+    /// Declare how many per-unit variants the constructor models.
+    pub fn with_units(mut self, units: usize) -> Self {
+        self.units = units.max(1);
+        self
+    }
+
+    /// Canonical registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lookup aliases.
+    pub fn aliases(&self) -> &[String] {
+        &self.aliases
+    }
+
+    /// Human description for `list-devices` output.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Number of modelled per-unit variants (1 = single unit).
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Construct the spec for one unit (units beyond [`DeviceEntry::units`]
+    /// wrap within the modelled variants, mirroring `a100_sxm4_unit`).
+    pub fn make(&self, unit: usize) -> DeviceSpec {
+        (self.make)(unit)
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Debug for DeviceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceEntry")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("units", &self.units)
+            .finish()
+    }
+}
+
+/// Named lookup over the modelled devices — the one place that maps scenario
+/// and CLI device names to [`DeviceSpec`] constructors.
+///
+/// Replaces the hard-coded `a100 | gh200 | quadro` matches: lookups are by
+/// canonical name or alias (case-insensitive), entries are enumerable for
+/// error messages and `latest list-devices`, and downstream crates can
+/// [`DeviceRegistry::register`] their own families next to the paper's
+/// three (Table I order: `quadro`, `a100`, `gh200`).
+#[derive(Clone, Debug)]
+pub struct DeviceRegistry {
+    entries: Vec<DeviceEntry>,
+}
+
+impl DeviceRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        DeviceRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The paper's three GPUs, in Table I order.
+    pub fn builtin() -> Self {
+        let mut reg = DeviceRegistry::empty();
+        reg.register(
+            DeviceEntry::new(
+                "quadro",
+                "RTX Quadro 6000 (Turing): target-owned latency regimes, slow 930/990 MHz columns",
+                |_| rtx_quadro_6000(),
+            )
+            .with_aliases(&["rtx6000", "quadro-rtx-6000"]),
+        );
+        reg.register(
+            DeviceEntry::new(
+                "a100",
+                "A100-SXM4 (Ampere): tight unimodal transitions; 4 per-unit variants",
+                |unit| {
+                    if unit == 0 {
+                        a100_sxm4()
+                    } else {
+                        a100_sxm4_unit(unit)
+                    }
+                },
+            )
+            .with_aliases(&["a100-sxm4"])
+            .with_units(4),
+        );
+        reg.register(
+            DeviceEntry::new(
+                "gh200",
+                "GH200 (Hopper): fast baseline, slow multi-modal 1260/1875 MHz target columns",
+                |_| gh200(),
+            )
+            .with_aliases(&["grace-hopper"]),
+        );
+        reg
+    }
+
+    /// Add (or replace, by canonical name) an entry.
+    pub fn register(&mut self, entry: DeviceEntry) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name.eq_ignore_ascii_case(&entry.name))
+        {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[DeviceEntry] {
+        &self.entries
+    }
+
+    /// Canonical names, in registration order — the vocabulary quoted by
+    /// unknown-device error messages.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Find an entry by canonical name or alias (case-insensitive).
+    pub fn find(&self, name: &str) -> Option<&DeviceEntry> {
+        self.entries.iter().find(|e| e.matches(name))
+    }
+
+    /// Construct the unit-0 spec of a named device.
+    pub fn get(&self, name: &str) -> Option<DeviceSpec> {
+        self.get_unit(name, 0)
+    }
+
+    /// Construct one unit of a named device. Unit selection mirrors the
+    /// paper setup: families with per-unit variants (the A100) return the
+    /// requested unit, single-unit families ignore the index.
+    pub fn get_unit(&self, name: &str, unit: usize) -> Option<DeviceSpec> {
+        self.find(name).map(|e| e.make(unit))
+    }
+}
+
+impl Default for DeviceRegistry {
+    fn default() -> Self {
+        DeviceRegistry::builtin()
+    }
 }
 
 #[cfg(test)]
@@ -687,6 +879,53 @@ mod tests {
                 "target {t}: init changes regime ({a:.1} vs {b:.1})"
             );
         }
+    }
+
+    #[test]
+    fn registry_lookup_matches_free_functions() {
+        let reg = DeviceRegistry::builtin();
+        assert_eq!(reg.names(), vec!["quadro", "a100", "gh200"]);
+        assert_eq!(reg.get("a100").unwrap().name, a100_sxm4().name);
+        assert_eq!(reg.get("gh200").unwrap().name, gh200().name);
+        assert_eq!(reg.get("quadro").unwrap().name, rtx_quadro_6000().name);
+        // Aliases and case-insensitivity.
+        assert_eq!(reg.get("A100-SXM4").unwrap().name, a100_sxm4().name);
+        assert_eq!(reg.get("Grace-Hopper").unwrap().name, gh200().name);
+        assert!(reg.get("h100").is_none());
+        // Per-unit variants mirror the CLI's historical behaviour: unit 0 is
+        // the nominal device, others the perturbed units.
+        assert_eq!(reg.get_unit("a100", 0).unwrap().name, a100_sxm4().name);
+        assert_eq!(
+            reg.get_unit("a100", 2).unwrap().name,
+            a100_sxm4_unit(2).name
+        );
+        // Single-unit families ignore the index.
+        assert_eq!(reg.get_unit("gh200", 3).unwrap().name, gh200().name);
+        assert_eq!(reg.find("a100").unwrap().units(), 4);
+    }
+
+    #[test]
+    fn registry_register_replaces_by_name() {
+        let mut reg = DeviceRegistry::builtin();
+        reg.register(DeviceEntry::new("a100", "custom override", |_| gh200()));
+        assert_eq!(reg.entries().len(), 3);
+        assert_eq!(reg.get("a100").unwrap().name, gh200().name);
+        reg.register(DeviceEntry::new("h100", "new family", |_| gh200()));
+        assert_eq!(reg.entries().len(), 4);
+        assert!(reg.get("h100").is_some());
+    }
+
+    #[test]
+    fn paper_devices_come_from_the_registry() {
+        let names: Vec<String> = paper_devices().into_iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NVIDIA Quadro RTX 6000",
+                "NVIDIA A100-SXM4-40GB",
+                "NVIDIA GH200 (Grace Hopper)"
+            ]
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl IterRecord {
 }
 
 /// Parameters of the microbenchmark workload executed by each SM.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WorkloadParams {
     /// Arithmetic cycles per iteration (sets the measurement granularity:
     /// iteration wall time ≈ `work_cycles / f`).
@@ -62,9 +62,147 @@ impl WorkloadParams {
         }
     }
 
+    /// A memory-bound variant: shorter timestamped arithmetic block plus a
+    /// large fixed (clock-insensitive) DRAM stall between iterations —
+    /// frequency still shows in the measured iteration duration, but the
+    /// kernel spends most of its wall time off the core clock.
+    pub fn memory_bound() -> Self {
+        WorkloadParams {
+            work_cycles: 55_000.0,
+            inter_iter_overhead_ns: 45_000,
+            noise_rel_sigma: 0.015,
+            spike_prob: 0.001,
+            spike_scale: 3.0,
+        }
+    }
+
+    /// A bursty variant: noisier iterations with frequent long disturbance
+    /// spikes (ECC scrubs, co-tenant timeslices) — stress input for the
+    /// detection walk-back and the DBSCAN outlier filter.
+    pub fn bursty() -> Self {
+        WorkloadParams {
+            work_cycles: 100_000.0,
+            inter_iter_overhead_ns: 200,
+            noise_rel_sigma: 0.015,
+            spike_prob: 0.008,
+            spike_scale: 5.0,
+        }
+    }
+
     /// Expected iteration duration at a given frequency (noise-free), ns.
     pub fn expected_iter_ns(&self, freq_mhz: f64) -> f64 {
         self.work_cycles / (freq_mhz * 1e-3)
+    }
+}
+
+/// One named workload preset in a [`WorkloadRegistry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadEntry {
+    name: String,
+    description: String,
+    params: WorkloadParams,
+}
+
+impl WorkloadEntry {
+    /// Registry key (the scenario/CLI workload name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human description for `list-workloads` output.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The preset parameters.
+    pub fn params(&self) -> WorkloadParams {
+        self.params
+    }
+}
+
+/// Named lookup over microbenchmark workload presets, mirroring
+/// [`crate::devices::DeviceRegistry`]: scenario files and the CLI select
+/// workloads by name, error messages enumerate the vocabulary, and callers
+/// can register their own presets.
+#[derive(Clone, Debug)]
+pub struct WorkloadRegistry {
+    entries: Vec<WorkloadEntry>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        WorkloadRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The built-in presets: `paper-default`, `memory-bound`, `bursty`.
+    pub fn builtin() -> Self {
+        let mut reg = WorkloadRegistry::empty();
+        reg.register(
+            "paper-default",
+            "the paper's arithmetic microbenchmark (~100 us iterations at 1 GHz, 1 % noise)",
+            WorkloadParams::default_micro(),
+        );
+        reg.register(
+            "memory-bound",
+            "short arithmetic block + fixed 45 us DRAM stall per iteration",
+            WorkloadParams::memory_bound(),
+        );
+        reg.register(
+            "bursty",
+            "noisy iterations with frequent 5x disturbance spikes",
+            WorkloadParams::bursty(),
+        );
+        reg
+    }
+
+    /// Add (or replace, by name) a preset.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        params: WorkloadParams,
+    ) {
+        let entry = WorkloadEntry {
+            name: name.into(),
+            description: description.into(),
+            params,
+        };
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name.eq_ignore_ascii_case(&entry.name))
+        {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[WorkloadEntry] {
+        &self.entries
+    }
+
+    /// Preset names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Look up a preset by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<WorkloadParams> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+            .map(|e| e.params)
+    }
+}
+
+impl Default for WorkloadRegistry {
+    fn default() -> Self {
+        WorkloadRegistry::builtin()
     }
 }
 
@@ -271,6 +409,46 @@ mod tests {
         assert_eq!(recs[1].start.as_nanos() - recs[0].end.as_nanos(), 500);
         // Duration itself excludes the overhead.
         assert_eq!(recs[0].duration().as_nanos(), 100_000);
+    }
+
+    #[test]
+    fn workload_registry_serves_presets() {
+        let reg = WorkloadRegistry::builtin();
+        assert_eq!(reg.names(), vec!["paper-default", "memory-bound", "bursty"]);
+        assert_eq!(
+            reg.get("paper-default").unwrap(),
+            WorkloadParams::default_micro()
+        );
+        assert_eq!(
+            reg.get("Memory-Bound").unwrap(),
+            WorkloadParams::memory_bound()
+        );
+        assert_eq!(reg.get("bursty").unwrap(), WorkloadParams::bursty());
+        assert!(reg.get("compute-heavy").is_none());
+
+        let mut reg = reg;
+        let custom = WorkloadParams {
+            work_cycles: 5_000.0,
+            ..WorkloadParams::default_micro()
+        };
+        reg.register("bursty", "override", custom);
+        assert_eq!(reg.entries().len(), 3);
+        assert_eq!(reg.get("bursty").unwrap(), custom);
+    }
+
+    #[test]
+    fn presets_remain_frequency_sensitive() {
+        // Phase 1 relies on iteration durations separating frequencies;
+        // every preset must keep the timestamped block on the core clock.
+        for params in [
+            WorkloadParams::default_micro(),
+            WorkloadParams::memory_bound(),
+            WorkloadParams::bursty(),
+        ] {
+            let slow = params.expected_iter_ns(705.0);
+            let fast = params.expected_iter_ns(1410.0);
+            assert!(slow > 1.9 * fast, "iteration time must track 1/f");
+        }
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //! cargo run --release --example multi_gpu_variability
 //! ```
 //!
-//! Each unit is `devices::a100_sxm4_unit(i)` — the same architecture model
-//! with a per-unit manufacturing perturbation of the transition engine, as
-//! the four front-row GPUs of a Karolina node would show. The four unit
-//! campaigns run as one `Fleet`: every unit is an independent member with
-//! its own seed, executed in parallel and aggregated per device.
+//! Each unit is the device registry's `a100` at a different `device_index`
+//! — the same architecture model with a per-unit manufacturing perturbation
+//! of the transition engine, as the four front-row GPUs of a Karolina node
+//! would show. The whole experiment is a declarative [`FleetSpec`]: four
+//! member [`CampaignSpec`]s, each an independent device slot with its own
+//! seed, resolved through the registries and executed in parallel
+//! (`fleet_spec.to_json()` is the equivalent `latest run` scenario file).
 
-use latest::core::{CampaignConfig, Fleet};
+use latest::core::spec::{CampaignSpec, FleetSpec};
 use latest::gpu_sim::devices;
 use latest::gpu_sim::freq::FreqMhz;
 use latest::report::{cross_device_table, BoxStats, CrossDeviceRow, Heatmap};
@@ -24,18 +26,25 @@ const N_FREQS: usize = 8;
 fn main() {
     println!("benchmarking {UNITS} A100-SXM4 units over {N_FREQS} frequencies each...");
 
-    let mut fleet = Fleet::new();
+    let mut fleet_spec =
+        FleetSpec::new().description("four A100-SXM4 units of one Karolina node (Sec. VII-C)");
     for unit in 0..UNITS {
-        let config = CampaignConfig::builder(devices::a100_sxm4_unit(unit))
-            .frequency_subset(N_FREQS)
-            .measurements(25, 50)
-            .simulated_sms(Some(4))
-            .device_index(unit)
-            .seed(0xA100 + unit as u64)
-            .build();
-        fleet = fleet.add_campaign(config);
+        fleet_spec = fleet_spec.member(
+            CampaignSpec::builder("a100")
+                .frequency_subset(N_FREQS)
+                .measurements(25, 50)
+                .simulated_sms(Some(4))
+                .device_index(unit)
+                .seed(0xA100 + unit as u64)
+                .build()
+                .expect("valid member spec"),
+        );
     }
-    let fleet_result = fleet.run().expect("fleet campaign");
+    let fleet_result = fleet_spec
+        .into_fleet()
+        .expect("specs resolve")
+        .run()
+        .expect("fleet campaign");
     let results = fleet_result.devices();
 
     // The fleet's own aggregation: one summary row per unit.
@@ -45,12 +54,12 @@ fn main() {
         .map(Into::into)
         .collect();
     println!("\n{}", cross_device_table(&rows).render());
-    let freqs: Vec<u32> = {
-        let c = CampaignConfig::builder(devices::a100_sxm4())
-            .frequency_subset(N_FREQS)
-            .build();
-        c.frequencies.iter().map(|f| f.0).collect()
-    };
+    let freqs: Vec<u32> = devices::a100_sxm4()
+        .ladder
+        .subset(N_FREQS)
+        .iter()
+        .map(|f| f.0)
+        .collect();
 
     // Figs. 7/8: range (max unit − min unit) of the per-pair best-case and
     // worst-case latencies across the four units.

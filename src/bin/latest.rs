@@ -1,189 +1,440 @@
 //! `latest` — the command-line benchmarking tool of Sec. VI, over the
 //! simulated CUDA substrate.
 //!
-//! Mirrors the paper tool's interface: one mandatory argument (the
-//! comma-separated list of benchmarked frequencies in MHz) plus the optional
-//! arguments the paper enumerates — device index, RSE threshold, minimum and
-//! maximum measurement counts — and simulation-specific extras (GPU model,
-//! seed, output directory).
+//! Experiments are *data*: a scenario file (JSON [`CampaignSpec`] or
+//! [`FleetSpec`]) fully describes a campaign, and the legacy flag interface
+//! compiles to exactly the same spec — `print-spec` shows the effective
+//! spec for any invocation, and re-running that output reproduces the run
+//! bit for bit.
 //!
 //! ```text
-//! latest 705,1095,1410
-//! latest --model gh200 --rse 0.05 --min 25 --max 150 --out ./results 705,1260,1980
-//! latest --model a100 --device 2 --seed 7 705,1410
+//! latest run scenarios/table2.json --json
+//! latest run --model gh200 --rse 0.05 --min 25 --max 150 705,1260,1980
+//! latest run big_sweep.json --checkpoint sweep.ckpt.json   # resumes on restart
+//! latest validate scenarios/fleet_sweep.json
+//! latest print-spec --model a100 --seed 7 705,1410
+//! latest list-devices
+//! latest 705,1095,1410          # legacy shorthand for `run`
 //! ```
 //!
 //! After each pair, latencies are written to
 //! `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv` in the output
-//! directory, exactly as the paper describes.
+//! directory, exactly as the paper describes; fleet runs write a
+//! cross-device `fleet_summary.csv` instead.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use latest::core::output::write_pair_csv;
-use latest::core::{CampaignConfig, CampaignEvent, CampaignSession, PairOutcome};
-use latest::gpu_sim::devices::{self, DeviceSpec};
-use latest::report::TextTable;
-
-struct Args {
-    frequencies: Vec<u32>,
-    model: String,
-    device_index: usize,
-    rse: f64,
-    min_measurements: usize,
-    max_measurements: usize,
-    seed: u64,
-    out_dir: Option<PathBuf>,
-    hostname: String,
-    simulated_sms: Option<u32>,
-    json: bool,
-    progress: bool,
-}
+use latest::core::spec::{CampaignSpec, FleetSpec, ScenarioSpec, SpecCheckpoint};
+use latest::core::{CampaignEvent, CampaignResult, CampaignSession, PairOutcome};
+use latest::gpu_sim::devices::DeviceRegistry;
+use latest::gpu_sim::sm::WorkloadRegistry;
+use latest::report::{cross_device_table, CrossDeviceRow, TextTable};
 
 const USAGE: &str = "\
-usage: latest [OPTIONS] <freq,freq,...>
+usage: latest <command> [options]
+       latest [OPTIONS] <freq,freq,...>         (legacy shorthand for `run`)
 
-Benchmark the SM frequency switching latency of a simulated CUDA GPU.
+Benchmark the SM frequency switching latency of simulated CUDA GPUs.
 
-arguments:
-  <freq,freq,...>      comma-separated frequencies in MHz (mandatory)
+commands:
+  run [<spec.json>] [options] [<freq,freq,...>]
+                       run a campaign (or fleet) described by a scenario
+                       file, by flags, or by a file with flag overrides
+  validate <spec.json> check a scenario file, listing every violation
+  print-spec [...]     print the effective spec for any run invocation
+  list-devices         enumerate the device registry
+  list-workloads       enumerate the workload presets
+  help                 print this message
 
-options:
-  --model <name>       gpu model: a100 | gh200 | quadro      [a100]
-  --device <index>     device index (a100: per-unit model)   [0]
+run/print-spec options (flags override scenario-file fields; for fleet
+specs, overrides apply to every member):
+  --model <name>       gpu model (see `latest list-devices`)
+  --device <index>     device unit index                     [0]
   --rse <fraction>     RSE stopping threshold                [0.05]
   --min <count>        measurements before RSE checks begin  [25]
   --max <count>        hard cap on measurements per pair     [150]
   --seed <u64>         simulation seed                       [0]
-  --out <dir>          write per-pair CSVs to this directory [off]
   --hostname <name>    hostname used in CSV file names       [simnode]
   --sms <count>        simulated SM record streams           [8]
-  --json               emit the full campaign result as JSON on stdout
+  --workload <name>    workload preset (see list-workloads)  [paper-default]
+
+run-only options:
+  --out <dir>          per-pair CSVs (campaign) or fleet_summary.csv (fleet)
+  --json               emit the full result as JSON on stdout
   --progress           stream per-pair progress events to stderr
-  --help               print this message
+  --checkpoint <path>  persist a resumable checkpoint to this file while
+                       running, and resume from it when it already exists
+                       (single-campaign specs only)
+  --checkpoint-every <n>  pairs between checkpoint writes    [5]
 ";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        frequencies: Vec::new(),
-        model: "a100".to_string(),
-        device_index: 0,
-        rse: 0.05,
-        min_measurements: 25,
-        max_measurements: 150,
-        seed: 0,
-        out_dir: None,
-        hostname: "simnode".to_string(),
-        simulated_sms: Some(8),
-        json: false,
-        progress: false,
+// ---------------------------------------------------------------------------
+// argument parsing
+
+#[derive(Default)]
+struct RunArgs {
+    spec_path: Option<PathBuf>,
+    frequencies: Option<Vec<u32>>,
+    model: Option<String>,
+    device_index: Option<usize>,
+    rse: Option<f64>,
+    min: Option<usize>,
+    max: Option<usize>,
+    seed: Option<u64>,
+    hostname: Option<String>,
+    sms: Option<u32>,
+    workload: Option<String>,
+    out_dir: Option<PathBuf>,
+    json: bool,
+    progress: bool,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+}
+
+fn parse_freq_list(text: &str) -> Result<Vec<u32>, String> {
+    let mut freqs = Vec::new();
+    for part in text.split(',') {
+        let mhz: u32 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad frequency {part:?} in list"))?;
+        freqs.push(mhz);
+    }
+    Ok(freqs)
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        checkpoint_every: 5,
+        ..RunArgs::default()
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
-            "--model" => args.model = value("--model")?,
+            "--model" => out.model = Some(value("--model")?),
             "--device" => {
-                args.device_index = value("--device")?
-                    .parse()
-                    .map_err(|e| format!("--device: {e}"))?
-            }
-            "--rse" => args.rse = value("--rse")?.parse().map_err(|e| format!("--rse: {e}"))?,
-            "--min" => {
-                args.min_measurements =
-                    value("--min")?.parse().map_err(|e| format!("--min: {e}"))?
-            }
-            "--max" => {
-                args.max_measurements =
-                    value("--max")?.parse().map_err(|e| format!("--max: {e}"))?
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--out" => args.out_dir = Some(PathBuf::from(value("--out")?)),
-            "--hostname" => args.hostname = value("--hostname")?,
-            "--sms" => {
-                args.simulated_sms =
-                    Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?)
-            }
-            "--json" => args.json = true,
-            "--progress" => args.progress = true,
-            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
-            freq_list => {
-                if !args.frequencies.is_empty() {
-                    return Err("multiple frequency lists given".to_string());
-                }
-                for part in freq_list.split(',') {
-                    let mhz: u32 = part
-                        .trim()
+                out.device_index = Some(
+                    value("--device")?
                         .parse()
-                        .map_err(|_| format!("bad frequency {part:?} in list"))?;
-                    args.frequencies.push(mhz);
+                        .map_err(|e| format!("--device: {e}"))?,
+                )
+            }
+            "--rse" => out.rse = Some(value("--rse")?.parse().map_err(|e| format!("--rse: {e}"))?),
+            "--min" => out.min = Some(value("--min")?.parse().map_err(|e| format!("--min: {e}"))?),
+            "--max" => out.max = Some(value("--max")?.parse().map_err(|e| format!("--max: {e}"))?),
+            "--seed" => {
+                out.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--hostname" => out.hostname = Some(value("--hostname")?),
+            "--sms" => out.sms = Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?),
+            "--workload" => out.workload = Some(value("--workload")?),
+            "--out" => out.out_dir = Some(PathBuf::from(value("--out")?)),
+            "--json" => out.json = true,
+            "--progress" => out.progress = true,
+            "--checkpoint" => out.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--checkpoint-every" => {
+                out.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            positional => {
+                // A positional is either the scenario file or the legacy
+                // frequency list.
+                if positional.ends_with(".json") || Path::new(positional).is_file() {
+                    if out.spec_path.is_some() {
+                        return Err("multiple scenario files given".to_string());
+                    }
+                    out.spec_path = Some(PathBuf::from(positional));
+                } else {
+                    if out.frequencies.is_some() {
+                        return Err("multiple frequency lists given".to_string());
+                    }
+                    out.frequencies = Some(parse_freq_list(positional)?);
                 }
             }
         }
     }
-    if args.frequencies.len() < 2 {
-        return Err("need a comma-separated list of at least two frequencies".to_string());
-    }
-    Ok(args)
+    Ok(out)
 }
 
-fn device_spec(model: &str, index: usize) -> Result<DeviceSpec, String> {
-    match model {
-        "a100" => Ok(if index == 0 {
-            devices::a100_sxm4()
-        } else {
-            devices::a100_sxm4_unit(index)
-        }),
-        "gh200" => Ok(devices::gh200()),
-        "quadro" => Ok(devices::rtx_quadro_6000()),
-        other => Err(format!("unknown model {other:?} (a100 | gh200 | quadro)")),
+/// Compile the invocation — scenario file plus flag overrides, or flags
+/// alone — into the effective spec. This is the single construction path:
+/// the legacy interface has no behaviour of its own.
+fn effective_spec(args: &RunArgs) -> Result<ScenarioSpec, String> {
+    let mut scenario = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            ScenarioSpec::from_json(&text)
+                .map_err(|e| format!("parsing {}: {e}", path.display()))?
+        }
+        None => ScenarioSpec::Campaign(CampaignSpec::default()),
+    };
+    let apply = |spec: &mut CampaignSpec| {
+        if let Some(freqs) = &args.frequencies {
+            spec.frequencies = latest::core::FreqSelection::List(freqs.clone());
+        }
+        if let Some(model) = &args.model {
+            spec.device = model.clone();
+        }
+        if let Some(index) = args.device_index {
+            spec.device_index = index;
+        }
+        if let Some(rse) = args.rse {
+            spec.rse_threshold = rse;
+        }
+        if let Some(min) = args.min {
+            spec.min_measurements = min;
+        }
+        if let Some(max) = args.max {
+            spec.max_measurements = max;
+        }
+        if let Some(seed) = args.seed {
+            spec.seed = seed;
+        }
+        if let Some(hostname) = &args.hostname {
+            spec.hostname = hostname.clone();
+        }
+        if let Some(sms) = args.sms {
+            spec.simulated_sms = Some(sms);
+        }
+        if let Some(workload) = &args.workload {
+            spec.workload = workload.clone();
+        }
+    };
+    match &mut scenario {
+        ScenarioSpec::Campaign(spec) => apply(spec),
+        ScenarioSpec::Fleet(fleet) => fleet.members.iter_mut().for_each(apply),
     }
+    if args.spec_path.is_none() && args.frequencies.is_none() {
+        return Err(
+            "need a scenario file or a comma-separated frequency list (see `latest help`)"
+                .to_string(),
+        );
+    }
+    Ok(scenario)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            if msg.is_empty() {
-                print!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            eprintln!("error: {msg}\n\n{USAGE}");
+fn fail(msg: &str) -> ExitCode {
+    if msg.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+// ---------------------------------------------------------------------------
+// subcommands
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return fail("validate takes exactly one scenario file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
             return ExitCode::from(2);
         }
     };
-
-    let spec = match device_spec(&args.model, args.device_index) {
+    let scenario = match ScenarioSpec::from_json(&text) {
         Ok(s) => s,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(errors) = scenario.validate() {
+        eprintln!("{path}: {} violation(s)", errors.errors().len());
+        for e in errors.errors() {
+            eprintln!("  - {e}");
+        }
+        return ExitCode::from(2);
+    }
+    match &scenario {
+        ScenarioSpec::Campaign(c) => {
+            let config = c.resolve().expect("validated spec resolves");
+            println!(
+                "OK: {path}: campaign on {} ({} frequencies, {} ordered pairs)",
+                config.spec.name,
+                config.frequencies.len(),
+                config.ordered_pairs().len()
+            );
+        }
+        ScenarioSpec::Fleet(f) => {
+            println!(
+                "OK: {path}: fleet of {} member campaign(s)",
+                f.members.len()
+            );
+            for (i, member) in f.members.iter().enumerate() {
+                let config = member.resolve().expect("validated member resolves");
+                println!(
+                    "  member {i}: {} ({} frequencies, {} ordered pairs)",
+                    config.spec.name,
+                    config.frequencies.len(),
+                    config.ordered_pairs().len()
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_print_spec(raw: &[String]) -> ExitCode {
+    let args = match parse_run_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return fail(&msg),
+    };
+    match effective_spec(&args) {
+        Ok(scenario) => {
+            println!("{}", scenario.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn cmd_list_devices() -> ExitCode {
+    let registry = DeviceRegistry::builtin();
+    let mut table = TextTable::with_header(&[
+        "name",
+        "device",
+        "ladder [MHz]",
+        "steps",
+        "units",
+        "aliases",
+    ]);
+    for entry in registry.entries() {
+        let spec = entry.make(0);
+        table.row(&[
+            entry.name().to_string(),
+            spec.name.clone(),
+            format!("{}-{}", spec.ladder.min().0, spec.ladder.max().0),
+            spec.ladder.len().to_string(),
+            entry.units().to_string(),
+            entry.aliases().join(", "),
+        ]);
+    }
+    println!("{}", table.render());
+    for entry in registry.entries() {
+        println!("  {}: {}", entry.name(), entry.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_list_workloads() -> ExitCode {
+    let registry = WorkloadRegistry::builtin();
+    let mut table = TextTable::with_header(&["name", "description"]);
+    for entry in registry.entries() {
+        table.row(&[entry.name().to_string(), entry.description().to_string()]);
+    }
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// run
+
+/// Write `content` to `path` atomically (write-to-temp + rename), so a
+/// crash mid-write can never corrupt an existing checkpoint.
+fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn run_campaign(spec: CampaignSpec, args: &RunArgs) -> ExitCode {
+    let config = match spec.resolve() {
+        Ok(c) => c,
+        Err(errors) => {
+            eprintln!("error: invalid spec:");
+            for e in errors.errors() {
+                eprintln!("  - {e}");
+            }
             return ExitCode::from(2);
         }
     };
     eprintln!(
-        "benchmarking {} (device {}), frequencies {:?} MHz",
-        spec.name, args.device_index, args.frequencies
+        "benchmarking {} (device {}), {} frequencies, {} ordered pairs",
+        config.spec.name,
+        config.device_index,
+        config.frequencies.len(),
+        config.ordered_pairs().len()
     );
-
-    let config = CampaignConfig::builder(spec)
-        .frequencies_mhz(&args.frequencies)
-        .rse_threshold(args.rse)
-        .measurements(args.min_measurements, args.max_measurements)
-        .device_index(args.device_index)
-        .hostname(args.hostname.clone())
-        .simulated_sms(args.simulated_sms)
-        .seed(args.seed)
-        .build();
+    let hostname = config.hostname.clone();
+    let device_index = config.device_index;
 
     let mut session = CampaignSession::new(config);
     if args.progress {
         session = session.observe(|e: &CampaignEvent| eprintln!("progress: {e}"));
     }
+    if let Some(path) = &args.checkpoint {
+        if path.is_file() {
+            let checkpoint = match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| SpecCheckpoint::from_json(&t).map_err(|e| e.to_string()))
+            {
+                Ok(cp) => cp,
+                Err(e) => {
+                    eprintln!(
+                        "error: checkpoint {} is unreadable ({e}); delete it to start fresh",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            // The session validates device, seed and pair set itself, but
+            // only the stored spec can reveal a knob mismatch (measurement
+            // bounds, RSE, workload): refuse to mix configurations.
+            if checkpoint.spec != spec {
+                eprintln!(
+                    "error: checkpoint {} was taken under a different spec; \
+                     rerun with the original scenario/flags, or delete the \
+                     checkpoint to start fresh",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "resuming from checkpoint {} ({} of {} pairs already settled)",
+                path.display(),
+                checkpoint
+                    .result
+                    .pairs()
+                    .iter()
+                    .filter(|p| !p.outcome.is_cancelled())
+                    .count(),
+                checkpoint.result.pairs().len()
+            );
+            session = session.resume_from(checkpoint.result);
+        }
+        let sink_path = path.clone();
+        let sink_spec = spec.clone();
+        session = session.checkpoint_to(args.checkpoint_every, move |cp: &CampaignResult| {
+            let doc = SpecCheckpoint {
+                spec: sink_spec.clone(),
+                result: cp.clone(),
+            };
+            if let Err(e) = write_atomic(&sink_path, &doc.to_json()) {
+                eprintln!("warning: writing checkpoint {}: {e}", sink_path.display());
+            }
+        });
+    }
+
     let result = match session.run() {
         Ok(r) => r,
         Err(e) => {
@@ -210,6 +461,18 @@ fn main() -> ExitCode {
     ]);
     let mut csv_files = 0usize;
     for pair in result.pairs() {
+        let placeholder = |status: String| {
+            [
+                pair.init_mhz.to_string(),
+                pair.target_mhz.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                status,
+            ]
+        };
         match &pair.outcome {
             PairOutcome::Completed(run) => {
                 let a = pair.analysis.as_ref().expect("completed implies analysed");
@@ -224,7 +487,7 @@ fn main() -> ExitCode {
                     "ok".to_string(),
                 ]);
                 if let Some(dir) = &args.out_dir {
-                    match write_pair_csv(dir, run, &args.hostname, args.device_index) {
+                    match write_pair_csv(dir, run, &hostname, device_index) {
                         Ok(_) => csv_files += 1,
                         Err(e) => eprintln!(
                             "warning: writing CSV for {}->{}: {e}",
@@ -236,58 +499,24 @@ fn main() -> ExitCode {
             PairOutcome::PowerLimited {
                 measurements_before,
             } => {
-                table.row(&[
-                    pair.init_mhz.to_string(),
-                    pair.target_mhz.to_string(),
-                    measurements_before.to_string(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "power-limited".to_string(),
-                ]);
+                let mut row = placeholder("power-limited".to_string());
+                row[2] = measurements_before.to_string();
+                table.row(&row);
             }
             PairOutcome::SkippedIndistinguishable => {
-                table.row(&[
-                    pair.init_mhz.to_string(),
-                    pair.target_mhz.to_string(),
-                    "0".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "indistinguishable".to_string(),
-                ]);
+                table.row(&placeholder("indistinguishable".to_string()));
             }
             PairOutcome::RetriesExhausted { attempts, .. } => {
-                table.row(&[
-                    pair.init_mhz.to_string(),
-                    pair.target_mhz.to_string(),
-                    "0".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    format!("unmeasurable ({attempts} attempts)"),
-                ]);
+                table.row(&placeholder(format!("unmeasurable ({attempts} attempts)")));
             }
             PairOutcome::Cancelled => {
-                table.row(&[
-                    pair.init_mhz.to_string(),
-                    pair.target_mhz.to_string(),
-                    "0".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "cancelled".to_string(),
-                ]);
+                table.row(&placeholder("cancelled".to_string()));
             }
         }
     }
     if args.json {
         // The serialisable result is the machine interface; the table stays
-        // on stderr so `latest --json | jq` composes cleanly.
+        // on stderr so `latest run --json | jq` composes cleanly.
         println!("{}", result.to_json());
         eprintln!("{}", table.render());
     } else {
@@ -297,4 +526,87 @@ fn main() -> ExitCode {
         eprintln!("wrote {csv_files} CSV files to {}", dir.display());
     }
     ExitCode::SUCCESS
+}
+
+fn run_fleet(spec: FleetSpec, args: &RunArgs) -> ExitCode {
+    if args.checkpoint.is_some() {
+        eprintln!("error: --checkpoint supports single-campaign specs only");
+        return ExitCode::from(2);
+    }
+    let n_members = spec.members.len();
+    let fleet = match spec.into_fleet() {
+        Ok(f) => f,
+        Err(errors) => {
+            eprintln!("error: invalid spec:");
+            for e in errors.errors() {
+                eprintln!("  - {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("benchmarking a fleet of {n_members} device(s)");
+    let fleet = if args.progress {
+        fleet.observe(|slot: usize, e: &CampaignEvent| eprintln!("progress[device {slot}]: {e}"))
+    } else {
+        fleet
+    };
+    let result = match fleet.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows: Vec<CrossDeviceRow> = result.summary_rows().into_iter().map(Into::into).collect();
+    let table = cross_device_table(&rows).render();
+    if args.json {
+        println!("{}", result.to_json());
+        eprintln!("{table}");
+    } else {
+        println!("{table}");
+    }
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("fleet_summary.csv");
+        if let Err(e) = std::fs::write(&path, result.summary_csv()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote cross-device summary to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(raw: &[String]) -> ExitCode {
+    let args = match parse_run_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return fail(&msg),
+    };
+    let scenario = match effective_spec(&args) {
+        Ok(s) => s,
+        Err(msg) => return fail(&msg),
+    };
+    // No separate validation pass: resolve()/into_fleet() below report the
+    // same exhaustive SpecErrors, and run_campaign/run_fleet print them.
+    match scenario {
+        ScenarioSpec::Campaign(spec) => run_campaign(spec, &args),
+        ScenarioSpec::Fleet(spec) => run_fleet(spec, &args),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => fail(""),
+        Some("run") => cmd_run(&argv[1..]),
+        Some("validate") => cmd_validate(&argv[1..]),
+        Some("print-spec") => cmd_print_spec(&argv[1..]),
+        Some("list-devices") => cmd_list_devices(),
+        Some("list-workloads") => cmd_list_workloads(),
+        // Legacy shorthand: `latest [OPTIONS] <freq,freq,...>` is `run`.
+        Some(_) => cmd_run(&argv),
+    }
 }
