@@ -8,6 +8,7 @@
 //! and the number of simulated SM record streams, both documented in
 //! DESIGN.md §4).
 
+use latest_core::view::{LatencyView, PairStat, PairView};
 use latest_core::{CampaignConfig, CampaignResult, Latest, PairMeasurement};
 use latest_gpu_sim::devices::DeviceSpec;
 use latest_report::{DirectionSplit, Heatmap};
@@ -44,53 +45,25 @@ pub fn repro_spec(device: &str, n_freqs: usize, seed: u64) -> latest_core::spec:
         .expect("repro spec is valid")
 }
 
-/// Which per-pair statistic feeds a heatmap cell.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CellStat {
-    /// Best case: the minimum filtered latency.
-    Min,
-    /// Worst case: the maximum filtered latency.
-    Max,
-    /// Mean of the filtered latencies.
-    Mean,
-}
+/// Which per-pair statistic feeds a heatmap cell. Alias of the core query
+/// layer's [`PairStat`], kept under the historical name the `repro_*`
+/// binaries use.
+pub type CellStat = PairStat;
 
 /// Extract the requested statistic from one pair (post-outlier-filter).
 pub fn pair_stat(p: &PairMeasurement, stat: CellStat) -> Option<f64> {
-    let a = p.analysis.as_ref()?;
-    if a.inliers_ms.is_empty() {
-        return None;
-    }
-    Some(match stat {
-        CellStat::Min => a.filtered.min,
-        CellStat::Max => a.filtered.max,
-        CellStat::Mean => a.filtered.mean,
-    })
+    PairView::new(p).stat(stat)
 }
 
 /// Build the paper-layout heatmap (initial frequency in rows, target in
 /// columns) from a campaign.
 pub fn campaign_heatmap(result: &CampaignResult, freqs_mhz: &[u32], stat: CellStat) -> Heatmap {
-    use latest_gpu_sim::freq::FreqMhz;
-    Heatmap::build(freqs_mhz, freqs_mhz, |init, target| {
-        if init == target {
-            return None;
-        }
-        result
-            .pair(FreqMhz(init), FreqMhz(target))
-            .and_then(|p| pair_stat(p, stat))
-    })
+    Heatmap::from_view(&LatencyView::of(result).completed(), freqs_mhz, stat)
 }
 
 /// Pool a campaign's filtered latencies by transition direction (Fig. 4).
 pub fn direction_split(result: &CampaignResult) -> DirectionSplit {
-    let mut split = DirectionSplit::default();
-    for p in result.completed() {
-        if let Some(a) = &p.analysis {
-            split.add(p.init_mhz, p.target_mhz, &a.inliers_ms);
-        }
-    }
-    split
+    DirectionSplit::from_view(&LatencyView::of(result).completed())
 }
 
 /// The frequency list of a repro config, as u32 MHz.
@@ -113,22 +86,10 @@ pub struct Table2Row {
 
 /// Summarise one campaign into a Table II row for the given statistic.
 pub fn table2_row(result: &CampaignResult, stat: CellStat) -> Option<Table2Row> {
-    let cells: Vec<(f64, u32, u32)> = result
-        .completed()
-        .filter_map(|p| pair_stat(p, stat).map(|v| (v, p.init_mhz, p.target_mhz)))
-        .collect();
-    if cells.is_empty() {
-        return None;
-    }
-    let min = cells
-        .iter()
-        .cloned()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())?;
-    let max = cells
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())?;
-    let mean = cells.iter().map(|c| c.0).sum::<f64>() / cells.len() as f64;
+    let view = LatencyView::of(result).completed();
+    let min = view.stat_extreme(stat, false)?;
+    let max = view.stat_extreme(stat, true)?;
+    let (_, mean, _) = view.stat_range(stat)?;
     Some(Table2Row {
         device: result.device_name.clone(),
         min,

@@ -174,28 +174,22 @@ impl FleetResult {
     /// best/mean/worst latency over completed pairs) — the input shape of
     /// `latest_report::cross_device_table`.
     pub fn summary_rows(&self) -> Vec<FleetDeviceSummary> {
+        use crate::view::{LatencyView, OutcomeKind, PairStat};
         self.devices
             .iter()
             .map(|r| {
-                let stats: Vec<(f64, f64, f64)> = r
-                    .completed()
-                    .filter_map(|p| p.analysis.as_ref())
-                    .filter(|a| !a.inliers_ms.is_empty())
-                    .map(|a| (a.filtered.min, a.filtered.mean, a.filtered.max))
-                    .collect();
-                let completed = r.completed().count();
+                let completed = LatencyView::of(r).outcome(OutcomeKind::Completed);
+                let best = completed.stat_range(PairStat::Min);
+                let mean = completed.stat_range(PairStat::Mean);
+                let worst = completed.stat_range(PairStat::Max);
                 FleetDeviceSummary {
                     device_name: r.device_name.clone(),
                     device_index: r.device_index,
                     pairs_total: r.pairs().len(),
-                    pairs_completed: completed,
-                    best_ms: stats.iter().map(|s| s.0).fold(f64::INFINITY, f64::min),
-                    mean_ms: if stats.is_empty() {
-                        f64::NAN
-                    } else {
-                        stats.iter().map(|s| s.1).sum::<f64>() / stats.len() as f64
-                    },
-                    worst_ms: stats.iter().map(|s| s.2).fold(f64::NEG_INFINITY, f64::max),
+                    pairs_completed: completed.count(),
+                    best_ms: best.map_or(f64::INFINITY, |(min, _, _)| min),
+                    mean_ms: mean.map_or(f64::NAN, |(_, mean, _)| mean),
+                    worst_ms: worst.map_or(f64::NEG_INFINITY, |(_, _, max)| max),
                 }
             })
             .collect()

@@ -31,6 +31,14 @@
 //! * **Fleet** ([`fleet`]) — multi-device orchestration: one campaign per
 //!   device spec, run in parallel, aggregated into per-device results and
 //!   cross-device summary rows.
+//! * **Store** ([`store`]) — the results archive: campaign runs persisted
+//!   under content-addressed [`RunId`]s with the effective spec and
+//!   provenance, so experiments accumulate into a queryable corpus instead
+//!   of evaporating.
+//! * **View** ([`view`]) — typed query views over results:
+//!   [`LatencyView`]/[`PairView`] filter by frequency pair, direction,
+//!   outcome and percentile band, replacing ad-hoc pair iteration in every
+//!   consumer.
 //! * **Spec** ([`spec`]) — declarative campaign descriptions: serialisable
 //!   [`CampaignSpec`]/[`FleetSpec`] with fail-fast validation that
 //!   enumerates every violated constraint, resolved through device and
@@ -61,6 +69,8 @@ pub mod platform;
 pub mod probe;
 pub mod session;
 pub mod spec;
+pub mod store;
+pub mod view;
 pub mod wakeup;
 
 pub use analysis::{analyze_pair, PairAnalysis};
@@ -78,3 +88,5 @@ pub use spec::{
     CampaignSpec, CampaignSpecBuilder, FleetSpec, FreqSelection, ScenarioSpec, SpecCheckpoint,
     SpecError, SpecErrors,
 };
+pub use store::{Provenance, ResultStore, RunId, StoreError, StoreResult, StoredRun};
+pub use view::{Direction, LatencyView, OutcomeKind, PairStat, PairView};

@@ -37,6 +37,11 @@ pub fn parse_csv_filename(name: &str) -> Option<(FreqMhz, FreqMhz, String, usize
 
 /// Write one pair's latencies to `dir` under the standardised name.
 /// Returns the full path.
+///
+/// Latencies are written with Rust's shortest-round-trip `f64` formatting,
+/// so [`read_pair_csv`] reconstructs every value bit for bit (a fixed
+/// `{:.6}` precision would silently lose sub-microsecond detail the
+/// archive's diff pipeline relies on).
 pub fn write_pair_csv(
     dir: &Path,
     run: &PairRun,
@@ -48,7 +53,7 @@ pub fn write_pair_csv(
     let mut f = fs::File::create(&path)?;
     writeln!(f, "measurement,switching_latency_ms")?;
     for (i, ms) in run.latencies_ms.iter().enumerate() {
-        writeln!(f, "{i},{ms:.6}")?;
+        writeln!(f, "{i},{ms}")?;
     }
     Ok(path)
 }
@@ -124,9 +129,12 @@ mod tests {
     }
 
     #[test]
-    fn csv_roundtrip() {
+    fn csv_roundtrip_is_bit_exact() {
         let dir = std::env::temp_dir().join("latest_rs_output_test");
-        let run = run_fixture();
+        let mut run = run_fixture();
+        // Values with no short decimal representation must still survive.
+        run.latencies_ms.push(5.1 + 0.2 / 3.0);
+        run.latencies_ms.push(f64::from_bits(0x4014_9999_9999_999A));
         let path = write_pair_csv(&dir, &run, "testhost", 0).unwrap();
         assert!(path
             .file_name()
@@ -134,9 +142,9 @@ mod tests {
             .to_string_lossy()
             .contains("1095MHz_705MHz"));
         let back = read_pair_csv(&path).unwrap();
-        assert_eq!(back.len(), 4);
+        assert_eq!(back.len(), run.latencies_ms.len());
         for (a, b) in back.iter().zip(&run.latencies_ms) {
-            assert!((a - b).abs() < 1e-6);
+            assert_eq!(a.to_bits(), b.to_bits(), "csv {a} vs memory {b}");
         }
         fs::remove_dir_all(&dir).ok();
     }

@@ -106,18 +106,17 @@ impl LatencyTable {
     }
 
     /// Build from a completed LATEST campaign, taking each pair's
-    /// outlier-filtered latencies.
+    /// outlier-filtered latencies (selected through
+    /// [`latest_core::view::LatencyView`]).
     pub fn from_campaign(result: &CampaignResult) -> Self {
         let mut table = LatencyTable::new(result.device_name.clone());
-        for pair in result.completed() {
-            if let Some(a) = &pair.analysis {
-                if !a.inliers_ms.is_empty() {
-                    table.insert(PairLatency::new(
-                        pair.init_mhz,
-                        pair.target_mhz,
-                        a.inliers_ms.clone(),
-                    ));
-                }
+        for pair in latest_core::LatencyView::of(result).completed().pairs() {
+            if let Some(inliers) = pair.filtered_ms() {
+                table.insert(PairLatency::new(
+                    pair.init_mhz(),
+                    pair.target_mhz(),
+                    inliers.to_vec(),
+                ));
             }
         }
         table

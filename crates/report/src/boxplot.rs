@@ -74,6 +74,34 @@ impl BoxStats {
     }
 }
 
+/// A grouped boxplot figure (Fig. 9 shape: one labelled box per group), as
+/// one [`Artifact`](crate::Artifact).
+#[derive(Clone, Debug, Default)]
+pub struct BoxplotGroup {
+    /// Figure title.
+    pub title: String,
+    /// `(label, box)` per group, in display order.
+    pub groups: Vec<(String, BoxStats)>,
+}
+
+impl BoxplotGroup {
+    /// An empty group figure.
+    pub fn new(title: impl Into<String>) -> Self {
+        BoxplotGroup {
+            title: title.into(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Append one labelled sample; silently skipped when empty.
+    pub fn add(&mut self, label: impl Into<String>, samples: &[f64]) -> &mut Self {
+        if let Some(stats) = BoxStats::of(samples) {
+            self.groups.push((label.into(), stats));
+        }
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,6 +12,7 @@ pub struct Heatmap {
     /// Column labels (target frequencies, MHz).
     pub col_labels: Vec<String>,
     values: Vec<Option<f64>>,
+    title: String,
 }
 
 impl Heatmap {
@@ -22,7 +23,38 @@ impl Heatmap {
             row_labels,
             col_labels,
             values,
+            title: String::new(),
         }
+    }
+
+    /// Attach a title (used by the [`Artifact`](crate::Artifact)
+    /// renderings; the explicit-title [`Heatmap::render`] ignores it).
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// The attached title (empty unless set by [`Heatmap::with_title`]).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Build the paper-layout heatmap from a campaign query view: initial
+    /// frequency in rows, target in columns, blank diagonal, one cell per
+    /// pair the view admits with filtered data. This is the single home of
+    /// the composition the figure binaries, the bundle and the golden
+    /// tests all share.
+    pub fn from_view(
+        view: &latest_core::view::LatencyView<'_>,
+        freqs_mhz: &[u32],
+        stat: latest_core::view::PairStat,
+    ) -> Heatmap {
+        Heatmap::build(freqs_mhz, freqs_mhz, |init, target| {
+            if init == target {
+                return None;
+            }
+            view.pair(init, target).and_then(|p| p.stat(stat))
+        })
     }
 
     /// Build from row/column keys and a cell function (None = blank, e.g.
@@ -65,26 +97,36 @@ impl Heatmap {
         self.values[row * self.n_cols() + col]
     }
 
-    /// Smallest populated value with its (row, col).
+    /// Smallest populated non-NaN value with its (row, col).
+    ///
+    /// NaN cells are skipped, not propagated: backends without the
+    /// `GroundTruth` capability legitimately produce NaN cells, and a
+    /// single one must not poison (or, as a `partial_cmp().unwrap()` once
+    /// did, panic) the scale of the rest of the figure.
     pub fn min_cell(&self) -> Option<(usize, usize, f64)> {
-        self.iter_cells()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        self.iter_finite_cells().min_by(|a, b| a.2.total_cmp(&b.2))
     }
 
-    /// Largest populated value with its (row, col).
+    /// Largest populated non-NaN value with its (row, col). Same skip-NaN
+    /// semantics as [`Heatmap::min_cell`].
     pub fn max_cell(&self) -> Option<(usize, usize, f64)> {
-        self.iter_cells()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        self.iter_finite_cells().max_by(|a, b| a.2.total_cmp(&b.2))
     }
 
-    /// Mean over populated cells.
+    /// Mean over populated non-NaN cells.
     pub fn mean(&self) -> Option<f64> {
-        let vals: Vec<f64> = self.iter_cells().map(|(_, _, v)| v).collect();
-        if vals.is_empty() {
+        let (n, sum) = self
+            .iter_finite_cells()
+            .fold((0usize, 0.0), |(n, s), (_, _, v)| (n + 1, s + v));
+        if n == 0 {
             None
         } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            Some(sum / n as f64)
         }
+    }
+
+    fn iter_finite_cells(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.iter_cells().filter(|(_, _, v)| !v.is_nan())
     }
 
     /// Populated cells as (row, col, value).
@@ -96,12 +138,15 @@ impl Heatmap {
             .filter_map(move |(i, v)| v.map(|v| (i / n_cols, i % n_cols, v)))
     }
 
-    /// Column means (ignoring blanks): exposes the "target frequency
-    /// dominates" structure the paper calls out.
+    /// Column means (ignoring blanks and NaN cells): exposes the "target
+    /// frequency dominates" structure the paper calls out.
     pub fn col_means(&self) -> Vec<Option<f64>> {
         (0..self.n_cols())
             .map(|j| {
-                let vals: Vec<f64> = (0..self.n_rows()).filter_map(|i| self.get(i, j)).collect();
+                let vals: Vec<f64> = (0..self.n_rows())
+                    .filter_map(|i| self.get(i, j))
+                    .filter(|v| !v.is_nan())
+                    .collect();
                 if vals.is_empty() {
                     None
                 } else {
@@ -111,11 +156,14 @@ impl Heatmap {
             .collect()
     }
 
-    /// Row means (ignoring blanks).
+    /// Row means (ignoring blanks and NaN cells).
     pub fn row_means(&self) -> Vec<Option<f64>> {
         (0..self.n_rows())
             .map(|i| {
-                let vals: Vec<f64> = (0..self.n_cols()).filter_map(|j| self.get(i, j)).collect();
+                let vals: Vec<f64> = (0..self.n_cols())
+                    .filter_map(|j| self.get(i, j))
+                    .filter(|v| !v.is_nan())
+                    .collect();
                 if vals.is_empty() {
                     None
                 } else {
@@ -298,6 +346,50 @@ mod tests {
         assert!(lines[0].starts_with("init_mhz,705,1095,1410"));
         // Diagonal blank -> ",," pattern present.
         assert!(lines[1].contains(",,") || lines[1].ends_with(','));
+    }
+
+    #[test]
+    fn nan_cells_do_not_panic_or_poison_the_scale() {
+        // Backends without ground truth legitimately produce NaN cells; a
+        // single one used to panic min_cell/max_cell via
+        // partial_cmp().unwrap().
+        let hm = Heatmap::build(&[705u32, 1095, 1410], &[705u32, 1095, 1410], |r, c| {
+            if r == c {
+                None
+            } else if r == 705 && c == 1410 {
+                Some(f64::NAN)
+            } else {
+                Some((r + c) as f64 / 100.0)
+            }
+        });
+        let (_, _, min) = hm.min_cell().expect("finite cells remain");
+        let (_, _, max) = hm.max_cell().expect("finite cells remain");
+        assert!(min.is_finite() && max.is_finite());
+        assert!(min < max);
+        let mean = hm.mean().unwrap();
+        assert!(mean.is_finite() && min <= mean && mean <= max);
+        for v in hm.col_means().into_iter().chain(hm.row_means()).flatten() {
+            assert!(v.is_finite());
+        }
+        // Rendering still works (the NaN cell prints, the scale holds).
+        let txt = hm.render("with NaN", true);
+        assert!(txt.contains("NaN"));
+        let csv = hm.to_csv();
+        assert!(csv.lines().count() == 4);
+
+        // All-NaN grids degrade to None, not a panic.
+        let all_nan = Heatmap::build(&[1u32], &[2u32], |_, _| Some(f64::NAN));
+        assert!(all_nan.min_cell().is_none());
+        assert!(all_nan.max_cell().is_none());
+        assert!(all_nan.mean().is_none());
+        let _ = all_nan.render("all NaN", true);
+    }
+
+    #[test]
+    fn title_is_attached_and_carried() {
+        let hm = sample().with_title("Fig. 3a");
+        assert_eq!(hm.title(), "Fig. 3a");
+        assert_eq!(sample().title(), "");
     }
 
     #[test]

@@ -17,8 +17,23 @@
 //!   committing rendered figures;
 //! * [`experiments`] — paper-value vs measured-value records that generate
 //!   the EXPERIMENTS.md comparison sections.
+//!
+//! All of the above render through one contract:
+//!
+//! * [`artifact`] — the [`Artifact`] trait plus the [`Text`](TextSink),
+//!   [`Svg`](SvgSink), [`Csv`](CsvSink) and [`Json`](JsonSink) sinks; every
+//!   figure type implements it and renders in all four formats;
+//! * [`bundle`] — the [`Bundle`] composer: one call emits a complete
+//!   paper-artefact directory (EXPERIMENTS.md, every figure in every
+//!   format, summary CSV/JSON) for a campaign result;
+//! * [`diff`] — [`CampaignDiff`]: per-pair latency deltas between two
+//!   stored runs with Mann–Whitney significance, rendered as a signed
+//!   heatmap and a regression table.
 
+pub mod artifact;
 pub mod boxplot;
+pub mod bundle;
+pub mod diff;
 pub mod experiments;
 pub mod heatmap;
 pub mod scatter;
@@ -26,10 +41,18 @@ pub mod svg;
 pub mod table;
 pub mod violin;
 
-pub use boxplot::BoxStats;
+pub use artifact::{
+    render_to_string, Artifact, CsvSink, Format, JsonSink, ReportError, ReportResult, Sink,
+    SvgSink, TextSink,
+};
+pub use boxplot::{BoxStats, BoxplotGroup};
+pub use bundle::Bundle;
+pub use diff::{CampaignDiff, PairDelta};
 pub use experiments::{ExperimentRecord, MetricRow};
 pub use heatmap::Heatmap;
-pub use scatter::render_scatter;
-pub use svg::{boxplot_svg, heatmap_svg, scatter_svg, violin_pair_svg, SvgStyle};
-pub use table::{cross_device_table, CrossDeviceRow, TextTable};
-pub use violin::{DirectionSplit, ViolinSummary};
+pub use scatter::{render_scatter, Scatter};
+pub use svg::{
+    boxplot_svg, heatmap_svg, scatter_svg, text_svg, violin_pair_svg, violins_svg, SvgStyle,
+};
+pub use table::{campaign_summary_table, cross_device_table, CrossDeviceRow, TextTable};
+pub use violin::{DirectionSplit, ViolinPair, ViolinSummary};

@@ -3,6 +3,56 @@
 
 use latest_cluster::Labeling;
 
+/// A latency scatter figure (Figs. 5/6): per-measurement latencies with
+/// optional cluster membership, ready for the
+/// [`Artifact`](crate::Artifact) renderings.
+#[derive(Clone, Debug)]
+pub struct Scatter {
+    /// Figure title.
+    pub title: String,
+    /// Per-measurement latencies (ms), in measurement order.
+    pub latencies_ms: Vec<f64>,
+    /// Cluster id per measurement (`None` = noise/outlier); parallel to
+    /// `latencies_ms`. May be empty when no clustering was run.
+    pub cluster_of: Vec<Option<usize>>,
+}
+
+impl Scatter {
+    /// Build a scatter; `cluster_of` must be empty or parallel to the data.
+    pub fn new(
+        title: impl Into<String>,
+        latencies_ms: Vec<f64>,
+        cluster_of: Vec<Option<usize>>,
+    ) -> Self {
+        assert!(
+            cluster_of.is_empty() || cluster_of.len() == latencies_ms.len(),
+            "cluster labels must be absent or parallel to the data"
+        );
+        Scatter {
+            title: title.into(),
+            latencies_ms,
+            cluster_of,
+        }
+    }
+
+    /// Build from a DBSCAN labeling (noise becomes `None`).
+    pub fn from_labeling(
+        title: impl Into<String>,
+        latencies_ms: Vec<f64>,
+        labeling: &Labeling,
+    ) -> Self {
+        let cluster_of = labeling
+            .labels
+            .iter()
+            .map(|l| match l {
+                latest_cluster::Label::Cluster(c) => Some(*c),
+                latest_cluster::Label::Noise => None,
+            })
+            .collect();
+        Scatter::new(title, latencies_ms, cluster_of)
+    }
+}
+
 /// Render an ASCII scatter of `latencies` (y) against measurement index
 /// (x), with cluster ids as digits and noise as `x`.
 ///

@@ -175,6 +175,109 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Render pre-formatted monospace text (a table, a boxplot line, a record)
+/// as a complete SVG document — the vector fallback that lets every
+/// [`Artifact`](crate::Artifact) honour the SVG sink. One `<text>` element
+/// per line, deterministic.
+pub fn text_svg(title: &str, body: &str, style: &SvgStyle) -> String {
+    let mut out = String::new();
+    svg_header(&mut out, style, title);
+    let line_h = style.font_px * 1.45;
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-family="monospace" font-size="{:.1}" xml:space="preserve">{}</text>"#,
+            style.margin,
+            style.margin + line_h * (i as f64 + 1.0),
+            style.font_px,
+            escape(line)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render any number of violins side by side (the N-violin generalisation
+/// of [`violin_pair_svg`]), each a mirrored density polygon with its median
+/// marked.
+pub fn violins_svg(violins: &[&ViolinSummary], title: &str, style: &SvgStyle) -> String {
+    const PALETTE: [&str; 6] = [
+        "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+    ];
+    let mut out = String::new();
+    svg_header(&mut out, style, title);
+    if violins.is_empty() {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let plot_h = style.height - 2.0 * style.margin;
+    let lo = violins
+        .iter()
+        .filter_map(|v| v.grid.first().copied())
+        .fold(f64::MAX, f64::min);
+    let hi = violins
+        .iter()
+        .filter_map(|v| v.grid.last().copied())
+        .fold(f64::MIN, f64::max);
+    let y_of = |v: f64| style.margin + plot_h * (1.0 - (v - lo) / (hi - lo).max(1e-12));
+    let plot_w = style.width - 2.0 * style.margin;
+    let n = violins.len() as f64;
+    let half_w = (plot_w / n / 2.2).max(1.0);
+    for (i, summary) in violins.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let cx = style.margin + plot_w * (i as f64 + 0.5) / n;
+        let mut pts_right: Vec<(f64, f64)> = Vec::new();
+        let mut pts_left: Vec<(f64, f64)> = Vec::new();
+        for (g, d) in summary.grid.iter().zip(&summary.density) {
+            let y = y_of(*g);
+            pts_right.push((cx + d * half_w, y));
+            pts_left.push((cx - d * half_w, y));
+        }
+        pts_left.reverse();
+        let path: String = pts_right
+            .iter()
+            .chain(pts_left.iter())
+            .enumerate()
+            .map(|(j, (x, y))| format!("{}{x:.1},{y:.1}", if j == 0 { "M" } else { "L" }))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            r#"<path d="{path} Z" fill="{color}" fill-opacity="0.6" stroke="{color}"/>"#
+        );
+        let my = y_of(summary.median);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{:.1}" y1="{my:.1}" x2="{:.1}" y2="{my:.1}" stroke="black" stroke-width="1.5"/>"#,
+            cx - half_w * 0.5,
+            cx + half_w * 0.5
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{cx:.1}" y="{:.1}" font-size="{:.1}" text-anchor="middle">{}</text>"#,
+            style.height - style.margin * 0.4,
+            style.font_px,
+            escape(&summary.label)
+        );
+    }
+    for i in 0..=5 {
+        let v = lo + (hi - lo) * i as f64 / 5.0;
+        let y = y_of(v);
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="{:.1}" text-anchor="end">{v:.0}</text>"#,
+            style.margin - 6.0,
+            y + style.font_px * 0.35,
+            style.font_px
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 /// Render a pair of violin summaries (increasing vs decreasing, Fig. 4) as
 /// a complete SVG document. Each violin is drawn as a mirrored density
 /// polygon with the median marked.

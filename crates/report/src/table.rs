@@ -6,6 +6,7 @@
 pub struct TextTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    title: String,
 }
 
 impl TextTable {
@@ -14,7 +15,30 @@ impl TextTable {
         TextTable {
             header: cols.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            title: String::new(),
         }
+    }
+
+    /// Attach a title (used by the [`Artifact`](crate::Artifact)
+    /// renderings; [`TextTable::render`] itself stays title-less).
+    pub fn titled(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// The attached title (empty unless set by [`TextTable::titled`]).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The header cells.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Append a row; must match the header width.
@@ -151,6 +175,77 @@ pub fn cross_device_table(rows: &[CrossDeviceRow]) -> TextTable {
             fmt(r.mean_ms),
             fmt(r.worst_ms),
         ]);
+    }
+    table
+}
+
+/// Render one campaign's per-pair summary table (the `latest run` stdout
+/// shape): one row per scheduled pair with its filtered statistics and
+/// outcome, selected through the core query views instead of ad-hoc
+/// iteration.
+pub fn campaign_summary_table(result: &latest_core::CampaignResult) -> TextTable {
+    use latest_core::view::{LatencyView, OutcomeKind, PairStat};
+    use latest_core::PairOutcome;
+
+    let mut table = TextTable::with_header(&[
+        "init[MHz]",
+        "target[MHz]",
+        "n",
+        "min[ms]",
+        "mean[ms]",
+        "max[ms]",
+        "outliers",
+        "status",
+    ])
+    .titled(format!(
+        "{} (device {}): per-pair switching latencies",
+        result.device_name, result.device_index
+    ));
+    for pair in LatencyView::of(result).pairs() {
+        let m = pair.measurement();
+        let status = match &m.outcome {
+            PairOutcome::Completed(_) => "ok".to_string(),
+            PairOutcome::PowerLimited { .. } => "power-limited".to_string(),
+            PairOutcome::SkippedIndistinguishable => "indistinguishable".to_string(),
+            PairOutcome::RetriesExhausted { attempts, .. } => {
+                format!("unmeasurable ({attempts} attempts)")
+            }
+            PairOutcome::Cancelled => "cancelled".to_string(),
+        };
+        let row = match (pair.outcome(), pair.filtered_ms()) {
+            (OutcomeKind::Completed, Some(inliers)) => {
+                let a = m.analysis.as_ref().expect("completed implies analysed");
+                [
+                    pair.init_mhz().to_string(),
+                    pair.target_mhz().to_string(),
+                    inliers.len().to_string(),
+                    format!("{:.3}", pair.stat(PairStat::Min).expect("has data")),
+                    format!("{:.3}", pair.stat(PairStat::Mean).expect("has data")),
+                    format!("{:.3}", pair.stat(PairStat::Max).expect("has data")),
+                    a.outliers_ms.len().to_string(),
+                    status,
+                ]
+            }
+            _ => {
+                let n = match &m.outcome {
+                    PairOutcome::PowerLimited {
+                        measurements_before,
+                    } => measurements_before.to_string(),
+                    _ => "0".to_string(),
+                };
+                [
+                    pair.init_mhz().to_string(),
+                    pair.target_mhz().to_string(),
+                    n,
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    status,
+                ]
+            }
+        };
+        table.row(&row);
     }
     table
 }

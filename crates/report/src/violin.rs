@@ -22,6 +22,16 @@ impl DirectionSplit {
             self.decreasing.extend_from_slice(latencies);
         }
     }
+
+    /// Pool a campaign view's filtered latencies by transition direction
+    /// (the Fig. 4 reduction; respects whatever filters the view carries).
+    pub fn from_view(view: &latest_core::view::LatencyView<'_>) -> DirectionSplit {
+        use latest_core::view::Direction;
+        DirectionSplit {
+            increasing: view.direction(Direction::Increasing).pooled_filtered_ms(),
+            decreasing: view.direction(Direction::Decreasing).pooled_filtered_ms(),
+        }
+    }
 }
 
 /// The rendered summary of one violin: KDE evaluated on a grid plus the
@@ -119,6 +129,45 @@ impl ViolinSummary {
             ));
         }
         out
+    }
+}
+
+/// The paper's Fig. 4 shape: two violins side by side, frequency-increasing
+/// transitions against decreasing ones, as one
+/// [`Artifact`](crate::Artifact).
+#[derive(Clone, Debug)]
+pub struct ViolinPair {
+    /// Figure title.
+    pub title: String,
+    /// Left violin (conventionally the increasing direction).
+    pub left: ViolinSummary,
+    /// Right violin (conventionally the decreasing direction).
+    pub right: ViolinSummary,
+}
+
+impl ViolinPair {
+    /// Pair two violins under a title.
+    pub fn new(title: impl Into<String>, left: ViolinSummary, right: ViolinSummary) -> Self {
+        ViolinPair {
+            title: title.into(),
+            left,
+            right,
+        }
+    }
+
+    /// Build the Fig. 4 figure from a [`DirectionSplit`] with `bins` KDE
+    /// grid points per violin. `None` when either direction has fewer than
+    /// 3 samples.
+    pub fn from_split(
+        title: impl Into<String>,
+        split: &DirectionSplit,
+        bins: usize,
+    ) -> Option<ViolinPair> {
+        Some(ViolinPair::new(
+            title,
+            ViolinSummary::build("increasing", &split.increasing, bins)?,
+            ViolinSummary::build("decreasing", &split.decreasing, bins)?,
+        ))
     }
 }
 

@@ -155,6 +155,79 @@ pub fn diff_confidence_interval(
     })
 }
 
+/// Mann–Whitney U test (Wilcoxon rank-sum) on two raw samples.
+///
+/// The distribution-free complement to [`welch_t_test`]: switching-latency
+/// samples are routinely multi-modal (the RTX Quadro signature) and
+/// heavy-tailed, where a t-test's normality assumption is indefensible. The
+/// archive `diff` pipeline uses this test to decide whether two stored
+/// campaigns' per-pair latency samples differ significantly.
+///
+/// Normal approximation with tie correction (adequate for n ≥ ~8 per side;
+/// our per-pair samples are ≥ 25). Returns `None` when either sample has
+/// fewer than 2 observations. Degenerate case (every observation equal):
+/// p = 1, never rejected.
+pub fn mann_whitney_u(a: &[f64], b: &[f64], alpha: f64) -> Option<TestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let n = na + nb;
+
+    // Pool, sort, and assign mid-ranks to ties.
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&x| (x, true))
+        .chain(b.iter().map(|&x| (x, false)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let mut i = 0usize;
+    while i < pooled.len() {
+        let mut j = i;
+        while j < pooled.len() && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        // Ranks are 1-based; a tie group spanning positions i..j shares the
+        // average rank (i+1 + j) / 2.
+        let mid_rank = (i + 1 + j) as f64 / 2.0;
+        for entry in &pooled[i..j] {
+            if entry.1 {
+                rank_sum_a += mid_rank;
+            }
+        }
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j;
+    }
+
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let mu = na * nb / 2.0;
+    let sigma2 = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if sigma2 <= 0.0 {
+        // Every pooled observation identical: the samples cannot differ.
+        return Some(TestResult {
+            statistic: 0.0,
+            dof: f64::INFINITY,
+            p_value: 1.0,
+            reject_equal_means: false,
+            alpha,
+        });
+    }
+    let z = (u_a - mu) / sigma2.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(TestResult {
+        statistic: z,
+        dof: f64::INFINITY,
+        p_value: p.clamp(0.0, 1.0),
+        reject_equal_means: p < alpha,
+        alpha,
+    })
+}
+
 /// The paper's transition-detection band (Sec. V-A): `mean ± k·stdev` with
 /// k = 2 by default.
 ///
@@ -312,6 +385,56 @@ mod tests {
             .unwrap()
             .width();
         assert!(w_big < w_small / 10.0);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shifted_samples() {
+        let a: Vec<f64> = (0..40).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..40).map(|i| 14.0 + (i % 7) as f64 * 0.1).collect();
+        let r = mann_whitney_u(&a, &b, 0.05).unwrap();
+        assert!(r.reject_equal_means, "p = {}", r.p_value);
+        assert!(r.p_value < 1e-6);
+        // a sits below b: U_a is small, z negative.
+        assert!(r.statistic < 0.0);
+    }
+
+    #[test]
+    fn mann_whitney_accepts_identical_samples() {
+        let a: Vec<f64> = (0..50).map(|i| 5.0 + (i % 11) as f64 * 0.2).collect();
+        let r = mann_whitney_u(&a, &a, 0.05).unwrap();
+        assert!(!r.reject_equal_means, "p = {}", r.p_value);
+        // Symmetric pooled sample: the rank sums split exactly in half.
+        assert!(r.statistic.abs() < 1e-9);
+        assert!(r.p_value > 0.999, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_is_robust_to_outliers_where_t_is_not() {
+        // A single enormous outlier swamps the t-test's variance estimate but
+        // moves only one rank.
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.01).collect();
+        let mut b: Vec<f64> = (0..30).map(|i| 10.5 + (i % 5) as f64 * 0.01).collect();
+        b[0] = 1e6;
+        let r = mann_whitney_u(&a, &b, 0.05).unwrap();
+        assert!(r.reject_equal_means, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_degenerate_and_tiny_samples() {
+        assert!(mann_whitney_u(&[1.0], &[1.0, 2.0], 0.05).is_none());
+        assert!(mann_whitney_u(&[1.0, 2.0], &[1.0], 0.05).is_none());
+        let r = mann_whitney_u(&[3.0, 3.0, 3.0], &[3.0, 3.0], 0.05).unwrap();
+        assert!(!r.reject_equal_means);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_tie_correction_matches_untied_ranks() {
+        // Heavy ties: the correction must shrink the variance, not panic.
+        let a = vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = vec![2.0, 2.0, 3.0, 3.0, 3.0, 4.0];
+        let r = mann_whitney_u(&a, &b, 0.05).unwrap();
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
     }
 
     #[test]

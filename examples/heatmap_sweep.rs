@@ -12,6 +12,7 @@
 //! second-order — is quantified at the end by comparing the variance of
 //! column means against the variance of row means.
 
+use latest::core::view::{LatencyView, PairStat};
 use latest::core::{CampaignConfig, Latest};
 use latest::gpu_sim::devices::{self, DeviceSpec};
 use latest::report::Heatmap;
@@ -51,22 +52,12 @@ fn main() {
 
     let result = Latest::new(config).run().expect("sweep failed");
 
-    for (title, pick) in [
-        ("minimum (best-case)", true),
-        ("maximum (worst-case)", false),
+    let view = LatencyView::of(&result).completed();
+    for (title, stat) in [
+        ("minimum (best-case)", PairStat::Min),
+        ("maximum (worst-case)", PairStat::Max),
     ] {
-        let hm = Heatmap::build(&freqs, &freqs, |init, target| {
-            if init == target {
-                return None;
-            }
-            result
-                .pairs()
-                .iter()
-                .find(|p| p.init_mhz == init && p.target_mhz == target)
-                .and_then(|p| p.analysis.as_ref())
-                .filter(|a| !a.inliers_ms.is_empty())
-                .map(|a| if pick { a.filtered.min } else { a.filtered.max })
-        });
+        let hm = Heatmap::from_view(&view, &freqs, stat);
         println!(
             "\n{}",
             hm.render(

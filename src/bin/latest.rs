@@ -27,21 +27,34 @@ use std::process::ExitCode;
 
 use latest::core::output::write_pair_csv;
 use latest::core::spec::{CampaignSpec, FleetSpec, ScenarioSpec, SpecCheckpoint};
+use latest::core::store::{ResultStore, StoredRun};
 use latest::core::{CampaignEvent, CampaignResult, CampaignSession, PairOutcome};
 use latest::gpu_sim::devices::DeviceRegistry;
 use latest::gpu_sim::sm::WorkloadRegistry;
-use latest::report::{cross_device_table, CrossDeviceRow, TextTable};
+use latest::report::{
+    campaign_summary_table, cross_device_table, Bundle, CampaignDiff, CrossDeviceRow, TextTable,
+};
 
 const USAGE: &str = "\
 usage: latest <command> [options]
        latest [OPTIONS] <freq,freq,...>         (legacy shorthand for `run`)
 
-Benchmark the SM frequency switching latency of simulated CUDA GPUs.
+Benchmark the SM frequency switching latency of simulated CUDA GPUs, and
+maintain an archive of the results.
 
 commands:
   run [<spec.json>] [options] [<freq,freq,...>]
                        run a campaign (or fleet) described by a scenario
                        file, by flags, or by a file with flag overrides
+  report <run-id|spec.json> [--store <dir>] [--out <dir>]
+                       render a stored run's complete artefact bundle
+                       (figures, tables, EXPERIMENTS.md in all formats)
+  diff <a> <b> | diff <a> --against <b>
+                       per-pair latency deltas between two stored runs with
+                       Mann-Whitney significance; exits 1 on significant
+                       regressions
+  list-runs [--store <dir>] [--ids]
+                       enumerate the archive with spec provenance
   validate <spec.json> check a scenario file, listing every violation
   print-spec [...]     print the effective spec for any run invocation
   list-devices         enumerate the device registry
@@ -62,12 +75,24 @@ specs, overrides apply to every member):
 
 run-only options:
   --out <dir>          per-pair CSVs (campaign) or fleet_summary.csv (fleet)
+  --store <dir>        archive the finished result(s) into this result
+                       store (fleet members are stored per slot)
   --json               emit the full result as JSON on stdout
   --progress           stream per-pair progress events to stderr
   --checkpoint <path>  persist a resumable checkpoint to this file while
                        running, and resume from it when it already exists
                        (single-campaign specs only)
   --checkpoint-every <n>  pairs between checkpoint writes    [5]
+
+report/diff/list-runs options:
+  --store <dir>        the result store to read               [latest-store]
+  --out <dir>          output directory (report: the bundle; diff: the
+                       delta heatmap + regression table in all formats)
+  --alpha <p>          diff significance level                [0.05]
+
+Run targets for report/diff are either archived run ids (`run-<hex>`, any
+unambiguous prefix of at least 4 digits) or campaign scenario files, which
+resolve to the archived run of that exact spec.
 ";
 
 // ---------------------------------------------------------------------------
@@ -87,6 +112,7 @@ struct RunArgs {
     sms: Option<u32>,
     workload: Option<String>,
     out_dir: Option<PathBuf>,
+    store: Option<PathBuf>,
     json: bool,
     progress: bool,
     checkpoint: Option<PathBuf>,
@@ -141,6 +167,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--sms" => out.sms = Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?),
             "--workload" => out.workload = Some(value("--workload")?),
             "--out" => out.out_dir = Some(PathBuf::from(value("--out")?)),
+            "--store" => out.store = Some(PathBuf::from(value("--store")?)),
             "--json" => out.json = true,
             "--progress" => out.progress = true,
             "--checkpoint" => out.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
@@ -449,68 +476,28 @@ fn run_campaign(spec: CampaignSpec, args: &RunArgs) -> ExitCode {
         result.phase1.skipped_pairs.len()
     );
 
-    let mut table = TextTable::with_header(&[
-        "init[MHz]",
-        "target[MHz]",
-        "n",
-        "min[ms]",
-        "mean[ms]",
-        "max[ms]",
-        "outliers",
-        "status",
-    ]);
+    if let Some(dir) = &args.store {
+        match ResultStore::open(dir).and_then(|store| store.put(&spec, &result)) {
+            Ok(id) => eprintln!("archived as {id} in {}", dir.display()),
+            Err(e) => {
+                eprintln!("error: archiving result: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let table = campaign_summary_table(&result);
     let mut csv_files = 0usize;
-    for pair in result.pairs() {
-        let placeholder = |status: String| {
-            [
-                pair.init_mhz.to_string(),
-                pair.target_mhz.to_string(),
-                "0".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                status,
-            ]
-        };
-        match &pair.outcome {
-            PairOutcome::Completed(run) => {
-                let a = pair.analysis.as_ref().expect("completed implies analysed");
-                table.row(&[
-                    pair.init_mhz.to_string(),
-                    pair.target_mhz.to_string(),
-                    a.inliers_ms.len().to_string(),
-                    format!("{:.3}", a.filtered.min),
-                    format!("{:.3}", a.filtered.mean),
-                    format!("{:.3}", a.filtered.max),
-                    a.outliers_ms.len().to_string(),
-                    "ok".to_string(),
-                ]);
-                if let Some(dir) = &args.out_dir {
-                    match write_pair_csv(dir, run, &hostname, device_index) {
-                        Ok(_) => csv_files += 1,
-                        Err(e) => eprintln!(
-                            "warning: writing CSV for {}->{}: {e}",
-                            pair.init_mhz, pair.target_mhz
-                        ),
-                    }
+    if let Some(dir) = &args.out_dir {
+        for pair in result.pairs() {
+            if let PairOutcome::Completed(run) = &pair.outcome {
+                match write_pair_csv(dir, run, &hostname, device_index) {
+                    Ok(_) => csv_files += 1,
+                    Err(e) => eprintln!(
+                        "warning: writing CSV for {}->{}: {e}",
+                        pair.init_mhz, pair.target_mhz
+                    ),
                 }
-            }
-            PairOutcome::PowerLimited {
-                measurements_before,
-            } => {
-                let mut row = placeholder("power-limited".to_string());
-                row[2] = measurements_before.to_string();
-                table.row(&row);
-            }
-            PairOutcome::SkippedIndistinguishable => {
-                table.row(&placeholder("indistinguishable".to_string()));
-            }
-            PairOutcome::RetriesExhausted { attempts, .. } => {
-                table.row(&placeholder(format!("unmeasurable ({attempts} attempts)")));
-            }
-            PairOutcome::Cancelled => {
-                table.row(&placeholder("cancelled".to_string()));
             }
         }
     }
@@ -534,6 +521,7 @@ fn run_fleet(spec: FleetSpec, args: &RunArgs) -> ExitCode {
         return ExitCode::from(2);
     }
     let n_members = spec.members.len();
+    let member_specs = spec.members.clone();
     let fleet = match spec.into_fleet() {
         Ok(f) => f,
         Err(errors) => {
@@ -557,6 +545,34 @@ fn run_fleet(spec: FleetSpec, args: &RunArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &args.store {
+        // Members that were cancelled before starting have no result; the
+        // started ones appear in `devices()` in slot order.
+        let started: Vec<CampaignSpec> = member_specs
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| !result.unstarted().contains(slot))
+            .map(|(_, m)| m.clone())
+            .collect();
+        let archive = ResultStore::open(dir).and_then(|store| {
+            let fleet_spec = FleetSpec {
+                description: String::new(),
+                members: started,
+            };
+            store.put_fleet(&fleet_spec, result.devices())
+        });
+        match archive {
+            Ok(ids) => {
+                for (slot, id) in ids.iter().enumerate() {
+                    eprintln!("archived member {slot} as {id} in {}", dir.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: archiving fleet results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let rows: Vec<CrossDeviceRow> = result.summary_rows().into_iter().map(Into::into).collect();
     let table = cross_device_table(&rows).render();
     if args.json {
@@ -577,6 +593,244 @@ fn run_fleet(spec: FleetSpec, args: &RunArgs) -> ExitCode {
         }
         eprintln!("wrote cross-device summary to {}", path.display());
     }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// archive subcommands (report / diff / list-runs)
+
+struct ArchiveArgs {
+    targets: Vec<String>,
+    store: PathBuf,
+    out: Option<PathBuf>,
+    alpha: f64,
+    against: Option<String>,
+    ids_only: bool,
+}
+
+fn parse_archive_args(raw: &[String]) -> Result<ArchiveArgs, String> {
+    let mut out = ArchiveArgs {
+        targets: Vec::new(),
+        store: PathBuf::from("latest-store"),
+        out: None,
+        alpha: 0.05,
+        against: None,
+        ids_only: false,
+    };
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--store" => out.store = PathBuf::from(value("--store")?),
+            "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+            "--against" => out.against = Some(value("--against")?),
+            "--alpha" => {
+                out.alpha = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+                if !(out.alpha > 0.0 && out.alpha < 1.0) {
+                    return Err(format!("--alpha must be in (0, 1), got {}", out.alpha));
+                }
+            }
+            "--ids" => out.ids_only = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            positional => out.targets.push(positional.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve a run target — an archived run id (or unambiguous prefix), or a
+/// campaign scenario file whose spec addresses its archived run — to the
+/// stored run it names.
+fn resolve_stored_run(store: &ResultStore, target: &str) -> Result<StoredRun, String> {
+    if target.ends_with(".json") || Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let scenario =
+            ScenarioSpec::from_json(&text).map_err(|e| format!("parsing {target}: {e}"))?;
+        let spec = match scenario {
+            ScenarioSpec::Campaign(spec) => spec,
+            ScenarioSpec::Fleet(_) => {
+                return Err(format!(
+                    "{target} is a fleet spec; fleet members are archived per slot — \
+                     address one member's campaign spec or its run id"
+                ))
+            }
+        };
+        return store
+            .latest_for(&spec)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| {
+                format!(
+                    "no archived run for the spec in {target} (expected {}); \
+                     archive one with `latest run {target} --store {}`",
+                    latest::core::RunId::of_spec(&spec),
+                    store.root().display()
+                )
+            });
+    }
+    let id = store.resolve(target).map_err(|e| e.to_string())?;
+    store.get(&id).map_err(|e| e.to_string())
+}
+
+fn cmd_report(raw: &[String]) -> ExitCode {
+    let args = match parse_archive_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return fail(&msg),
+    };
+    let [target] = args.targets.as_slice() else {
+        return fail("report takes exactly one run id or campaign scenario file");
+    };
+    let store = match ResultStore::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: opening store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match resolve_stored_run(&store, target) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_dir = args
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("{}-report", run.run_id)));
+    let bundle = Bundle::for_campaign(&run.result);
+    match bundle.write_to(&out_dir) {
+        Ok(written) => {
+            eprintln!(
+                "rendered {} ({} on {}, seed {}): {} files in {}",
+                run.run_id,
+                run.spec.device,
+                run.provenance.device_name,
+                run.provenance.seed,
+                written.len(),
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing bundle: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_diff(raw: &[String]) -> ExitCode {
+    let args = match parse_archive_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return fail(&msg),
+    };
+    let (target_a, target_b) = match (args.targets.as_slice(), &args.against) {
+        ([a, b], None) => (a.clone(), b.clone()),
+        ([a], Some(b)) => (a.clone(), b.clone()),
+        _ => return fail("diff takes two run targets (either `diff A B` or `diff A --against B`)"),
+    };
+    let store = match ResultStore::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: opening store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (run_a, run_b) = match (
+        resolve_stored_run(&store, &target_a),
+        resolve_stored_run(&store, &target_b),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(msg), _) | (_, Err(msg)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = CampaignDiff::between(&run_a.result, &run_b.result, args.alpha);
+    eprintln!("A: {} (seed {})", run_a.run_id, run_a.provenance.seed);
+    eprintln!("B: {} (seed {})", run_b.run_id, run_b.provenance.seed);
+    let table = diff.regression_table();
+    let heatmap = diff.delta_heatmap();
+    println!("{}", table.render());
+    println!("{}", heatmap.render(heatmap.title(), false));
+    if let Some(dir) = &args.out {
+        let mut bundle = Bundle::new();
+        bundle.add("delta_heatmap", heatmap);
+        bundle.add("regression_table", table);
+        if let Err(e) = bundle.write_to(dir) {
+            eprintln!("error: writing diff artifacts: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote diff artifacts to {}", dir.display());
+    }
+    let regressions = diff.significant_regressions();
+    let improvements = diff.improvements().count();
+    let lost = diff.lost_pairs().len();
+    eprintln!(
+        "{} common pair(s): {regressions} significant regression(s), \
+         {improvements} significant improvement(s) at family-wise alpha {}",
+        diff.deltas.len(),
+        args.alpha
+    );
+    if lost > 0 {
+        eprintln!(
+            "{lost} pair(s) measured in A have no data in B — \
+             losing a measurable transition gates like a regression"
+        );
+    }
+    if regressions > 0 || lost > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_list_runs(raw: &[String]) -> ExitCode {
+    let args = match parse_archive_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return fail(&msg),
+    };
+    if !args.targets.is_empty() {
+        return fail("list-runs takes no positional arguments");
+    }
+    let runs = match ResultStore::open(&args.store).and_then(|s| s.list()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: listing {}: {e}", args.store.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.ids_only {
+        for run in &runs {
+            println!("{}", run.run_id);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut table = TextTable::with_header(&[
+        "run id",
+        "device",
+        "seed",
+        "pairs",
+        "completed",
+        "description",
+    ]);
+    for run in &runs {
+        table.row(&[
+            run.run_id.to_string(),
+            format!("{} [{}]", run.spec.device, run.provenance.device_index),
+            run.provenance.seed.to_string(),
+            run.provenance.pairs_total.to_string(),
+            run.provenance.pairs_completed.to_string(),
+            run.provenance.description.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    eprintln!("{} archived run(s) in {}", runs.len(), args.store.display());
     ExitCode::SUCCESS
 }
 
@@ -602,6 +856,9 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => fail(""),
         Some("run") => cmd_run(&argv[1..]),
+        Some("report") => cmd_report(&argv[1..]),
+        Some("diff") => cmd_diff(&argv[1..]),
+        Some("list-runs") => cmd_list_runs(&argv[1..]),
         Some("validate") => cmd_validate(&argv[1..]),
         Some("print-spec") => cmd_print_spec(&argv[1..]),
         Some("list-devices") => cmd_list_devices(),

@@ -4,6 +4,7 @@
 use std::fs;
 use std::sync::Arc;
 
+use latest::core::controller::PairRun;
 use latest::core::output::{csv_filename, parse_csv_filename, read_pair_csv, write_pair_csv};
 use latest::core::{CampaignConfig, Latest};
 use latest::gpu_sim::devices;
@@ -11,6 +12,7 @@ use latest::gpu_sim::freq::FreqMhz;
 use latest::gpu_sim::transition::FixedTransition;
 use latest::report::Heatmap;
 use latest::sim_clock::SimDuration;
+use proptest::prelude::*;
 
 #[test]
 fn campaign_to_csv_to_heatmap_round_trip() {
@@ -80,6 +82,63 @@ fn filename_convention_matches_paper_format() {
     assert_eq!(name, "latest_1095MHz_705MHz_karolina-acn12_gpu3.csv");
     let (i, t, h, g) = parse_csv_filename(&name).unwrap();
     assert_eq!((i.0, t.0, h.as_str(), g), (1095, 705, "karolina-acn12", 3));
+}
+
+proptest! {
+    /// Sec. VI filenames must round-trip for hostile hostnames: underscores
+    /// (the separator character), literal `MHz` substrings, `gpu`-shaped
+    /// segments, and large GPU indices.
+    #[test]
+    fn csv_filename_round_trips_hostile_hostnames(
+        head in "[a-z0-9][a-z0-9_-]{0,10}",
+        tail in "[a-z0-9_-]{0,10}",
+        decoration in 0usize..4,
+        init in 1u32..4000,
+        target in 1u32..4000,
+        gpu_index in 0usize..1_000_000_000,
+    ) {
+        let hostname = match decoration {
+            0 => head.clone(),
+            1 => format!("{head}_MHz_{tail}"),
+            2 => format!("{head}_gpu{tail}"),
+            _ => format!("{head}_705MHz_{tail}"),
+        };
+        let name = csv_filename(FreqMhz(init), FreqMhz(target), &hostname, gpu_index);
+        let (i, t, h, g) = parse_csv_filename(&name)
+            .unwrap_or_else(|| panic!("unparseable filename {name:?}"));
+        prop_assert_eq!(i, FreqMhz(init));
+        prop_assert_eq!(t, FreqMhz(target));
+        prop_assert_eq!(h, hostname);
+        prop_assert_eq!(g, gpu_index);
+    }
+
+    /// Pair CSVs round-trip every latency bit for bit (shortest-round-trip
+    /// float formatting; a fixed precision would silently truncate).
+    #[test]
+    fn pair_csv_round_trips_bit_exact(
+        latencies in proptest::collection::vec(1e-4f64..1e4, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("latest_csv_prop_{}_{seed}", std::process::id()));
+        let run = PairRun {
+            init: FreqMhz(1095),
+            target: FreqMhz(705),
+            ground_truth_ms: latencies.clone(),
+            latencies_ms: latencies,
+            retries: 0,
+            thermal_events: 0,
+            final_rse: 0.02,
+            final_bound_ms: 20.0,
+        };
+        let path = write_pair_csv(&dir, &run, "prophost", 0).unwrap();
+        let back = read_pair_csv(&path).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(back.len(), run.latencies_ms.len());
+        for (a, b) in back.iter().zip(&run.latencies_ms) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 }
 
 #[test]
