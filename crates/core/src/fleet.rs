@@ -153,6 +153,15 @@ pub struct FleetResult {
 }
 
 impl FleetResult {
+    /// Assemble a result from per-member campaign results already in hand
+    /// — archived runs served as a cache hit, say — in slot order.
+    pub fn from_devices(devices: Vec<CampaignResult>) -> FleetResult {
+        FleetResult {
+            devices,
+            unstarted: Vec::new(),
+        }
+    }
+
     /// Per-device results, in the order devices were added (members that
     /// were cancelled before starting are absent; see
     /// [`FleetResult::unstarted`]).

@@ -867,6 +867,24 @@ impl SpecCheckpoint {
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Write the checkpoint to `path` atomically (write-to-temp +
+    /// rename), so a crash mid-write can never corrupt an existing
+    /// checkpoint. The single checkpoint-persistence path shared by
+    /// `latest run --checkpoint` and the queue service's worker pool.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a checkpoint file back; a parse failure surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
 }
 
 impl serde::Serialize for SpecCheckpoint {

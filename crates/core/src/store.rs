@@ -53,12 +53,7 @@ impl RunId {
     /// spec → JSON → spec → JSON is byte-identical and re-hashes to the
     /// same id.
     pub fn of_spec(spec: &CampaignSpec) -> RunId {
-        let canonical = spec.to_json();
-        // FNV-1a over the canonical JSON, twice with distinct offset bases
-        // for 128 id bits; dependency-free and deterministic across
-        // platforms.
-        let h1 = fnv1a64(canonical.as_bytes(), 0xcbf2_9ce4_8422_2325);
-        let h2 = fnv1a64(canonical.as_bytes(), 0x6c62_272e_07bb_0142);
+        let (h1, h2) = content_hash128(spec.to_json().as_bytes());
         RunId(format!("run-{h1:016x}{h2:016x}"))
     }
 
@@ -77,12 +72,37 @@ impl RunId {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// The *family* id of the experiment a spec describes: the id the spec
+    /// would have under seed 0.
+    ///
+    /// Re-runs of the same experiment conventionally vary only the seed, so
+    /// the family id groups them — [`ResultStore::gc`] keeps the most
+    /// recent N entries per family. Two specs differing in anything other
+    /// than the seed land in different families.
+    pub fn family_of(spec: &CampaignSpec) -> RunId {
+        let mut normalized = spec.clone();
+        normalized.seed = 0;
+        RunId::of_spec(&normalized)
+    }
 }
 
 impl std::fmt::Display for RunId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.0)
     }
+}
+
+/// 128 content-address bits over a canonical byte string: FNV-1a twice
+/// with distinct offset bases. Dependency-free and deterministic across
+/// platforms; the single hashing scheme behind [`RunId`] and the queue's
+/// job keys — one implementation so the two addressing spaces can never
+/// silently drift.
+pub fn content_hash128(bytes: &[u8]) -> (u64, u64) {
+    (
+        fnv1a64(bytes, 0xcbf2_9ce4_8422_2325),
+        fnv1a64(bytes, 0x6c62_272e_07bb_0142),
+    )
 }
 
 fn fnv1a64(bytes: &[u8], offset_basis: u64) -> u64 {
@@ -458,6 +478,66 @@ impl ResultStore {
         ids.into_iter().map(|id| self.get(&id)).collect()
     }
 
+    /// Delete one archived run, returning whether it was present.
+    ///
+    /// Removing an absent id is not an error (`Ok(false)`): deletion is
+    /// idempotent so queue retention and `list-runs --prune` can race
+    /// harmlessly with each other.
+    pub fn remove(&self, id: &RunId) -> StoreResult<bool> {
+        match fs::remove_file(self.path_of(id)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Bound archive growth: keep only the `keep_latest_n_per_spec` most
+    /// recently written runs of each experiment *family* (the spec modulo
+    /// seed — see [`RunId::family_of`]) and delete the rest, returning the
+    /// removed ids in ascending order.
+    ///
+    /// Recency is file modification time (entry bytes are deliberately
+    /// timestamp-free), with ties broken by id so the outcome is
+    /// deterministic. `keep_latest_n_per_spec == 0` empties the archive.
+    pub fn gc(&self, keep_latest_n_per_spec: usize) -> StoreResult<Vec<RunId>> {
+        use std::collections::BTreeMap;
+        let mut families: BTreeMap<RunId, Vec<(std::time::SystemTime, RunId)>> = BTreeMap::new();
+        for entry in fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            let Some(stem) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let Ok(id) = RunId::parse(stem) else {
+                continue;
+            };
+            let run = match self.get(&id) {
+                Ok(run) => run,
+                // A torn or tampered entry must not block pruning every
+                // valid one — it is skipped (and left in place: gc bounds
+                // growth, it does not adjudicate corruption).
+                Err(StoreError::Parse { .. } | StoreError::Corrupt { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            let mtime = fs::metadata(self.path_of(&run.run_id))?.modified()?;
+            families
+                .entry(RunId::family_of(&run.spec))
+                .or_default()
+                .push((mtime, run.run_id));
+        }
+        let mut removed = Vec::new();
+        for (_, mut members) in families {
+            // Newest first; mtime ties broken by id for determinism.
+            members.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            for (_, id) in members.into_iter().skip(keep_latest_n_per_spec) {
+                self.remove(&id)?;
+                removed.push(id);
+            }
+        }
+        removed.sort();
+        Ok(removed)
+    }
+
     /// Resolve a full run id or an unambiguous prefix (≥ 4 hex digits after
     /// `run-`, or the bare hex) to the archived id it names.
     pub fn resolve(&self, text: &str) -> StoreResult<RunId> {
@@ -598,6 +678,132 @@ mod tests {
             store.resolve("zz"),
             Err(StoreError::BadRunId { .. })
         ));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let store = temp_store("remove");
+        let s = spec(41);
+        let id = store.put(&s, &run(&s)).unwrap();
+        assert!(store.contains(&id));
+        assert!(store.remove(&id).unwrap());
+        assert!(!store.contains(&id));
+        assert!(!store.remove(&id).unwrap(), "second remove reports absent");
+        assert!(matches!(store.get(&id), Err(StoreError::NotFound { .. })));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_keeps_latest_n_per_family() {
+        let store = temp_store("gc");
+        // One family (same spec, seeds 1..=3) plus an unrelated spec.
+        let family: Vec<CampaignSpec> = (1..=3).map(spec).collect();
+        let mut ids = Vec::new();
+        for (i, s) in family.iter().enumerate() {
+            ids.push(store.put(s, &run(s)).unwrap());
+            // Distinct mtimes so "latest" is well defined (coarse
+            // filesystems round to a second).
+            let path = store.root().join(format!("{}.json", ids[i]));
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let f = fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        let other = CampaignSpec::builder("gh200")
+            .frequencies_mhz(&[705, 1980])
+            .measurements(4, 8)
+            .simulated_sms(Some(2))
+            .build()
+            .unwrap();
+        let other_id = store.put(&other, &run(&other)).unwrap();
+
+        assert_eq!(
+            RunId::family_of(&family[0]),
+            RunId::family_of(&family[2]),
+            "same spec modulo seed shares a family"
+        );
+        assert_ne!(RunId::family_of(&family[0]), RunId::family_of(&other));
+
+        let removed = store.gc(1).unwrap();
+        // The two oldest family members go; the newest and the unrelated
+        // spec stay.
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&ids[0]) && removed.contains(&ids[1]));
+        assert!(store.contains(&ids[2]));
+        assert!(store.contains(&other_id));
+        assert!(store.gc(1).unwrap().is_empty(), "gc is idempotent");
+        assert!(!store.gc(0).unwrap().is_empty());
+        assert!(store.list().unwrap().is_empty(), "gc(0) empties the store");
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_skips_corrupt_entries_instead_of_failing() {
+        let store = temp_store("gc_corrupt");
+        let family: Vec<CampaignSpec> = (1..=2).map(spec).collect();
+        let mut ids = Vec::new();
+        for (i, s) in family.iter().enumerate() {
+            ids.push(store.put(s, &run(s)).unwrap());
+            let path = store.root().join(format!("{}.json", ids[i]));
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 100);
+            let f = fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // Tear a third entry: valid id filename, garbage content.
+        let torn = store
+            .root()
+            .join("run-ffffffffffffffffffffffffffffffff.json");
+        fs::write(&torn, "{torn").unwrap();
+        // Pruning still works on the valid family; the torn entry neither
+        // fails the call nor gets deleted.
+        let removed = store.gc(1).unwrap();
+        assert_eq!(removed, vec![ids[0].clone()]);
+        assert!(store.contains(&ids[1]));
+        assert!(torn.is_file());
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn ambiguous_prefix_error_lists_every_candidate() {
+        let store = temp_store("ambig");
+        let mut ids = Vec::new();
+        // Seeds until two ids share a 1-hex-digit prefix; resolve() needs 4
+        // digits, so synthesize the collision by renaming the second file
+        // onto a shared prefix instead of fishing for a real hash collision.
+        let s1 = spec(51);
+        let s2 = spec(52);
+        ids.push(store.put(&s1, &run(&s1)).unwrap());
+        ids.push(store.put(&s2, &run(&s2)).unwrap());
+        let shared = "deadbeef";
+        ids = ids
+            .into_iter()
+            .map(|id| {
+                let forged = format!("run-{shared}{}", &id.as_str()[12..]);
+                fs::rename(
+                    store.root().join(format!("{id}.json")),
+                    store.root().join(format!("{forged}.json")),
+                )
+                .unwrap();
+                RunId::parse(&forged).unwrap()
+            })
+            .collect();
+        let err = store.resolve(shared).unwrap_err();
+        match err {
+            StoreError::AmbiguousPrefix { matches, .. } => {
+                assert_eq!(matches.len(), 2);
+                for id in &ids {
+                    assert!(matches.contains(&id.to_string()), "missing {id}");
+                }
+            }
+            other => panic!("expected AmbiguousPrefix, got {other}"),
+        }
+        // And the rendered message carries every candidate too.
+        let msg = store.resolve(shared).unwrap_err().to_string();
+        for id in &ids {
+            assert!(msg.contains(id.as_str()), "message must list {id}: {msg}");
+        }
         fs::remove_dir_all(store.root()).ok();
     }
 

@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the campaign execution service: journal
+//! throughput (submit + claim cycles) and end-to-end service throughput
+//! (jobs/sec on tiny specs through a two-worker pool, result cache cold
+//! and warm) — the queue figures fed into `BENCH_latest.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latest_core::spec::{CampaignSpec, ScenarioSpec};
+use latest_queue::{CompletionVia, JobQueue, JobState, PoolConfig, SubmitOptions, WorkerPool};
+use std::hint::black_box;
+
+fn tiny(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::Campaign(
+        CampaignSpec::builder("a100")
+            .frequencies_mhz(&[705, 1410])
+            .measurements(2, 4)
+            .simulated_sms(Some(1))
+            .seed(seed)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn fresh_dir() -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "latest_queue_bench_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Pure journal throughput: submit N jobs, claim and settle all of them.
+fn bench_journal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_journal");
+    g.sample_size(10);
+    g.bench_function("submit_claim_settle_16_jobs", |b| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let q = JobQueue::open(&dir).unwrap();
+            for i in 0..16u64 {
+                q.submit(
+                    tiny(i),
+                    SubmitOptions {
+                        priority: (i % 3) as i32,
+                        force: false,
+                    },
+                )
+                .unwrap();
+            }
+            let mut claimed = 0usize;
+            while let Some(mut job) = q.take_next().unwrap() {
+                job.state = JobState::Done {
+                    run_ids: job.run_ids(),
+                    via: CompletionVia::Executed,
+                };
+                q.save(&job).unwrap();
+                claimed += 1;
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            black_box(claimed)
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end service throughput on tiny specs: cold (every job
+/// executes) and warm (every job is a cache hit) — the spread is what the
+/// content-addressed cache buys.
+fn bench_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_service");
+    g.sample_size(10);
+    g.bench_function("drain_4_tiny_jobs_cold", |b| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let pool = WorkerPool::open(&dir, PoolConfig::default()).unwrap();
+            for i in 0..4u64 {
+                pool.queue()
+                    .submit(tiny(i), SubmitOptions::default())
+                    .unwrap();
+            }
+            let stats = pool.drain().unwrap();
+            assert_eq!(stats.executed, 4);
+            std::fs::remove_dir_all(&dir).ok();
+            black_box(stats.jobs_per_sec())
+        })
+    });
+
+    // Warm: populate the archive once, then measure cache-hit drains.
+    let dir = fresh_dir();
+    let pool = WorkerPool::open(&dir, PoolConfig::default()).unwrap();
+    for i in 0..4u64 {
+        pool.queue()
+            .submit(tiny(i), SubmitOptions::default())
+            .unwrap();
+    }
+    pool.drain().unwrap();
+    g.bench_function("drain_4_tiny_jobs_warm_cache", |b| {
+        b.iter(|| {
+            for i in 0..4u64 {
+                pool.queue()
+                    .submit(tiny(i), SubmitOptions::default())
+                    .unwrap();
+            }
+            let stats = pool.drain().unwrap();
+            assert_eq!(stats.cached, 4);
+            black_box(stats.jobs_per_sec())
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    g.finish();
+}
+
+criterion_group!(benches, bench_journal, bench_service);
+criterion_main!(benches);

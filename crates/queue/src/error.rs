@@ -1,0 +1,94 @@
+//! Error types for the campaign execution service.
+
+use std::io;
+use std::path::PathBuf;
+
+use latest_core::spec::SpecErrors;
+use latest_core::store::StoreError;
+
+/// Result alias for queue operations.
+pub type QueueResult<T> = Result<T, QueueError>;
+
+/// Errors surfaced by the job queue and worker pool.
+#[derive(Debug)]
+pub enum QueueError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A job id string is not `job-<decimal>`.
+    BadJobId {
+        /// The offending text.
+        text: String,
+    },
+    /// The requested job is not in the queue.
+    NotFound {
+        /// The requested id.
+        id: String,
+    },
+    /// A journal entry failed to parse.
+    Parse {
+        /// File involved.
+        path: PathBuf,
+        /// Parser message.
+        message: String,
+    },
+    /// A submitted scenario failed validation.
+    Spec(SpecErrors),
+    /// The result cache (archive) failed.
+    Store(StoreError),
+    /// Another worker pool is already serving the queue directory.
+    ServiceActive {
+        /// The contested queue directory.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Io(e) => write!(f, "queue I/O: {e}"),
+            QueueError::BadJobId { text } => {
+                write!(f, "malformed job id {text:?} (expected job-<number>)")
+            }
+            QueueError::NotFound { id } => write!(f, "job {id} is not in the queue"),
+            QueueError::Parse { path, message } => {
+                write!(f, "unreadable queue entry {}: {message}", path.display())
+            }
+            QueueError::Spec(e) => write!(f, "invalid scenario: {e}"),
+            QueueError::Store(e) => write!(f, "result cache: {e}"),
+            QueueError::ServiceActive { dir } => write!(
+                f,
+                "another service is already serving queue directory {}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueueError::Io(e) => Some(e),
+            QueueError::Spec(e) => Some(e),
+            QueueError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for QueueError {
+    fn from(e: io::Error) -> Self {
+        QueueError::Io(e)
+    }
+}
+
+impl From<SpecErrors> for QueueError {
+    fn from(e: SpecErrors) -> Self {
+        QueueError::Spec(e)
+    }
+}
+
+impl From<StoreError> for QueueError {
+    fn from(e: StoreError) -> Self {
+        QueueError::Store(e)
+    }
+}

@@ -1,0 +1,578 @@
+//! The bounded worker pool: N threads pulling jobs off the
+//! [`JobQueue`], running them through [`CampaignSession`]s with
+//! cooperative cancellation, periodic checkpoints and the result cache.
+//!
+//! Execution path per job:
+//!
+//! 1. **Cache** — unless the job was submitted with `force`, an archived
+//!    run of every member spec (the [`RunId`]s are known up front:
+//!    execution is deterministic) is a cache hit served without
+//!    recomputation.
+//! 2. **Execute** — each member campaign runs on its own
+//!    [`CampaignSession`] wired to the job's [`CancelToken`] and a
+//!    checkpoint sink that persists resumable
+//!    [`SpecCheckpoint`] snapshots atomically; an existing matching
+//!    checkpoint makes the session *resume* — restored pairs are not
+//!    re-measured, and the finished result is bitwise identical to an
+//!    uninterrupted run.
+//! 3. **Archive** — completed results auto-archive into the
+//!    [`ResultStore`], making the store a memoization layer for the whole
+//!    service.
+//! 4. **Settle** — still-queued duplicates of the job's key are marked
+//!    `Done` (coalesced): two submissions of the same spec observe one
+//!    execution.
+//!
+//! Shutdown ([`WorkerPool::shutdown_token`]) cancels every in-flight
+//! session; their partial results are checkpointed and the jobs revert to
+//! `Queued`, so a restarted service resumes each one from where the last
+//! run stopped — the crash-recovery path and the graceful-shutdown path
+//! are the same code.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use latest_core::session::{CampaignEvent, CampaignSession, CancelToken};
+use latest_core::spec::{CampaignSpec, SpecCheckpoint};
+use latest_core::store::{ResultStore, RunId, StoreError};
+use latest_core::{CampaignResult, CoreError};
+use parking_lot::Mutex;
+
+use crate::error::QueueResult;
+use crate::events::{QueueChannelObserver, QueueEvent, QueueObserver};
+use crate::job::{CompletionVia, Job, JobState};
+use crate::queue::JobQueue;
+
+/// Tuning knobs for a [`WorkerPool`].
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads (at least 1).
+    pub workers: usize,
+    /// Pairs between resumable checkpoint snapshots.
+    pub checkpoint_every: usize,
+    /// How long an idle worker sleeps before re-polling the journal.
+    pub poll_interval: Duration,
+    /// Archive directory override (`None` = `<queue dir>/store`).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            checkpoint_every: 1,
+            poll_interval: Duration::from_millis(25),
+            store_dir: None,
+        }
+    }
+}
+
+/// What a drain/serve call processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Jobs that ran to completion on a worker.
+    pub executed: usize,
+    /// Jobs served from the result cache.
+    pub cached: usize,
+    /// Duplicates settled by another job's execution.
+    pub coalesced: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs cancelled by request.
+    pub cancelled: usize,
+    /// In-flight jobs requeued by shutdown.
+    pub requeued: usize,
+    /// Wall-clock milliseconds the call spent.
+    pub elapsed_ms: u64,
+}
+
+impl DrainStats {
+    /// Jobs settled successfully (executed + cached + coalesced).
+    pub fn settled(&self) -> usize {
+        self.executed + self.cached + self.coalesced
+    }
+
+    /// Settled jobs per wall-clock second (the service throughput figure).
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return 0.0;
+        }
+        self.settled() as f64 / (self.elapsed_ms as f64 / 1000.0)
+    }
+
+    /// Serialise to pretty JSON (the `queue serve --stats-out` format,
+    /// merged into `BENCH_latest.json` by CI).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("drain stats serialise")
+    }
+}
+
+impl serde::Serialize for DrainStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("executed".to_string(), self.executed.to_value()),
+            ("cached".to_string(), self.cached.to_value()),
+            ("coalesced".to_string(), self.coalesced.to_value()),
+            ("failed".to_string(), self.failed.to_value()),
+            ("cancelled".to_string(), self.cancelled.to_value()),
+            ("requeued".to_string(), self.requeued.to_value()),
+            ("elapsed_ms".to_string(), self.elapsed_ms.to_value()),
+            ("jobs_per_sec".to_string(), self.jobs_per_sec().to_value()),
+        ])
+    }
+}
+
+impl std::fmt::Display for DrainStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} settled ({} executed, {} cached, {} coalesced), {} failed, \
+             {} cancelled, {} requeued in {:.2}s ({:.2} jobs/s)",
+            self.settled(),
+            self.executed,
+            self.cached,
+            self.coalesced,
+            self.failed,
+            self.cancelled,
+            self.requeued,
+            self.elapsed_ms as f64 / 1000.0,
+            self.jobs_per_sec(),
+        )
+    }
+}
+
+/// The campaign execution service. See the [module docs](self) for the
+/// execution path.
+pub struct WorkerPool {
+    queue: JobQueue,
+    store: ResultStore,
+    config: PoolConfig,
+    observers: Vec<Arc<dyn QueueObserver>>,
+    shutdown: CancelToken,
+    /// Serialises journal read-modify-write cycles across workers.
+    claim_lock: Mutex<()>,
+    /// Cancel tokens of in-flight jobs, keyed by job id.
+    running: Mutex<HashMap<crate::job::JobId, CancelToken>>,
+    stats: Mutex<DrainStats>,
+}
+
+impl WorkerPool {
+    /// Open a pool over the queue directory. Crash recovery — reverting
+    /// `Running` jobs a killed service left behind to `Queued`, to resume
+    /// from their checkpoints — happens at the start of every
+    /// [`WorkerPool::serve`]/[`WorkerPool::drain`] call, under the
+    /// directory's exclusive service lock.
+    pub fn open(dir: impl Into<PathBuf>, config: PoolConfig) -> QueueResult<WorkerPool> {
+        let queue = JobQueue::open(dir)?;
+        let store_dir = config
+            .store_dir
+            .clone()
+            .unwrap_or_else(|| queue.default_store_dir());
+        let store = ResultStore::open(store_dir)?;
+        Ok(WorkerPool {
+            queue,
+            store,
+            config: PoolConfig {
+                workers: config.workers.max(1),
+                checkpoint_every: config.checkpoint_every.max(1),
+                ..config
+            },
+            observers: Vec::new(),
+            shutdown: CancelToken::new(),
+            claim_lock: Mutex::new(()),
+            running: Mutex::new(HashMap::new()),
+            stats: Mutex::new(DrainStats::default()),
+        })
+    }
+
+    /// The pool's job queue.
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// The result cache the pool consults and archives into.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Attach an observer to the multiplexed event feed; may be called
+    /// several times.
+    pub fn observe(mut self, observer: impl QueueObserver + 'static) -> Self {
+        self.observers.push(Arc::new(observer));
+        self
+    }
+
+    /// Attach a channel observer and return its receiving end.
+    pub fn events(&mut self) -> Receiver<QueueEvent> {
+        let (tx, rx) = channel();
+        self.observers.push(Arc::new(QueueChannelObserver::new(tx)));
+        rx
+    }
+
+    /// The pool-wide shutdown token: cancelling it winds down every
+    /// worker; in-flight jobs are checkpointed and requeued for resume.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    fn emit(&self, event: QueueEvent) {
+        for obs in &self.observers {
+            obs.event(&event);
+        }
+    }
+
+    /// Process jobs until the queue is empty and every worker is idle (or
+    /// shutdown is requested), then return what was processed.
+    pub fn drain(&self) -> QueueResult<DrainStats> {
+        self.run_workers(true)
+    }
+
+    /// Serve indefinitely: like [`WorkerPool::drain`], but an empty queue
+    /// is polled for new submissions instead of ending the call. Returns
+    /// only after [`WorkerPool::shutdown_token`] is cancelled.
+    pub fn serve(&self) -> QueueResult<DrainStats> {
+        self.run_workers(false)
+    }
+
+    fn run_workers(&self, drain: bool) -> QueueResult<DrainStats> {
+        // One service per queue directory: recover() cannot tell a killed
+        // service's Running entries from a live sibling's, so serving
+        // without this exclusive hold could requeue — and re-execute —
+        // jobs another pool is still running.
+        let _service = self.queue.try_lock_service()?.ok_or_else(|| {
+            crate::error::QueueError::ServiceActive {
+                dir: self.queue.dir().to_path_buf(),
+            }
+        })?;
+        self.queue.recover()?;
+        *self.stats.lock() = DrainStats::default();
+        let started = Instant::now();
+        let errors: Mutex<Vec<crate::error::QueueError>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..self.config.workers {
+                let errors = &errors;
+                scope.spawn(move || {
+                    if let Err(e) = self.worker_loop(worker, drain) {
+                        // A worker dying must not hang the pool.
+                        self.shutdown.cancel();
+                        errors.lock().push(e);
+                    }
+                });
+            }
+        });
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        let mut stats = self.stats.lock();
+        stats.elapsed_ms = started.elapsed().as_millis() as u64;
+        Ok(*stats)
+    }
+
+    fn worker_loop(&self, worker: usize, drain: bool) -> QueueResult<()> {
+        loop {
+            if self.shutdown.is_cancelled() {
+                return Ok(());
+            }
+            // Claim under the locks: popping a job and registering its
+            // cancel token must be one atomic step, or a sibling worker
+            // could observe "queue empty, nobody running" mid-claim and
+            // exit early. The claim_lock serialises workers in this
+            // process; the queue's file lock serialises against other
+            // processes (a concurrent `queue cancel`). One journal parse
+            // per cycle: markers are a directory listing, and the claim
+            // carries the snapshot's pending count.
+            let claimed = {
+                let _guard = self.claim_lock.lock();
+                let _flock = self.queue.lock_exclusive()?;
+                self.honour_cancel_markers()?;
+                let claim = self.queue.claim()?;
+                match claim.job {
+                    Some(job) => {
+                        let token = CancelToken::new();
+                        self.running.lock().insert(job.id, token.clone());
+                        Some((job, token))
+                    }
+                    None => {
+                        if drain && self.running.lock().is_empty() && claim.pending == 0 {
+                            return Ok(());
+                        }
+                        None
+                    }
+                }
+            };
+            match claimed {
+                Some((job, token)) => self.execute(worker, job, &token)?,
+                None => std::thread::sleep(self.config.poll_interval),
+            }
+        }
+    }
+
+    /// Apply pending cancellation markers: queued jobs are journaled as
+    /// `Cancelled`; running jobs get their token cancelled (the executing
+    /// worker settles the state). Only marked jobs are loaded, so the
+    /// (usual) no-markers poll costs one directory listing.
+    fn honour_cancel_markers(&self) -> QueueResult<()> {
+        for id in self.queue.pending_cancels()? {
+            let mut job = match self.queue.load(id) {
+                Ok(job) => job,
+                // A marker for a journal entry that no longer parses (or
+                // was removed) must not wedge every poll cycle.
+                Err(_) => {
+                    self.queue.clear_cancel_request(id)?;
+                    continue;
+                }
+            };
+            match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Cancelled;
+                    self.queue.save(&job)?;
+                    self.queue.clear_checkpoints(&job)?;
+                    self.queue.clear_cancel_request(job.id)?;
+                    self.stats.lock().cancelled += 1;
+                    self.emit(QueueEvent::Cancelled { job: job.id });
+                }
+                JobState::Running => {
+                    if let Some(token) = self.running.lock().get(&job.id) {
+                        token.cancel();
+                    }
+                    // The marker stays until the executing worker settles
+                    // the job, so it survives a crash in between.
+                }
+                _ => self.queue.clear_cancel_request(job.id)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self, job: &Job) {
+        self.running.lock().remove(&job.id);
+    }
+
+    fn execute(&self, worker: usize, mut job: Job, token: &CancelToken) -> QueueResult<()> {
+        self.emit(QueueEvent::Started {
+            job: job.id,
+            worker,
+        });
+        let run_ids = job.run_ids();
+
+        // Result cache: an archived run of every member spec satisfies the
+        // job without recomputation (integrity-validated loads — a corrupt
+        // archive entry falls through to re-execution, never gets served).
+        if !job.force && self.cache_hit(&job)? {
+            job.state = JobState::Done {
+                run_ids: run_ids.clone(),
+                via: CompletionVia::Cache,
+            };
+            self.queue.clear_checkpoints(&job)?;
+            self.emit(QueueEvent::CacheHit {
+                job: job.id,
+                run_ids: run_ids.clone(),
+            });
+            self.stats.lock().cached += 1;
+            self.settle_done(&job, &run_ids)?;
+            self.finish(&job);
+            return Ok(());
+        }
+
+        // Execute member campaigns in slot order on this worker (the pool
+        // is the parallelism unit; each session is internally parallel
+        // over pairs).
+        let mut results: Vec<(CampaignSpec, CampaignResult)> = Vec::new();
+        for (member, spec) in job.members().iter().enumerate() {
+            if token.is_cancelled() || self.shutdown.is_cancelled() {
+                break;
+            }
+            match self.run_member(&job, member, spec, token) {
+                Ok(Some(result)) => results.push((spec.clone(), result)),
+                Ok(None) => break, // cancelled mid-member; checkpointed
+                Err(message) => {
+                    job.state = JobState::Failed {
+                        error: message.clone(),
+                    };
+                    self.queue.save(&job)?;
+                    self.queue.clear_cancel_request(job.id)?;
+                    self.emit(QueueEvent::Failed {
+                        job: job.id,
+                        error: message,
+                    });
+                    self.stats.lock().failed += 1;
+                    self.finish(&job);
+                    return Ok(());
+                }
+            }
+        }
+
+        if token.is_cancelled() || self.shutdown.is_cancelled() {
+            if self.shutdown.is_cancelled() {
+                // Service shutdown: back to the queue; checkpoints resume
+                // the job on restart.
+                job.state = JobState::Queued;
+                self.queue.save(&job)?;
+                self.emit(QueueEvent::Requeued { job: job.id });
+                self.stats.lock().requeued += 1;
+            } else {
+                // User cancellation: settle as cancelled, drop state.
+                job.state = JobState::Cancelled;
+                self.queue.save(&job)?;
+                self.queue.clear_checkpoints(&job)?;
+                self.queue.clear_cancel_request(job.id)?;
+                self.emit(QueueEvent::Cancelled { job: job.id });
+                self.stats.lock().cancelled += 1;
+            }
+            self.finish(&job);
+            return Ok(());
+        }
+
+        // Auto-archive: the store becomes a memoization layer for the
+        // whole service.
+        for (spec, result) in &results {
+            self.store.put(spec, result)?;
+        }
+        self.queue.clear_checkpoints(&job)?;
+        job.state = JobState::Done {
+            run_ids: run_ids.clone(),
+            via: CompletionVia::Executed,
+        };
+        self.emit(QueueEvent::Done {
+            job: job.id,
+            run_ids: run_ids.clone(),
+        });
+        self.stats.lock().executed += 1;
+        self.settle_done(&job, &run_ids)?;
+        self.finish(&job);
+        Ok(())
+    }
+
+    /// Whether every member spec's run is archived (validated). Absent,
+    /// torn and tampered entries all fall through to re-execution — a bad
+    /// archive file must never be served *or* wedge the worker.
+    fn cache_hit(&self, job: &Job) -> QueueResult<bool> {
+        for spec in job.members() {
+            match self.store.get(&RunId::of_spec(spec)) {
+                Ok(_) => {}
+                Err(
+                    StoreError::NotFound { .. }
+                    | StoreError::Parse { .. }
+                    | StoreError::Corrupt { .. },
+                ) => return Ok(false),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Journal a job's `Done` state and settle its still-queued
+    /// duplicates in one step under the claim lock — a sibling worker
+    /// must never observe the key released (job `Done`) while a duplicate
+    /// is still claimable, or it would re-serve the duplicate from cache
+    /// instead of coalescing it.
+    fn settle_done(&self, job: &Job, run_ids: &[RunId]) -> QueueResult<()> {
+        let settled = {
+            let _guard = self.claim_lock.lock();
+            let _flock = self.queue.lock_exclusive()?;
+            self.queue.save(job)?;
+            self.queue.settle_duplicates(&job.key(), run_ids, job.id)?
+        };
+        for dup in settled {
+            self.queue.clear_checkpoints(&dup)?;
+            self.emit(QueueEvent::Coalesced {
+                job: dup.id,
+                with: job.id,
+            });
+            self.stats.lock().coalesced += 1;
+        }
+        Ok(())
+    }
+
+    /// Run one member campaign, resuming from its checkpoint when one
+    /// exists. Returns `Ok(None)` when cancelled mid-run (the partial
+    /// result is checkpointed for resume), `Err(message)` on a terminal
+    /// failure.
+    fn run_member(
+        &self,
+        job: &Job,
+        member: usize,
+        spec: &CampaignSpec,
+        token: &CancelToken,
+    ) -> Result<Option<CampaignResult>, String> {
+        let config = spec
+            .resolve()
+            .map_err(|e| format!("member {member}: {e}"))?;
+        let ckpt_path = self.queue.checkpoint_path(job.id, member);
+
+        let mut session = CampaignSession::new(config).with_cancel_token(token.clone());
+
+        // Resume: a checkpoint taken under the identical spec restores its
+        // settled pairs verbatim; anything unreadable or mismatched is
+        // discarded (the job file is the source of truth for the spec).
+        if ckpt_path.is_file() {
+            let restored = SpecCheckpoint::load(&ckpt_path)
+                .ok()
+                .filter(|cp| &cp.spec == spec);
+            match restored {
+                Some(cp) => session = session.resume_from(cp.result),
+                None => {
+                    let _ = fs::remove_file(&ckpt_path);
+                }
+            }
+        }
+
+        // Periodic resumable snapshots, written with the same atomic
+        // rename discipline as the journal. The sink doubles as the busy
+        // worker's cancellation poll: markers and pool shutdown are
+        // honoured at the next checkpoint boundary even when no idle
+        // worker is left to observe them.
+        let sink_path = ckpt_path.clone();
+        let sink_spec = spec.clone();
+        let sink_queue = self.queue.clone();
+        let sink_token = token.clone();
+        let sink_shutdown = self.shutdown.clone();
+        let job_id = job.id;
+        session =
+            session.checkpoint_to(self.config.checkpoint_every, move |cp: &CampaignResult| {
+                let doc = SpecCheckpoint {
+                    spec: sink_spec.clone(),
+                    result: cp.clone(),
+                };
+                let _ = doc.save(&sink_path);
+                if sink_shutdown.is_cancelled() || sink_queue.cancel_requested(job_id) {
+                    sink_token.cancel();
+                }
+            });
+
+        // Fan the member's campaign events into the multiplexed feed.
+        let observers = self.observers.clone();
+        let job_id = job.id;
+        session = session.observe(move |e: &CampaignEvent| {
+            let event = QueueEvent::Progress {
+                job: job_id,
+                member,
+                event: e.clone(),
+            };
+            for obs in &observers {
+                obs.event(&event);
+            }
+        });
+
+        match session.run() {
+            Ok(result) if result.is_partial() => {
+                // Cancelled mid-campaign: persist the freshest partial
+                // state (periodic snapshots may lag behind).
+                let doc = SpecCheckpoint {
+                    spec: spec.clone(),
+                    result,
+                };
+                doc.save(&ckpt_path)
+                    .map_err(|e| format!("member {member}: writing checkpoint: {e}"))?;
+                Ok(None)
+            }
+            Ok(result) => Ok(Some(result)),
+            // Cancelled before phase 1: nothing new to checkpoint.
+            Err(CoreError::Cancelled) => Ok(None),
+            Err(e) => Err(format!("member {member}: {e}")),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Human-readable progress lines over [`CampaignEvent`] streams, shared
+//! verbatim between `latest run --progress` and the queue service's event
+//! feed (`queue serve` writes them, `queue watch` replays them).
+//!
+//! Each line carries the elapsed wall-clock time since the campaign
+//! started and — once pair work begins — a `done/total` counter with an
+//! ETA extrapolated from the observed pace:
+//!
+//! ```text
+//! [   0.0s] campaign started on NVIDIA A100-SXM4-40GB: 56 pairs
+//! [  12.4s] pair 705->1410 MHz finished: n=60, mean 9.874 ms [3/56 pairs, ETA 219s]
+//! ```
+
+use std::time::Instant;
+
+use latest_core::session::CampaignEvent;
+
+/// Stateful per-campaign formatter: tracks the start instant and the
+/// pairs-settled count that the ETA is extrapolated from.
+///
+/// One formatter per campaign (per fleet member): elapsed time and the
+/// counter are campaign-local. Not thread-safe by itself — wrap in a
+/// mutex when events arrive from parallel pair workers.
+#[derive(Debug)]
+pub struct ProgressFormatter {
+    start: Instant,
+    total: usize,
+    done: usize,
+}
+
+impl Default for ProgressFormatter {
+    fn default() -> Self {
+        ProgressFormatter::new()
+    }
+}
+
+impl ProgressFormatter {
+    /// A formatter whose clock starts now.
+    pub fn new() -> Self {
+        ProgressFormatter {
+            start: Instant::now(),
+            total: 0,
+            done: 0,
+        }
+    }
+
+    /// Pairs settled so far (finished, skipped or restored).
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Pairs scheduled (0 until `CampaignStarted` is observed).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fold one event into the counters and render its feed line.
+    pub fn line(&mut self, event: &CampaignEvent) -> String {
+        match event {
+            CampaignEvent::CampaignStarted { n_pairs, .. } => self.total = *n_pairs,
+            CampaignEvent::PairFinished { .. }
+            | CampaignEvent::PairSkipped { .. }
+            | CampaignEvent::PairRestored { .. } => self.done += 1,
+            _ => {}
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        format!("[{elapsed:>7.1}s] {event}{}", self.suffix(elapsed))
+    }
+
+    /// The ` [done/total pairs, ETA ..s]` suffix, present while pair work
+    /// is underway.
+    fn suffix(&self, elapsed: f64) -> String {
+        if self.total == 0 || self.done == 0 {
+            return String::new();
+        }
+        if self.done >= self.total {
+            return format!(" [{}/{} pairs, done]", self.done, self.total);
+        }
+        let remaining = (self.total - self.done) as f64;
+        let eta = elapsed / self.done as f64 * remaining;
+        format!(" [{}/{} pairs, ETA {eta:.0}s]", self.done, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_gain_elapsed_and_eta() {
+        let mut fmt = ProgressFormatter::new();
+        let started = fmt.line(&CampaignEvent::CampaignStarted {
+            device_name: "sim".to_string(),
+            n_pairs: 4,
+        });
+        assert!(started.starts_with('['), "{started}");
+        assert!(started.contains("s] campaign started"), "{started}");
+        assert!(
+            !started.contains("ETA"),
+            "no ETA before pair work: {started}"
+        );
+        assert_eq!(fmt.total(), 4);
+
+        let finished = fmt.line(&CampaignEvent::PairFinished {
+            index: 0,
+            init_mhz: 705,
+            target_mhz: 1410,
+            measurements: 10,
+            mean_ms: 9.5,
+        });
+        assert!(finished.contains("[1/4 pairs, ETA "), "{finished}");
+        assert_eq!(fmt.done(), 1);
+
+        for i in 1..4 {
+            let line = fmt.line(&CampaignEvent::PairSkipped {
+                index: i,
+                init_mhz: 705,
+                target_mhz: 1410,
+                reason: latest_core::session::SkipReason::Cancelled,
+            });
+            if i == 3 {
+                assert!(line.contains("[4/4 pairs, done]"), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn restored_pairs_advance_the_counter() {
+        let mut fmt = ProgressFormatter::new();
+        fmt.line(&CampaignEvent::CampaignStarted {
+            device_name: "sim".to_string(),
+            n_pairs: 2,
+        });
+        let line = fmt.line(&CampaignEvent::PairRestored {
+            index: 0,
+            init_mhz: 705,
+            target_mhz: 1410,
+        });
+        assert!(line.contains("[1/2 pairs"), "{line}");
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`core`] | `latest-core` | the LATEST methodology (Alg. 1 & 2) |
 //! | [`ftalat`] | `latest-ftalat` | FTaLaT CPU baseline (Sec. IV) |
 //! | [`governor`] | `latest-governor` | latency-aware DVFS governor (Sec. VIII application) |
+//! | [`queue`] | `latest-queue` | campaign execution service (job queue, workers, result cache) |
 //! | [`report`] | `latest-report` | heatmaps, violins, tables, CSV |
 //!
 //! ## Quick start
@@ -60,6 +61,7 @@ pub use latest_ftalat as ftalat;
 pub use latest_governor as governor;
 pub use latest_gpu_sim as gpu_sim;
 pub use latest_nvml_sim as nvml;
+pub use latest_queue as queue;
 pub use latest_report as report;
 pub use latest_sim_clock as sim_clock;
 pub use latest_stats as stats;
