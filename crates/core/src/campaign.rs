@@ -24,7 +24,7 @@ use crate::controller::PairOutcome;
 use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::probe::ProbeResult;
-use crate::session::CampaignSession;
+use crate::session::{CampaignSession, ShardResult};
 
 /// One pair's full result: measurements plus analysis.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -103,6 +103,55 @@ impl CampaignResult {
             pairs,
             index,
         }
+    }
+
+    /// Deterministically assemble shard results into one campaign result.
+    ///
+    /// # Determinism contract
+    ///
+    /// `ordered` — the campaign's canonical `ordered_pairs()` order — fully
+    /// determines the output layout, so the shards' *completion* order is
+    /// invisible: results are first sorted by shard id (making even a
+    /// duplicated pair index resolve identically on every merge), each
+    /// measurement is placed at its canonical index, and pairs no shard
+    /// measured are recorded as [`PairOutcome::Cancelled`] placeholders.
+    /// The merge of an incomplete shard set is therefore exactly the
+    /// resumable-checkpoint shape
+    /// [`CampaignSession::resume_from`](crate::session::CampaignSession::resume_from)
+    /// accepts, and — because every pair runs on its own
+    /// `pair_seed`-seeded platform — merging the shards of *any* partition
+    /// of a campaign reproduces the unpartitioned result bit for bit.
+    pub fn merge(
+        device_name: String,
+        device_index: usize,
+        seed: u64,
+        phase1: Phase1Result,
+        probe: ProbeResult,
+        ordered: &[(FreqMhz, FreqMhz)],
+        mut shards: Vec<ShardResult>,
+    ) -> Self {
+        shards.sort_by_key(|s| s.shard);
+        let mut slots: Vec<Option<PairMeasurement>> = vec![None; ordered.len()];
+        for shard in shards {
+            for (index, meas) in shard.pairs {
+                if let Some(slot) = slots.get_mut(index) {
+                    *slot = Some(meas);
+                }
+            }
+        }
+        let pairs = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| PairMeasurement {
+                    init_mhz: ordered[i].0 .0,
+                    target_mhz: ordered[i].1 .0,
+                    outcome: PairOutcome::Cancelled,
+                    analysis: None,
+                })
+            })
+            .collect();
+        CampaignResult::new(device_name, device_index, seed, phase1, probe, pairs)
     }
 
     /// All pair measurements.

@@ -44,6 +44,7 @@ pub struct Fleet {
     observers: Vec<std::sync::Arc<dyn FleetObserver>>,
     cancel: CancelToken,
     sequential: bool,
+    shard_pairs: Option<usize>,
 }
 
 impl Fleet {
@@ -93,6 +94,15 @@ impl Fleet {
         self
     }
 
+    /// Run every member through the session's
+    /// [`WorkUnit`](crate::session::WorkUnit) layer, its pairs partitioned
+    /// into work units of at most `n` pairs each — bitwise identical to
+    /// the default pair-granular scheduling, with shard progress events.
+    pub fn shard_pairs(mut self, n: usize) -> Self {
+        self.shard_pairs = Some(n.max(1));
+        self
+    }
+
     /// Number of member devices.
     pub fn len(&self) -> usize {
         self.members.len()
@@ -101,6 +111,18 @@ impl Fleet {
     /// Whether the fleet has no members.
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
+    }
+
+    /// The members' campaign configurations, in slot order.
+    ///
+    /// Each member is an independent campaign — its own device, seed and
+    /// pair set — so each decomposes into its own shard set
+    /// ([`CampaignSession::plan`]) with no state shared between members:
+    /// fleet members are first-class parallel units, and a scheduler (the
+    /// queue's worker pool) may interleave shards of different members
+    /// freely without affecting any result.
+    pub fn members(&self) -> &[CampaignConfig] {
+        &self.members
     }
 
     /// Run every member campaign and aggregate per-device results.
@@ -121,7 +143,11 @@ impl Fleet {
                     let obs = obs.clone();
                     session = session.observe(move |e: &CampaignEvent| obs.event(slot, e));
                 }
-                match session.run() {
+                let outcome = match self.shard_pairs {
+                    Some(n) => session.run_sharded(config.ordered_pairs().len().div_ceil(n)),
+                    None => session.run(),
+                };
+                match outcome {
                     Ok(r) => Ok(Some(r)),
                     Err(CoreError::Cancelled) => Ok(None),
                     Err(e) => Err(e),

@@ -82,7 +82,8 @@ pub use fleet::{Fleet, FleetDeviceSummary, FleetObserver, FleetResult};
 pub use phase1::{FreqCharacterization, Phase1Result};
 pub use platform::{GroundTruth, Platform, PlatformFactory, SimPlatform, SimPlatformFactory};
 pub use session::{
-    CampaignEvent, CampaignObserver, CampaignSession, CancelToken, ChannelObserver, SkipReason,
+    CampaignEvent, CampaignObserver, CampaignPrelude, CampaignSession, CancelToken,
+    ChannelObserver, PairTask, ShardPlan, ShardResult, SkipReason, WorkUnit,
 };
 pub use spec::{
     CampaignSpec, CampaignSpecBuilder, FleetSpec, FreqSelection, ScenarioSpec, SpecCheckpoint,

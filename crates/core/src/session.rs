@@ -38,9 +38,9 @@ use crate::campaign::{CampaignResult, PairMeasurement};
 use crate::config::CampaignConfig;
 use crate::controller::{run_pair, PairOutcome};
 use crate::error::{CoreError, CoreResult};
-use crate::phase1::run_phase1;
+use crate::phase1::{run_phase1, Phase1Result};
 use crate::platform::{PlatformFactory, SimPlatformFactory};
-use crate::probe::estimate_upper_bound;
+use crate::probe::{estimate_upper_bound, ProbeResult};
 
 /// Why a pair produced no measurements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -147,6 +147,24 @@ pub enum CampaignEvent {
         /// Target frequency (MHz).
         target_mhz: u32,
     },
+    /// A [`WorkUnit`] shard began executing its pairs.
+    ShardStarted {
+        /// Shard position in its plan (0-based).
+        shard: usize,
+        /// Number of shards in the plan.
+        n_shards: usize,
+        /// Pairs the shard owns.
+        pairs: usize,
+    },
+    /// A [`WorkUnit`] shard finished every pair it owns.
+    ShardFinished {
+        /// Shard position in its plan (0-based).
+        shard: usize,
+        /// Number of shards in the plan.
+        n_shards: usize,
+        /// Pairs the shard owns.
+        pairs: usize,
+    },
     /// The session finished (possibly partially, after cancellation).
     CampaignFinished {
         /// Pairs that completed with measurements.
@@ -215,6 +233,20 @@ impl std::fmt::Display for CampaignEvent {
                     f,
                     "pair {init_mhz}->{target_mhz} MHz restored from checkpoint"
                 )
+            }
+            CampaignEvent::ShardStarted {
+                shard,
+                n_shards,
+                pairs,
+            } => {
+                write!(f, "shard {}/{n_shards} started: {pairs} pairs", shard + 1)
+            }
+            CampaignEvent::ShardFinished {
+                shard,
+                n_shards,
+                pairs,
+            } => {
+                write!(f, "shard {}/{n_shards} finished: {pairs} pairs", shard + 1)
             }
             CampaignEvent::CampaignFinished {
                 completed,
@@ -287,6 +319,117 @@ impl CancelToken {
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Phase 1 + probe: the once-per-campaign preamble every shard shares.
+///
+/// Produced by [`CampaignSession::prelude`] on a platform seeded from the
+/// campaign seed alone (or restored from a resume checkpoint, which is
+/// equivalent bit for bit), then handed unchanged to every
+/// [`CampaignSession::run_unit`] call.
+#[derive(Clone, Debug)]
+pub struct CampaignPrelude {
+    /// Phase-1 characterisation and pair validation.
+    pub phase1: Phase1Result,
+    /// Probe-phase capture-window bound.
+    pub probe: ProbeResult,
+}
+
+/// One pair inside a [`WorkUnit`]: its canonical position plus the
+/// `pair_seed`-derived seed its platform is constructed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairTask {
+    /// Position in `ordered_pairs` order.
+    pub index: usize,
+    /// Initial frequency.
+    pub init: FreqMhz,
+    /// Target frequency.
+    pub target: FreqMhz,
+    /// The platform seed for this pair: `config.pair_seed(init, target)`.
+    pub seed: u64,
+}
+
+/// One schedulable shard of a campaign: a subset of the ordered pairs.
+///
+/// # Determinism contract
+///
+/// A work unit owns everything its pairs need. Each [`PairTask`] carries
+/// the `pair_seed`-derived seed its `Platform` is built from through the
+/// session's [`PlatformFactory`], and phase 1 + probe arrive as the shared
+/// [`CampaignPrelude`]. No state flows between pairs or between shards, so
+/// *any* partition of the pairs into units, executed in *any* order on
+/// *any* number of threads (or processes), yields measurements bitwise
+/// identical to a sequential run; [`CampaignResult::merge`] only has to
+/// put them back in canonical order.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    shard: usize,
+    n_shards: usize,
+    announce: bool,
+    pairs: Vec<PairTask>,
+}
+
+impl WorkUnit {
+    /// This shard's position in its plan (0-based).
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of shards in the plan this unit belongs to.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The pairs this shard owns, in canonical order.
+    pub fn pairs(&self) -> &[PairTask] {
+        &self.pairs
+    }
+
+    /// Number of pairs in this shard.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the shard owns no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Measurements produced by one [`WorkUnit`], tagged with canonical pair
+/// indices so [`CampaignResult::merge`] can reassemble them in order.
+#[derive(Clone, Debug)]
+pub struct ShardResult {
+    /// The shard that produced these measurements.
+    pub shard: usize,
+    /// `(canonical pair index, measurement)` for every pair of the unit.
+    pub pairs: Vec<(usize, PairMeasurement)>,
+}
+
+/// An enumerable partition of a campaign's pending pairs into
+/// [`WorkUnit`]s, produced by [`CampaignSession::plan`].
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    total_pairs: usize,
+    units: Vec<WorkUnit>,
+}
+
+impl ShardPlan {
+    /// The work units, in shard order.
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Ordered pairs in the whole campaign (including any already restored
+    /// from a checkpoint and therefore absent from this plan).
+    pub fn total_pairs(&self) -> usize {
+        self.total_pairs
+    }
+
+    /// Pairs covered by this plan's units.
+    pub fn planned_pairs(&self) -> usize {
+        self.units.iter().map(WorkUnit::len).sum()
     }
 }
 
@@ -464,27 +607,24 @@ impl<F: PlatformFactory> CampaignSession<F> {
         Ok(())
     }
 
-    /// Run the campaign to completion (or cancellation).
+    /// Run phase 1 and the probe — the once-per-campaign preamble every
+    /// shard shares — emitting `CampaignStarted`, `Phase1Done` and
+    /// `ProbeDone`.
     ///
-    /// Returns the full [`CampaignResult`]; after a cancellation the result
-    /// is partial ([`CampaignResult::is_partial`]) and can be fed back
-    /// through [`CampaignSession::resume_from`].
-    pub fn run(&self) -> CoreResult<CampaignResult> {
+    /// On a resume, phase 1 + probe are restored from the (validated)
+    /// checkpoint; their platform is seeded from the campaign seed alone,
+    /// so a re-run would reproduce them bit for bit anyway.
+    pub fn prelude(&self) -> CoreResult<CampaignPrelude> {
         let config = &self.config;
-        let ordered = config.ordered_pairs();
         self.emit(CampaignEvent::CampaignStarted {
             device_name: self.factory.device_name(),
-            n_pairs: ordered.len(),
+            n_pairs: config.ordered_pairs().len(),
         });
 
         if let Some(cp) = &self.checkpoint {
             self.check_checkpoint(cp)?;
         }
 
-        // Phase 1 + probe: restored from the checkpoint when present (their
-        // platform is seeded from the campaign seed alone, so a re-run would
-        // reproduce them bit for bit anyway), otherwise run on a dedicated
-        // platform.
         let (phase1, probe) = match &self.checkpoint {
             Some(cp) => (cp.phase1.clone(), cp.probe.clone()),
             None => {
@@ -504,13 +644,247 @@ impl<F: PlatformFactory> CampaignSession<F> {
         self.emit(CampaignEvent::ProbeDone {
             max_latency_ms: probe.max_latency_ms,
         });
+        Ok(CampaignPrelude { phase1, probe })
+    }
 
-        // One work item per ordered pair.
-        let work: Vec<(usize, FreqMhz, FreqMhz)> = ordered
+    /// Whether the resume checkpoint already holds this pair's measurement.
+    fn is_restored(&self, init: FreqMhz, target: FreqMhz) -> bool {
+        self.checkpoint
+            .as_ref()
+            .and_then(|cp| cp.pair(init, target))
+            .is_some_and(|p| !p.outcome.is_cancelled())
+    }
+
+    /// Pairs restorable verbatim from the resume checkpoint, as
+    /// `(canonical index, measurement)` in canonical order (empty without a
+    /// checkpoint). These are exactly the pairs [`CampaignSession::plan`]
+    /// excludes; feed them to [`CampaignResult::merge`] as one extra
+    /// [`ShardResult`] alongside the executed units.
+    pub fn restored_pairs(&self) -> Vec<(usize, PairMeasurement)> {
+        let Some(cp) = &self.checkpoint else {
+            return Vec::new();
+        };
+        self.config
+            .ordered_pairs()
             .iter()
             .enumerate()
-            .map(|(i, &(a, b))| (i, a, b))
+            .filter_map(|(i, &(a, b))| {
+                cp.pair(a, b)
+                    .filter(|p| !p.outcome.is_cancelled())
+                    .map(|p| (i, p.clone()))
+            })
+            .collect()
+    }
+
+    /// Partition the campaign's *pending* pairs (everything not restorable
+    /// from the resume checkpoint) into at most `n_shards` [`WorkUnit`]s of
+    /// near-equal size, in canonical pair order.
+    ///
+    /// Each unit is self-contained — canonical indices, frequencies and
+    /// per-pair platform seeds — so units can be executed in any order, on
+    /// any thread or process, and merged back deterministically; see the
+    /// [`WorkUnit`] contract.
+    pub fn plan(&self, n_shards: usize) -> ShardPlan {
+        self.plan_with(n_shards, true)
+    }
+
+    fn plan_with(&self, n_shards: usize, announce: bool) -> ShardPlan {
+        let ordered = self.config.ordered_pairs();
+        let pending: Vec<PairTask> = ordered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(init, target))| !self.is_restored(init, target))
+            .map(|(index, &(init, target))| PairTask {
+                index,
+                init,
+                target,
+                seed: self.config.pair_seed(init, target),
+            })
             .collect();
+        let mut units = Vec::new();
+        if !pending.is_empty() {
+            let n = n_shards.clamp(1, pending.len());
+            let chunk = pending.len().div_ceil(n);
+            units = pending
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard, pairs)| WorkUnit {
+                    shard,
+                    n_shards: 0, // patched below once the count is known
+                    announce,
+                    pairs: pairs.to_vec(),
+                })
+                .collect();
+        }
+        let n_units = units.len();
+        for unit in &mut units {
+            unit.n_shards = n_units;
+        }
+        ShardPlan {
+            total_pairs: ordered.len(),
+            units,
+        }
+    }
+
+    /// Execute one [`WorkUnit`]: every pair on its own `pair_seed`-seeded
+    /// platform, in the unit's canonical order, with the usual pair events
+    /// (plus `ShardStarted`/`ShardFinished` for plans built through
+    /// [`CampaignSession::plan`]).
+    pub fn run_unit(&self, prelude: &CampaignPrelude, unit: &WorkUnit) -> CoreResult<ShardResult> {
+        self.run_unit_with(prelude, unit, |_, _| {})
+    }
+
+    /// [`CampaignSession::run_unit`] with a per-pair settle hook: called
+    /// after each pair of the unit is measured (not for pairs skipped by
+    /// cancellation), before the next pair starts. The queue's shard
+    /// scheduler uses it to fold settled pairs into cross-shard
+    /// checkpoints and to poll cancellation at pair granularity.
+    pub fn run_unit_with(
+        &self,
+        prelude: &CampaignPrelude,
+        unit: &WorkUnit,
+        on_settle: impl Fn(usize, &PairMeasurement),
+    ) -> CoreResult<ShardResult> {
+        if unit.announce {
+            self.emit(CampaignEvent::ShardStarted {
+                shard: unit.shard,
+                n_shards: unit.n_shards,
+                pairs: unit.len(),
+            });
+        }
+        let mut pairs = Vec::with_capacity(unit.len());
+        for task in &unit.pairs {
+            let meas = self.measure_pair(prelude, task, &on_settle)?;
+            pairs.push((task.index, meas));
+        }
+        if unit.announce {
+            self.emit(CampaignEvent::ShardFinished {
+                shard: unit.shard,
+                n_shards: unit.n_shards,
+                pairs: unit.len(),
+            });
+        }
+        Ok(ShardResult {
+            shard: unit.shard,
+            pairs,
+        })
+    }
+
+    /// Measure one pair on a freshly seeded platform (or record it as
+    /// cancelled), emitting the pair events.
+    fn measure_pair(
+        &self,
+        prelude: &CampaignPrelude,
+        task: &PairTask,
+        on_settle: &dyn Fn(usize, &PairMeasurement),
+    ) -> CoreResult<PairMeasurement> {
+        let PairTask {
+            index,
+            init,
+            target,
+            seed,
+        } = *task;
+        if self.cancel.is_cancelled() {
+            self.emit(CampaignEvent::PairSkipped {
+                index,
+                init_mhz: init.0,
+                target_mhz: target.0,
+                reason: SkipReason::Cancelled,
+            });
+            return Ok(PairMeasurement {
+                init_mhz: init.0,
+                target_mhz: target.0,
+                outcome: PairOutcome::Cancelled,
+                analysis: None,
+            });
+        }
+        self.emit(CampaignEvent::PairStarted {
+            index,
+            init_mhz: init.0,
+            target_mhz: target.0,
+        });
+        let mut platform = self.factory.create(seed)?;
+        let outcome = run_pair(
+            &mut platform,
+            &self.config,
+            &prelude.phase1,
+            init,
+            target,
+            prelude.probe.max_latency_ms,
+        )?;
+        let analysis = outcome
+            .run()
+            .map(|r| analyze_pair(&r.latencies_ms, &self.adaptive));
+        match (&outcome, &analysis) {
+            (PairOutcome::Completed(run), Some(a)) => {
+                self.emit(CampaignEvent::PairFinished {
+                    index,
+                    init_mhz: init.0,
+                    target_mhz: target.0,
+                    measurements: run.latencies_ms.len(),
+                    mean_ms: a.filtered.mean,
+                });
+            }
+            _ => {
+                if let Some(reason) = SkipReason::of(&outcome) {
+                    self.emit(CampaignEvent::PairSkipped {
+                        index,
+                        init_mhz: init.0,
+                        target_mhz: target.0,
+                        reason,
+                    });
+                }
+            }
+        }
+        let measurement = PairMeasurement {
+            init_mhz: init.0,
+            target_mhz: target.0,
+            outcome,
+            analysis,
+        };
+        on_settle(index, &measurement);
+        Ok(measurement)
+    }
+
+    /// Assemble shard results (in any completion order) into this
+    /// campaign's [`CampaignResult`] via [`CampaignResult::merge`].
+    pub fn merge_shards(
+        &self,
+        prelude: &CampaignPrelude,
+        shards: Vec<ShardResult>,
+    ) -> CampaignResult {
+        CampaignResult::merge(
+            self.factory.device_name(),
+            self.config.device_index,
+            self.config.seed,
+            prelude.phase1.clone(),
+            prelude.probe.clone(),
+            &self.config.ordered_pairs(),
+            shards,
+        )
+    }
+
+    /// Run the campaign to completion (or cancellation).
+    ///
+    /// Returns the full [`CampaignResult`]; after a cancellation the result
+    /// is partial ([`CampaignResult::is_partial`]) and can be fed back
+    /// through [`CampaignSession::resume_from`].
+    pub fn run(&self) -> CoreResult<CampaignResult> {
+        self.run_plan(None)
+    }
+
+    /// Run the campaign through the [`WorkUnit`] layer with an explicit
+    /// shard count: pending pairs are partitioned into at most `n_shards`
+    /// units executed (in parallel unless [`CampaignSession::sequential`])
+    /// and merged — bitwise identical to [`CampaignSession::run`] for any
+    /// shard count, with `ShardStarted`/`ShardFinished` progress events.
+    pub fn run_sharded(&self, n_shards: usize) -> CoreResult<CampaignResult> {
+        self.run_plan(Some(n_shards.max(1)))
+    }
+
+    fn run_plan(&self, shards: Option<usize>) -> CoreResult<CampaignResult> {
+        let ordered = self.config.ordered_pairs();
+        let prelude = self.prelude()?;
 
         // Periodic checkpointing: settled pairs are recorded slot-wise so a
         // snapshot can stand Cancelled placeholders in for pairs still
@@ -526,132 +900,56 @@ impl<F: PlatformFactory> CampaignSession<F> {
             slots[index] = Some(meas.clone());
             let settled = slots.iter().filter(|s| s.is_some()).count();
             if settled % self.checkpoint_every == 0 || settled == slots.len() {
-                let pairs: Vec<PairMeasurement> = slots
+                let pairs = slots
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| {
-                        s.clone().unwrap_or_else(|| PairMeasurement {
-                            init_mhz: ordered[i].0 .0,
-                            target_mhz: ordered[i].1 .0,
-                            outcome: PairOutcome::Cancelled,
-                            analysis: None,
-                        })
-                    })
+                    .filter_map(|(i, s)| s.clone().map(|m| (i, m)))
                     .collect();
-                let snapshot = CampaignResult::new(
-                    self.factory.device_name(),
-                    config.device_index,
-                    config.seed,
-                    phase1.clone(),
-                    probe.clone(),
-                    pairs,
-                );
+                let snapshot = self.merge_shards(&prelude, vec![ShardResult { shard: 0, pairs }]);
                 sink(&snapshot);
             }
         };
-        let run_one =
-            |&(index, init, target): &(usize, FreqMhz, FreqMhz)| -> CoreResult<PairMeasurement> {
-                // Checkpoint hit: restore without touching the device.
-                if let Some(prev) = self
-                    .checkpoint
-                    .as_ref()
-                    .and_then(|cp| cp.pair(init, target))
-                    .filter(|p| !p.outcome.is_cancelled())
-                {
-                    self.emit(CampaignEvent::PairRestored {
-                        index,
-                        init_mhz: init.0,
-                        target_mhz: target.0,
-                    });
-                    settle(index, prev);
-                    return Ok(prev.clone());
-                }
-                if self.cancel.is_cancelled() {
-                    self.emit(CampaignEvent::PairSkipped {
-                        index,
-                        init_mhz: init.0,
-                        target_mhz: target.0,
-                        reason: SkipReason::Cancelled,
-                    });
-                    return Ok(PairMeasurement {
-                        init_mhz: init.0,
-                        target_mhz: target.0,
-                        outcome: PairOutcome::Cancelled,
-                        analysis: None,
-                    });
-                }
-                self.emit(CampaignEvent::PairStarted {
-                    index,
-                    init_mhz: init.0,
-                    target_mhz: target.0,
-                });
-                let seed = config.pair_seed(init, target);
-                let mut platform = self.factory.create(seed)?;
-                let outcome = run_pair(
-                    &mut platform,
-                    config,
-                    &phase1,
-                    init,
-                    target,
-                    probe.max_latency_ms,
-                )?;
-                let analysis = outcome
-                    .run()
-                    .map(|r| analyze_pair(&r.latencies_ms, &self.adaptive));
-                match (&outcome, &analysis) {
-                    (PairOutcome::Completed(run), Some(a)) => {
-                        self.emit(CampaignEvent::PairFinished {
-                            index,
-                            init_mhz: init.0,
-                            target_mhz: target.0,
-                            measurements: run.latencies_ms.len(),
-                            mean_ms: a.filtered.mean,
-                        });
-                    }
-                    _ => {
-                        if let Some(reason) = SkipReason::of(&outcome) {
-                            self.emit(CampaignEvent::PairSkipped {
-                                index,
-                                init_mhz: init.0,
-                                target_mhz: target.0,
-                                reason,
-                            });
-                        }
-                    }
-                }
-                let measurement = PairMeasurement {
-                    init_mhz: init.0,
-                    target_mhz: target.0,
-                    outcome,
-                    analysis,
-                };
-                settle(index, &measurement);
-                Ok(measurement)
-            };
 
-        let pairs: CoreResult<Vec<PairMeasurement>> = if self.sequential {
-            work.iter().map(run_one).collect()
+        // Checkpoint hits restore without touching the device; only the
+        // pending pairs are planned into work units.
+        let restored = self.restored_pairs();
+        for &(index, ref meas) in &restored {
+            self.emit(CampaignEvent::PairRestored {
+                index,
+                init_mhz: meas.init_mhz,
+                target_mhz: meas.target_mhz,
+            });
+            settle(index, meas);
+        }
+
+        // Without an explicit shard count, every pair is its own unit —
+        // the scheduling granularity (and results) of the classic engine.
+        let plan = self.plan_with(shards.unwrap_or(usize::MAX), shards.is_some());
+        let run_one = |unit: &WorkUnit| self.run_unit_with(&prelude, unit, settle);
+        let results: CoreResult<Vec<ShardResult>> = if self.sequential {
+            plan.units().iter().map(run_one).collect()
         } else {
-            work.par_iter().map(run_one).collect()
+            plan.units().par_iter().map(run_one).collect()
         };
-        let pairs = pairs?;
-
-        let completed = pairs.iter().filter(|p| p.outcome.run().is_some()).count();
-        let cancelled = pairs.iter().filter(|p| p.outcome.is_cancelled()).count();
-        self.emit(CampaignEvent::CampaignFinished {
-            completed,
-            skipped: pairs.len() - completed - cancelled,
-            cancelled,
+        let mut shard_results = results?;
+        shard_results.push(ShardResult {
+            shard: shard_results.len(),
+            pairs: restored,
         });
 
-        Ok(CampaignResult::new(
-            self.factory.device_name(),
-            config.device_index,
-            config.seed,
-            phase1,
-            probe,
-            pairs,
-        ))
+        let result = self.merge_shards(&prelude, shard_results);
+        let completed = result.completed().count();
+        let cancelled = result
+            .pairs()
+            .iter()
+            .filter(|p| p.outcome.is_cancelled())
+            .count();
+        self.emit(CampaignEvent::CampaignFinished {
+            completed,
+            skipped: result.pairs().len() - completed - cancelled,
+            cancelled,
+        });
+        Ok(result)
     }
 }
 

@@ -114,5 +114,47 @@ fn bench_service(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_journal, bench_service);
+/// Shard scaling: one 12-pair campaign decomposed into single-pair work
+/// units, drained by 1, 2 and 4 workers. The 4-worker figure dropping
+/// below the 1-worker figure is what the work-stealing scheduler buys;
+/// determinism makes the archived bytes identical regardless.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let wide = ScenarioSpec::Campaign(
+        CampaignSpec::builder("a100")
+            .frequencies_mhz(&[540, 810, 1095, 1410])
+            .measurements(3, 6)
+            .simulated_sms(Some(2))
+            .seed(77)
+            .build()
+            .unwrap(),
+    );
+    let mut g = c.benchmark_group("queue_shard_scaling");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("drain_12_pairs_{workers}_workers"), |b| {
+            b.iter(|| {
+                let dir = fresh_dir();
+                let pool = WorkerPool::open(
+                    &dir,
+                    PoolConfig {
+                        workers,
+                        shard_pairs: 1,
+                        ..PoolConfig::default()
+                    },
+                )
+                .unwrap();
+                pool.queue()
+                    .submit(wide.clone(), SubmitOptions::default())
+                    .unwrap();
+                let stats = pool.drain().unwrap();
+                assert_eq!((stats.executed, stats.pairs_measured), (1, 12));
+                std::fs::remove_dir_all(&dir).ok();
+                black_box(stats.jobs_per_sec())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_journal, bench_service, bench_shard_scaling);
 criterion_main!(benches);

@@ -26,6 +26,17 @@ pub enum QueueEvent {
         /// Worker slot (0-based) executing it.
         worker: usize,
     },
+    /// A claimed job was decomposed into shard work units; its pair total
+    /// is known. Emitted once per executed job, after `Started` and
+    /// before any `Progress`.
+    Planned {
+        /// The planned job.
+        job: JobId,
+        /// Fleet member campaigns in the job (1 for campaign jobs).
+        members: usize,
+        /// Total ordered frequency pairs across all members.
+        pairs: usize,
+    },
     /// A campaign event from one member of a running job.
     Progress {
         /// The running job.
@@ -81,6 +92,7 @@ impl QueueEvent {
     pub fn job(&self) -> JobId {
         match self {
             QueueEvent::Started { job, .. }
+            | QueueEvent::Planned { job, .. }
             | QueueEvent::Progress { job, .. }
             | QueueEvent::CacheHit { job, .. }
             | QueueEvent::Done { job, .. }
@@ -104,6 +116,13 @@ impl std::fmt::Display for QueueEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueueEvent::Started { job, worker } => write!(f, "{job} started on worker {worker}"),
+            QueueEvent::Planned {
+                job,
+                members,
+                pairs,
+            } => {
+                write!(f, "{job} planned: {members} member(s), {pairs} pairs")
+            }
             QueueEvent::Progress { job, member, event } => {
                 write!(f, "{job}[m{member}] {event}")
             }

@@ -211,6 +211,116 @@ impl serde::Deserialize for JobState {
     }
 }
 
+/// Shard-level progress of one member campaign, journaled while the job
+/// runs so `queue status` (and a post-crash inspection) can see how far
+/// execution got without parsing checkpoints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemberLedger {
+    /// Pairs settled (measured, skipped or restored from checkpoint).
+    pub pairs_done: usize,
+    /// Pairs the member campaign schedules in total.
+    pub pairs_total: usize,
+    /// Work units that ran to completion.
+    pub shards_done: usize,
+    /// Work units the member's pending pairs were partitioned into.
+    pub shards_total: usize,
+}
+
+/// The job's shard ledger: one [`MemberLedger`] per member, in slot
+/// order. Journaled on every shard completion, so recovery knows exactly
+/// which fraction of the job survives in checkpoints — a requeued job
+/// re-executes only its unfinished shards (the checkpoint restores the
+/// finished ones verbatim).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardLedger {
+    /// Per-member progress, in slot order.
+    pub members: Vec<MemberLedger>,
+}
+
+impl ShardLedger {
+    /// Pairs settled across every member.
+    pub fn pairs_done(&self) -> usize {
+        self.members.iter().map(|m| m.pairs_done).sum()
+    }
+
+    /// Pairs scheduled across every member.
+    pub fn pairs_total(&self) -> usize {
+        self.members.iter().map(|m| m.pairs_total).sum()
+    }
+
+    /// Shards completed across every member.
+    pub fn shards_done(&self) -> usize {
+        self.members.iter().map(|m| m.shards_done).sum()
+    }
+
+    /// Shards planned across every member.
+    pub fn shards_total(&self) -> usize {
+        self.members.iter().map(|m| m.shards_total).sum()
+    }
+
+    /// One-line progress summary (`12/56 pairs, 3/8 shards`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} pairs, {}/{} shards",
+            self.pairs_done(),
+            self.pairs_total(),
+            self.shards_done(),
+            self.shards_total()
+        )
+    }
+}
+
+impl serde::Serialize for MemberLedger {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("pairs_done".to_string(), self.pairs_done.to_value()),
+            ("pairs_total".to_string(), self.pairs_total.to_value()),
+            ("shards_done".to_string(), self.shards_done.to_value()),
+            ("shards_total".to_string(), self.shards_total.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for MemberLedger {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("expected map for MemberLedger, got {value:?}"))
+        })?;
+        let get = |name: &str| -> Result<usize, serde::Error> {
+            let v: u64 =
+                serde::Deserialize::from_value(serde::field(entries, name, "MemberLedger")?)?;
+            Ok(v as usize)
+        };
+        Ok(MemberLedger {
+            pairs_done: get("pairs_done")?,
+            pairs_total: get("pairs_total")?,
+            shards_done: get("shards_done")?,
+            shards_total: get("shards_total")?,
+        })
+    }
+}
+
+impl serde::Serialize for ShardLedger {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("members".to_string(), self.members.to_value())])
+    }
+}
+
+impl serde::Deserialize for ShardLedger {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("expected map for ShardLedger, got {value:?}"))
+        })?;
+        Ok(ShardLedger {
+            members: serde::Deserialize::from_value(serde::field(
+                entries,
+                "members",
+                "ShardLedger",
+            )?)?,
+        })
+    }
+}
+
 const JOB_FORMAT: u64 = 1;
 
 /// One submission: the scenario to run, its scheduling priority and
@@ -229,6 +339,11 @@ pub struct Job {
     pub spec: ScenarioSpec,
     /// Lifecycle state.
     pub state: JobState,
+    /// Shard-level progress, journaled while the job runs (and kept on a
+    /// shutdown-requeued job, so `status` shows how much of the resume is
+    /// already banked in checkpoints). `None` before execution plans the
+    /// job and after it settles.
+    pub ledger: Option<ShardLedger>,
 }
 
 impl Job {
@@ -274,14 +389,18 @@ impl Job {
 
 impl serde::Serialize for Job {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut entries = vec![
             ("format".to_string(), JOB_FORMAT.to_value()),
             ("id".to_string(), self.id.to_string().to_value()),
             ("priority".to_string(), (self.priority as i64).to_value()),
             ("force".to_string(), self.force.to_value()),
             ("state".to_string(), self.state.to_value()),
-            ("spec".to_string(), self.spec.to_value()),
-        ])
+        ];
+        if let Some(ledger) = &self.ledger {
+            entries.push(("ledger".to_string(), ledger.to_value()));
+        }
+        entries.push(("spec".to_string(), self.spec.to_value()));
+        serde::Value::Map(entries)
     }
 }
 
@@ -301,12 +420,20 @@ impl serde::Deserialize for Job {
         let id = JobId::parse(&id_text)
             .map_err(|e| serde::Error::custom(format!("bad job id in journal entry: {e}")))?;
         let priority: i64 = serde::Deserialize::from_value(field("priority")?)?;
+        // Optional: entries journaled before the shard scheduler existed
+        // (or outside an execution window) carry no ledger.
+        let ledger = entries
+            .iter()
+            .find(|(k, _)| k == "ledger")
+            .map(|(_, v)| serde::Deserialize::from_value(v))
+            .transpose()?;
         Ok(Job {
             id,
             priority: priority as i32,
             force: serde::Deserialize::from_value(field("force")?)?,
             state: serde::Deserialize::from_value(field("state")?)?,
             spec: serde::Deserialize::from_value(field("spec")?)?,
+            ledger,
         })
     }
 }
@@ -381,10 +508,49 @@ mod tests {
                 force: i % 2 == 0,
                 spec: ScenarioSpec::Campaign(tiny(9)),
                 state,
+                ledger: None,
             };
             let back = Job::from_json(&job.to_json()).unwrap();
             assert_eq!(back, job);
         }
+    }
+
+    #[test]
+    fn ledgers_round_trip_and_summarise() {
+        let ledger = ShardLedger {
+            members: vec![
+                MemberLedger {
+                    pairs_done: 4,
+                    pairs_total: 6,
+                    shards_done: 2,
+                    shards_total: 3,
+                },
+                MemberLedger {
+                    pairs_done: 6,
+                    pairs_total: 6,
+                    shards_done: 3,
+                    shards_total: 3,
+                },
+            ],
+        };
+        assert_eq!(ledger.summary(), "10/12 pairs, 5/6 shards");
+        let job = Job {
+            id: JobId(7),
+            priority: 0,
+            force: false,
+            spec: ScenarioSpec::Campaign(tiny(9)),
+            state: JobState::Running,
+            ledger: Some(ledger),
+        };
+        let back = Job::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+        // Entries journaled without a ledger (the pre-shard format) still
+        // parse: the field is optional.
+        let bare = Job {
+            ledger: None,
+            ..job
+        };
+        assert_eq!(Job::from_json(&bare.to_json()).unwrap().ledger, None);
     }
 
     #[test]
@@ -395,6 +561,7 @@ mod tests {
             force: false,
             spec: ScenarioSpec::Fleet(FleetSpec::new().member(tiny(1)).member(tiny(2))),
             state: JobState::Queued,
+            ledger: None,
         };
         assert_eq!(job.members().len(), 2);
         assert_eq!(job.run_ids().len(), 2);

@@ -13,12 +13,14 @@
 //!   atomic-rename file per job, scheduled priority-first and FIFO within
 //!   a priority. Submissions of the same spec share a content-addressed
 //!   [`JobKey`], so duplicates coalesce onto one execution.
-//! * **[`WorkerPool`]** — N worker threads pulling jobs through
-//!   [`CampaignSession`](latest_core::CampaignSession)s with per-job
-//!   [`CancelToken`](latest_core::CancelToken)s and periodic resumable
+//! * **[`WorkerPool`]** — a work-stealing shard scheduler: a claimed job
+//!   decomposes into [`WorkUnit`](latest_core::WorkUnit) pair-shards that
+//!   spread across every worker thread, with per-job
+//!   [`CancelToken`](latest_core::CancelToken)s, a journaled
+//!   [`ShardLedger`] of in-flight progress and periodic resumable
 //!   checkpoints: a killed service requeues its in-flight jobs on restart
-//!   and resumes each from its checkpoint, bitwise identical to an
-//!   uninterrupted run.
+//!   and resumes each from its checkpoint — even mid-shard — bitwise
+//!   identical to an uninterrupted run.
 //! * **Result cache** — before executing, a job consults the
 //!   [`ResultStore`](latest_core::ResultStore): an archived run of the
 //!   identical spec is served without recomputation (unless the job was
@@ -58,7 +60,7 @@ pub mod queue;
 
 pub use error::{QueueError, QueueResult};
 pub use events::{QueueChannelObserver, QueueEvent, QueueObserver};
-pub use job::{CompletionVia, Job, JobId, JobKey, JobState};
+pub use job::{CompletionVia, Job, JobId, JobKey, JobState, MemberLedger, ShardLedger};
 pub use pool::{DrainStats, PoolConfig, WorkerPool};
 pub use progress::ProgressFormatter;
 pub use queue::{Claim, JobQueue, QueueCounts, QueueLock, ServiceLock, SubmitOptions};

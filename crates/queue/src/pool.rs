@@ -1,6 +1,7 @@
-//! The bounded worker pool: N threads pulling jobs off the
-//! [`JobQueue`], running them through [`CampaignSession`]s with
-//! cooperative cancellation, periodic checkpoints and the result cache.
+//! The work-stealing shard scheduler: N threads pulling jobs off the
+//! [`JobQueue`] and executing them at *pair-shard* granularity, with
+//! cooperative cancellation, periodic cross-shard checkpoints and the
+//! result cache.
 //!
 //! Execution path per job:
 //!
@@ -8,42 +9,52 @@
 //!    run of every member spec (the [`RunId`]s are known up front:
 //!    execution is deterministic) is a cache hit served without
 //!    recomputation.
-//! 2. **Execute** — each member campaign runs on its own
-//!    [`CampaignSession`] wired to the job's [`CancelToken`] and a
-//!    checkpoint sink that persists resumable
-//!    [`SpecCheckpoint`] snapshots atomically; an existing matching
-//!    checkpoint makes the session *resume* — restored pairs are not
-//!    re-measured, and the finished result is bitwise identical to an
-//!    uninterrupted run.
-//! 3. **Archive** — completed results auto-archive into the
-//!    [`ResultStore`], making the store a memoization layer for the whole
-//!    service.
-//! 4. **Settle** — still-queued duplicates of the job's key are marked
+//! 2. **Plan** — the claiming worker fans the job out onto the shared
+//!    task board: one setup task per member campaign. Each setup resolves
+//!    its spec, restores any matching checkpoint, runs the phase-1 +
+//!    probe prelude once, and decomposes the member's pending pairs into
+//!    [`WorkUnit`] shards — so a single claimed job spreads across every
+//!    idle worker in the pool, not just the claimer.
+//! 3. **Execute** — workers steal shard tasks off the board and run them
+//!    through the member's [`CampaignSession`]. Per-pair platforms are
+//!    seeded from the campaign seed and the pair alone, so the
+//!    interleaving of shards across workers is invisible in the results:
+//!    the merged output is bitwise identical to a sequential run. Settled
+//!    pairs fold into a per-member [`SpecCheckpoint`] (atomic
+//!    write-to-temp + rename), and the shard ledger on the job's journal
+//!    entry tracks pair/shard progress for `queue status`.
+//! 4. **Archive** — when a job's last shard settles, the finishing worker
+//!    merges the slots back into canonical pair order, archives each
+//!    member result into the [`ResultStore`], and settles the job.
+//! 5. **Settle** — still-queued duplicates of the job's key are marked
 //!    `Done` (coalesced): two submissions of the same spec observe one
 //!    execution.
 //!
 //! Shutdown ([`WorkerPool::shutdown_token`]) cancels every in-flight
 //! session; their partial results are checkpointed and the jobs revert to
 //! `Queued`, so a restarted service resumes each one from where the last
-//! run stopped — the crash-recovery path and the graceful-shutdown path
-//! are the same code.
+//! run stopped — even mid-shard, the crash-recovery path and the
+//! graceful-shutdown path are the same code.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use latest_core::session::{CampaignEvent, CampaignSession, CancelToken};
+use latest_core::session::{
+    CampaignEvent, CampaignPrelude, CampaignSession, CancelToken, ShardResult, WorkUnit,
+};
 use latest_core::spec::{CampaignSpec, SpecCheckpoint};
 use latest_core::store::{ResultStore, RunId, StoreError};
-use latest_core::{CampaignResult, CoreError};
+use latest_core::{CoreError, PairMeasurement, PairOutcome};
 use parking_lot::Mutex;
 
 use crate::error::QueueResult;
 use crate::events::{QueueChannelObserver, QueueEvent, QueueObserver};
-use crate::job::{CompletionVia, Job, JobState};
+use crate::job::{CompletionVia, Job, JobId, JobState, MemberLedger, ShardLedger};
 use crate::queue::JobQueue;
 
 /// Tuning knobs for a [`WorkerPool`].
@@ -57,6 +68,10 @@ pub struct PoolConfig {
     pub poll_interval: Duration,
     /// Archive directory override (`None` = `<queue dir>/store`).
     pub store_dir: Option<PathBuf>,
+    /// Pairs per shard work unit (0 = auto: about two shards per worker,
+    /// so a claimed job keeps the whole pool busy with headroom for
+    /// stealing).
+    pub shard_pairs: usize,
 }
 
 impl Default for PoolConfig {
@@ -66,6 +81,7 @@ impl Default for PoolConfig {
             checkpoint_every: 1,
             poll_interval: Duration::from_millis(25),
             store_dir: None,
+            shard_pairs: 0,
         }
     }
 }
@@ -73,7 +89,7 @@ impl Default for PoolConfig {
 /// What a drain/serve call processed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DrainStats {
-    /// Jobs that ran to completion on a worker.
+    /// Jobs that ran to completion on the pool.
     pub executed: usize,
     /// Jobs served from the result cache.
     pub cached: usize,
@@ -85,6 +101,10 @@ pub struct DrainStats {
     pub cancelled: usize,
     /// In-flight jobs requeued by shutdown.
     pub requeued: usize,
+    /// Shard work units executed across all jobs.
+    pub shards_executed: usize,
+    /// Pairs measured (not restored, not cancelled) across all jobs.
+    pub pairs_measured: usize,
     /// Wall-clock milliseconds the call spent.
     pub elapsed_ms: u64,
 }
@@ -119,6 +139,11 @@ impl serde::Serialize for DrainStats {
             ("failed".to_string(), self.failed.to_value()),
             ("cancelled".to_string(), self.cancelled.to_value()),
             ("requeued".to_string(), self.requeued.to_value()),
+            (
+                "shards_executed".to_string(),
+                self.shards_executed.to_value(),
+            ),
+            ("pairs_measured".to_string(), self.pairs_measured.to_value()),
             ("elapsed_ms".to_string(), self.elapsed_ms.to_value()),
             ("jobs_per_sec".to_string(), self.jobs_per_sec().to_value()),
         ])
@@ -130,7 +155,8 @@ impl std::fmt::Display for DrainStats {
         write!(
             f,
             "{} settled ({} executed, {} cached, {} coalesced), {} failed, \
-             {} cancelled, {} requeued in {:.2}s ({:.2} jobs/s)",
+             {} cancelled, {} requeued; {} shards / {} pairs measured \
+             in {:.2}s ({:.2} jobs/s)",
             self.settled(),
             self.executed,
             self.cached,
@@ -138,10 +164,112 @@ impl std::fmt::Display for DrainStats {
             self.failed,
             self.cancelled,
             self.requeued,
+            self.shards_executed,
+            self.pairs_measured,
             self.elapsed_ms as f64 / 1000.0,
             self.jobs_per_sec(),
         )
     }
+}
+
+/// One schedulable step of an in-flight job on the task board.
+enum Task {
+    /// Resolve one member's spec, build its session, run the prelude and
+    /// fan its pending pairs out as shard tasks.
+    Setup { run: Arc<JobRun>, member: usize },
+    /// Execute one shard work unit of a member campaign.
+    Shard {
+        run: Arc<JobRun>,
+        member: usize,
+        unit: WorkUnit,
+    },
+}
+
+/// The shared task board every worker steals from. A plain FIFO deque
+/// under a mutex — tasks are coarse (a prelude or a batch of pairs), so
+/// contention here is noise next to the measurement work itself.
+struct TaskBoard {
+    tasks: StdMutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+impl TaskBoard {
+    fn new() -> Self {
+        TaskBoard {
+            tasks: StdMutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, new: Vec<Task>) {
+        let mut tasks = self.tasks.lock().expect("task board poisoned");
+        tasks.extend(new);
+        self.available.notify_all();
+    }
+
+    fn pop(&self) -> Option<Task> {
+        self.tasks.lock().expect("task board poisoned").pop_front()
+    }
+
+    /// Sleep until a task may be available (or the timeout passes — the
+    /// caller re-checks shutdown and the journal either way).
+    fn wait(&self, timeout: Duration) {
+        let tasks = self.tasks.lock().expect("task board poisoned");
+        if tasks.is_empty() {
+            let _ = self.available.wait_timeout(tasks, timeout);
+        }
+    }
+
+    fn clear(&self) {
+        self.tasks.lock().expect("task board poisoned").clear();
+    }
+}
+
+/// Shared state of one claimed job while its tasks are in flight.
+struct JobRun {
+    job: StdMutex<Job>,
+    /// The job's cancellation token, shared with every member session.
+    token: CancelToken,
+    /// Per-member state, set by the member's setup task (`None` when the
+    /// member was cancelled before its prelude finished).
+    members: Vec<OnceLock<Option<MemberRun>>>,
+    /// Unfinished tasks; the worker that drops it to zero finalises.
+    outstanding: AtomicUsize,
+    /// First terminal failure, if any (first writer wins).
+    failure: StdMutex<Option<String>>,
+}
+
+impl JobRun {
+    fn fail(&self, message: String) {
+        let mut failure = self.failure.lock().expect("failure slot poisoned");
+        if failure.is_none() {
+            *failure = Some(message);
+        }
+        // Stop sibling shards promptly; the failure outranks the
+        // cancellation when the job settles.
+        self.token.cancel();
+    }
+
+    fn failed(&self) -> bool {
+        self.failure
+            .lock()
+            .expect("failure slot poisoned")
+            .is_some()
+    }
+}
+
+/// One member campaign of an in-flight job: its session (shared by every
+/// worker running its shards), the prelude, and the slot-wise results.
+struct MemberRun {
+    spec: CampaignSpec,
+    session: CampaignSession,
+    prelude: CampaignPrelude,
+    ckpt_path: PathBuf,
+    shards_total: usize,
+    shards_done: AtomicUsize,
+    /// Canonical-order result slots; `Some` once the pair settled (or was
+    /// restored from a checkpoint).
+    slots: StdMutex<Vec<Option<PairMeasurement>>>,
 }
 
 /// The campaign execution service. See the [module docs](self) for the
@@ -155,7 +283,8 @@ pub struct WorkerPool {
     /// Serialises journal read-modify-write cycles across workers.
     claim_lock: Mutex<()>,
     /// Cancel tokens of in-flight jobs, keyed by job id.
-    running: Mutex<HashMap<crate::job::JobId, CancelToken>>,
+    running: Mutex<HashMap<JobId, CancelToken>>,
+    board: TaskBoard,
     stats: Mutex<DrainStats>,
 }
 
@@ -184,6 +313,7 @@ impl WorkerPool {
             shutdown: CancelToken::new(),
             claim_lock: Mutex::new(()),
             running: Mutex::new(HashMap::new()),
+            board: TaskBoard::new(),
             stats: Mutex::new(DrainStats::default()),
         })
     }
@@ -237,6 +367,15 @@ impl WorkerPool {
         self.run_workers(false)
     }
 
+    /// Pending pairs → shard count for one member's plan.
+    fn shards_for(&self, pending: usize) -> usize {
+        if self.config.shard_pairs > 0 {
+            pending.div_ceil(self.config.shard_pairs).max(1)
+        } else {
+            (self.config.workers * 2).clamp(1, pending.max(1))
+        }
+    }
+
     fn run_workers(&self, drain: bool) -> QueueResult<DrainStats> {
         // One service per queue directory: recover() cannot tell a killed
         // service's Running entries from a live sibling's, so serving
@@ -248,6 +387,9 @@ impl WorkerPool {
             }
         })?;
         self.queue.recover()?;
+        // A previous run that erred out may have abandoned tasks; their
+        // jobs were just recovered to Queued, so the stale tasks are dead.
+        self.board.clear();
         *self.stats.lock() = DrainStats::default();
         let started = Instant::now();
         let errors: Mutex<Vec<crate::error::QueueError>> = Mutex::new(Vec::new());
@@ -273,6 +415,14 @@ impl WorkerPool {
 
     fn worker_loop(&self, worker: usize, drain: bool) -> QueueResult<()> {
         loop {
+            // Board first: shard tasks of claimed jobs outrank new claims,
+            // and they must still be consumed after shutdown — each
+            // in-flight job settles (requeued, with its checkpoint) only
+            // when its last task completes.
+            if let Some(task) = self.board.pop() {
+                self.run_task(task)?;
+                continue;
+            }
             if self.shutdown.is_cancelled() {
                 return Ok(());
             }
@@ -304,15 +454,15 @@ impl WorkerPool {
                 }
             };
             match claimed {
-                Some((job, token)) => self.execute(worker, job, &token)?,
-                None => std::thread::sleep(self.config.poll_interval),
+                Some((job, token)) => self.begin(worker, job, token)?,
+                None => self.board.wait(self.config.poll_interval),
             }
         }
     }
 
     /// Apply pending cancellation markers: queued jobs are journaled as
-    /// `Cancelled`; running jobs get their token cancelled (the executing
-    /// worker settles the state). Only marked jobs are loaded, so the
+    /// `Cancelled`; running jobs get their token cancelled (the owning
+    /// job's tasks settle the state). Only marked jobs are loaded, so the
     /// (usual) no-markers poll costs one directory listing.
     fn honour_cancel_markers(&self) -> QueueResult<()> {
         for id in self.queue.pending_cancels()? {
@@ -338,8 +488,8 @@ impl WorkerPool {
                     if let Some(token) = self.running.lock().get(&job.id) {
                         token.cancel();
                     }
-                    // The marker stays until the executing worker settles
-                    // the job, so it survives a crash in between.
+                    // The marker stays until the job's tasks settle it, so
+                    // it survives a crash in between.
                 }
                 _ => self.queue.clear_cancel_request(job.id)?,
             }
@@ -347,11 +497,14 @@ impl WorkerPool {
         Ok(())
     }
 
-    fn finish(&self, job: &Job) {
-        self.running.lock().remove(&job.id);
+    fn finish(&self, id: JobId) {
+        self.running.lock().remove(&id);
     }
 
-    fn execute(&self, worker: usize, mut job: Job, token: &CancelToken) -> QueueResult<()> {
+    /// Start a claimed job: serve it from cache when possible, otherwise
+    /// fan one setup task per member onto the board. The claimer returns
+    /// to the loop immediately — the whole pool executes the job.
+    fn begin(&self, worker: usize, mut job: Job, token: CancelToken) -> QueueResult<()> {
         self.emit(QueueEvent::Started {
             job: job.id,
             worker,
@@ -373,61 +526,375 @@ impl WorkerPool {
             });
             self.stats.lock().cached += 1;
             self.settle_done(&job, &run_ids)?;
-            self.finish(&job);
+            self.finish(job.id);
             return Ok(());
         }
 
-        // Execute member campaigns in slot order on this worker (the pool
-        // is the parallelism unit; each session is internally parallel
-        // over pairs).
-        let mut results: Vec<(CampaignSpec, CampaignResult)> = Vec::new();
-        for (member, spec) in job.members().iter().enumerate() {
-            if token.is_cancelled() || self.shutdown.is_cancelled() {
-                break;
-            }
-            match self.run_member(&job, member, spec, token) {
-                Ok(Some(result)) => results.push((spec.clone(), result)),
-                Ok(None) => break, // cancelled mid-member; checkpointed
-                Err(message) => {
-                    job.state = JobState::Failed {
-                        error: message.clone(),
-                    };
-                    self.queue.save(&job)?;
-                    self.queue.clear_cancel_request(job.id)?;
-                    self.emit(QueueEvent::Failed {
-                        job: job.id,
-                        error: message,
+        let members = job.members().len();
+        let pairs: usize = job
+            .members()
+            .iter()
+            .filter_map(|spec| spec.resolve().ok())
+            .map(|config| config.ordered_pairs().len())
+            .sum();
+        self.emit(QueueEvent::Planned {
+            job: job.id,
+            members,
+            pairs,
+        });
+        let run = Arc::new(JobRun {
+            job: StdMutex::new(job),
+            token,
+            members: (0..members).map(|_| OnceLock::new()).collect(),
+            outstanding: AtomicUsize::new(members),
+            failure: StdMutex::new(None),
+        });
+        let tasks = (0..members)
+            .map(|member| Task::Setup {
+                run: run.clone(),
+                member,
+            })
+            .collect();
+        self.board.push(tasks);
+        Ok(())
+    }
+
+    fn run_task(&self, task: Task) -> QueueResult<()> {
+        match task {
+            Task::Setup { run, member } => self.setup_member(&run, member),
+            Task::Shard { run, member, unit } => self.run_shard(&run, member, &unit),
+        }
+    }
+
+    /// Build one member's session and fan its pending pairs out as shard
+    /// tasks. Runs the member's prelude (phase 1 + probe) exactly once.
+    fn setup_member(&self, run: &Arc<JobRun>, member: usize) -> QueueResult<()> {
+        if run.failed() || run.token.is_cancelled() || self.shutdown.is_cancelled() {
+            let _ = run.members[member].set(None);
+            return self.complete_task(run);
+        }
+        let (job_id, spec) = {
+            let job = run.job.lock().expect("job slot poisoned");
+            (job.id, job.members()[member].clone())
+        };
+        match self.build_member(job_id, member, &spec, run) {
+            Ok(Some(mut mr)) => {
+                let (restored, pending) = {
+                    let slots = mr.slots.lock().expect("member slots poisoned");
+                    let restored: Vec<(usize, PairMeasurement)> = slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.as_ref().map(|m| (i, m.clone())))
+                        .collect();
+                    let pending = slots.len() - restored.len();
+                    (restored, pending)
+                };
+                for (index, meas) in &restored {
+                    self.emit(QueueEvent::Progress {
+                        job: job_id,
+                        member,
+                        event: CampaignEvent::PairRestored {
+                            index: *index,
+                            init_mhz: meas.init_mhz,
+                            target_mhz: meas.target_mhz,
+                        },
                     });
-                    self.stats.lock().failed += 1;
-                    self.finish(&job);
-                    return Ok(());
+                }
+                let units: Vec<WorkUnit> = if pending == 0 {
+                    Vec::new()
+                } else {
+                    mr.session.plan(self.shards_for(pending)).units().to_vec()
+                };
+                mr.shards_total = units.len();
+                let _ = run.members[member].set(Some(mr));
+                self.update_ledger(run)?;
+                if units.is_empty() {
+                    // Fully restored from the checkpoint: nothing to run.
+                    return self.complete_task(run);
+                }
+                // Register the shard tasks before pushing them: a sibling
+                // may pop and finish one before we decrement for the
+                // setup task itself.
+                run.outstanding.fetch_add(units.len(), Ordering::SeqCst);
+                let tasks = units
+                    .into_iter()
+                    .map(|unit| Task::Shard {
+                        run: run.clone(),
+                        member,
+                        unit,
+                    })
+                    .collect();
+                self.board.push(tasks);
+                self.complete_task(run)
+            }
+            Ok(None) => {
+                // Cancelled before the prelude finished.
+                let _ = run.members[member].set(None);
+                self.complete_task(run)
+            }
+            Err(message) => {
+                run.fail(message);
+                let _ = run.members[member].set(None);
+                self.complete_task(run)
+            }
+        }
+    }
+
+    /// Resolve one member spec into a ready-to-shard [`MemberRun`],
+    /// resuming from its checkpoint when one matches. `Ok(None)` means
+    /// cancelled during the prelude.
+    fn build_member(
+        &self,
+        job_id: JobId,
+        member: usize,
+        spec: &CampaignSpec,
+        run: &Arc<JobRun>,
+    ) -> Result<Option<MemberRun>, String> {
+        let config = spec
+            .resolve()
+            .map_err(|e| format!("member {member}: {e}"))?;
+        let total = config.ordered_pairs().len();
+        let ckpt_path = self.queue.checkpoint_path(job_id, member);
+
+        let mut session = CampaignSession::new(config).with_cancel_token(run.token.clone());
+
+        // Resume: a checkpoint taken under the identical spec restores its
+        // settled pairs verbatim; anything unreadable or mismatched is
+        // discarded (the job file is the source of truth for the spec).
+        if ckpt_path.is_file() {
+            let restored = SpecCheckpoint::load(&ckpt_path)
+                .ok()
+                .filter(|cp| &cp.spec == spec);
+            match restored {
+                Some(cp) => session = session.resume_from(cp.result),
+                None => {
+                    let _ = fs::remove_file(&ckpt_path);
                 }
             }
         }
 
-        if token.is_cancelled() || self.shutdown.is_cancelled() {
-            if self.shutdown.is_cancelled() {
-                // Service shutdown: back to the queue; checkpoints resume
-                // the job on restart.
-                job.state = JobState::Queued;
-                self.queue.save(&job)?;
-                self.emit(QueueEvent::Requeued { job: job.id });
-                self.stats.lock().requeued += 1;
-            } else {
-                // User cancellation: settle as cancelled, drop state.
-                job.state = JobState::Cancelled;
-                self.queue.save(&job)?;
-                self.queue.clear_checkpoints(&job)?;
-                self.queue.clear_cancel_request(job.id)?;
-                self.emit(QueueEvent::Cancelled { job: job.id });
-                self.stats.lock().cancelled += 1;
+        // Fan the member's campaign events into the multiplexed feed.
+        let observers = self.observers.clone();
+        session = session.observe(move |e: &CampaignEvent| {
+            let event = QueueEvent::Progress {
+                job: job_id,
+                member,
+                event: e.clone(),
+            };
+            for obs in &observers {
+                obs.event(&event);
             }
-            self.finish(&job);
+        });
+
+        let prelude = match session.prelude() {
+            Ok(prelude) => prelude,
+            Err(CoreError::Cancelled) => return Ok(None),
+            Err(e) => return Err(format!("member {member}: {e}")),
+        };
+
+        let mut slots = vec![None; total];
+        for (index, meas) in session.restored_pairs() {
+            slots[index] = Some(meas);
+        }
+        Ok(Some(MemberRun {
+            spec: spec.clone(),
+            session,
+            prelude,
+            ckpt_path,
+            shards_total: 0,
+            shards_done: AtomicUsize::new(0),
+            slots: StdMutex::new(slots),
+        }))
+    }
+
+    /// Execute one shard work unit; settled pairs fold into the member's
+    /// checkpoint, which doubles as the busy pool's cancellation poll.
+    fn run_shard(&self, run: &Arc<JobRun>, member: usize, unit: &WorkUnit) -> QueueResult<()> {
+        if run.failed() || self.shutdown.is_cancelled() || run.token.is_cancelled() {
+            return self.complete_task(run);
+        }
+        let Some(Some(mr)) = run.members[member].get() else {
+            // A shard task only exists because setup stored the member.
+            run.fail(format!("member {member}: internal: shard before setup"));
+            return self.complete_task(run);
+        };
+        let job_id = run.job.lock().expect("job slot poisoned").id;
+
+        let on_settle = |index: usize, meas: &PairMeasurement| {
+            let mut slots = mr.slots.lock().expect("member slots poisoned");
+            slots[index] = Some(meas.clone());
+            let settled = slots.iter().filter(|s| s.is_some()).count();
+            if settled % self.config.checkpoint_every == 0 || settled == slots.len() {
+                self.write_checkpoint(mr, &slots);
+                // The settle hook doubles as the busy pool's cancellation
+                // poll: markers and shutdown are honoured at the next
+                // checkpoint boundary even when no worker is idle.
+                if self.shutdown.is_cancelled() || self.queue.cancel_requested(job_id) {
+                    run.token.cancel();
+                }
+            }
+        };
+
+        match mr.session.run_unit_with(&mr.prelude, unit, on_settle) {
+            Ok(shard) => {
+                let measured = shard
+                    .pairs
+                    .iter()
+                    .filter(|(_, m)| !m.outcome.is_cancelled())
+                    .count();
+                if measured > 0 || !run.token.is_cancelled() {
+                    let mut stats = self.stats.lock();
+                    stats.shards_executed += 1;
+                    stats.pairs_measured += measured;
+                    drop(stats);
+                    mr.shards_done.fetch_add(1, Ordering::SeqCst);
+                    {
+                        let slots = mr.slots.lock().expect("member slots poisoned");
+                        self.write_checkpoint(mr, &slots);
+                    }
+                    self.update_ledger(run)?;
+                }
+            }
+            Err(CoreError::Cancelled) => {}
+            Err(e) => run.fail(format!("member {member}: {e}")),
+        }
+        self.complete_task(run)
+    }
+
+    /// Persist the member's settled slots as a resumable checkpoint,
+    /// written with the same atomic rename discipline as the journal.
+    /// Unsettled slots become `Cancelled` placeholders — exactly the
+    /// partial-result shape `resume_from` validates.
+    fn write_checkpoint(&self, mr: &MemberRun, slots: &[Option<PairMeasurement>]) {
+        let pairs: Vec<(usize, PairMeasurement)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|m| (i, m.clone())))
+            .collect();
+        let result = mr
+            .session
+            .merge_shards(&mr.prelude, vec![ShardResult { shard: 0, pairs }]);
+        let doc = SpecCheckpoint {
+            spec: mr.spec.clone(),
+            result,
+        };
+        let _ = doc.save(&mr.ckpt_path);
+    }
+
+    /// Journal the job's shard ledger (pair/shard progress per member) so
+    /// `queue status` can report in-flight progress without tailing the
+    /// event feed.
+    fn update_ledger(&self, run: &Arc<JobRun>) -> QueueResult<()> {
+        let mut members = Vec::with_capacity(run.members.len());
+        for slot in &run.members {
+            match slot.get() {
+                Some(Some(mr)) => {
+                    let slots = mr.slots.lock().expect("member slots poisoned");
+                    members.push(MemberLedger {
+                        pairs_done: slots.iter().filter(|s| s.is_some()).count(),
+                        pairs_total: slots.len(),
+                        shards_done: mr.shards_done.load(Ordering::SeqCst),
+                        shards_total: mr.shards_total,
+                    });
+                }
+                _ => members.push(MemberLedger::default()),
+            }
+        }
+        let job = {
+            let mut job = run.job.lock().expect("job slot poisoned");
+            job.ledger = Some(ShardLedger { members });
+            job.clone()
+        };
+        let _guard = self.claim_lock.lock();
+        let _flock = self.queue.lock_exclusive()?;
+        self.queue.save(&job)?;
+        Ok(())
+    }
+
+    /// Settle a job whose last task just completed. Exactly one worker
+    /// gets here per job (the outstanding count hits zero once).
+    fn finalize(&self, run: &Arc<JobRun>) -> QueueResult<()> {
+        let mut job = run.job.lock().expect("job slot poisoned").clone();
+        let failure = run.failure.lock().expect("failure slot poisoned").clone();
+        let run_ids = job.run_ids();
+
+        if let Some(error) = failure {
+            job.state = JobState::Failed {
+                error: error.clone(),
+            };
+            job.ledger = None;
+            self.queue.save(&job)?;
+            self.queue.clear_cancel_request(job.id)?;
+            self.emit(QueueEvent::Failed { job: job.id, error });
+            self.stats.lock().failed += 1;
+            self.finish(job.id);
             return Ok(());
         }
 
-        // Auto-archive: the store becomes a memoization layer for the
-        // whole service.
+        if self.shutdown.is_cancelled() {
+            // Service shutdown: back to the queue; checkpoints (and the
+            // ledger) resume the job on restart.
+            job.state = JobState::Queued;
+            self.queue.save(&job)?;
+            self.emit(QueueEvent::Requeued { job: job.id });
+            self.stats.lock().requeued += 1;
+            self.finish(job.id);
+            return Ok(());
+        }
+
+        if run.token.is_cancelled() {
+            // User cancellation: settle as cancelled, drop state.
+            job.state = JobState::Cancelled;
+            job.ledger = None;
+            self.queue.save(&job)?;
+            self.queue.clear_checkpoints(&job)?;
+            self.queue.clear_cancel_request(job.id)?;
+            self.emit(QueueEvent::Cancelled { job: job.id });
+            self.stats.lock().cancelled += 1;
+            self.finish(job.id);
+            return Ok(());
+        }
+
+        // Success: merge every member's slots back into canonical pair
+        // order and auto-archive — the store becomes a memoization layer
+        // for the whole service.
+        let mut results = Vec::with_capacity(run.members.len());
+        for (member, slot) in run.members.iter().enumerate() {
+            let Some(Some(mr)) = slot.get() else {
+                run.fail(format!("member {member}: internal: never built"));
+                return self.finalize(run);
+            };
+            let pairs: Vec<(usize, PairMeasurement)> = {
+                let slots = mr.slots.lock().expect("member slots poisoned");
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|m| (i, m.clone())))
+                    .collect()
+            };
+            let result = mr
+                .session
+                .merge_shards(&mr.prelude, vec![ShardResult { shard: 0, pairs }]);
+            let (completed, skipped, cancelled) =
+                result
+                    .pairs()
+                    .iter()
+                    .fold((0, 0, 0), |(c, s, x), p| match &p.outcome {
+                        PairOutcome::Completed(_) => (c + 1, s, x),
+                        PairOutcome::Cancelled => (c, s, x + 1),
+                        _ => (c, s + 1, x),
+                    });
+            self.emit(QueueEvent::Progress {
+                job: job.id,
+                member,
+                event: CampaignEvent::CampaignFinished {
+                    completed,
+                    skipped,
+                    cancelled,
+                },
+            });
+            results.push((mr.spec.clone(), result));
+        }
         for (spec, result) in &results {
             self.store.put(spec, result)?;
         }
@@ -436,13 +903,22 @@ impl WorkerPool {
             run_ids: run_ids.clone(),
             via: CompletionVia::Executed,
         };
+        job.ledger = None;
         self.emit(QueueEvent::Done {
             job: job.id,
             run_ids: run_ids.clone(),
         });
         self.stats.lock().executed += 1;
         self.settle_done(&job, &run_ids)?;
-        self.finish(&job);
+        self.finish(job.id);
+        Ok(())
+    }
+
+    /// Count one finished task; the last one settles the job.
+    fn complete_task(&self, run: &Arc<JobRun>) -> QueueResult<()> {
+        if run.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finalize(run)?;
+        }
         Ok(())
     }
 
@@ -485,94 +961,5 @@ impl WorkerPool {
             self.stats.lock().coalesced += 1;
         }
         Ok(())
-    }
-
-    /// Run one member campaign, resuming from its checkpoint when one
-    /// exists. Returns `Ok(None)` when cancelled mid-run (the partial
-    /// result is checkpointed for resume), `Err(message)` on a terminal
-    /// failure.
-    fn run_member(
-        &self,
-        job: &Job,
-        member: usize,
-        spec: &CampaignSpec,
-        token: &CancelToken,
-    ) -> Result<Option<CampaignResult>, String> {
-        let config = spec
-            .resolve()
-            .map_err(|e| format!("member {member}: {e}"))?;
-        let ckpt_path = self.queue.checkpoint_path(job.id, member);
-
-        let mut session = CampaignSession::new(config).with_cancel_token(token.clone());
-
-        // Resume: a checkpoint taken under the identical spec restores its
-        // settled pairs verbatim; anything unreadable or mismatched is
-        // discarded (the job file is the source of truth for the spec).
-        if ckpt_path.is_file() {
-            let restored = SpecCheckpoint::load(&ckpt_path)
-                .ok()
-                .filter(|cp| &cp.spec == spec);
-            match restored {
-                Some(cp) => session = session.resume_from(cp.result),
-                None => {
-                    let _ = fs::remove_file(&ckpt_path);
-                }
-            }
-        }
-
-        // Periodic resumable snapshots, written with the same atomic
-        // rename discipline as the journal. The sink doubles as the busy
-        // worker's cancellation poll: markers and pool shutdown are
-        // honoured at the next checkpoint boundary even when no idle
-        // worker is left to observe them.
-        let sink_path = ckpt_path.clone();
-        let sink_spec = spec.clone();
-        let sink_queue = self.queue.clone();
-        let sink_token = token.clone();
-        let sink_shutdown = self.shutdown.clone();
-        let job_id = job.id;
-        session =
-            session.checkpoint_to(self.config.checkpoint_every, move |cp: &CampaignResult| {
-                let doc = SpecCheckpoint {
-                    spec: sink_spec.clone(),
-                    result: cp.clone(),
-                };
-                let _ = doc.save(&sink_path);
-                if sink_shutdown.is_cancelled() || sink_queue.cancel_requested(job_id) {
-                    sink_token.cancel();
-                }
-            });
-
-        // Fan the member's campaign events into the multiplexed feed.
-        let observers = self.observers.clone();
-        let job_id = job.id;
-        session = session.observe(move |e: &CampaignEvent| {
-            let event = QueueEvent::Progress {
-                job: job_id,
-                member,
-                event: e.clone(),
-            };
-            for obs in &observers {
-                obs.event(&event);
-            }
-        });
-
-        match session.run() {
-            Ok(result) if result.is_partial() => {
-                // Cancelled mid-campaign: persist the freshest partial
-                // state (periodic snapshots may lag behind).
-                let doc = SpecCheckpoint {
-                    spec: spec.clone(),
-                    result,
-                };
-                doc.save(&ckpt_path)
-                    .map_err(|e| format!("member {member}: writing checkpoint: {e}"))?;
-                Ok(None)
-            }
-            Ok(result) => Ok(Some(result)),
-            // Cancelled before phase 1: nothing new to checkpoint.
-            Err(CoreError::Cancelled) => Ok(None),
-            Err(e) => Err(format!("member {member}: {e}")),
-        }
     }
 }

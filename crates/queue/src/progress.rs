@@ -18,14 +18,21 @@ use latest_core::session::CampaignEvent;
 /// Stateful per-campaign formatter: tracks the start instant and the
 /// pairs-settled count that the ETA is extrapolated from.
 ///
-/// One formatter per campaign (per fleet member): elapsed time and the
-/// counter are campaign-local. Not thread-safe by itself — wrap in a
-/// mutex when events arrive from parallel pair workers.
+/// One formatter per campaign — or per *job*, when fed a whole fleet
+/// job's stream: each member's `CampaignStarted` accumulates into the
+/// total, so the `done/total` counter and ETA span all members. A caller
+/// that already knows the job-wide pair total (the queue's `Planned`
+/// event carries it) seeds it via
+/// [`ProgressFormatter::seed_totals`] instead. Not thread-safe by
+/// itself — wrap in a mutex when events arrive from parallel workers.
 #[derive(Debug)]
 pub struct ProgressFormatter {
     start: Instant,
     total: usize,
     done: usize,
+    seeded: bool,
+    shards_started: usize,
+    shards_done: usize,
 }
 
 impl Default for ProgressFormatter {
@@ -41,7 +48,18 @@ impl ProgressFormatter {
             start: Instant::now(),
             total: 0,
             done: 0,
+            seeded: false,
+            shards_started: 0,
+            shards_done: 0,
         }
+    }
+
+    /// Fix the pair total up front (e.g. from the queue's `Planned`
+    /// event, which counts pairs across every fleet member); subsequent
+    /// `CampaignStarted` events no longer accumulate into it.
+    pub fn seed_totals(&mut self, pairs: usize) {
+        self.total = pairs;
+        self.seeded = true;
     }
 
     /// Pairs settled so far (finished, skipped or restored).
@@ -57,10 +75,14 @@ impl ProgressFormatter {
     /// Fold one event into the counters and render its feed line.
     pub fn line(&mut self, event: &CampaignEvent) -> String {
         match event {
-            CampaignEvent::CampaignStarted { n_pairs, .. } => self.total = *n_pairs,
+            CampaignEvent::CampaignStarted { n_pairs, .. } if !self.seeded => {
+                self.total += *n_pairs;
+            }
             CampaignEvent::PairFinished { .. }
             | CampaignEvent::PairSkipped { .. }
             | CampaignEvent::PairRestored { .. } => self.done += 1,
+            CampaignEvent::ShardStarted { .. } => self.shards_started += 1,
+            CampaignEvent::ShardFinished { .. } => self.shards_done += 1,
             _ => {}
         }
         let elapsed = self.start.elapsed().as_secs_f64();
@@ -68,17 +90,26 @@ impl ProgressFormatter {
     }
 
     /// The ` [done/total pairs, ETA ..s]` suffix, present while pair work
-    /// is underway.
+    /// is underway; gains a `done/started shards` figure once shard-level
+    /// scheduling is observed.
     fn suffix(&self, elapsed: f64) -> String {
         if self.total == 0 || self.done == 0 {
             return String::new();
         }
+        let shards = if self.shards_started > 0 {
+            format!(", {}/{} shards", self.shards_done, self.shards_started)
+        } else {
+            String::new()
+        };
         if self.done >= self.total {
-            return format!(" [{}/{} pairs, done]", self.done, self.total);
+            return format!(" [{}/{} pairs{shards}, done]", self.done, self.total);
         }
         let remaining = (self.total - self.done) as f64;
         let eta = elapsed / self.done as f64 * remaining;
-        format!(" [{}/{} pairs, ETA {eta:.0}s]", self.done, self.total)
+        format!(
+            " [{}/{} pairs{shards}, ETA {eta:.0}s]",
+            self.done, self.total
+        )
     }
 }
 
@@ -122,6 +153,69 @@ mod tests {
                 assert!(line.contains("[4/4 pairs, done]"), "{line}");
             }
         }
+    }
+
+    #[test]
+    fn fleet_member_totals_accumulate() {
+        let mut fmt = ProgressFormatter::new();
+        fmt.line(&CampaignEvent::CampaignStarted {
+            device_name: "a100".to_string(),
+            n_pairs: 6,
+        });
+        fmt.line(&CampaignEvent::CampaignStarted {
+            device_name: "h100".to_string(),
+            n_pairs: 2,
+        });
+        assert_eq!(fmt.total(), 8, "members accumulate");
+        let line = fmt.line(&CampaignEvent::PairFinished {
+            index: 0,
+            init_mhz: 705,
+            target_mhz: 1410,
+            measurements: 10,
+            mean_ms: 9.5,
+        });
+        assert!(line.contains("[1/8 pairs"), "{line}");
+    }
+
+    #[test]
+    fn seeded_totals_ignore_campaign_started() {
+        let mut fmt = ProgressFormatter::new();
+        fmt.seed_totals(12);
+        fmt.line(&CampaignEvent::CampaignStarted {
+            device_name: "a100".to_string(),
+            n_pairs: 6,
+        });
+        assert_eq!(fmt.total(), 12, "seeded total is authoritative");
+    }
+
+    #[test]
+    fn shard_counters_join_the_suffix() {
+        let mut fmt = ProgressFormatter::new();
+        fmt.seed_totals(4);
+        fmt.line(&CampaignEvent::ShardStarted {
+            shard: 0,
+            n_shards: 2,
+            pairs: 2,
+        });
+        fmt.line(&CampaignEvent::ShardStarted {
+            shard: 1,
+            n_shards: 2,
+            pairs: 2,
+        });
+        let line = fmt.line(&CampaignEvent::PairFinished {
+            index: 0,
+            init_mhz: 705,
+            target_mhz: 1410,
+            measurements: 10,
+            mean_ms: 9.5,
+        });
+        assert!(line.contains("[1/4 pairs, 0/2 shards, ETA"), "{line}");
+        let line = fmt.line(&CampaignEvent::ShardFinished {
+            shard: 0,
+            n_shards: 2,
+            pairs: 2,
+        });
+        assert!(line.contains("1/2 shards"), "{line}");
     }
 
     #[test]

@@ -3,13 +3,22 @@
 //! Layout under the queue directory:
 //!
 //! ```text
-//! <dir>/jobs/job-000001.json        one journal file per job
+//! <dir>/jobs/job-000001.json        one journal file per *pending* job
+//! <dir>/jobs/done/job-000001.json   settled entries, compacted out of the
+//!                                   pending set on settle
 //! <dir>/jobs/job-000001.cancel      cancellation request marker
 //! <dir>/checkpoints/job-000001.m0.json   per-member resume checkpoints
 //! <dir>/store/                      the result cache (a ResultStore)
 //! <dir>/events.log                  append-only event feed (`queue watch`)
 //! <dir>/.lock                       cross-process advisory lock
 //! ```
+//!
+//! The journal is compacted on settle: a job entering a terminal state
+//! (`Done`/`Failed`/`Cancelled`) is written into `jobs/done/` and its
+//! pending entry removed, so the hot paths a serving pool runs every poll
+//! cycle — claiming, duplicate settling — parse O(pending) files, not
+//! every entry ever journaled. Recovery and `queue status` still read the
+//! full history ([`JobQueue::jobs`] merges both directories).
 //!
 //! Every state transition rewrites the job's journal file atomically
 //! (write-to-temp + rename, the same discipline as the checkpoint writer
@@ -118,7 +127,7 @@ impl JobQueue {
     /// Open (creating if necessary) the queue rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> QueueResult<JobQueue> {
         let dir = dir.into();
-        fs::create_dir_all(dir.join("jobs"))?;
+        fs::create_dir_all(dir.join("jobs").join("done"))?;
         fs::create_dir_all(dir.join("checkpoints"))?;
         Ok(JobQueue { dir })
     }
@@ -141,6 +150,10 @@ impl JobQueue {
 
     fn jobs_dir(&self) -> PathBuf {
         self.dir.join("jobs")
+    }
+
+    fn done_dir(&self) -> PathBuf {
+        self.jobs_dir().join("done")
     }
 
     /// Take the queue's cross-process advisory lock, blocking until it is
@@ -189,6 +202,10 @@ impl JobQueue {
         self.jobs_dir().join(format!("{id}.cancel"))
     }
 
+    fn done_path(&self, id: JobId) -> PathBuf {
+        self.done_dir().join(format!("{id}.json"))
+    }
+
     /// The checkpoint file for one member campaign of a job.
     pub fn checkpoint_path(&self, id: JobId, member: usize) -> PathBuf {
         self.dir
@@ -223,6 +240,7 @@ impl JobQueue {
                 force: options.force,
                 spec: spec.clone(),
                 state: JobState::Queued,
+                ledger: None,
             };
             match self.publish_new(&job) {
                 Ok(()) => return Ok(job),
@@ -256,17 +274,41 @@ impl JobQueue {
     }
 
     /// Rewrite a job's journal entry atomically (state transitions).
+    ///
+    /// Compaction happens here: a job entering a terminal state is written
+    /// into `jobs/done/` and its pending entry removed, so the pending
+    /// directory holds exactly the queued and running jobs. Order matters
+    /// for crash safety — the settled entry lands first, so a crash
+    /// between the two steps leaves a pending stray that
+    /// [`JobQueue::recover`] sweeps (the `done/` copy wins).
     pub fn save(&self, job: &Job) -> QueueResult<()> {
-        let path = self.path_of(job.id);
+        let path = if job.state.is_pending() {
+            self.path_of(job.id)
+        } else {
+            self.done_path(job.id)
+        };
         let tmp = path.with_extension("json.tmp");
         fs::write(&tmp, job.to_json())?;
         fs::rename(&tmp, &path)?;
+        if !job.state.is_pending() {
+            match fs::remove_file(self.path_of(job.id)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(())
     }
 
-    /// Load one job by id.
+    /// Load one job by id. The settled copy wins when both exist (the
+    /// pending twin is then a crash stray awaiting recovery sweep).
     pub fn load(&self, id: JobId) -> QueueResult<Job> {
-        let path = self.path_of(id);
+        let done = self.done_path(id);
+        let path = if done.is_file() {
+            done
+        } else {
+            self.path_of(id)
+        };
         let text = fs::read_to_string(&path).map_err(|e| {
             if e.kind() == io::ErrorKind::NotFound {
                 QueueError::NotFound { id: id.to_string() }
@@ -280,11 +322,14 @@ impl JobQueue {
         })
     }
 
-    /// Every journaled job, in id (submission) order.
-    pub fn jobs(&self) -> QueueResult<Vec<Job>> {
+    fn ids_in(dir: &Path) -> QueueResult<Vec<JobId>> {
         let mut ids = Vec::new();
-        for entry in fs::read_dir(self.jobs_dir())? {
-            let name = entry?.file_name();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
             let name = name.to_string_lossy();
             if let Some(stem) = name.strip_suffix(".json") {
                 if let Ok(id) = JobId::parse(stem) {
@@ -292,21 +337,48 @@ impl JobQueue {
                 }
             }
         }
+        Ok(ids)
+    }
+
+    /// Ids with a journal entry in the pending directory (a raw listing —
+    /// crash strays with a settled twin included).
+    fn pending_ids(&self) -> QueueResult<Vec<JobId>> {
+        let mut ids = Self::ids_in(&self.jobs_dir())?;
         ids.sort();
+        Ok(ids)
+    }
+
+    /// The pending (queued + running) jobs, in id order — the set the
+    /// serving pool's hot paths scan. Parses O(pending) files: settled
+    /// jobs live in `jobs/done/` and are never touched here.
+    fn pending_jobs(&self) -> QueueResult<Vec<Job>> {
+        let mut jobs = Vec::new();
+        for id in self.pending_ids()? {
+            // A settled twin means this pending entry is a crash stray;
+            // load() already prefers the done/ copy, so skip strays whose
+            // loaded state is terminal.
+            let job = self.load(id)?;
+            if job.state.is_pending() {
+                jobs.push(job);
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Every journaled job — pending and settled — in id (submission)
+    /// order. The full-history read `queue status` and recovery use;
+    /// hot paths use the pending set instead.
+    pub fn jobs(&self) -> QueueResult<Vec<Job>> {
+        let mut ids = Self::ids_in(&self.jobs_dir())?;
+        ids.extend(Self::ids_in(&self.done_dir())?);
+        ids.sort();
+        ids.dedup();
         ids.into_iter().map(|id| self.load(id)).collect()
     }
 
     fn highest_id(&self) -> QueueResult<Option<JobId>> {
-        let mut highest = None;
-        for entry in fs::read_dir(self.jobs_dir())? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(".json") {
-                if let Ok(id) = JobId::parse(stem) {
-                    highest = highest.max(Some(id));
-                }
-            }
-        }
+        let mut highest = Self::ids_in(&self.jobs_dir())?.into_iter().max();
+        highest = highest.max(Self::ids_in(&self.done_dir())?.into_iter().max());
         Ok(highest)
     }
 
@@ -338,8 +410,8 @@ impl JobQueue {
     /// cycle. Callers coordinating across processes should hold
     /// [`JobQueue::lock_exclusive`] around the call.
     pub fn claim(&self) -> QueueResult<Claim> {
-        let jobs = self.jobs()?;
-        let pending = jobs.iter().filter(|j| j.state.is_pending()).count();
+        let jobs = self.pending_jobs()?;
+        let pending = jobs.len();
         let busy: Vec<JobKey> = jobs
             .iter()
             .filter(|j| j.state == JobState::Running)
@@ -377,7 +449,7 @@ impl JobQueue {
         exclude: JobId,
     ) -> QueueResult<Vec<Job>> {
         let mut settled = Vec::new();
-        for mut job in self.jobs()? {
+        for mut job in self.pending_jobs()? {
             if job.id != exclude && !job.force && job.state == JobState::Queued && &job.key() == key
             {
                 job.state = JobState::Done {
@@ -461,14 +533,34 @@ impl JobQueue {
     /// a journal with `Running` entries but no live service is the
     /// signature of a kill; the jobs' checkpoints make the re-run resume
     /// from where the dead service stopped.
+    ///
+    /// Recovery also tidies the pending directory: crash strays (a
+    /// pending entry whose settled twin already landed in `jobs/done/`)
+    /// are swept, and terminal entries journaled by a pre-compaction
+    /// version of this crate are migrated into `jobs/done/`.
     pub fn recover(&self) -> QueueResult<Vec<Job>> {
         let _lock = self.lock_exclusive()?;
         let mut reverted = Vec::new();
-        for mut job in self.jobs()? {
-            if job.state == JobState::Running {
-                job.state = JobState::Queued;
-                self.save(&job)?;
-                reverted.push(job);
+        for id in self.pending_ids()? {
+            if self.done_path(id).is_file() {
+                // Crash stray: the settled copy is authoritative.
+                match fs::remove_file(self.path_of(id)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                continue;
+            }
+            let mut job = self.load(id)?;
+            match job.state {
+                JobState::Running => {
+                    job.state = JobState::Queued;
+                    self.save(&job)?;
+                    reverted.push(job);
+                }
+                JobState::Queued => {}
+                // Legacy terminal entry: re-save routes it to jobs/done/.
+                _ => self.save(&job)?,
             }
         }
         Ok(reverted)
@@ -707,6 +799,63 @@ mod tests {
         assert!(!q.cancel_requested(a.id));
         // Settled jobs refuse.
         assert!(!q.request_cancel(b.id).unwrap());
+        fs::remove_dir_all(q.dir()).ok();
+    }
+
+    #[test]
+    fn settled_jobs_compact_into_done_directory() {
+        let q = temp_queue("compact");
+        let a = q.submit(tiny(1), SubmitOptions::default()).unwrap();
+        let b = q.submit(tiny(2), SubmitOptions::default()).unwrap();
+        let mut claimed = q.take_next().unwrap().unwrap();
+        claimed.state = JobState::Done {
+            run_ids: claimed.run_ids(),
+            via: CompletionVia::Executed,
+        };
+        q.save(&claimed).unwrap();
+        // The settled entry moved out of the pending directory...
+        assert!(!q.path_of(a.id).is_file());
+        assert!(q.done_path(a.id).is_file());
+        // ...but status-style reads still see the full history...
+        let jobs = q.jobs().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert!(matches!(q.load(a.id).unwrap().state, JobState::Done { .. }));
+        // ...and new submissions never reuse a settled id.
+        let c = q.submit(tiny(3), SubmitOptions::default()).unwrap();
+        assert_eq!(c.id, JobId(3));
+        assert_eq!(q.load(b.id).unwrap().state, JobState::Queued);
+        let counts = q.counts().unwrap();
+        assert_eq!((counts.queued, counts.done), (2, 1));
+        fs::remove_dir_all(q.dir()).ok();
+    }
+
+    #[test]
+    fn recover_sweeps_strays_and_migrates_legacy_entries() {
+        let q = temp_queue("compact_recover");
+        let a = q.submit(tiny(1), SubmitOptions::default()).unwrap();
+        let b = q.submit(tiny(2), SubmitOptions::default()).unwrap();
+        // Crash stray: settled copy landed, pending twin survived the
+        // crash between the two steps of save().
+        let mut settled = q.load(a.id).unwrap();
+        settled.state = JobState::Cancelled;
+        fs::write(q.done_path(a.id), settled.to_json()).unwrap();
+        // Legacy entry: a terminal job journaled in the pending directory
+        // by a pre-compaction version.
+        let mut legacy = q.load(b.id).unwrap();
+        legacy.state = JobState::Done {
+            run_ids: legacy.run_ids(),
+            via: CompletionVia::Executed,
+        };
+        fs::write(q.path_of(b.id), legacy.to_json()).unwrap();
+
+        let reverted = q.recover().unwrap();
+        assert!(reverted.is_empty());
+        assert!(!q.path_of(a.id).is_file(), "stray swept");
+        assert!(!q.path_of(b.id).is_file(), "legacy entry migrated");
+        assert!(q.done_path(b.id).is_file());
+        assert_eq!(q.load(a.id).unwrap().state, JobState::Cancelled);
+        assert!(matches!(q.load(b.id).unwrap().state, JobState::Done { .. }));
+        assert!(q.take_next().unwrap().is_none(), "nothing left to claim");
         fs::remove_dir_all(q.dir()).ok();
     }
 

@@ -93,6 +93,9 @@ run-only options:
                        running, and resume from it when it already exists
                        (single-campaign specs only)
   --checkpoint-every <n>  pairs between checkpoint writes    [5]
+  --shard-pairs <n>    schedule pairs in work units of at most n pairs
+                       (shard progress events; results stay bitwise
+                       identical to the default pair-granular scheduling)
 
 report/diff/list-runs options:
   --store <dir>        the result store to read               [latest-store]
@@ -128,6 +131,7 @@ struct RunArgs {
     progress: bool,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
+    shard_pairs: Option<usize>,
 }
 
 fn parse_freq_list(text: &str) -> Result<Vec<u32>, String> {
@@ -187,6 +191,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 out.checkpoint_every = value("--checkpoint-every")?
                     .parse()
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--shard-pairs" => {
+                out.shard_pairs = Some(
+                    value("--shard-pairs")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shard-pairs: {e}"))?
+                        .max(1),
+                )
             }
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             positional => {
@@ -439,6 +451,9 @@ fn run_campaign(spec: CampaignSpec, args: &RunArgs) -> ExitCode {
         config.ordered_pairs().len()
     );
 
+    let n_shards = args
+        .shard_pairs
+        .map(|n| config.ordered_pairs().len().div_ceil(n));
     let mut session = CampaignSession::new(config);
     if args.progress {
         let fmt = std::sync::Mutex::new(ProgressFormatter::new());
@@ -496,7 +511,11 @@ fn run_campaign(spec: CampaignSpec, args: &RunArgs) -> ExitCode {
         });
     }
 
-    let result = match session.run() {
+    let outcome = match n_shards {
+        Some(n) => session.run_sharded(n),
+        None => session.run(),
+    };
+    let result = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -629,6 +648,10 @@ fn run_fleet(spec: FleetSpec, args: &RunArgs) -> ExitCode {
         })
     } else {
         fleet
+    };
+    let fleet = match args.shard_pairs {
+        Some(n) => fleet.shard_pairs(n),
+        None => fleet,
     };
     let result = match fleet.run() {
         Ok(r) => r,
@@ -981,9 +1004,12 @@ commands:
   submit <spec.json> [--priority P] [--force]
                        enqueue a campaign or fleet scenario
   serve [--workers N] [--drain] [--store <dir>] [--checkpoint-every N]
-        [--poll-ms M] [--stats-out <file>]
+        [--poll-ms M] [--stats-out <file>] [--shard-pairs N]
                        run the worker pool; --drain exits once the queue
-                       is empty, otherwise new submissions are polled for
+                       is empty, otherwise new submissions are polled for.
+                       Claimed jobs shard into work units of --shard-pairs
+                       pairs (default: sized so one job spans the pool)
+                       that spread across every worker
   status [<job-id>]    show job states; exits 0 only when all jobs are
                        done, 1 on failures/cancellations, 3 while pending
   cancel <job-id>      cancel a queued or running job
@@ -1015,6 +1041,7 @@ struct QueueArgs {
     stats_out: Option<PathBuf>,
     priority: i32,
     force: bool,
+    shard_pairs: Option<usize>,
 }
 
 impl QueueArgs {
@@ -1061,6 +1088,14 @@ fn parse_queue_args(raw: &[String]) -> Result<QueueArgs, String> {
                 )
             }
             "--stats-out" => out.stats_out = Some(PathBuf::from(value("--stats-out")?)),
+            "--shard-pairs" => {
+                out.shard_pairs = Some(
+                    value("--shard-pairs")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shard-pairs: {e}"))?
+                        .max(1),
+                )
+            }
             "--priority" => {
                 out.priority = value("--priority")?
                     .parse()
@@ -1138,6 +1173,7 @@ fn queue_serve(raw: &[String]) -> ExitCode {
         checkpoint_every: args.checkpoint_every.unwrap_or(1),
         poll_interval: std::time::Duration::from_millis(args.poll_ms.unwrap_or(50)),
         store_dir: args.store.clone(),
+        shard_pairs: args.shard_pairs.unwrap_or(0),
     };
     let dir = args.dir();
     let pool = match WorkerPool::open(&dir, config) {
@@ -1170,15 +1206,23 @@ fn queue_serve(raw: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let formatters = std::sync::Mutex::new(std::collections::HashMap::<
-        (JobId, usize),
-        ProgressFormatter,
-    >::new());
+    // One formatter per *job* (not per member): the `Planned` event seeds
+    // the job-wide pair total, so fleet jobs get one done/total counter
+    // and ETA spanning every member's shards.
+    let formatters =
+        std::sync::Mutex::new(std::collections::HashMap::<JobId, ProgressFormatter>::new());
     let pool = pool.observe(move |e: &QueueEvent| {
         let line = match e {
+            QueueEvent::Planned { job, pairs, .. } => {
+                let mut fmts = formatters.lock().unwrap();
+                let fmt = fmts.entry(*job).or_default();
+                *fmt = ProgressFormatter::new();
+                fmt.seed_totals(*pairs);
+                e.to_string()
+            }
             QueueEvent::Progress { job, member, event } => {
                 let mut fmts = formatters.lock().unwrap();
-                let fmt = fmts.entry((*job, *member)).or_default();
+                let fmt = fmts.entry(*job).or_default();
                 format!("{job}[m{member}] {}", fmt.line(event))
             }
             other => other.to_string(),
@@ -1246,12 +1290,20 @@ fn queue_status(raw: &[String]) -> ExitCode {
     };
     let mut table = TextTable::with_header(&["job", "priority", "state", "work", "detail"]);
     for job in &jobs {
+        // A pending job with a journaled shard ledger (running, or
+        // requeued mid-flight by a shutdown) shows its progress inline.
+        let detail = match &job.ledger {
+            Some(ledger) if job.state.is_pending() => {
+                format!("{} — {}", job.state, ledger.summary())
+            }
+            _ => job.state.to_string(),
+        };
         table.row(&[
             job.id.to_string(),
             job.priority.to_string(),
             job.state.label().to_string(),
             job.describe(),
-            job.state.to_string(),
+            detail,
         ]);
     }
     println!("{}", table.render());

@@ -3,7 +3,9 @@
 //! parallel), or a checkpoint/resume round-trip — and different seeds must
 //! differ.
 
-use latest::core::{CampaignConfig, CampaignEvent, CampaignResult, CampaignSession, Latest};
+use latest::core::{
+    CampaignConfig, CampaignEvent, CampaignResult, CampaignSession, Latest, ShardResult,
+};
 use latest::gpu_sim::devices;
 use latest::gpu_sim::freq::FreqMhz;
 use proptest::prelude::*;
@@ -156,6 +158,74 @@ fn checkpoint_resume_roundtrip_is_bitwise_identical() {
         .unwrap();
     assert!(!resumed.is_partial());
     assert_eq!(all_latencies(&uninterrupted), all_latencies(&resumed));
+}
+
+// --- the work-unit layer ----------------------------------------------------
+
+#[test]
+fn sharded_schedules_are_bitwise_identical_to_sequential() {
+    // The WorkUnit determinism contract: partitioning the pairs into any
+    // number of shards must be invisible in the results — each pair's
+    // platform is seeded from (campaign seed, pair) alone.
+    let reference = CampaignSession::new(config(85))
+        .sequential(true)
+        .run()
+        .unwrap();
+    for n_shards in [1, 2, 5, usize::MAX] {
+        let sharded = CampaignSession::new(config(85))
+            .run_sharded(n_shards)
+            .unwrap();
+        assert_eq!(
+            all_latencies(&reference),
+            all_latencies(&sharded),
+            "n_shards={n_shards}"
+        );
+        assert_eq!(
+            reference.to_json(),
+            sharded.to_json(),
+            "n_shards={n_shards}"
+        );
+    }
+}
+
+proptest! {
+    /// `CampaignResult::merge` must reassemble the canonical result from
+    /// ANY partition of the pairs into shards, presented in any order.
+    #[test]
+    fn merge_reassembles_any_partition(
+        assignment in proptest::collection::vec(0usize..4, 6),
+    ) {
+        static REFERENCE: std::sync::OnceLock<CampaignResult> = std::sync::OnceLock::new();
+        let reference = REFERENCE.get_or_init(|| {
+            CampaignSession::new(config(86))
+                .sequential(true)
+                .run()
+                .unwrap()
+        });
+        let ordered: Vec<(FreqMhz, FreqMhz)> = config(86).ordered_pairs();
+        prop_assert_eq!(assignment.len(), ordered.len());
+
+        // Partition the measured pairs by the random shard assignment,
+        // then present the shards in reverse order: merge sorts them.
+        let mut shards: Vec<ShardResult> = (0..4)
+            .map(|shard| ShardResult { shard, pairs: Vec::new() })
+            .collect();
+        for (index, pair) in reference.pairs().iter().enumerate() {
+            shards[assignment[index]].pairs.push((index, pair.clone()));
+        }
+        shards.reverse();
+
+        let merged = CampaignResult::merge(
+            reference.device_name.clone(),
+            reference.device_index,
+            reference.seed,
+            reference.phase1.clone(),
+            reference.probe.clone(),
+            &ordered,
+            shards,
+        );
+        prop_assert_eq!(reference.to_json(), merged.to_json());
+    }
 }
 
 // --- pair seeding -----------------------------------------------------------

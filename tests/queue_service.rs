@@ -36,19 +36,23 @@ fn reference_run(spec: &CampaignSpec) -> CampaignResult {
 
 type EventLog = Arc<Mutex<Vec<QueueEvent>>>;
 
-fn recording_pool(dir: &PathBuf, workers: usize) -> (WorkerPool, EventLog) {
+fn recording_pool_with(dir: &PathBuf, config: PoolConfig) -> (WorkerPool, EventLog) {
     let events: EventLog = Arc::new(Mutex::new(Vec::new()));
     let sink = events.clone();
-    let pool = WorkerPool::open(
+    let pool = WorkerPool::open(dir, config)
+        .unwrap()
+        .observe(move |e: &QueueEvent| sink.lock().unwrap().push(e.clone()));
+    (pool, events)
+}
+
+fn recording_pool(dir: &PathBuf, workers: usize) -> (WorkerPool, EventLog) {
+    recording_pool_with(
         dir,
         PoolConfig {
             workers,
             ..PoolConfig::default()
         },
     )
-    .unwrap()
-    .observe(move |e: &QueueEvent| sink.lock().unwrap().push(e.clone()));
-    (pool, events)
 }
 
 /// Which jobs emitted actual campaign work (any `Progress` event).
@@ -341,6 +345,159 @@ fn killed_pool_resumes_from_checkpoint_bitwise() {
         "checkpoints are cleared once the job settles"
     );
 
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Twelve ordered pairs: enough to shard meaningfully across 4 workers.
+fn wide(seed: u64) -> CampaignSpec {
+    CampaignSpec::builder("a100")
+        .frequencies_mhz(&[540, 810, 1095, 1410])
+        .measurements(3, 6)
+        .simulated_sms(Some(2))
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sharded_drains_are_bitwise_identical_across_worker_counts() {
+    // The scheduler contract: splitting a job into pair-shards and
+    // spreading them across any number of workers must be invisible in
+    // the archived bytes.
+    let spec = wide(77);
+    let reference = reference_run(&spec);
+    for workers in [1usize, 2, 4] {
+        let dir = temp_dir(&format!("shard_w{workers}"));
+        let (pool, events) = recording_pool_with(
+            &dir,
+            PoolConfig {
+                workers,
+                shard_pairs: 2,
+                ..PoolConfig::default()
+            },
+        );
+        pool.queue()
+            .submit(
+                ScenarioSpec::Campaign(spec.clone()),
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        let stats = pool.drain().unwrap();
+        assert_eq!(stats.executed, 1, "workers={workers}: {stats:?}");
+        assert_eq!(
+            (stats.shards_executed, stats.pairs_measured),
+            (6, 12),
+            "workers={workers}: 12 pairs at 2 per shard is 6 shards"
+        );
+        let shard_events = events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    QueueEvent::Progress {
+                        event: CampaignEvent::ShardFinished { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(shard_events, 6, "workers={workers}");
+        let stored = pool.store().get(&RunId::of_spec(&spec)).unwrap();
+        assert_eq!(
+            stored.result.to_json(),
+            reference.to_json(),
+            "workers={workers}: sharded drain must be bitwise identical"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn killed_pool_resumes_mid_shard_bitwise() {
+    // Kill the service after the very first one-pair shard settles: the
+    // job is requeued with its ledger intact, and the restart resumes
+    // from the per-shard checkpoint — never re-measuring settled pairs —
+    // to a bitwise-identical archive.
+    let dir = temp_dir("kill_shard");
+    let spec = wide(91);
+    let reference = reference_run(&spec);
+    let sharded = PoolConfig {
+        workers: 2,
+        shard_pairs: 1,
+        ..PoolConfig::default()
+    };
+
+    let (pool, _events) = recording_pool_with(&dir, sharded.clone());
+    let job = pool
+        .queue()
+        .submit(
+            ScenarioSpec::Campaign(spec.clone()),
+            SubmitOptions::default(),
+        )
+        .unwrap();
+    let shutdown = pool.shutdown_token();
+    let pool = pool.observe(move |e: &QueueEvent| {
+        if matches!(
+            e,
+            QueueEvent::Progress {
+                event: CampaignEvent::ShardFinished { .. },
+                ..
+            }
+        ) {
+            shutdown.cancel();
+        }
+    });
+    let stats = pool.drain().unwrap();
+    assert_eq!((stats.requeued, stats.executed), (1, 0), "{stats:?}");
+    assert!(
+        stats.shards_executed >= 1 && stats.shards_executed < 12,
+        "the kill must land mid-job: {stats:?}"
+    );
+    let requeued = pool.queue().load(job.id).unwrap();
+    let ledger = requeued.ledger.expect("a requeued job keeps its ledger");
+    assert!(
+        ledger.pairs_done() >= 1 && ledger.pairs_done() < ledger.pairs_total(),
+        "ledger must record partial progress: {}",
+        ledger.summary()
+    );
+    drop(pool);
+
+    // Restart on the same directory: the resumed drain restores the
+    // settled pairs from the checkpoint and finishes the rest.
+    let (pool, events) = recording_pool_with(&dir, sharded);
+    let stats = pool.drain().unwrap();
+    assert_eq!(stats.executed, 1, "{stats:?}");
+    let restored = events
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                QueueEvent::Progress {
+                    event: CampaignEvent::PairRestored { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(restored > 0, "the resume must restore checkpointed pairs");
+    match pool.queue().load(job.id).unwrap().state {
+        JobState::Done { via, .. } => assert_eq!(via, CompletionVia::Executed),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let stored = pool.store().get(&RunId::of_spec(&spec)).unwrap();
+    assert_eq!(
+        stored.result.to_json(),
+        reference.to_json(),
+        "kill-and-resume must be bitwise identical to an uninterrupted run"
+    );
+    assert!(
+        !pool.queue().checkpoint_path(job.id, 0).is_file(),
+        "checkpoints are cleared once the job settles"
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
