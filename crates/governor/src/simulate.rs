@@ -40,6 +40,11 @@ impl TransitionReplay {
         }
     }
 
+    /// The table latencies are drawn from.
+    pub fn table(&self) -> &LatencyTable {
+        &self.table
+    }
+
     /// Draw the latency of one `init → target` transition (ms).
     pub fn draw_ms(&mut self, init: FreqMhz, target: FreqMhz) -> f64 {
         match self.table.pair(init, target) {
@@ -347,5 +352,52 @@ mod tests {
         // means = 7.0).
         let d = replay.draw_ms(FreqMhz(2000), FreqMhz(1000));
         assert!((d - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed_and_differs_across_seeds() {
+        let mut table = LatencyTable::new("x");
+        table.insert(PairLatency::new(
+            1000,
+            2000,
+            (0..64).map(f64::from).collect(),
+        ));
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut replay = TransitionReplay::new(table.clone(), seed);
+            (0..32)
+                .map(|_| replay.draw_ms(FreqMhz(1000), FreqMhz(2000)))
+                .collect()
+        };
+        assert_eq!(draw(11), draw(11), "same seed must replay identically");
+        assert_ne!(draw(11), draw(12), "reseeding must change the stream");
+    }
+
+    #[test]
+    fn absent_pair_always_falls_back_without_consuming_randomness() {
+        let mut table = LatencyTable::new("x");
+        table.insert(PairLatency::new(1000, 2000, vec![3.0, 7.0, 11.0]));
+        // Interleave absent-pair draws between measured draws: the measured
+        // stream must be unchanged versus drawing them back to back,
+        // because fallback draws consume no RNG state.
+        let plain: Vec<f64> = {
+            let mut r = TransitionReplay::new(table.clone(), 6);
+            (0..16)
+                .map(|_| r.draw_ms(FreqMhz(1000), FreqMhz(2000)))
+                .collect()
+        };
+        let interleaved: Vec<f64> = {
+            let mut r = TransitionReplay::new(table.clone(), 6);
+            (0..16)
+                .map(|_| {
+                    let absent = r.draw_ms(FreqMhz(9999), FreqMhz(1));
+                    assert!((absent - 7.0).abs() < 1e-9, "fallback is typical_ms");
+                    r.draw_ms(FreqMhz(1000), FreqMhz(2000))
+                })
+                .collect()
+        };
+        assert_eq!(plain, interleaved);
+        // Empty table: the fallback falls back again, to a fixed constant.
+        let mut empty = TransitionReplay::new(LatencyTable::new("none"), 6);
+        assert!((empty.draw_ms(FreqMhz(1), FreqMhz(2)) - 10.0).abs() < 1e-9);
     }
 }

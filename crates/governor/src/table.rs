@@ -8,11 +8,62 @@
 //! higher than other frequency pairs").
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use latest_core::CampaignResult;
+use latest_core::{CampaignResult, OutcomeKind};
 use latest_gpu_sim::freq::FreqMhz;
 use latest_stats::Summary;
 use serde::{Deserialize, Serialize};
+
+/// Why pairs of a campaign did *not* make it into a [`LatencyTable`].
+///
+/// `from_campaign` used to drop these silently; a governor deployed from a
+/// partial campaign should know how partial its knowledge base is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkippedPairs {
+    /// Abandoned on a power event.
+    pub power_limited: usize,
+    /// Statistically indistinguishable in phase 1 (no latency to tabulate).
+    pub indistinguishable: usize,
+    /// Every measurement attempt failed evaluation.
+    pub retries_exhausted: usize,
+    /// Never scheduled before the session was cancelled.
+    pub cancelled: usize,
+    /// Completed, but outlier filtering left no sample.
+    pub empty_filtered: usize,
+}
+
+impl SkippedPairs {
+    /// Total pairs skipped.
+    pub fn total(&self) -> usize {
+        self.power_limited
+            + self.indistinguishable
+            + self.retries_exhausted
+            + self.cancelled
+            + self.empty_filtered
+    }
+
+    /// Whether nothing was skipped (the table covers the whole campaign).
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl fmt::Display for SkippedPairs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pairs skipped ({} power-limited, {} indistinguishable, \
+             {} retries-exhausted, {} cancelled, {} empty after filtering)",
+            self.total(),
+            self.power_limited,
+            self.indistinguishable,
+            self.retries_exhausted,
+            self.cancelled,
+            self.empty_filtered
+        )
+    }
+}
 
 /// Measured switching-latency record for one ordered frequency pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -107,19 +158,37 @@ impl LatencyTable {
 
     /// Build from a completed LATEST campaign, taking each pair's
     /// outlier-filtered latencies (selected through
-    /// [`latest_core::view::LatencyView`]).
+    /// [`latest_core::view::LatencyView`]). Non-completed pairs are
+    /// dropped; use [`LatencyTable::from_campaign_counting`] to see how
+    /// many, and why.
     pub fn from_campaign(result: &CampaignResult) -> Self {
+        Self::from_campaign_counting(result).0
+    }
+
+    /// Like [`LatencyTable::from_campaign`], but also reports every pair
+    /// that did *not* make it into the table, classified by cause.
+    pub fn from_campaign_counting(result: &CampaignResult) -> (Self, SkippedPairs) {
         let mut table = LatencyTable::new(result.device_name.clone());
-        for pair in latest_core::LatencyView::of(result).completed().pairs() {
-            if let Some(inliers) = pair.filtered_ms() {
-                table.insert(PairLatency::new(
-                    pair.init_mhz(),
-                    pair.target_mhz(),
-                    inliers.to_vec(),
-                ));
+        let mut skipped = SkippedPairs::default();
+        for pair in result.pairs() {
+            match pair.outcome.kind() {
+                OutcomeKind::Completed => {
+                    match pair.analysis.as_ref().filter(|a| !a.inliers_ms.is_empty()) {
+                        Some(a) => table.insert(PairLatency::new(
+                            pair.init_mhz,
+                            pair.target_mhz,
+                            a.inliers_ms.clone(),
+                        )),
+                        None => skipped.empty_filtered += 1,
+                    }
+                }
+                OutcomeKind::PowerLimited => skipped.power_limited += 1,
+                OutcomeKind::Indistinguishable => skipped.indistinguishable += 1,
+                OutcomeKind::RetriesExhausted => skipped.retries_exhausted += 1,
+                OutcomeKind::Cancelled => skipped.cancelled += 1,
             }
         }
-        table
+        (table, skipped)
     }
 
     /// Insert or replace one pair's record.

@@ -89,6 +89,23 @@ proptest! {
         }
     }
 
+    #[test]
+    fn replay_draws_stay_within_the_observed_sample_range(
+        ms in prop::collection::vec(0.1..1000.0f64, 1..40),
+        seed in 0u64..1000,
+        draws in 1usize..50,
+    ) {
+        let pair = PairLatency::new(1000, 1500, ms);
+        let (lo, hi) = (pair.quantile_ms(0.0), pair.quantile_ms(1.0));
+        let mut table = LatencyTable::new("prop");
+        table.insert(pair);
+        let mut replay = TransitionReplay::new(table, seed);
+        for _ in 0..draws {
+            let d = replay.draw_ms(FreqMhz(1000), FreqMhz(1500));
+            prop_assert!((lo..=hi).contains(&d), "{d} outside [{lo}, {hi}]");
+        }
+    }
+
     // --- phases -----------------------------------------------------------------
 
     #[test]

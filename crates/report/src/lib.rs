@@ -13,6 +13,8 @@
 //! * [`boxplot`] — five-number summaries with 1.5·IQR whiskers and fliers;
 //! * [`scatter`] — measurement-index vs latency plots with cluster labels;
 //! * [`table`] — aligned text tables (Table I / Table II);
+//! * [`govern`] — closed-loop governor scorecards (policy × traffic
+//!   comparison table and heatmaps for the `latest govern` CLI);
 //! * [`svg`] — dependency-free SVG documents of the same figure types, for
 //!   committing rendered figures;
 //! * [`experiments`] — paper-value vs measured-value records that generate
@@ -35,6 +37,7 @@ pub mod boxplot;
 pub mod bundle;
 pub mod diff;
 pub mod experiments;
+pub mod govern;
 pub mod heatmap;
 pub mod scatter;
 pub mod svg;
@@ -49,6 +52,7 @@ pub use boxplot::{BoxStats, BoxplotGroup};
 pub use bundle::Bundle;
 pub use diff::{CampaignDiff, PairDelta};
 pub use experiments::{ExperimentRecord, MetricRow};
+pub use govern::{energy_heatmap, missed_rate_heatmap, policy_scorecard_table, PolicyScoreRow};
 pub use heatmap::Heatmap;
 pub use scatter::{render_scatter, Scatter};
 pub use svg::{

@@ -1,0 +1,30 @@
+//! Deterministic open-loop traffic generators — the synthetic load a
+//! governor daemon is scored against.
+//!
+//! The paper's closing argument is that switching latency matters to a
+//! *runtime system*; to score one closed-loop we need load over time. This
+//! crate produces it: seedable request streams (arrival time, work amount,
+//! optional deadline) generated open-loop — arrivals do not react to the
+//! server, so two policies see the *same* offered load and their scorecards
+//! are comparable.
+//!
+//! * [`spec`] — [`TrafficSpec`]: the JSON scenario format (a name, a
+//!   [`TrafficShape`], duration, seed, per-request work and optional
+//!   deadline slack) with exhaustive validation, mirroring the campaign
+//!   spec machinery in `latest-core`.
+//! * [`stream`] — [`Request`] / [`TrafficTrace`]: the generated stream and
+//!   the seeded generators behind [`TrafficSpec::generate`].
+//! * [`registry`] — [`TrafficRegistry`]: the built-in scenario family
+//!   (*steady*, *bursty*, *diurnal*, *gaming*, *deadline*) addressable by
+//!   name from the `latest govern` CLI.
+//!
+//! Generation is bitwise deterministic: the same spec (same seed included)
+//! always yields the same trace, on any host.
+
+pub mod registry;
+pub mod spec;
+pub mod stream;
+
+pub use registry::TrafficRegistry;
+pub use spec::{TrafficError, TrafficErrors, TrafficShape, TrafficSpec};
+pub use stream::{Request, TrafficTrace};

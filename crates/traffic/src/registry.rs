@@ -1,0 +1,157 @@
+//! The built-in traffic scenario family.
+//!
+//! `latest govern` accepts either a scenario file or one of these names;
+//! the files under `scenarios/traffic/` are the same specs serialised, and
+//! a test pins that equivalence so the two entry points cannot drift.
+
+use crate::spec::{TrafficShape, TrafficSpec};
+
+/// Named collection of ready-to-run traffic scenarios.
+#[derive(Clone, Debug)]
+pub struct TrafficRegistry {
+    specs: Vec<TrafficSpec>,
+}
+
+impl TrafficRegistry {
+    /// The built-in family: one scenario per [`TrafficShape`], tuned so the
+    /// policy comparison on a real latency table is informative (bursty and
+    /// deadline shapes produce deadline pressure; diurnal and gaming stress
+    /// hysteresis and pacing).
+    pub fn builtin() -> Self {
+        TrafficRegistry {
+            specs: vec![
+                TrafficSpec {
+                    name: "steady".to_string(),
+                    description: "Constant 60 Hz Poisson service load".to_string(),
+                    shape: TrafficShape::Steady { rate_hz: 60.0 },
+                    duration_ms: 10_000.0,
+                    seed: 1,
+                    work_ms: 5.0,
+                    work_jitter: 0.2,
+                    deadline_slack: None,
+                },
+                TrafficSpec {
+                    name: "bursty".to_string(),
+                    description: "Inference bursts with sparse gaps; tight slack deadlines"
+                        .to_string(),
+                    shape: TrafficShape::Bursty {
+                        burst_rate_hz: 150.0,
+                        gap_rate_hz: 4.0,
+                        burst_ms: 260.0,
+                        gap_ms: 420.0,
+                    },
+                    duration_ms: 12_000.0,
+                    seed: 7,
+                    work_ms: 5.0,
+                    work_jitter: 0.25,
+                    deadline_slack: Some(6.0),
+                },
+                TrafficSpec {
+                    name: "diurnal".to_string(),
+                    description: "Day/night cycle between 5 Hz and 120 Hz".to_string(),
+                    shape: TrafficShape::Diurnal {
+                        peak_rate_hz: 120.0,
+                        trough_rate_hz: 5.0,
+                        period_ms: 4_000.0,
+                    },
+                    duration_ms: 16_000.0,
+                    seed: 11,
+                    work_ms: 5.0,
+                    work_jitter: 0.2,
+                    deadline_slack: None,
+                },
+                TrafficSpec {
+                    name: "gaming".to_string(),
+                    description: "60 fps frame-paced load with periodic heavy frames".to_string(),
+                    shape: TrafficShape::Gaming {
+                        frame_rate_hz: 60.0,
+                        heavy_every: 48,
+                        heavy_factor: 3.0,
+                    },
+                    duration_ms: 10_000.0,
+                    seed: 13,
+                    work_ms: 6.0,
+                    work_jitter: 0.2,
+                    deadline_slack: None,
+                },
+                TrafficSpec {
+                    name: "deadline".to_string(),
+                    description: "Poisson jobs with a hard 25 ms completion deadline".to_string(),
+                    shape: TrafficShape::Deadline {
+                        rate_hz: 40.0,
+                        deadline_ms: 25.0,
+                    },
+                    duration_ms: 12_000.0,
+                    seed: 17,
+                    work_ms: 5.0,
+                    work_jitter: 0.2,
+                    deadline_slack: None,
+                },
+            ],
+        }
+    }
+
+    /// Look a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&TrafficSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All scenario names, in registry order.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// All scenarios, in registry order.
+    pub fn specs(&self) -> &[TrafficSpec] {
+        &self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_every_shape_exactly_once() {
+        let reg = TrafficRegistry::builtin();
+        let kinds: Vec<&str> = reg.specs().iter().map(|s| s.shape.kind()).collect();
+        assert_eq!(kinds, TrafficShape::KINDS);
+    }
+
+    #[test]
+    fn builtin_specs_validate_and_generate() {
+        for spec in TrafficRegistry::builtin().specs() {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let trace = spec.generate().unwrap();
+            assert!(
+                trace.len() > 50,
+                "{}: only {} requests",
+                spec.name,
+                trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_addressable() {
+        let reg = TrafficRegistry::builtin();
+        for name in reg.names() {
+            assert_eq!(reg.get(name).unwrap().name, name);
+        }
+        assert!(reg.get("sawtooth").is_none());
+    }
+
+    #[test]
+    fn deadline_pressure_scenarios_carry_deadlines() {
+        let reg = TrafficRegistry::builtin();
+        for name in ["bursty", "gaming", "deadline"] {
+            let trace = reg.get(name).unwrap().generate().unwrap();
+            assert_eq!(trace.with_deadline(), trace.len(), "{name}");
+        }
+        for name in ["steady", "diurnal"] {
+            let trace = reg.get(name).unwrap().generate().unwrap();
+            assert_eq!(trace.with_deadline(), 0, "{name}");
+        }
+    }
+}

@@ -29,14 +29,20 @@ use latest::core::output::write_pair_csv;
 use latest::core::spec::{CampaignSpec, FleetSpec, ScenarioSpec, SpecCheckpoint};
 use latest::core::store::{ResultStore, StoreError, StoredRun};
 use latest::core::{CampaignEvent, CampaignResult, CampaignSession, FleetResult, PairOutcome};
+use latest::governor::{
+    make_policy, replay_seed, scorecards_to_json, DaemonConfig, GovernorDaemon, LatencyTable,
+    PowerModel, Scorecard, TransitionReplay, ZoneLadder, POLICY_NAMES,
+};
 use latest::gpu_sim::devices::DeviceRegistry;
 use latest::gpu_sim::sm::WorkloadRegistry;
 use latest::queue::{
     JobId, JobQueue, JobState, PoolConfig, ProgressFormatter, QueueEvent, SubmitOptions, WorkerPool,
 };
 use latest::report::{
-    campaign_summary_table, cross_device_table, Bundle, CampaignDiff, CrossDeviceRow, TextTable,
+    campaign_summary_table, cross_device_table, energy_heatmap, missed_rate_heatmap,
+    policy_scorecard_table, Bundle, CampaignDiff, CrossDeviceRow, PolicyScoreRow, TextTable,
 };
+use latest::traffic::{TrafficRegistry, TrafficSpec};
 
 const USAGE: &str = "\
 usage: latest <command> [options]
@@ -61,6 +67,9 @@ commands:
                        keeps only the latest n runs per experiment family
   queue <submit|serve|status|cancel|watch> [...]
                        the campaign execution service (see `latest queue help`)
+  govern <run|list-policies|list-traffic> [...]
+                       score governor policies against synthetic traffic
+                       using an archived latency table (see `latest govern help`)
   validate <spec.json> check a scenario file, listing every violation
   print-spec [...]     print the effective spec for any run invocation
   list-devices         enumerate the device registry
@@ -1418,6 +1427,279 @@ fn cmd_queue(raw: &[String]) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// govern subcommands (closed-loop policy scoring)
+
+const GOVERN_USAGE: &str = "\
+usage: latest govern <command> [options]
+
+Close the measurement loop: run governor policies over synthetic traffic on
+a simulated device whose every frequency switch pays a latency replayed
+from a measured, archived campaign. Requests arriving mid-switch stall —
+the paper's overhead made end-to-end observable.
+
+commands:
+  run <traffic>... --table <run-id|spec.json> [options]
+                       score policies over traffic scenarios; each
+                       <traffic> is a built-in name (see list-traffic) or
+                       a traffic-spec JSON file
+  list-policies        enumerate the daemon policies
+  list-traffic         enumerate the built-in traffic scenarios
+  help                 print this message
+
+run options:
+  --table <target>     archived run id (unambiguous prefix) or campaign
+                       scenario file whose archived run supplies the
+                       latency table (required)
+  --store <dir>        the result store to read               [latest-store]
+  --policy <name>      score this policy; repeatable          [all policies]
+  --compare            score every policy (the default when no --policy)
+  --seed <u64>         base seed for the latency replay       [0]
+  --out <dir>          write the scorecard bundle (comparison table +
+                       missed-rate/energy heatmaps, all formats) here
+  --json               emit the scorecards as JSON on stdout
+
+Determinism: the same traffic specs, the same archived table and the same
+--seed give bitwise-identical scorecards, independent of cell order.
+";
+
+fn govern_fail(msg: &str) -> ExitCode {
+    if msg.is_empty() {
+        print!("{GOVERN_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("error: {msg}\n\n{GOVERN_USAGE}");
+    ExitCode::from(2)
+}
+
+#[derive(Default)]
+struct GovernArgs {
+    traffics: Vec<String>,
+    table: Option<String>,
+    store: Option<PathBuf>,
+    policies: Vec<String>,
+    compare: bool,
+    seed: u64,
+    out: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_govern_args(raw: &[String]) -> Result<GovernArgs, String> {
+    let mut out = GovernArgs::default();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--table" => out.table = Some(value("--table")?),
+            "--store" => out.store = Some(PathBuf::from(value("--store")?)),
+            "--policy" => out.policies.push(value("--policy")?),
+            "--compare" => out.compare = true,
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+            "--json" => out.json = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            positional => out.traffics.push(positional.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve one traffic argument: a built-in scenario name, or a path to a
+/// traffic-spec JSON file.
+fn resolve_traffic(registry: &TrafficRegistry, target: &str) -> Result<TrafficSpec, String> {
+    if let Some(spec) = registry.get(target) {
+        return Ok(spec.clone());
+    }
+    if target.ends_with(".json") || Path::new(target).is_file() {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let spec = TrafficSpec::from_json(&text).map_err(|e| format!("parsing {target}: {e}"))?;
+        spec.validate().map_err(|e| format!("{target}: {e}"))?;
+        return Ok(spec);
+    }
+    Err(format!(
+        "unknown traffic `{target}`: not a built-in scenario ({}) and not a file",
+        registry.names().join(", ")
+    ))
+}
+
+fn govern_run(raw: &[String]) -> ExitCode {
+    let args = match parse_govern_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return govern_fail(&msg),
+    };
+    if args.traffics.is_empty() {
+        return govern_fail("govern run takes at least one traffic scenario");
+    }
+    let Some(table_target) = args.table.as_deref() else {
+        return govern_fail("--table <run-id|spec.json> is required");
+    };
+    let store_dir = args
+        .store
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("latest-store"));
+    let store = match ResultStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: opening store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match resolve_stored_run(&store, table_target) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (table, skipped) = LatencyTable::from_campaign_counting(&run.result);
+    if !skipped.is_empty() {
+        eprintln!("note: {} ({})", skipped, run.run_id);
+    }
+    let Some(ladder) = ZoneLadder::from_table(&table) else {
+        eprintln!(
+            "error: archived run {} has no completed pairs; the latency table is empty",
+            run.run_id
+        );
+        return ExitCode::from(2);
+    };
+
+    let policy_names: Vec<String> = if args.policies.is_empty() || args.compare {
+        POLICY_NAMES.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.policies.clone()
+    };
+    let mut policies = Vec::new();
+    for name in &policy_names {
+        match make_policy(name, &table) {
+            Ok(p) => policies.push(p),
+            Err(msg) => return govern_fail(&msg),
+        }
+    }
+
+    let registry = TrafficRegistry::builtin();
+    let mut traces = Vec::new();
+    for target in &args.traffics {
+        let spec = match resolve_traffic(&registry, target) {
+            Ok(s) => s,
+            Err(msg) => return govern_fail(&msg),
+        };
+        match spec.generate() {
+            Ok(trace) => traces.push(trace),
+            Err(e) => return govern_fail(&format!("{target}: {e}")),
+        }
+    }
+
+    let daemon = GovernorDaemon::new(DaemonConfig::default(), PowerModel::sxm_class(ladder.max()));
+    let mut cards: Vec<Scorecard> = Vec::new();
+    for trace in &traces {
+        for policy in &policies {
+            let seed = replay_seed(args.seed, policy.name(), &trace.name);
+            let mut replay = TransitionReplay::new(table.clone(), seed);
+            cards.push(daemon.run(policy.as_ref(), trace, &mut replay, seed));
+        }
+    }
+
+    let rows: Vec<PolicyScoreRow> = cards
+        .iter()
+        .map(|c| PolicyScoreRow {
+            policy: c.policy.clone(),
+            traffic: c.traffic.clone(),
+            requests: c.requests,
+            with_deadline: c.with_deadline,
+            missed_deadlines: c.missed_deadlines,
+            p50_ms: c.p50_latency_ms,
+            p99_ms: c.p99_latency_ms,
+            energy_j: c.energy_j,
+            switches: c.switches,
+            time_in_switch_ms: c.time_in_switch_ms,
+        })
+        .collect();
+
+    if args.json {
+        println!("{}", scorecards_to_json(&cards));
+    } else {
+        println!("{}", policy_scorecard_table(&rows).render());
+        eprintln!(
+            "scored {} policies x {} traffic scenarios against table {} ({} pairs, device {})",
+            policies.len(),
+            traces.len(),
+            run.run_id,
+            table.len(),
+            table.device_name
+        );
+    }
+
+    if let Some(out_dir) = &args.out {
+        let mut bundle = Bundle::new();
+        bundle.add("scorecard_table", policy_scorecard_table(&rows));
+        bundle.add("missed_rate", missed_rate_heatmap(&rows));
+        bundle.add("energy", energy_heatmap(&rows));
+        bundle.add_file("scorecards.json", scorecards_to_json(&cards));
+        match bundle.write_to(out_dir) {
+            Ok(written) => {
+                eprintln!("wrote {} files to {}", written.len(), out_dir.display());
+            }
+            Err(e) => {
+                eprintln!("error: writing bundle: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn govern_list_policies() -> ExitCode {
+    let mut table = TextTable::with_header(&["policy", "behaviour"]);
+    table.row(&[
+        "run-at-max".to_string(),
+        "pin the ladder ceiling; never switch".to_string(),
+    ]);
+    table.row(&[
+        "latency-oblivious".to_string(),
+        "chase the load zone at every change, as if switches were free".to_string(),
+    ]);
+    table.row(&[
+        "latency-aware".to_string(),
+        "switch only when the measured cost amortises; detour pathological pairs".to_string(),
+    ]);
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn govern_list_traffic() -> ExitCode {
+    let registry = TrafficRegistry::builtin();
+    let mut table = TextTable::with_header(&["name", "shape", "duration ms", "description"]);
+    for spec in registry.specs() {
+        table.row(&[
+            spec.name.clone(),
+            spec.shape.kind().to_string(),
+            format!("{:.0}", spec.duration_ms),
+            spec.description.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_govern(raw: &[String]) -> ExitCode {
+    match raw.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => govern_fail(""),
+        Some("run") => govern_run(&raw[1..]),
+        Some("list-policies") => govern_list_policies(),
+        Some("list-traffic") => govern_list_traffic(),
+        Some(other) => govern_fail(&format!("unknown govern command {other:?}")),
+    }
+}
+
 fn cmd_run(raw: &[String]) -> ExitCode {
     let args = match parse_run_args(raw) {
         Ok(a) => a,
@@ -1444,6 +1726,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&argv[1..]),
         Some("list-runs") => cmd_list_runs(&argv[1..]),
         Some("queue") => cmd_queue(&argv[1..]),
+        Some("govern") => cmd_govern(&argv[1..]),
         Some("validate") => cmd_validate(&argv[1..]),
         Some("print-spec") => cmd_print_spec(&argv[1..]),
         Some("list-devices") => cmd_list_devices(),

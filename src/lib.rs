@@ -23,6 +23,7 @@
 //! | [`ftalat`] | `latest-ftalat` | FTaLaT CPU baseline (Sec. IV) |
 //! | [`governor`] | `latest-governor` | latency-aware DVFS governor (Sec. VIII application) |
 //! | [`queue`] | `latest-queue` | campaign execution service (job queue, workers, result cache) |
+//! | [`traffic`] | `latest-traffic` | deterministic open-loop traffic generators |
 //! | [`report`] | `latest-report` | heatmaps, violins, tables, CSV |
 //!
 //! ## Quick start
@@ -65,3 +66,4 @@ pub use latest_queue as queue;
 pub use latest_report as report;
 pub use latest_sim_clock as sim_clock;
 pub use latest_stats as stats;
+pub use latest_traffic as traffic;

@@ -2,7 +2,7 @@
 //! governor, and the latency knowledge must change (and improve) its
 //! decisions — the full loop the paper's Sec. VIII motivates.
 
-use latest::core::{CampaignConfig, Latest};
+use latest::core::{CampaignConfig, CampaignEvent, CampaignSession, Latest};
 use latest::governor::simulate::TransitionReplay;
 use latest::governor::{
     simulate_policy, LatencyAware, LatencyOblivious, LatencyTable, PowerModel, RunAtMax,
@@ -157,6 +157,53 @@ fn latency_aware_governor_keeps_dvfs_savings_on_friendly_workloads() {
         100.0 * s_aware,
         100.0 * s_obl
     );
+}
+
+#[test]
+fn cancelled_pairs_are_counted_not_silently_dropped() {
+    // Cancel a campaign after three pairs: the rest end Cancelled and must
+    // show up in the skipped-pair count, with the table/skip split exactly
+    // partitioning the campaign's pairs.
+    let config = CampaignConfig::builder(devices::gh200())
+        .frequency_subset(6)
+        .measurements(15, 30)
+        .simulated_sms(Some(3))
+        .seed(206)
+        .build();
+    let session = CampaignSession::new(config).sequential(true);
+    let token = session.cancel_token();
+    let seen = std::sync::atomic::AtomicUsize::new(0);
+    let session = session.observe(move |e: &CampaignEvent| {
+        if matches!(e, CampaignEvent::PairFinished { .. })
+            && seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 == 3
+        {
+            token.cancel();
+        }
+    });
+    let partial = session.run().unwrap();
+    assert!(partial.is_partial(), "cancellation must leave pairs undone");
+
+    let (table, skipped) = LatencyTable::from_campaign_counting(&partial);
+    assert!(skipped.cancelled > 0, "no Cancelled pairs counted");
+    assert_eq!(
+        table.len() + skipped.total(),
+        partial.pairs().len(),
+        "table + skipped must partition the campaign: {skipped}"
+    );
+    // The silent constructor builds the identical table.
+    assert_eq!(LatencyTable::from_campaign(&partial).len(), table.len());
+
+    // An uninterrupted run of the same campaign skips strictly fewer pairs.
+    let config = CampaignConfig::builder(devices::gh200())
+        .frequency_subset(6)
+        .measurements(15, 30)
+        .simulated_sms(Some(3))
+        .seed(206)
+        .build();
+    let full = Latest::new(config).run().expect("campaign");
+    let (_, full_skipped) = LatencyTable::from_campaign_counting(&full);
+    assert_eq!(full_skipped.cancelled, 0);
+    assert!(full_skipped.total() < skipped.total());
 }
 
 #[test]

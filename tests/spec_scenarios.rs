@@ -9,6 +9,7 @@ use latest::core::spec::{
 };
 use latest::core::{CampaignConfig, CampaignResult, CampaignSession};
 use latest::gpu_sim::devices::{self, DeviceRegistry};
+use latest::traffic::{TrafficRegistry, TrafficSpec};
 use proptest::prelude::*;
 
 // --- one test per SpecError variant ----------------------------------------
@@ -373,6 +374,77 @@ fn every_checked_in_scenario_parses_validates_and_resolves() {
                     .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             }
         }
+    }
+}
+
+// --- the checked-in traffic catalog -----------------------------------------
+
+fn traffic_scenario_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("traffic");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios/traffic/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_checked_in_traffic_scenario_parses_validates_and_generates() {
+    let files = traffic_scenario_files();
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    // The govern CLI's examples reference at least these two shapes.
+    for required in ["bursty", "deadline"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "scenarios/traffic/{required}.json is missing: {names:?}"
+        );
+    }
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            TrafficSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Round-trip is lossless and generation is deterministic per seed.
+        assert_eq!(
+            TrafficSpec::from_json(&spec.to_json()).unwrap(),
+            spec,
+            "{} round-trip",
+            path.display()
+        );
+        let trace = spec.generate().unwrap();
+        assert!(
+            !trace.is_empty(),
+            "{} generates no requests",
+            path.display()
+        );
+        let again = spec.generate().unwrap();
+        assert_eq!(trace.requests, again.requests, "{}", path.display());
+    }
+}
+
+#[test]
+fn traffic_scenario_files_match_the_builtin_registry() {
+    // The files are the registry's builtin specs serialised; keep them in
+    // lock-step so `govern run bursty` and `govern run
+    // scenarios/traffic/bursty.json` score the same workload.
+    let registry = TrafficRegistry::builtin();
+    let files = traffic_scenario_files();
+    assert_eq!(files.len(), registry.names().len(), "catalog drifted");
+    for path in files {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let from_file = TrafficSpec::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let builtin = registry
+            .get(&name)
+            .unwrap_or_else(|| panic!("{name} is not a builtin traffic spec"));
+        assert_eq!(&from_file, builtin, "{} drifted from the builtin", name);
     }
 }
 
