@@ -1,0 +1,118 @@
+//! Prediction service: latency models fitted over the result archive.
+//!
+//! The [`ResultStore`](latest_core::ResultStore) accumulates (device,
+//! frequency-pair) → switching-latency measurements, but the valuable
+//! product is the *model*, not the raw table: a governor wants an answer
+//! for every pair it might switch between, including the ones nobody ever
+//! measured. This crate closes that loop in four layers:
+//!
+//! * [`corpus`] — assemble training data from every archived run: group by
+//!   device and experiment family
+//!   ([`RunId::family_of`](latest_core::RunId::family_of)), pool
+//!   each pair's outlier-filtered
+//!   samples across runs, and reject cross-run stragglers with the same
+//!   adaptive DBSCAN filter the measurement pipeline uses per pair;
+//! * [`model`] — a per-device [`PredictModel`]: exact grid lookup over
+//!   measured pairs, bilinear interpolation between them, and a robust
+//!   log-space regression on (|Δf|, direction, target band) features for
+//!   everything else, with confidence intervals from residual quantiles.
+//!   Fitting is deterministic — the same corpus produces bitwise-identical
+//!   model JSON;
+//! * [`validate`] — k-fold held-out validation against measured pairs and
+//!   closed-loop validation against simulator ground truth, rendered as
+//!   predicted-vs-measured scatter and error-heatmap artifacts through
+//!   `latest-report`;
+//! * [`serve`] — the deployment surface: a [`PredictedTable`] that gates
+//!   predictions by confidence and converts into a
+//!   [`governor::LatencyTable`](latest_governor::LatencyTable) so the
+//!   daemon can run policies over predicted latencies, plus a batch query
+//!   path that routes low-confidence pairs back into the measurement queue.
+
+pub mod corpus;
+pub mod model;
+pub mod serve;
+pub mod validate;
+
+pub use corpus::{build_corpora, corpus_for_device, family_matches, Corpus, CorpusPair};
+pub use model::{GridCell, PredictModel, Prediction, PredictionSource};
+pub use serve::{parse_batch_pairs, serve_batch, BatchOutcome, PredictedPair, PredictedTable};
+pub use validate::{
+    closed_loop_validate, cross_validate, ClosedLoopReport, ClosedLoopRow, ValidationReport,
+    ValidationRow,
+};
+
+/// Errors surfaced by the prediction service.
+#[derive(Debug)]
+pub enum PredictError {
+    /// Archive access failed.
+    Store(latest_core::StoreError),
+    /// No archived runs matched the requested device / family filter.
+    EmptyCorpus {
+        /// The device filter in effect, if any.
+        device: Option<String>,
+    },
+    /// Too few measured pairs for the requested operation.
+    NotEnoughPairs {
+        /// Pairs available.
+        have: usize,
+        /// Pairs required.
+        need: usize,
+    },
+    /// The regression could not be fitted.
+    Fit(latest_stats::WlsError),
+    /// The device name is not in the registry (closed-loop validation needs
+    /// a simulator spec to replay transitions against).
+    UnknownDevice(String),
+    /// Malformed model / table / batch JSON.
+    Json(String),
+    /// Simulated platform construction or control failed during closed-loop
+    /// validation.
+    Platform(String),
+    /// Submitting the follow-up measurement campaign failed.
+    Queue(latest_queue::QueueError),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Store(e) => write!(f, "archive: {e}"),
+            PredictError::EmptyCorpus { device: Some(d) } => {
+                write!(f, "no archived runs for device '{d}' match the filter")
+            }
+            PredictError::EmptyCorpus { device: None } => {
+                write!(f, "the archive holds no runs matching the filter")
+            }
+            PredictError::NotEnoughPairs { have, need } => {
+                write!(f, "corpus has {have} measured pairs, need at least {need}")
+            }
+            PredictError::Fit(e) => write!(f, "regression fit: {e}"),
+            PredictError::UnknownDevice(d) => write!(f, "unknown device '{d}'"),
+            PredictError::Json(e) => write!(f, "malformed JSON: {e}"),
+            PredictError::Platform(e) => write!(f, "closed-loop platform: {e}"),
+            PredictError::Queue(e) => write!(f, "queue: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<latest_core::StoreError> for PredictError {
+    fn from(e: latest_core::StoreError) -> Self {
+        PredictError::Store(e)
+    }
+}
+
+impl From<latest_stats::WlsError> for PredictError {
+    fn from(e: latest_stats::WlsError) -> Self {
+        PredictError::Fit(e)
+    }
+}
+
+impl From<latest_queue::QueueError> for PredictError {
+    fn from(e: latest_queue::QueueError) -> Self {
+        PredictError::Queue(e)
+    }
+}
+
+/// Result alias for prediction-service operations.
+pub type PredictResult<T> = Result<T, PredictError>;

@@ -1,0 +1,549 @@
+//! The model layer: a per-device latency model over the (init, target)
+//! frequency plane.
+//!
+//! A fitted [`PredictModel`] answers a query through a three-tier cascade:
+//!
+//! 1. **Measured** — the pair is a grid cell: return the corpus mean with
+//!    the sample's own 5–95 % quantiles as the interval. Exactness here is
+//!    a contract (pinned by property tests): a model never disagrees with
+//!    a measurement it was trained on.
+//! 2. **Interpolated** — both frequencies lie inside the measured grid:
+//!    bilinear interpolation over the surrounding measured cells (corners
+//!    on the diagonal or missing from the grid drop out and the weights
+//!    renormalise).
+//! 3. **Regression** — everything else (extrapolation, sparse corners): a
+//!    Huber-robust weighted least-squares fit in log space on features the
+//!    related work identifies as explanatory — |Δf|, transition direction,
+//!    and the target's position in the frequency band.
+//!
+//! Intervals for tiers 2–3 come from the regression's residual quantiles
+//! ([`latest_stats::quantile()`]): multiplicative in log space, so they widen
+//! proportionally with the predicted value.
+//!
+//! Fitting is deterministic end to end — same corpus ⇒ bitwise-identical
+//! model JSON — because every input is sorted, the robust loop runs a fixed
+//! iteration count, and serialisation goes through a flat, ordered repr.
+
+use std::collections::BTreeMap;
+
+use latest_stats::{huber_fit, quantile};
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::{PredictError, PredictResult};
+
+/// One measured cell of the (init, target) grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Initial frequency (MHz).
+    pub init_mhz: u32,
+    /// Target frequency (MHz).
+    pub target_mhz: u32,
+    /// Mean of the pooled corpus sample (ms).
+    pub mean_ms: f64,
+    /// 5 % quantile of the pooled sample (ms).
+    pub q05_ms: f64,
+    /// 95 % quantile of the pooled sample (ms).
+    pub q95_ms: f64,
+    /// Pooled sample size.
+    pub n: u64,
+}
+
+/// Which tier of the cascade answered a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// Exact grid hit: the corpus measured this pair.
+    Measured,
+    /// Bilinear interpolation between measured grid cells.
+    Interpolated,
+    /// The parametric regression (extrapolation or sparse grid).
+    Regression,
+}
+
+impl PredictionSource {
+    /// Stable lowercase name (used in JSON and CSV).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PredictionSource::Measured => "measured",
+            PredictionSource::Interpolated => "interpolated",
+            PredictionSource::Regression => "regression",
+        }
+    }
+}
+
+impl std::fmt::Display for PredictionSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An answered query: a point estimate with a confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Initial frequency (MHz).
+    pub init_mhz: u32,
+    /// Target frequency (MHz).
+    pub target_mhz: u32,
+    /// Point estimate of the switching latency (ms).
+    pub value_ms: f64,
+    /// Lower confidence bound (ms).
+    pub lo_ms: f64,
+    /// Upper confidence bound (ms).
+    pub hi_ms: f64,
+    /// Which cascade tier produced the estimate.
+    pub source: PredictionSource,
+}
+
+impl Prediction {
+    /// Interval width relative to the point estimate — the confidence
+    /// measure the serving layer gates on (0 = exact, larger = vaguer).
+    pub fn rel_width(&self) -> f64 {
+        if self.value_ms > 0.0 {
+            (self.hi_ms - self.lo_ms) / self.value_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The regression feature sets, in fallback order: the full set needs
+/// enough distinct pairs to be identifiable; tiny corpora degrade to
+/// direction-only and finally to a bare intercept rather than failing.
+const FEATURE_SETS: [&str; 3] = ["full", "direction", "intercept"];
+
+/// A fitted per-device latency model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(from = "ModelRepr", into = "ModelRepr")]
+pub struct PredictModel {
+    /// Registry device name the corpus was assembled for.
+    pub device: String,
+    /// Distinct measured frequencies, ascending.
+    pub grid_freqs_mhz: Vec<u32>,
+    /// Measured cells keyed by (init, target).
+    cells: BTreeMap<(u32, u32), GridCell>,
+    /// Which feature set the regression uses (`full`, `direction` or
+    /// `intercept`).
+    pub feature_set: String,
+    /// Regression coefficients in log-latency space.
+    pub coefficients: Vec<f64>,
+    /// 5 % quantile of the log-space fit residuals.
+    pub residual_log_lo: f64,
+    /// 95 % quantile of the log-space fit residuals.
+    pub residual_log_hi: f64,
+    /// Pairs the model was trained on.
+    pub trained_pairs: u64,
+    /// Total latency samples behind those pairs.
+    pub training_samples: u64,
+}
+
+/// JSON shape of a [`PredictModel`]: cells as a flat, (init, target)-sorted
+/// list (JSON map keys must be strings, so the tuple-keyed map cannot
+/// serialise directly — same convention as `LatencyTable`).
+#[derive(Serialize, Deserialize)]
+struct ModelRepr {
+    device: String,
+    grid_freqs_mhz: Vec<u32>,
+    cells: Vec<GridCell>,
+    feature_set: String,
+    coefficients: Vec<f64>,
+    residual_log_lo: f64,
+    residual_log_hi: f64,
+    trained_pairs: u64,
+    training_samples: u64,
+}
+
+impl From<ModelRepr> for PredictModel {
+    fn from(repr: ModelRepr) -> Self {
+        PredictModel {
+            device: repr.device,
+            grid_freqs_mhz: repr.grid_freqs_mhz,
+            cells: repr
+                .cells
+                .into_iter()
+                .map(|c| ((c.init_mhz, c.target_mhz), c))
+                .collect(),
+            feature_set: repr.feature_set,
+            coefficients: repr.coefficients,
+            residual_log_lo: repr.residual_log_lo,
+            residual_log_hi: repr.residual_log_hi,
+            trained_pairs: repr.trained_pairs,
+            training_samples: repr.training_samples,
+        }
+    }
+}
+
+impl From<PredictModel> for ModelRepr {
+    fn from(model: PredictModel) -> Self {
+        ModelRepr {
+            device: model.device,
+            grid_freqs_mhz: model.grid_freqs_mhz,
+            cells: model.cells.into_values().collect(),
+            feature_set: model.feature_set,
+            coefficients: model.coefficients,
+            residual_log_lo: model.residual_log_lo,
+            residual_log_hi: model.residual_log_hi,
+            trained_pairs: model.trained_pairs,
+            training_samples: model.training_samples,
+        }
+    }
+}
+
+/// Build the regression feature vector for a pair under a feature set.
+///
+/// The band feature places the *target* frequency within the device's
+/// measured range (normalised position, split into thirds) — the related
+/// work's observation that slow transitions cluster in particular target
+/// bands, not uniformly over Δf.
+fn features(set: &str, init_mhz: u32, target_mhz: u32, grid: &[u32]) -> Vec<f64> {
+    let delta = (init_mhz as f64 - target_mhz as f64).abs() / 1000.0;
+    let up = if target_mhz > init_mhz { 1.0 } else { 0.0 };
+    match set {
+        "intercept" => vec![1.0],
+        "direction" => vec![1.0, delta, up],
+        _ => {
+            let (lo, hi) = match (grid.first(), grid.last()) {
+                (Some(&lo), Some(&hi)) if hi > lo => (lo as f64, hi as f64),
+                _ => (0.0, 1.0),
+            };
+            let t = ((target_mhz as f64 - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let mid = if (1.0 / 3.0..2.0 / 3.0).contains(&t) {
+                1.0
+            } else {
+                0.0
+            };
+            let high = if t >= 2.0 / 3.0 { 1.0 } else { 0.0 };
+            vec![1.0, delta, up, mid, high]
+        }
+    }
+}
+
+impl PredictModel {
+    /// Fit a model over a corpus. Deterministic: the same corpus yields a
+    /// bitwise-identical model (and therefore bitwise-identical JSON).
+    pub fn fit(corpus: &Corpus) -> PredictResult<PredictModel> {
+        let usable: Vec<_> = corpus
+            .pairs
+            .iter()
+            .filter(|p| p.mean_ms().is_finite() && p.mean_ms() > 0.0)
+            .collect();
+        if usable.is_empty() {
+            return Err(PredictError::EmptyCorpus {
+                device: Some(corpus.device.clone()),
+            });
+        }
+
+        let grid = corpus.frequencies_mhz();
+        let mut cells = BTreeMap::new();
+        for p in &usable {
+            cells.insert(
+                (p.init_mhz, p.target_mhz),
+                GridCell {
+                    init_mhz: p.init_mhz,
+                    target_mhz: p.target_mhz,
+                    mean_ms: p.mean_ms(),
+                    q05_ms: quantile(&p.samples_ms, 0.05),
+                    q95_ms: quantile(&p.samples_ms, 0.95),
+                    n: p.samples_ms.len() as u64,
+                },
+            );
+        }
+
+        // Log-space regression, weighted by pooled sample count so a pair
+        // measured across many runs counts for more than a thin one.
+        let ys: Vec<f64> = usable.iter().map(|p| p.mean_ms().ln()).collect();
+        let ws: Vec<f64> = usable.iter().map(|p| p.samples_ms.len() as f64).collect();
+        let mut fitted = None;
+        for set in FEATURE_SETS {
+            let rows: Vec<Vec<f64>> = usable
+                .iter()
+                .map(|p| features(set, p.init_mhz, p.target_mhz, &grid))
+                .collect();
+            match huber_fit(&rows, &ys, &ws) {
+                Ok(fit) => {
+                    fitted = Some((set, fit));
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        let (feature_set, fit) =
+            fitted.ok_or(PredictError::Fit(latest_stats::WlsError::Underdetermined))?;
+
+        Ok(PredictModel {
+            device: corpus.device.clone(),
+            grid_freqs_mhz: grid,
+            cells,
+            feature_set: feature_set.to_string(),
+            coefficients: fit.coefficients.clone(),
+            residual_log_lo: quantile(&fit.residuals, 0.05),
+            residual_log_hi: quantile(&fit.residuals, 0.95),
+            trained_pairs: usable.len() as u64,
+            training_samples: usable.iter().map(|p| p.samples_ms.len() as u64).sum(),
+        })
+    }
+
+    /// The measured grid cells, in (init, target) order.
+    pub fn cells(&self) -> impl Iterator<Item = &GridCell> + '_ {
+        self.cells.values()
+    }
+
+    /// The measured cell for one pair, if the corpus covered it.
+    pub fn cell(&self, init_mhz: u32, target_mhz: u32) -> Option<&GridCell> {
+        self.cells.get(&(init_mhz, target_mhz))
+    }
+
+    /// Answer a query through the measured → interpolated → regression
+    /// cascade. `None` only for the degenerate self-pair (`init == target`
+    /// has no transition to predict).
+    pub fn predict(&self, init_mhz: u32, target_mhz: u32) -> Option<Prediction> {
+        if init_mhz == target_mhz {
+            return None;
+        }
+        if let Some(cell) = self.cells.get(&(init_mhz, target_mhz)) {
+            return Some(Prediction {
+                init_mhz,
+                target_mhz,
+                value_ms: cell.mean_ms,
+                lo_ms: cell.q05_ms,
+                hi_ms: cell.q95_ms,
+                source: PredictionSource::Measured,
+            });
+        }
+        if let Some(value_ms) = self.interpolate(init_mhz, target_mhz) {
+            return Some(self.with_residual_interval(
+                init_mhz,
+                target_mhz,
+                value_ms,
+                PredictionSource::Interpolated,
+            ));
+        }
+        let x = features(
+            &self.feature_set,
+            init_mhz,
+            target_mhz,
+            &self.grid_freqs_mhz,
+        );
+        let value_ms = x
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .exp();
+        Some(self.with_residual_interval(
+            init_mhz,
+            target_mhz,
+            value_ms,
+            PredictionSource::Regression,
+        ))
+    }
+
+    fn with_residual_interval(
+        &self,
+        init_mhz: u32,
+        target_mhz: u32,
+        value_ms: f64,
+        source: PredictionSource,
+    ) -> Prediction {
+        // Multiplicative interval: residual quantiles live in log space.
+        let lo = value_ms * self.residual_log_lo.exp();
+        let hi = value_ms * self.residual_log_hi.exp();
+        Prediction {
+            init_mhz,
+            target_mhz,
+            value_ms,
+            lo_ms: lo.min(value_ms),
+            hi_ms: hi.max(value_ms),
+            source,
+        }
+    }
+
+    /// Bilinear interpolation over measured grid cells. `None` when either
+    /// frequency falls outside the measured range or no usable corner cell
+    /// exists (diagonal corners and unmeasured cells drop out; remaining
+    /// weights renormalise).
+    fn interpolate(&self, init_mhz: u32, target_mhz: u32) -> Option<f64> {
+        let (i0, i1, fi) = bracket(&self.grid_freqs_mhz, init_mhz)?;
+        let (t0, t1, ft) = bracket(&self.grid_freqs_mhz, target_mhz)?;
+        let corners = [
+            (i0, t0, (1.0 - fi) * (1.0 - ft)),
+            (i0, t1, (1.0 - fi) * ft),
+            (i1, t0, fi * (1.0 - ft)),
+            (i1, t1, fi * ft),
+        ];
+        let mut total_w = 0.0;
+        let mut acc = 0.0;
+        for (i, t, w) in corners {
+            if w <= 0.0 || i == t {
+                continue;
+            }
+            if let Some(cell) = self.cells.get(&(i, t)) {
+                total_w += w;
+                acc += w * cell.mean_ms;
+            }
+        }
+        if total_w > 0.0 {
+            Some(acc / total_w)
+        } else {
+            None
+        }
+    }
+
+    /// Canonical JSON (two-space pretty form, trailing newline). Bitwise
+    /// stable: same model ⇒ same bytes.
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("model serialises");
+        text.push('\n');
+        text
+    }
+
+    /// Parse a model from JSON.
+    pub fn from_json(text: &str) -> PredictResult<PredictModel> {
+        serde_json::from_str(text).map_err(|e| PredictError::Json(e.to_string()))
+    }
+}
+
+/// Bracket `f` within the sorted grid: the two neighbouring grid values and
+/// the fractional position between them. `None` outside the grid range.
+fn bracket(grid: &[u32], f: u32) -> Option<(u32, u32, f64)> {
+    let (&lo, &hi) = (grid.first()?, grid.last()?);
+    if f < lo || f > hi {
+        return None;
+    }
+    if let Some(&g) = grid.iter().find(|&&g| g == f) {
+        return Some((g, g, 0.0));
+    }
+    let upper_idx = grid.iter().position(|&g| g > f)?;
+    let (a, b) = (grid[upper_idx - 1], grid[upper_idx]);
+    let frac = (f - a) as f64 / (b - a) as f64;
+    Some((a, b, frac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusPair;
+
+    fn pair(init: u32, target: u32, samples: Vec<f64>) -> CorpusPair {
+        CorpusPair {
+            init_mhz: init,
+            target_mhz: target,
+            samples_ms: samples,
+            runs: 1,
+            outliers_rejected: 0,
+        }
+    }
+
+    /// A synthetic 3-frequency corpus with latency = |Δf|/100 + direction.
+    fn synthetic_corpus() -> Corpus {
+        let freqs = [600u32, 900, 1200];
+        let mut pairs = Vec::new();
+        for &i in &freqs {
+            for &t in &freqs {
+                if i == t {
+                    continue;
+                }
+                let base = (i as f64 - t as f64).abs() / 100.0 + if t > i { 2.0 } else { 1.0 };
+                pairs.push(pair(i, t, vec![base * 0.95, base, base * 1.05]));
+            }
+        }
+        Corpus {
+            device: "synthetic".to_string(),
+            families: vec!["run-0".to_string()],
+            runs: 1,
+            pairs,
+        }
+    }
+
+    #[test]
+    fn measured_pairs_are_reproduced_exactly() {
+        let corpus = synthetic_corpus();
+        let model = PredictModel::fit(&corpus).unwrap();
+        for p in &corpus.pairs {
+            let pred = model.predict(p.init_mhz, p.target_mhz).unwrap();
+            assert_eq!(pred.source, PredictionSource::Measured);
+            assert_eq!(pred.value_ms, p.mean_ms());
+            assert!(pred.lo_ms <= pred.value_ms && pred.value_ms <= pred.hi_ms);
+        }
+    }
+
+    #[test]
+    fn self_pair_has_no_prediction() {
+        let model = PredictModel::fit(&synthetic_corpus()).unwrap();
+        assert!(model.predict(600, 600).is_none());
+    }
+
+    #[test]
+    fn interior_queries_interpolate_between_cells() {
+        let model = PredictModel::fit(&synthetic_corpus()).unwrap();
+        // 750 MHz sits halfway between the 600 and 900 grid lines.
+        let pred = model.predict(750, 1200).unwrap();
+        assert_eq!(pred.source, PredictionSource::Interpolated);
+        let lo_cell = model.cell(600, 1200).unwrap().mean_ms;
+        let hi_cell = model.cell(900, 1200).unwrap().mean_ms;
+        let expected = (lo_cell + hi_cell) / 2.0;
+        assert!(
+            (pred.value_ms - expected).abs() < 1e-9,
+            "got {} want {expected}",
+            pred.value_ms
+        );
+        assert!(pred.lo_ms <= pred.value_ms && pred.value_ms <= pred.hi_ms);
+    }
+
+    #[test]
+    fn out_of_range_queries_fall_back_to_regression() {
+        let model = PredictModel::fit(&synthetic_corpus()).unwrap();
+        let pred = model.predict(1500, 600).unwrap();
+        assert_eq!(pred.source, PredictionSource::Regression);
+        assert!(pred.value_ms > 0.0);
+        // The synthetic law says a 900 MHz downward drop costs ~10 ms; the
+        // regression should land in a sane neighbourhood even extrapolating.
+        assert!(pred.value_ms < 100.0);
+    }
+
+    #[test]
+    fn fit_is_bitwise_deterministic() {
+        let corpus = synthetic_corpus();
+        let a = PredictModel::fit(&corpus).unwrap();
+        let b = PredictModel::fit(&corpus).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_model() {
+        let model = PredictModel::fit(&synthetic_corpus()).unwrap();
+        let round = PredictModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(model, round);
+        assert_eq!(model.to_json(), round.to_json());
+    }
+
+    #[test]
+    fn tiny_corpus_degrades_to_a_simpler_feature_set() {
+        // Two pairs cannot identify five coefficients; the fit must degrade
+        // deterministically instead of failing.
+        let corpus = Corpus {
+            device: "tiny".to_string(),
+            families: vec![],
+            runs: 1,
+            pairs: vec![
+                pair(600, 900, vec![2.0, 2.1]),
+                pair(900, 600, vec![1.0, 1.1]),
+            ],
+        };
+        let model = PredictModel::fit(&corpus).unwrap();
+        assert_ne!(model.feature_set, "full");
+        assert!(model.predict(600, 900).is_some());
+        assert!(model.predict(2000, 100).unwrap().value_ms > 0.0);
+    }
+
+    #[test]
+    fn bracket_geometry() {
+        let grid = [600u32, 900, 1200];
+        assert_eq!(bracket(&grid, 600), Some((600, 600, 0.0)));
+        assert_eq!(bracket(&grid, 750), Some((600, 900, 0.5)));
+        assert_eq!(bracket(&grid, 1200), Some((1200, 1200, 0.0)));
+        assert_eq!(bracket(&grid, 599), None);
+        assert_eq!(bracket(&grid, 1201), None);
+        assert_eq!(bracket(&[], 600), None);
+    }
+}

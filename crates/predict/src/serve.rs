@@ -1,0 +1,370 @@
+//! The serving layer: deploy a fitted model to consumers.
+//!
+//! Two consumers exist today. The governor daemon wants a
+//! [`LatencyTable`] covering every pair it
+//! might switch between: [`PredictedTable::over`] materialises one from the
+//! model, *confidence-gated* — pairs whose interval is too wide relative to
+//! their estimate are marked rejected and stay out of the converted table,
+//! so the latency-aware policy's unknown-pair refusal becomes a refusal of
+//! low-confidence predictions only. Batch clients submit pair lists:
+//! [`serve_batch`] answers every pair it can and routes the low-confidence
+//! remainder back into the measurement [`JobQueue`]
+//! as a follow-up campaign, so model-serving traffic and measurement
+//! traffic share one service.
+
+use latest_core::{CampaignSpec, FreqSelection, ScenarioSpec};
+use latest_governor::{LatencyTable, PairLatency};
+use latest_queue::{JobQueue, SubmitOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::model::PredictModel;
+use crate::{PredictError, PredictResult};
+
+/// One served prediction, with its confidence verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictedPair {
+    /// Initial frequency (MHz).
+    pub init_mhz: u32,
+    /// Target frequency (MHz).
+    pub target_mhz: u32,
+    /// Point estimate (ms).
+    pub value_ms: f64,
+    /// Lower confidence bound (ms).
+    pub lo_ms: f64,
+    /// Upper confidence bound (ms).
+    pub hi_ms: f64,
+    /// Interval width relative to the estimate.
+    pub rel_width: f64,
+    /// Cascade tier that produced the estimate (`measured`,
+    /// `interpolated` or `regression`).
+    pub source: String,
+    /// Whether the pair passed the confidence gate.
+    pub accepted: bool,
+}
+
+/// A confidence-gated prediction table over a frequency set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictedTable {
+    /// Registry device name of the underlying model.
+    pub device: String,
+    /// The gate: maximum accepted interval width relative to the estimate.
+    pub max_rel_width: f64,
+    /// Every ordered pair over the frequency set, accepted or not, in
+    /// (init, target) order.
+    pub entries: Vec<PredictedPair>,
+}
+
+impl PredictedTable {
+    /// Predict every ordered pair over `freqs` (diagonal excluded) and gate
+    /// each by `max_rel_width`. Frequencies are deduplicated and sorted so
+    /// the table layout is deterministic regardless of argument order.
+    pub fn over(model: &PredictModel, freqs: &[u32], max_rel_width: f64) -> PredictedTable {
+        let mut sorted: Vec<u32> = freqs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut entries = Vec::new();
+        for &init in &sorted {
+            for &target in &sorted {
+                let Some(p) = model.predict(init, target) else {
+                    continue;
+                };
+                let rel_width = p.rel_width();
+                entries.push(PredictedPair {
+                    init_mhz: init,
+                    target_mhz: target,
+                    value_ms: p.value_ms,
+                    lo_ms: p.lo_ms,
+                    hi_ms: p.hi_ms,
+                    rel_width,
+                    source: p.source.as_str().to_string(),
+                    accepted: rel_width <= max_rel_width,
+                });
+            }
+        }
+        PredictedTable {
+            device: model.device.clone(),
+            max_rel_width,
+            entries,
+        }
+    }
+
+    /// The entries that passed the confidence gate.
+    pub fn accepted(&self) -> impl Iterator<Item = &PredictedPair> + '_ {
+        self.entries.iter().filter(|e| e.accepted)
+    }
+
+    /// Entries that failed the gate, as bare pairs (measurement candidates).
+    pub fn rejected_pairs(&self) -> Vec<(u32, u32)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.accepted)
+            .map(|e| (e.init_mhz, e.target_mhz))
+            .collect()
+    }
+
+    /// Convert into the governor's [`LatencyTable`]. Each accepted pair
+    /// becomes a three-point sample `[lo, value, hi]`, so the daemon's
+    /// expected/tail queries and the transition replay see the predicted
+    /// distribution, not just a point. Rejected pairs stay absent — to the
+    /// latency-aware policy they are unknown, exactly as unmeasured pairs
+    /// are in a measured table.
+    pub fn to_latency_table(&self) -> LatencyTable {
+        let mut table = LatencyTable::new(self.device.clone());
+        for e in self.accepted() {
+            table.insert(PairLatency::new(
+                e.init_mhz,
+                e.target_mhz,
+                vec![e.lo_ms, e.value_ms, e.hi_ms],
+            ));
+        }
+        table
+    }
+
+    /// Canonical JSON (two-space pretty form, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("table serialises");
+        text.push('\n');
+        text
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> PredictResult<PredictedTable> {
+        serde_json::from_str(text).map_err(|e| PredictError::Json(e.to_string()))
+    }
+}
+
+/// Outcome of a batch query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// One answer per queried pair, in query order (self-pairs dropped).
+    pub answers: Vec<PredictedPair>,
+    /// Pairs that failed the confidence gate.
+    pub low_confidence: Vec<Vec<u32>>,
+    /// Id of the follow-up measurement job, when one was submitted.
+    pub submitted_job: Option<String>,
+}
+
+impl BatchOutcome {
+    /// Canonical JSON (two-space pretty form, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("outcome serialises");
+        text.push('\n');
+        text
+    }
+}
+
+/// Answer a batch of pair queries from the model, gating each by
+/// `max_rel_width`. When `queue` is given along with a template campaign
+/// spec, the low-confidence pairs are resubmitted as one measurement
+/// campaign (the template with its frequency list replaced by the union of
+/// the uncertain frequencies) — the same worker pool that serves measured
+/// campaigns picks it up, and the next `fit` folds the new runs in.
+pub fn serve_batch(
+    model: &PredictModel,
+    pairs: &[(u32, u32)],
+    max_rel_width: f64,
+    queue: Option<(&JobQueue, &CampaignSpec)>,
+) -> PredictResult<BatchOutcome> {
+    let mut answers = Vec::new();
+    let mut low_confidence = Vec::new();
+    for &(init, target) in pairs {
+        let Some(p) = model.predict(init, target) else {
+            continue;
+        };
+        let rel_width = p.rel_width();
+        let accepted = rel_width <= max_rel_width;
+        if !accepted {
+            low_confidence.push(vec![init, target]);
+        }
+        answers.push(PredictedPair {
+            init_mhz: init,
+            target_mhz: target,
+            value_ms: p.value_ms,
+            lo_ms: p.lo_ms,
+            hi_ms: p.hi_ms,
+            rel_width,
+            source: p.source.as_str().to_string(),
+            accepted,
+        });
+    }
+
+    let mut submitted_job = None;
+    if let (Some((queue, template)), false) = (queue, low_confidence.is_empty()) {
+        let mut freqs: Vec<u32> = low_confidence.iter().flatten().copied().collect();
+        freqs.sort_unstable();
+        freqs.dedup();
+        let mut spec = template.clone();
+        spec.frequencies = FreqSelection::List(freqs);
+        spec.description = format!(
+            "predict follow-up: {} low-confidence pair(s) of {}",
+            low_confidence.len(),
+            model.device
+        );
+        let job = queue.submit(ScenarioSpec::Campaign(spec), SubmitOptions::default())?;
+        submitted_job = Some(format!("job-{}", job.id.0));
+    }
+
+    Ok(BatchOutcome {
+        answers,
+        low_confidence,
+        submitted_job,
+    })
+}
+
+/// Parse a batch query file: JSON of the form
+/// `{"pairs": [[init, target], ...]}`.
+pub fn parse_batch_pairs(text: &str) -> PredictResult<Vec<(u32, u32)>> {
+    #[derive(Deserialize)]
+    struct Batch {
+        pairs: Vec<Vec<u32>>,
+    }
+    let batch: Batch = serde_json::from_str(text).map_err(|e| PredictError::Json(e.to_string()))?;
+    batch
+        .pairs
+        .iter()
+        .map(|p| match p.as_slice() {
+            [init, target] => Ok((*init, *target)),
+            other => Err(PredictError::Json(format!(
+                "each pair must be [init, target], got {} element(s)",
+                other.len()
+            ))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusPair};
+
+    fn corpus() -> Corpus {
+        let freqs = [600u32, 900, 1200, 1500];
+        let mut pairs = Vec::new();
+        for &i in &freqs {
+            for &t in &freqs {
+                if i == t {
+                    continue;
+                }
+                // A per-pair factor no (|Δf|, direction, band) feature can
+                // express, so the regression keeps honest residuals and its
+                // extrapolations stay wide.
+                let wiggle = 1.0 + 0.2 * (((i * 7 + t * 13) / 100 % 5) as f64 - 2.0);
+                let base = ((i as f64 - t as f64).abs() / 100.0 + 1.0) * wiggle;
+                pairs.push(CorpusPair {
+                    init_mhz: i,
+                    target_mhz: t,
+                    samples_ms: vec![base * 0.98, base, base * 1.02],
+                    runs: 1,
+                    outliers_rejected: 0,
+                });
+            }
+        }
+        Corpus {
+            device: "a100".to_string(),
+            families: vec![],
+            runs: 1,
+            pairs,
+        }
+    }
+
+    #[test]
+    fn gated_table_converts_to_governor_table() {
+        let model = PredictModel::fit(&corpus()).unwrap();
+        let table = PredictedTable::over(&model, &[600, 900, 1200, 750], 0.5);
+        // 4 frequencies => 12 ordered pairs predicted.
+        assert_eq!(table.entries.len(), 12);
+        // Measured pairs are tight and must pass the gate.
+        assert!(table
+            .entries
+            .iter()
+            .filter(|e| e.source == "measured")
+            .all(|e| e.accepted));
+
+        let latency = table.to_latency_table();
+        assert_eq!(latency.device_name, "a100");
+        assert_eq!(latency.len(), table.accepted().count());
+        // The governor sees the predicted interval as the sample.
+        let measured = table.accepted().next().unwrap();
+        let pair = latency
+            .pair(
+                latest_gpu_sim::freq::FreqMhz(measured.init_mhz),
+                latest_gpu_sim::freq::FreqMhz(measured.target_mhz),
+            )
+            .unwrap();
+        assert_eq!(pair.latencies_ms.len(), 3);
+    }
+
+    #[test]
+    fn a_strict_gate_rejects_vague_predictions() {
+        let model = PredictModel::fit(&corpus()).unwrap();
+        let loose = PredictedTable::over(&model, &[600, 750, 900, 1200], f64::INFINITY);
+        let strict = PredictedTable::over(&model, &[600, 750, 900, 1200], 0.0);
+        assert_eq!(loose.accepted().count(), loose.entries.len());
+        // A zero-width gate keeps only pairs with degenerate intervals.
+        assert!(strict.accepted().count() < loose.accepted().count());
+        assert!(!strict.rejected_pairs().is_empty());
+    }
+
+    #[test]
+    fn predicted_table_json_round_trips() {
+        let model = PredictModel::fit(&corpus()).unwrap();
+        let table = PredictedTable::over(&model, &[600, 900], 0.5);
+        let round = PredictedTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(table, round);
+        assert_eq!(table.to_json(), round.to_json());
+    }
+
+    #[test]
+    fn batch_serving_submits_follow_up_measurement() {
+        let model = PredictModel::fit(&corpus()).unwrap();
+        let dir = std::env::temp_dir().join(format!("latest_predict_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let queue = JobQueue::open(&dir).unwrap();
+        let template = latest_core::CampaignSpec::builder("a100")
+            .frequencies_mhz(&[600, 900])
+            .measurements(4, 6)
+            .rse_threshold(0.5)
+            .build()
+            .unwrap();
+
+        // One confident (measured) pair, one vague (regression, far outside
+        // the grid) pair under a tight gate.
+        let outcome = serve_batch(
+            &model,
+            &[(600, 900), (1410, 540)],
+            0.3,
+            Some((&queue, &template)),
+        )
+        .unwrap();
+        assert_eq!(outcome.answers.len(), 2);
+        assert!(outcome.answers[0].accepted);
+        assert!(!outcome.answers[1].accepted);
+        assert_eq!(outcome.low_confidence, vec![vec![1410, 540]]);
+
+        let job_id = outcome.submitted_job.expect("follow-up submitted");
+        let jobs = queue.jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(format!("job-{}", jobs[0].id.0), job_id);
+        match &jobs[0].spec {
+            ScenarioSpec::Campaign(spec) => {
+                assert_eq!(spec.frequencies, FreqSelection::List(vec![540, 1410]));
+                assert!(spec.description.contains("low-confidence"));
+            }
+            other => panic!("expected campaign spec, got {other:?}"),
+        }
+
+        // All-confident batches submit nothing.
+        let quiet = serve_batch(&model, &[(600, 900)], 0.3, Some((&queue, &template))).unwrap();
+        assert!(quiet.submitted_job.is_none());
+        assert_eq!(queue.jobs().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_pairs_parse_and_reject_malformed() {
+        let pairs = parse_batch_pairs(r#"{"pairs": [[600, 900], [900, 600]]}"#).unwrap();
+        assert_eq!(pairs, vec![(600, 900), (900, 600)]);
+        assert!(parse_batch_pairs(r#"{"pairs": [[600]]}"#).is_err());
+        assert!(parse_batch_pairs("not json").is_err());
+    }
+}

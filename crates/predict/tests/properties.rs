@@ -1,0 +1,97 @@
+//! Property-based tests for the prediction service: deterministic fitting,
+//! exact reproduction of measured pairs, and gate/table invariants.
+
+use latest_predict::{cross_validate, Corpus, CorpusPair, PredictModel, PredictedTable};
+use proptest::prelude::*;
+
+/// Synthetic corpora over subsets of a paper-like frequency ladder. Each
+/// pair's latency follows a |Δf| law scaled by an arbitrary per-pair factor
+/// (so the regression cannot fit exactly), with symmetric sample noise.
+fn corpora() -> impl Strategy<Value = Corpus> {
+    (
+        2usize..5,
+        prop::collection::vec(0.5..3.0f64, 30),
+        0.01..0.08f64,
+    )
+        .prop_map(|(n_extra, scales, noise)| {
+            let pool = [540u32, 705, 900, 1095, 1260, 1410];
+            let freqs = &pool[..2 + n_extra];
+            let mut pairs = Vec::new();
+            let mut k = 0;
+            for &init in freqs {
+                for &target in freqs {
+                    if init == target {
+                        continue;
+                    }
+                    let scale = scales[k % scales.len()];
+                    k += 1;
+                    let base = ((init as f64 - target as f64).abs() / 120.0 + 1.5) * scale;
+                    pairs.push(CorpusPair {
+                        init_mhz: init,
+                        target_mhz: target,
+                        samples_ms: vec![base * (1.0 - noise), base, base * (1.0 + noise)],
+                        runs: 1,
+                        outliers_rejected: 0,
+                    });
+                }
+            }
+            Corpus {
+                device: "prop".to_string(),
+                families: vec![],
+                runs: 1,
+                pairs,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn fit_is_deterministic_across_reserialisation(corpus in corpora()) {
+        let a = PredictModel::fit(&corpus).unwrap();
+        let b = PredictModel::fit(&corpus).unwrap();
+        prop_assert_eq!(&a, &b);
+        let json = a.to_json();
+        let round = PredictModel::from_json(&json).unwrap();
+        prop_assert_eq!(&round, &a);
+        prop_assert_eq!(round.to_json(), json);
+    }
+
+    #[test]
+    fn measured_pairs_are_reproduced_exactly(corpus in corpora()) {
+        let model = PredictModel::fit(&corpus).unwrap();
+        for pair in &corpus.pairs {
+            let p = model.predict(pair.init_mhz, pair.target_mhz).unwrap();
+            prop_assert_eq!(p.value_ms, pair.mean_ms());
+            prop_assert_eq!(p.source.as_str(), "measured");
+            prop_assert!(p.lo_ms <= p.value_ms && p.value_ms <= p.hi_ms);
+        }
+    }
+
+    #[test]
+    fn the_gate_partitions_the_predicted_table(corpus in corpora(), gate in 0.0..2.0f64) {
+        let model = PredictModel::fit(&corpus).unwrap();
+        let freqs = corpus.frequencies_mhz();
+        let table = PredictedTable::over(&model, &freqs, gate);
+        let accepted = table.accepted().count();
+        prop_assert_eq!(accepted + table.rejected_pairs().len(), table.entries.len());
+        for e in &table.entries {
+            prop_assert_eq!(e.accepted, e.rel_width <= gate);
+        }
+        // The governor sees exactly the accepted pairs.
+        prop_assert_eq!(table.to_latency_table().len(), accepted);
+        // And the table itself round-trips canonically.
+        let round = PredictedTable::from_json(&table.to_json()).unwrap();
+        prop_assert_eq!(round.to_json(), table.to_json());
+    }
+
+    #[test]
+    fn held_out_rows_never_answer_from_the_held_out_cell(corpus in corpora(), k in 2usize..6) {
+        let report = cross_validate(&corpus, k).unwrap();
+        prop_assert_eq!(report.rows.len(), corpus.pairs.len());
+        for row in &report.rows {
+            // The pair was held out of its fold's fit, so the answer must
+            // come from the cascade's fallback tiers.
+            prop_assert_ne!(row.source.as_str(), "measured");
+        }
+    }
+}

@@ -232,7 +232,7 @@ pub fn render_to_string(artifact: &dyn Artifact, format: Format) -> ReportResult
 // --- shared rendering helpers ----------------------------------------------
 
 /// Quote a CSV cell when it contains structural characters.
-fn csv_cell(s: &str) -> String {
+pub(crate) fn csv_cell(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -259,7 +259,7 @@ pub(crate) fn json_of(value: serde::Value) -> String {
     text
 }
 
-fn map(entries: Vec<(&str, serde::Value)>) -> serde::Value {
+pub(crate) fn map(entries: Vec<(&str, serde::Value)>) -> serde::Value {
     serde::Value::Map(
         entries
             .into_iter()
@@ -268,19 +268,19 @@ fn map(entries: Vec<(&str, serde::Value)>) -> serde::Value {
     )
 }
 
-fn str_v(s: &str) -> serde::Value {
+pub(crate) fn str_v(s: &str) -> serde::Value {
     serde::Value::Str(s.to_string())
 }
 
-fn f64_v(x: f64) -> serde::Value {
+pub(crate) fn f64_v(x: f64) -> serde::Value {
     serde::Value::F64(x)
 }
 
-fn u64_v(x: usize) -> serde::Value {
+pub(crate) fn u64_v(x: usize) -> serde::Value {
     serde::Value::U64(x as u64)
 }
 
-fn f64_seq(xs: &[f64]) -> serde::Value {
+pub(crate) fn f64_seq(xs: &[f64]) -> serde::Value {
     serde::Value::Seq(xs.iter().map(|&x| f64_v(x)).collect())
 }
 

@@ -15,6 +15,9 @@
 //! * [`table`] — aligned text tables (Table I / Table II);
 //! * [`govern`] — closed-loop governor scorecards (policy × traffic
 //!   comparison table and heatmaps for the `latest govern` CLI);
+//! * [`predicted`] — prediction-service validation figures
+//!   (predicted-vs-measured scatter with confidence whiskers, relative
+//!   error heatmap, per-pair comparison table);
 //! * [`svg`] — dependency-free SVG documents of the same figure types, for
 //!   committing rendered figures;
 //! * [`experiments`] — paper-value vs measured-value records that generate
@@ -39,6 +42,7 @@ pub mod diff;
 pub mod experiments;
 pub mod govern;
 pub mod heatmap;
+pub mod predicted;
 pub mod scatter;
 pub mod svg;
 pub mod table;
@@ -54,6 +58,7 @@ pub use diff::{CampaignDiff, PairDelta};
 pub use experiments::{ExperimentRecord, MetricRow};
 pub use govern::{energy_heatmap, missed_rate_heatmap, policy_scorecard_table, PolicyScoreRow};
 pub use heatmap::Heatmap;
+pub use predicted::{prediction_error_heatmap, prediction_table, PredictionRow, PredictionScatter};
 pub use scatter::{render_scatter, Scatter};
 pub use svg::{
     boxplot_svg, heatmap_svg, scatter_svg, text_svg, violin_pair_svg, violins_svg, SvgStyle,

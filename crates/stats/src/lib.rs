@@ -17,7 +17,10 @@
 //!   switching-latency measurement must be repeated
 //!   ([`summary::relative_standard_error`]),
 //! * quantiles and quantile ranges ([`mod@quantile`]) used by the adaptive
-//!   DBSCAN outlier filter (Algorithm 3).
+//!   DBSCAN outlier filter (Algorithm 3),
+//! * weighted least squares with a Huber-robust IRLS variant and residual
+//!   diagnostics ([`wls`]) — the regression engine behind the prediction
+//!   service's parametric latency model.
 //!
 //! Everything is pure, allocation-light `f64` math with no external
 //! dependencies, unit-tested against closed-form values.
@@ -26,9 +29,11 @@ pub mod dist;
 pub mod hypothesis;
 pub mod quantile;
 pub mod summary;
+pub mod wls;
 
 pub use hypothesis::{
     diff_confidence_interval, welch_t_test, z_test, ConfidenceInterval, SigmaBand, TestResult,
 };
 pub use quantile::{median, quantile, quantile_range};
 pub use summary::{relative_standard_error, robust_stats, RunningStats, Summary};
+pub use wls::{huber_fit, wls_fit, ResidualDiagnostics, WlsError, WlsFit};

@@ -1,0 +1,362 @@
+//! Weighted least-squares regression and residual diagnostics.
+//!
+//! The prediction service fits a parametric latency model over the archive:
+//! each measured frequency pair contributes one observation, weighted by how
+//! many latency samples back it. The fit itself is ordinary weighted least
+//! squares solved through the normal equations (the design matrices here are
+//! tiny — a handful of features over at most a few hundred pairs — so
+//! Gaussian elimination with partial pivoting is both adequate and exactly
+//! reproducible), plus a Huber-weighted IRLS variant that caps the influence
+//! of pathological pairs the way the paper's outlier filter caps individual
+//! samples.
+//!
+//! Everything is deterministic: no randomness, a fixed iteration count for
+//! the robust loop, and no dependence on ambient state — the same inputs
+//! produce bitwise-identical coefficients.
+
+use crate::quantile::median;
+
+/// Errors from a least-squares fit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WlsError {
+    /// `ys`/`weights` length differs from the number of rows, or rows have
+    /// inconsistent widths.
+    DimensionMismatch,
+    /// Fewer (positively weighted) observations than features.
+    Underdetermined,
+    /// The normal-equation matrix is numerically singular (e.g. collinear
+    /// features).
+    Singular,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+}
+
+impl std::fmt::Display for WlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WlsError::DimensionMismatch => write!(f, "design matrix dimensions are inconsistent"),
+            WlsError::Underdetermined => write!(f, "fewer weighted observations than features"),
+            WlsError::Singular => write!(f, "normal equations are singular"),
+            WlsError::InvalidWeight => write!(f, "weights must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for WlsError {}
+
+/// A fitted weighted least-squares model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WlsFit {
+    /// One coefficient per feature column.
+    pub coefficients: Vec<f64>,
+    /// Per-observation residual `y - x·b`, in input order.
+    pub residuals: Vec<f64>,
+    /// Sum of `w · r²` over all observations.
+    pub weighted_rss: f64,
+}
+
+impl WlsFit {
+    /// Evaluate the fitted model at a feature vector.
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefficients.len(), "feature count mismatch");
+        x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum()
+    }
+
+    /// Residual diagnostics for this fit.
+    pub fn diagnostics(&self) -> ResidualDiagnostics {
+        ResidualDiagnostics::of(&self.residuals)
+    }
+}
+
+/// Summary statistics of a residual vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResidualDiagnostics {
+    /// Number of residuals.
+    pub n: usize,
+    /// Mean absolute residual.
+    pub mae: f64,
+    /// Root-mean-square residual.
+    pub rmse: f64,
+    /// Largest absolute residual.
+    pub max_abs: f64,
+    /// Median residual (signed — a nonzero value flags systematic bias).
+    pub bias: f64,
+}
+
+impl ResidualDiagnostics {
+    /// Compute diagnostics over `residuals`. All fields are NaN when empty.
+    pub fn of(residuals: &[f64]) -> ResidualDiagnostics {
+        let n = residuals.len();
+        if n == 0 {
+            return ResidualDiagnostics {
+                n,
+                mae: f64::NAN,
+                rmse: f64::NAN,
+                max_abs: f64::NAN,
+                bias: f64::NAN,
+            };
+        }
+        let mae = residuals.iter().map(|r| r.abs()).sum::<f64>() / n as f64;
+        let rmse = (residuals.iter().map(|r| r * r).sum::<f64>() / n as f64).sqrt();
+        let max_abs = residuals.iter().map(|r| r.abs()).fold(0.0, f64::max);
+        ResidualDiagnostics {
+            n,
+            mae,
+            rmse,
+            max_abs,
+            bias: median(residuals),
+        }
+    }
+}
+
+/// Weighted least squares: minimise `Σ wᵢ (yᵢ - xᵢ·b)²`.
+///
+/// `rows` holds one feature vector per observation (include a constant `1.0`
+/// column for an intercept). Zero-weight observations are allowed; they
+/// contribute nothing to the fit but still receive a residual.
+pub fn wls_fit(rows: &[Vec<f64>], ys: &[f64], weights: &[f64]) -> Result<WlsFit, WlsError> {
+    let n = rows.len();
+    if ys.len() != n || weights.len() != n {
+        return Err(WlsError::DimensionMismatch);
+    }
+    let k = rows.first().map(|r| r.len()).unwrap_or(0);
+    if k == 0 || rows.iter().any(|r| r.len() != k) {
+        return Err(WlsError::DimensionMismatch);
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(WlsError::InvalidWeight);
+    }
+    if weights.iter().filter(|w| **w > 0.0).count() < k {
+        return Err(WlsError::Underdetermined);
+    }
+
+    // Normal equations: (XᵀWX) b = XᵀWy.
+    let mut xtx = vec![vec![0.0f64; k]; k];
+    let mut xty = vec![0.0f64; k];
+    for ((row, &y), &w) in rows.iter().zip(ys).zip(weights) {
+        for i in 0..k {
+            let wxi = w * row[i];
+            xty[i] += wxi * y;
+            for (cell, &xj) in xtx[i].iter_mut().zip(row) {
+                *cell += wxi * xj;
+            }
+        }
+    }
+
+    let coefficients = solve(xtx, xty)?;
+    let residuals: Vec<f64> = rows
+        .iter()
+        .zip(ys)
+        .map(|(row, &y)| {
+            y - row
+                .iter()
+                .zip(&coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        })
+        .collect();
+    let weighted_rss = residuals.iter().zip(weights).map(|(r, &w)| w * r * r).sum();
+    Ok(WlsFit {
+        coefficients,
+        residuals,
+        weighted_rss,
+    })
+}
+
+/// Number of Huber reweighting iterations in [`huber_fit`]. Fixed (rather
+/// than convergence-tested) so the fit is exactly reproducible.
+pub const HUBER_ITERATIONS: usize = 8;
+
+/// Huber tuning constant: residuals beyond `1.345 σ` are down-weighted.
+/// The textbook value giving 95 % efficiency under Gaussian errors.
+pub const HUBER_K: f64 = 1.345;
+
+/// Robust regression via iteratively reweighted least squares with the Huber
+/// loss. Starts from the plain WLS solution and runs a fixed
+/// [`HUBER_ITERATIONS`] reweighting passes; the residual scale is the
+/// normal-consistent median absolute deviation, recomputed each pass.
+///
+/// `weights` are the base observation weights (sample counts); the Huber
+/// weight multiplies them.
+pub fn huber_fit(rows: &[Vec<f64>], ys: &[f64], weights: &[f64]) -> Result<WlsFit, WlsError> {
+    let mut fit = wls_fit(rows, ys, weights)?;
+    for _ in 0..HUBER_ITERATIONS {
+        let abs: Vec<f64> = fit.residuals.iter().map(|r| r.abs()).collect();
+        // MAD scaled to estimate σ under normality (Φ⁻¹(0.75) ≈ 0.6745).
+        let scale = median(&abs) / 0.6745;
+        if !(scale.is_finite() && scale > 0.0) {
+            // Perfect (or near-perfect) fit: nothing to down-weight.
+            break;
+        }
+        let threshold = HUBER_K * scale;
+        let reweighted: Vec<f64> = fit
+            .residuals
+            .iter()
+            .zip(weights)
+            .map(|(r, &w)| {
+                let a = r.abs();
+                if a <= threshold {
+                    w
+                } else {
+                    w * threshold / a
+                }
+            })
+            .collect();
+        fit = wls_fit(rows, ys, &reweighted)?;
+    }
+    Ok(fit)
+}
+
+/// Solve `A b = rhs` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Result<Vec<f64>, WlsError> {
+    let k = rhs.len();
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("non-finite pivot")
+            })
+            .expect("non-empty pivot range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(WlsError::Singular);
+        }
+        a.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in col + 1..k {
+            let (eliminated, remaining) = a.split_at_mut(row);
+            let pivot_row = &eliminated[col];
+            let target = &mut remaining[0];
+            let factor = target[col] / pivot_row[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (t, &p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= factor * p;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut b = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let tail: f64 = (col + 1..k).map(|j| a[col][j] * b[j]).sum();
+        b[col] = (rhs[col] - tail) / a[col][col];
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(xs: &[f64]) -> Vec<Vec<f64>> {
+        xs.iter().map(|&x| vec![1.0, x]).collect()
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 2 + 3x with no noise: the fit must be exact.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let fit = wls_fit(&design(&xs), &ys, &[1.0; 5]).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!(fit.weighted_rss < 1e-12);
+        assert!((fit.predict(&[1.0, 10.0]) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_steer_the_fit() {
+        // Two clusters disagree on the intercept; the weighted fit must land
+        // on the heavy one.
+        let rows = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = [10.0, 10.0, 40.0];
+        let heavy_low = wls_fit(&rows, &ys, &[10.0, 10.0, 1.0]).unwrap();
+        let heavy_high = wls_fit(&rows, &ys, &[1.0, 1.0, 100.0]).unwrap();
+        assert!(heavy_low.coefficients[0] < 12.0);
+        assert!(heavy_high.coefficients[0] > 38.0);
+    }
+
+    #[test]
+    fn zero_weight_rows_are_ignored_but_get_residuals() {
+        let xs = [0.0, 1.0, 2.0, 100.0];
+        let mut ys: Vec<f64> = xs.iter().map(|x| 5.0 + x).collect();
+        ys[3] = -1000.0; // wild outlier, weight 0
+        let fit = wls_fit(&design(&xs), &ys, &[1.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((fit.coefficients[0] - 5.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 1.0).abs() < 1e-9);
+        assert_eq!(fit.residuals.len(), 4);
+        assert!(fit.residuals[3].abs() > 100.0);
+    }
+
+    #[test]
+    fn huber_shrugs_off_an_outlier() {
+        // A clean line plus one gross outlier: plain WLS is dragged off the
+        // true slope, the Huber fit stays on it.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.5 * x).collect();
+        ys[10] += 500.0;
+        let w = vec![1.0; 20];
+        let plain = wls_fit(&design(&xs), &ys, &w).unwrap();
+        let robust = huber_fit(&design(&xs), &ys, &w).unwrap();
+        let plain_err = (plain.coefficients[1] - 0.5).abs();
+        let robust_err = (robust.coefficients[1] - 0.5).abs();
+        assert!(
+            robust_err < plain_err / 10.0,
+            "huber slope error {robust_err} vs plain {plain_err}"
+        );
+    }
+
+    #[test]
+    fn huber_is_deterministic() {
+        let xs: Vec<f64> = (0..15).map(|i| i as f64 * 0.7).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 - 0.2 * x + if i % 5 == 0 { 4.0 } else { 0.0 })
+            .collect();
+        let w = vec![1.0; 15];
+        let a = huber_fit(&design(&xs), &ys, &w).unwrap();
+        let b = huber_fit(&design(&xs), &ys, &w).unwrap();
+        assert_eq!(a.coefficients, b.coefficients);
+        assert_eq!(a.residuals, b.residuals);
+    }
+
+    #[test]
+    fn error_cases() {
+        let rows = design(&[0.0, 1.0]);
+        assert_eq!(
+            wls_fit(&rows, &[1.0], &[1.0, 1.0]),
+            Err(WlsError::DimensionMismatch)
+        );
+        assert_eq!(
+            wls_fit(&rows, &[1.0, 2.0], &[1.0, -1.0]),
+            Err(WlsError::InvalidWeight)
+        );
+        // Two features but only one positively weighted row.
+        assert_eq!(
+            wls_fit(&rows, &[1.0, 2.0], &[1.0, 0.0]),
+            Err(WlsError::Underdetermined)
+        );
+        // Collinear columns are singular.
+        let collinear: Vec<Vec<f64>> = (0..4).map(|i| vec![1.0, 1.0, i as f64]).collect();
+        assert_eq!(
+            wls_fit(&collinear, &[0.0; 4], &[1.0; 4]),
+            Err(WlsError::Singular)
+        );
+    }
+
+    #[test]
+    fn diagnostics_summarise_residuals() {
+        let d = ResidualDiagnostics::of(&[1.0, -1.0, 3.0, -3.0]);
+        assert_eq!(d.n, 4);
+        assert!((d.mae - 2.0).abs() < 1e-12);
+        assert!((d.rmse - (5.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(d.max_abs, 3.0);
+        assert_eq!(d.bias, 0.0);
+        assert!(ResidualDiagnostics::of(&[]).mae.is_nan());
+    }
+}

@@ -35,6 +35,10 @@ use latest::governor::{
 };
 use latest::gpu_sim::devices::DeviceRegistry;
 use latest::gpu_sim::sm::WorkloadRegistry;
+use latest::predict::{
+    build_corpora, closed_loop_validate, corpus_for_device, cross_validate, family_matches,
+    parse_batch_pairs, serve_batch, PredictModel, PredictedTable,
+};
 use latest::queue::{
     JobId, JobQueue, JobState, PoolConfig, ProgressFormatter, QueueEvent, SubmitOptions, WorkerPool,
 };
@@ -62,14 +66,18 @@ commands:
                        per-pair latency deltas between two stored runs with
                        Mann-Whitney significance; exits 1 on significant
                        regressions
-  list-runs [--store <dir>] [--ids] [--prune <n>]
-                       enumerate the archive with spec provenance; --prune
-                       keeps only the latest n runs per experiment family
+  list-runs [--store <dir>] [--ids] [--family <prefix>] [--prune <n>]
+                       enumerate the archive with spec provenance; --family
+                       filters to one experiment family; --prune keeps only
+                       the latest n runs per family
   queue <submit|serve|status|cancel|watch> [...]
                        the campaign execution service (see `latest queue help`)
   govern <run|list-policies|list-traffic> [...]
                        score governor policies against synthetic traffic
                        using an archived latency table (see `latest govern help`)
+  predict <fit|query|validate> [...]
+                       fit latency models over the archive and serve pairs
+                       nobody measured (see `latest predict help`)
   validate <spec.json> check a scenario file, listing every violation
   print-spec [...]     print the effective spec for any run invocation
   list-devices         enumerate the device registry
@@ -111,6 +119,8 @@ report/diff/list-runs options:
   --out <dir>          output directory (report: the bundle; diff: the
                        delta heatmap + regression table in all formats)
   --alpha <p>          diff significance level                [0.05]
+  --family <prefix>    list-runs: only runs whose experiment family id
+                       starts with this prefix (with or without `run-`)
 
 Run targets for report/diff are either archived run ids (`run-<hex>`, any
 unambiguous prefix of at least 4 digits) or campaign scenario files, which
@@ -737,6 +747,7 @@ struct ArchiveArgs {
     against: Option<String>,
     ids_only: bool,
     prune: Option<usize>,
+    family: Option<String>,
 }
 
 fn parse_archive_args(raw: &[String]) -> Result<ArchiveArgs, String> {
@@ -748,6 +759,7 @@ fn parse_archive_args(raw: &[String]) -> Result<ArchiveArgs, String> {
         against: None,
         ids_only: false,
         prune: None,
+        family: None,
     };
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
@@ -770,6 +782,7 @@ fn parse_archive_args(raw: &[String]) -> Result<ArchiveArgs, String> {
                 }
             }
             "--ids" => out.ids_only = true,
+            "--family" => out.family = Some(value("--family")?),
             "--prune" => {
                 out.prune = Some(
                     value("--prune")?
@@ -961,13 +974,16 @@ fn cmd_list_runs(raw: &[String]) -> ExitCode {
             }
         }
     }
-    let runs = match store.list() {
+    let mut runs = match store.list() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: listing {}: {e}", args.store.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(prefix) = &args.family {
+        runs.retain(|run| family_matches(&latest::core::RunId::family_of(&run.spec), prefix));
+    }
     if args.ids_only {
         for run in &runs {
             println!("{}", run.run_id);
@@ -993,7 +1009,14 @@ fn cmd_list_runs(raw: &[String]) -> ExitCode {
         ]);
     }
     println!("{}", table.render());
-    eprintln!("{} archived run(s) in {}", runs.len(), args.store.display());
+    match &args.family {
+        Some(prefix) => eprintln!(
+            "{} archived run(s) in {} in experiment family {prefix}*",
+            runs.len(),
+            args.store.display()
+        ),
+        None => eprintln!("{} archived run(s) in {}", runs.len(), args.store.display()),
+    }
     ExitCode::SUCCESS
 }
 
@@ -1439,7 +1462,7 @@ from a measured, archived campaign. Requests arriving mid-switch stall —
 the paper's overhead made end-to-end observable.
 
 commands:
-  run <traffic>... --table <run-id|spec.json> [options]
+  run <traffic>... (--table <run-id|spec.json> | --predicted <model.json>)
                        score policies over traffic scenarios; each
                        <traffic> is a built-in name (see list-traffic) or
                        a traffic-spec JSON file
@@ -1450,7 +1473,15 @@ commands:
 run options:
   --table <target>     archived run id (unambiguous prefix) or campaign
                        scenario file whose archived run supplies the
-                       latency table (required)
+                       latency table
+  --predicted <model.json>
+                       supply the latency table from a fitted prediction
+                       model instead (`latest predict fit`): every grid
+                       pair whose confidence interval passes the gate is
+                       accepted, the rest stay unknown to the policies
+  --gate <fraction>    --predicted: max accepted interval width relative
+                       to the estimate                        [0.5]
+  --freqs <f,f,...>    --predicted: frequency set to tabulate  [model grid]
   --store <dir>        the result store to read               [latest-store]
   --policy <name>      score this policy; repeatable          [all policies]
   --compare            score every policy (the default when no --policy)
@@ -1459,8 +1490,9 @@ run options:
                        missed-rate/energy heatmaps, all formats) here
   --json               emit the scorecards as JSON on stdout
 
-Determinism: the same traffic specs, the same archived table and the same
---seed give bitwise-identical scorecards, independent of cell order.
+Determinism: the same traffic specs, the same table (archived or
+predicted) and the same --seed give bitwise-identical scorecards,
+independent of cell order.
 ";
 
 fn govern_fail(msg: &str) -> ExitCode {
@@ -1476,6 +1508,9 @@ fn govern_fail(msg: &str) -> ExitCode {
 struct GovernArgs {
     traffics: Vec<String>,
     table: Option<String>,
+    predicted: Option<PathBuf>,
+    gate: Option<f64>,
+    freqs: Option<Vec<u32>>,
     store: Option<PathBuf>,
     policies: Vec<String>,
     compare: bool,
@@ -1496,6 +1531,17 @@ fn parse_govern_args(raw: &[String]) -> Result<GovernArgs, String> {
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--table" => out.table = Some(value("--table")?),
+            "--predicted" => out.predicted = Some(PathBuf::from(value("--predicted")?)),
+            "--gate" => {
+                let gate: f64 = value("--gate")?
+                    .parse()
+                    .map_err(|e| format!("--gate: {e}"))?;
+                if gate.is_nan() || gate < 0.0 {
+                    return Err(format!("--gate must be non-negative, got {gate}"));
+                }
+                out.gate = Some(gate);
+            }
+            "--freqs" => out.freqs = Some(parse_freq_list(&value("--freqs")?)?),
             "--store" => out.store = Some(PathBuf::from(value("--store")?)),
             "--policy" => out.policies.push(value("--policy")?),
             "--compare" => out.compare = true,
@@ -1539,36 +1585,77 @@ fn govern_run(raw: &[String]) -> ExitCode {
     if args.traffics.is_empty() {
         return govern_fail("govern run takes at least one traffic scenario");
     }
-    let Some(table_target) = args.table.as_deref() else {
-        return govern_fail("--table <run-id|spec.json> is required");
-    };
-    let store_dir = args
-        .store
-        .clone()
-        .unwrap_or_else(|| PathBuf::from("latest-store"));
-    let store = match ResultStore::open(&store_dir) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: opening store: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let run = match resolve_stored_run(&store, table_target) {
-        Ok(r) => r,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::from(2);
-        }
-    };
-    let (table, skipped) = LatencyTable::from_campaign_counting(&run.result);
-    if !skipped.is_empty() {
-        eprintln!("note: {} ({})", skipped, run.run_id);
+    if args.predicted.is_none() && (args.gate.is_some() || args.freqs.is_some()) {
+        return govern_fail("--gate and --freqs only apply with --predicted");
     }
+    let (table, table_label) = match (&args.table, &args.predicted) {
+        (Some(_), Some(_)) => return govern_fail("--table and --predicted are mutually exclusive"),
+        (None, None) => {
+            return govern_fail(
+                "one of --table <run-id|spec.json> or --predicted <model.json> is required",
+            )
+        }
+        (Some(table_target), None) => {
+            let store_dir = args
+                .store
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("latest-store"));
+            let store = match ResultStore::open(&store_dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: opening store: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let run = match resolve_stored_run(&store, table_target) {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let (table, skipped) = LatencyTable::from_campaign_counting(&run.result);
+            if !skipped.is_empty() {
+                eprintln!("note: {} ({})", skipped, run.run_id);
+            }
+            (table, run.run_id.to_string())
+        }
+        (None, Some(model_path)) => {
+            let text = match std::fs::read_to_string(model_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: reading {}: {e}", model_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let model = match PredictModel::from_json(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", model_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let freqs = args
+                .freqs
+                .clone()
+                .unwrap_or_else(|| model.grid_freqs_mhz.clone());
+            let gate = args.gate.unwrap_or(0.5);
+            let predicted = PredictedTable::over(&model, &freqs, gate);
+            let rejected = predicted.rejected_pairs().len();
+            if rejected > 0 {
+                eprintln!(
+                    "note: {rejected} low-confidence pair(s) rejected by the gate ({gate}); \
+                     they stay unknown to the policies"
+                );
+            }
+            (
+                predicted.to_latency_table(),
+                format!("predicted:{}", model_path.display()),
+            )
+        }
+    };
     let Some(ladder) = ZoneLadder::from_table(&table) else {
-        eprintln!(
-            "error: archived run {} has no completed pairs; the latency table is empty",
-            run.run_id
-        );
+        eprintln!("error: {table_label} yields an empty latency table");
         return ExitCode::from(2);
     };
 
@@ -1632,7 +1719,7 @@ fn govern_run(raw: &[String]) -> ExitCode {
             "scored {} policies x {} traffic scenarios against table {} ({} pairs, device {})",
             policies.len(),
             traces.len(),
-            run.run_id,
+            table_label,
             table.len(),
             table.device_name
         );
@@ -1700,6 +1787,549 @@ fn cmd_govern(raw: &[String]) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// predict subcommands (the prediction service)
+
+const PREDICT_USAGE: &str = "\
+usage: latest predict <command> [options]
+
+The prediction service: fit per-device latency models over the result
+archive and serve pairs nobody measured. A model answers from a cascade —
+exact lookup on measured grid cells, bilinear interpolation between them,
+robust log-space regression beyond the grid — and every answer carries a
+confidence interval from the fit residuals. Fitting is deterministic: the
+same archive produces bitwise-identical model JSON.
+
+commands:
+  fit [options]        fit one model per archived device and write
+                       <device>.model.json into the output directory
+  query <model.json> [<init,target>...] [options]
+                       answer pair queries from a fitted model; with
+                       --queue, low-confidence pairs are resubmitted to
+                       the measurement service as one follow-up campaign
+  validate [options]   k-fold held-out validation over the archive, or
+                       closed-loop validation against simulator ground
+                       truth with --closed-loop
+  help                 print this message
+
+fit options:
+  --store <dir>        the result store to read               [latest-store]
+  --device <name>      fit only this device
+  --family <prefix>    train only on runs in this experiment family
+  --out <dir>          model output directory                 [predict-models]
+
+query options:
+  --gate <fraction>    max accepted interval width relative to the
+                       estimate                               [0.5]
+  --batch <file.json>  add pairs from {\"pairs\": [[init, target], ...]}
+  --freqs <f,f,...>    predict every ordered pair over this frequency set
+                       instead, and print the confidence-gated table
+  --queue <dir>        submit low-confidence pairs to this job queue as
+                       one follow-up campaign (requires --spec)
+  --spec <file.json>   template campaign spec for the follow-up
+  --json               emit the batch outcome / table as JSON
+
+validate options:
+  --store <dir>        the result store to read               [latest-store]
+  --device <name>      validate only this device              [all devices]
+  --family <prefix>    restrict to this experiment family
+  --folds <k>          cross-validation folds                 [5]
+  --closed-loop        replay every grid pair on a fresh simulated device
+                       and compare predictions to recorded ground truth
+  --reps <n>           closed-loop replays per pair           [3]
+  --seed <u64>         closed-loop replay seed                [0]
+  --out <dir>          write scatter / error-heatmap artifacts here
+  --json               emit the validation report(s) as JSON on stdout
+";
+
+fn predict_fail(msg: &str) -> ExitCode {
+    if msg.is_empty() {
+        print!("{PREDICT_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("error: {msg}\n\n{PREDICT_USAGE}");
+    ExitCode::from(2)
+}
+
+struct PredictArgs {
+    positionals: Vec<String>,
+    store: PathBuf,
+    device: Option<String>,
+    family: Option<String>,
+    out: Option<PathBuf>,
+    gate: f64,
+    batch: Option<PathBuf>,
+    freqs: Option<Vec<u32>>,
+    queue: Option<PathBuf>,
+    spec: Option<PathBuf>,
+    folds: usize,
+    closed_loop: bool,
+    reps: u32,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_predict_args(raw: &[String]) -> Result<PredictArgs, String> {
+    let mut out = PredictArgs {
+        positionals: Vec::new(),
+        store: PathBuf::from("latest-store"),
+        device: None,
+        family: None,
+        out: None,
+        gate: 0.5,
+        batch: None,
+        freqs: None,
+        queue: None,
+        spec: None,
+        folds: 5,
+        closed_loop: false,
+        reps: 3,
+        seed: 0,
+        json: false,
+    };
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--store" => out.store = PathBuf::from(value("--store")?),
+            "--device" => out.device = Some(value("--device")?),
+            "--family" => out.family = Some(value("--family")?),
+            "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+            "--gate" => {
+                out.gate = value("--gate")?
+                    .parse()
+                    .map_err(|e| format!("--gate: {e}"))?;
+                if out.gate.is_nan() || out.gate < 0.0 {
+                    return Err(format!("--gate must be non-negative, got {}", out.gate));
+                }
+            }
+            "--batch" => out.batch = Some(PathBuf::from(value("--batch")?)),
+            "--freqs" => out.freqs = Some(parse_freq_list(&value("--freqs")?)?),
+            "--queue" => out.queue = Some(PathBuf::from(value("--queue")?)),
+            "--spec" => out.spec = Some(PathBuf::from(value("--spec")?)),
+            "--folds" => {
+                out.folds = value("--folds")?
+                    .parse()
+                    .map_err(|e| format!("--folds: {e}"))?
+            }
+            "--closed-loop" => out.closed_loop = true,
+            "--reps" => {
+                out.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => out.json = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            positional => out.positionals.push(positional.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// The per-device corpora selected by the `--device` / `--family` filters.
+fn predict_corpora(args: &PredictArgs) -> Result<Vec<latest::predict::Corpus>, String> {
+    let store = ResultStore::open(&args.store)
+        .map_err(|e| format!("opening {}: {e}", args.store.display()))?;
+    match &args.device {
+        Some(device) => corpus_for_device(&store, device, args.family.as_deref())
+            .map(|c| vec![c])
+            .map_err(|e| e.to_string()),
+        None => {
+            let corpora =
+                build_corpora(&store, args.family.as_deref()).map_err(|e| e.to_string())?;
+            if corpora.is_empty() {
+                return Err(format!(
+                    "the archive at {} holds no runs matching the filter",
+                    args.store.display()
+                ));
+            }
+            Ok(corpora)
+        }
+    }
+}
+
+fn predict_fit(raw: &[String]) -> ExitCode {
+    let args = match parse_predict_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return predict_fail(&msg),
+    };
+    if !args.positionals.is_empty() {
+        return predict_fail("predict fit takes no positional arguments");
+    }
+    let corpora = match predict_corpora(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("predict-models"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: creating {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for corpus in &corpora {
+        let model = match PredictModel::fit(corpus) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: fitting {}: {e}", corpus.device);
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = out_dir.join(format!("{}.model.json", corpus.device));
+        if let Err(e) = std::fs::write(&path, model.to_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "fitted {}: {} pairs / {} samples from {} run(s), {} features -> {}",
+            corpus.device,
+            model.trained_pairs,
+            model.training_samples,
+            corpus.runs,
+            model.feature_set,
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Render served predictions as an aligned table.
+fn predicted_pairs_table(pairs: &[latest::predict::PredictedPair]) -> TextTable {
+    let mut table = TextTable::with_header(&[
+        "init MHz",
+        "target MHz",
+        "latency ms",
+        "lo ms",
+        "hi ms",
+        "source",
+        "accepted",
+    ]);
+    for p in pairs {
+        table.row(&[
+            p.init_mhz.to_string(),
+            p.target_mhz.to_string(),
+            format!("{:.4}", p.value_ms),
+            format!("{:.4}", p.lo_ms),
+            format!("{:.4}", p.hi_ms),
+            p.source.clone(),
+            if p.accepted { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table
+}
+
+fn predict_query(raw: &[String]) -> ExitCode {
+    let args = match parse_predict_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return predict_fail(&msg),
+    };
+    let Some((model_path, pair_args)) = args.positionals.split_first() else {
+        return predict_fail("predict query takes a model file first");
+    };
+    let text = match std::fs::read_to_string(model_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {model_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match PredictModel::from_json(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {model_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Table mode: every ordered pair over a frequency set.
+    if let Some(freqs) = &args.freqs {
+        if !pair_args.is_empty() || args.batch.is_some() {
+            return predict_fail("--freqs replaces explicit pairs; give one or the other");
+        }
+        let table = PredictedTable::over(&model, freqs, args.gate);
+        if args.json {
+            print!("{}", table.to_json());
+        } else {
+            println!("{}", predicted_pairs_table(&table.entries).render());
+            eprintln!(
+                "{} of {} pair(s) accepted at gate {} (device {})",
+                table.accepted().count(),
+                table.entries.len(),
+                args.gate,
+                table.device
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Batch mode: explicit pairs from the command line and/or a batch file.
+    let mut pairs = Vec::new();
+    for arg in pair_args {
+        match parse_freq_list(arg).as_deref() {
+            Ok([init, target]) => pairs.push((*init, *target)),
+            _ => return predict_fail(&format!("bad pair {arg:?}: expected <init,target>")),
+        }
+    }
+    if let Some(batch_path) = &args.batch {
+        let text = match std::fs::read_to_string(batch_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", batch_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match parse_batch_pairs(&text) {
+            Ok(batch) => pairs.extend(batch),
+            Err(e) => {
+                eprintln!("error: {}: {e}", batch_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return predict_fail("predict query needs pairs (positional <init,target> or --batch)");
+    }
+
+    let queue;
+    let template;
+    let mut follow_up = None;
+    match (&args.queue, &args.spec) {
+        (Some(queue_dir), Some(spec_path)) => {
+            queue = match JobQueue::open(queue_dir) {
+                Ok(q) => q,
+                Err(e) => {
+                    eprintln!("error: opening queue {}: {e}", queue_dir.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let text = match std::fs::read_to_string(spec_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: reading {}: {e}", spec_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            template = match ScenarioSpec::from_json(&text) {
+                Ok(ScenarioSpec::Campaign(spec)) => spec,
+                Ok(ScenarioSpec::Fleet(_)) => {
+                    eprintln!(
+                        "error: {} is a fleet spec; the follow-up template must be a campaign",
+                        spec_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: parsing {}: {e}", spec_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            follow_up = Some((&queue, &template));
+        }
+        (None, None) => {}
+        _ => return predict_fail("--queue and --spec go together"),
+    }
+    let outcome = match serve_batch(&model, &pairs, args.gate, follow_up) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", outcome.to_json());
+    } else {
+        println!("{}", predicted_pairs_table(&outcome.answers).render());
+        if !outcome.low_confidence.is_empty() {
+            eprintln!(
+                "{} low-confidence pair(s) at gate {}",
+                outcome.low_confidence.len(),
+                args.gate
+            );
+        }
+        if let Some(job) = &outcome.submitted_job {
+            eprintln!("submitted follow-up measurement campaign as {job}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn predict_validate(raw: &[String]) -> ExitCode {
+    let args = match parse_predict_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return predict_fail(&msg),
+    };
+    if !args.positionals.is_empty() {
+        return predict_fail("predict validate takes no positional arguments");
+    }
+    let corpora = match predict_corpora(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.closed_loop {
+        return predict_validate_closed_loop(&args, &corpora);
+    }
+
+    let mut reports = Vec::new();
+    for corpus in &corpora {
+        match cross_validate(corpus, args.folds) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("error: validating {}: {e}", corpus.device);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.json {
+        if let [report] = reports.as_slice() {
+            print!("{}", report.to_json());
+        } else {
+            let mut text = serde_json::to_string_pretty(&reports).expect("reports serialise");
+            text.push('\n');
+            print!("{text}");
+        }
+    } else {
+        let mut table = TextTable::with_header(&[
+            "device", "folds", "pairs", "MAE ms", "MAPE", "RMSE ms", "coverage",
+        ]);
+        for r in &reports {
+            table.row(&[
+                r.device.clone(),
+                r.folds.to_string(),
+                r.rows.len().to_string(),
+                format!("{:.4}", r.mae_ms),
+                format!("{:.4}", r.mape),
+                format!("{:.4}", r.rmse_ms),
+                format!("{:.2}", r.coverage),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    if let Some(out_dir) = &args.out {
+        let mut bundle = Bundle::new();
+        for report in &reports {
+            bundle.add(
+                format!("{}_held_out_scatter", report.device),
+                report.scatter(),
+            );
+            bundle.add(
+                format!("{}_held_out_error", report.device),
+                report.error_heatmap(),
+            );
+            bundle.add_file(format!("{}_held_out.json", report.device), report.to_json());
+        }
+        match bundle.write_to(out_dir) {
+            Ok(written) => eprintln!("wrote {} files to {}", written.len(), out_dir.display()),
+            Err(e) => {
+                eprintln!("error: writing bundle: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn predict_validate_closed_loop(
+    args: &PredictArgs,
+    corpora: &[latest::predict::Corpus],
+) -> ExitCode {
+    let registry = DeviceRegistry::builtin();
+    let mut reports = Vec::new();
+    for corpus in corpora {
+        let model = match PredictModel::fit(corpus) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: fitting {}: {e}", corpus.device);
+                return ExitCode::from(2);
+            }
+        };
+        let Some(device) = registry.get(&corpus.device) else {
+            eprintln!(
+                "error: device '{}' is not in the registry; closed-loop replay needs a \
+                 simulator spec",
+                corpus.device
+            );
+            return ExitCode::from(2);
+        };
+        match closed_loop_validate(&model, &device, args.reps, args.seed) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("error: replaying {}: {e}", corpus.device);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.json {
+        if let [report] = reports.as_slice() {
+            print!("{}", report.to_json());
+        } else {
+            let mut text = serde_json::to_string_pretty(&reports).expect("reports serialise");
+            text.push('\n');
+            print!("{text}");
+        }
+    } else {
+        let mut table = TextTable::with_header(&["device", "reps", "pairs", "MAE ms", "MAPE"]);
+        for r in &reports {
+            table.row(&[
+                r.device.clone(),
+                r.reps.to_string(),
+                r.rows.len().to_string(),
+                format!("{:.4}", r.mae_ms),
+                format!("{:.4}", r.mape),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    if let Some(out_dir) = &args.out {
+        let mut bundle = Bundle::new();
+        for report in &reports {
+            bundle.add(
+                format!("{}_closed_loop_scatter", report.device),
+                report.scatter(),
+            );
+            bundle.add_file(
+                format!("{}_closed_loop.json", report.device),
+                report.to_json(),
+            );
+        }
+        match bundle.write_to(out_dir) {
+            Ok(written) => eprintln!("wrote {} files to {}", written.len(), out_dir.display()),
+            Err(e) => {
+                eprintln!("error: writing bundle: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_predict(raw: &[String]) -> ExitCode {
+    match raw.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => predict_fail(""),
+        Some("fit") => predict_fit(&raw[1..]),
+        Some("query") => predict_query(&raw[1..]),
+        Some("validate") => predict_validate(&raw[1..]),
+        Some(other) => predict_fail(&format!("unknown predict command {other:?}")),
+    }
+}
+
 fn cmd_run(raw: &[String]) -> ExitCode {
     let args = match parse_run_args(raw) {
         Ok(a) => a,
@@ -1727,6 +2357,7 @@ fn main() -> ExitCode {
         Some("list-runs") => cmd_list_runs(&argv[1..]),
         Some("queue") => cmd_queue(&argv[1..]),
         Some("govern") => cmd_govern(&argv[1..]),
+        Some("predict") => cmd_predict(&argv[1..]),
         Some("validate") => cmd_validate(&argv[1..]),
         Some("print-spec") => cmd_print_spec(&argv[1..]),
         Some("list-devices") => cmd_list_devices(),

@@ -24,6 +24,7 @@
 //! | [`governor`] | `latest-governor` | latency-aware DVFS governor (Sec. VIII application) |
 //! | [`queue`] | `latest-queue` | campaign execution service (job queue, workers, result cache) |
 //! | [`traffic`] | `latest-traffic` | deterministic open-loop traffic generators |
+//! | [`predict`] | `latest-predict` | latency models fitted over the archive, served to the governor |
 //! | [`report`] | `latest-report` | heatmaps, violins, tables, CSV |
 //!
 //! ## Quick start
@@ -62,6 +63,7 @@ pub use latest_ftalat as ftalat;
 pub use latest_governor as governor;
 pub use latest_gpu_sim as gpu_sim;
 pub use latest_nvml_sim as nvml;
+pub use latest_predict as predict;
 pub use latest_queue as queue;
 pub use latest_report as report;
 pub use latest_sim_clock as sim_clock;

@@ -7,11 +7,12 @@
 //! bitwise scorecard determinism.
 
 use latest::core::spec::CampaignSpec;
-use latest::core::ResultStore;
+use latest::core::{FreqSelection, ResultStore};
 use latest::governor::{
     make_policy, replay_seed, DaemonConfig, GovernorDaemon, LatencyTable, PowerModel, Scorecard,
     TransitionReplay, ZoneLadder, POLICY_NAMES,
 };
+use latest::predict::{corpus_for_device, PredictModel, PredictedTable};
 use latest::traffic::TrafficRegistry;
 
 fn stress_spec() -> CampaignSpec {
@@ -131,6 +132,65 @@ fn every_policy_scores_every_builtin_traffic_shape() {
             assert!(card.missed_deadlines <= card.with_deadline);
         }
     }
+}
+
+#[test]
+fn a_predicted_table_fills_the_skipped_pairs_and_drives_the_daemon_deterministically() {
+    let dir = std::env::temp_dir().join(format!("latest_govern_pred_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).unwrap();
+    let spec = stress_spec();
+    let result = spec.clone().into_session().unwrap().run().unwrap();
+    store.put(&spec, &result).unwrap();
+
+    let corpus = corpus_for_device(&store, &spec.device, None).unwrap();
+    let model = PredictModel::fit(&corpus).unwrap();
+    let FreqSelection::List(freqs) = &spec.frequencies else {
+        panic!("stress scenario lists its frequencies explicitly");
+    };
+
+    // The measured table skips the 5 pairs that exhaust their retries (see
+    // build_stress_table); the prediction cascade answers all 12 ordered
+    // pairs, falling back to interpolation/regression for the skipped ones.
+    let full = PredictedTable::over(&model, freqs, f64::INFINITY);
+    assert_eq!(full.entries.len(), 12);
+    assert_eq!(full.accepted().count(), 12);
+    assert!(
+        full.entries.iter().any(|e| e.source != "measured"),
+        "the skipped pairs must be served by the fallback tiers"
+    );
+    let table = full.to_latency_table();
+    assert_eq!(table.len(), 12, "the gated table covers every ordered pair");
+    assert!(
+        corpus.pairs.len() < 12,
+        "the measured corpus must have holes for prediction to fill"
+    );
+
+    // The confidence gate is what relaxes the latency-aware policy's
+    // unknown-pair refusal: a tighter gate keeps fewer pairs, and the ones
+    // it drops stay unknown to the policy exactly like unmeasured pairs.
+    let tight = PredictedTable::over(&model, freqs, 0.0);
+    assert!(tight.accepted().count() < full.accepted().count());
+    assert_eq!(
+        tight.to_latency_table().len(),
+        tight.accepted().count(),
+        "rejected pairs stay out of the governor's table"
+    );
+
+    // Closed loop on predicted latencies: bitwise-deterministic scorecards,
+    // same as on a measured table.
+    for traffic in ["bursty", "steady"] {
+        let first = score(&table, "latency-aware", traffic, 11);
+        let second = score(&table, "latency-aware", traffic, 11);
+        assert_eq!(first.to_json(), second.to_json(), "{traffic}");
+        assert_eq!(first.completed, first.requests);
+    }
+    // And refitting over the same archive reproduces the model bitwise.
+    assert_eq!(
+        PredictModel::fit(&corpus).unwrap().to_json(),
+        model.to_json()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
