@@ -43,6 +43,7 @@ fn bench_sm_engine(c: &mut Criterion) {
                     &params,
                     &timer,
                     &mut rng,
+                    None,
                 ))
             })
         });

@@ -24,7 +24,7 @@ fn measure_pair(init: u32, target: u32, seed: u64) -> Vec<f64> {
     result
         .pairs()
         .iter()
-        .find(|p| p.init_mhz == init && p.target_mhz == target)
+        .find(|p| p.init_mhz() == init && p.target_mhz() == target)
         .and_then(|p| p.latencies_ms().map(<[f64]>::to_vec))
         .expect("pair measured")
 }

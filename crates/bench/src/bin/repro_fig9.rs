@@ -38,7 +38,7 @@ fn main() {
             let data = result
                 .pairs()
                 .iter()
-                .find(|p| p.init_mhz == init && p.target_mhz == target)
+                .find(|p| p.init_mhz() == init && p.target_mhz() == target)
                 .and_then(|p| p.analysis.as_ref())
                 .map(|a| a.inliers_ms.clone())
                 .unwrap_or_default();

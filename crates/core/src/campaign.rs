@@ -16,7 +16,6 @@
 use std::collections::HashMap;
 
 use latest_cluster::AdaptiveConfig;
-use latest_gpu_sim::freq::FreqMhz;
 
 use crate::analysis::PairAnalysis;
 use crate::config::CampaignConfig;
@@ -25,14 +24,15 @@ use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::probe::ProbeResult;
 use crate::session::{CampaignSession, ShardResult};
+use crate::state::{FreqState, PairKind};
 
 /// One pair's full result: measurements plus analysis.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PairMeasurement {
-    /// Initial frequency (MHz).
-    pub init_mhz: u32,
-    /// Target frequency (MHz).
-    pub target_mhz: u32,
+    /// Initial frequency state.
+    pub init: FreqState,
+    /// Target frequency state.
+    pub target: FreqState,
     /// How the measurement loop ended.
     pub outcome: PairOutcome,
     /// Algorithm-3 analysis of the latencies (None unless completed).
@@ -40,6 +40,22 @@ pub struct PairMeasurement {
 }
 
 impl PairMeasurement {
+    /// Initial core frequency (MHz).
+    pub fn init_mhz(&self) -> u32 {
+        self.init.core.0
+    }
+
+    /// Target core frequency (MHz).
+    pub fn target_mhz(&self) -> u32 {
+        self.target.core.0
+    }
+
+    /// Which domain(s) the transition moves (identity pairs, which are
+    /// never scheduled, classify as [`PairKind::Core`]).
+    pub fn kind(&self) -> PairKind {
+        self.init.kind_to(&self.target).unwrap_or(PairKind::Core)
+    }
+
     /// The filtered (outlier-free) summary, when available.
     pub fn filtered_summary(&self) -> Option<latest_stats::Summary> {
         self.analysis.as_ref().map(|a| a.filtered)
@@ -50,9 +66,39 @@ impl PairMeasurement {
         self.outcome.run().map(|r| r.latencies_ms.as_slice())
     }
 
-    /// Whether the transition increases frequency.
+    /// Whether the transition increases frequency (core first, then
+    /// memory for core-equal pairs).
     pub fn is_increase(&self) -> bool {
-        self.target_mhz > self.init_mhz
+        self.target > self.init
+    }
+}
+
+// Hand-written (de)serialisation: the legacy field names `init_mhz` /
+// `target_mhz` are kept so core-only archives stay byte-identical; a
+// two-domain state serialises in place as `{"core": .., "mem": ..}`.
+impl serde::Serialize for PairMeasurement {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("init_mhz".to_string(), self.init.to_value()),
+            ("target_mhz".to_string(), self.target.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            ("analysis".to_string(), self.analysis.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PairMeasurement {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("expected map for PairMeasurement, got {value:?}"))
+        })?;
+        let field = |name: &str| serde::field(entries, name, "PairMeasurement");
+        Ok(PairMeasurement {
+            init: serde::Deserialize::from_value(field("init_mhz")?)?,
+            target: serde::Deserialize::from_value(field("target_mhz")?)?,
+            outcome: serde::Deserialize::from_value(field("outcome")?)?,
+            analysis: serde::Deserialize::from_value(field("analysis")?)?,
+        })
     }
 }
 
@@ -76,7 +122,7 @@ pub struct CampaignResult {
     /// `(init, target) → pairs index`, built once at construction so
     /// [`CampaignResult::pair`] is O(1) instead of a linear scan (heatmap
     /// renderers call it once per cell).
-    index: HashMap<(u32, u32), usize>,
+    index: HashMap<(FreqState, FreqState), usize>,
 }
 
 impl CampaignResult {
@@ -92,7 +138,7 @@ impl CampaignResult {
         let index = pairs
             .iter()
             .enumerate()
-            .map(|(i, p)| ((p.init_mhz, p.target_mhz), i))
+            .map(|(i, p)| ((p.init, p.target), i))
             .collect();
         CampaignResult {
             device_name,
@@ -127,7 +173,7 @@ impl CampaignResult {
         seed: u64,
         phase1: Phase1Result,
         probe: ProbeResult,
-        ordered: &[(FreqMhz, FreqMhz)],
+        ordered: &[(FreqState, FreqState)],
         mut shards: Vec<ShardResult>,
     ) -> Self {
         shards.sort_by_key(|s| s.shard);
@@ -144,8 +190,8 @@ impl CampaignResult {
             .enumerate()
             .map(|(i, slot)| {
                 slot.unwrap_or_else(|| PairMeasurement {
-                    init_mhz: ordered[i].0 .0,
-                    target_mhz: ordered[i].1 .0,
+                    init: ordered[i].0,
+                    target: ordered[i].1,
                     outcome: PairOutcome::Cancelled,
                     analysis: None,
                 })
@@ -164,9 +210,18 @@ impl CampaignResult {
         self.pairs.iter().filter(|p| p.outcome.run().is_some())
     }
 
-    /// Look up one pair in O(1).
-    pub fn pair(&self, init: FreqMhz, target: FreqMhz) -> Option<&PairMeasurement> {
-        self.index.get(&(init.0, target.0)).map(|&i| &self.pairs[i])
+    /// Look up one pair in O(1). Accepts bare [`FreqMhz`] (core-only) or
+    /// full [`FreqState`] coordinates.
+    ///
+    /// [`FreqMhz`]: latest_gpu_sim::freq::FreqMhz
+    pub fn pair(
+        &self,
+        init: impl Into<FreqState>,
+        target: impl Into<FreqState>,
+    ) -> Option<&PairMeasurement> {
+        self.index
+            .get(&(init.into(), target.into()))
+            .map(|&i| &self.pairs[i])
     }
 
     /// Whether any pair was left unmeasured by a cancellation — i.e. this
@@ -262,6 +317,7 @@ impl Latest {
 mod tests {
     use super::*;
     use latest_gpu_sim::devices;
+    use latest_gpu_sim::freq::FreqMhz;
     use latest_gpu_sim::transition::FixedTransition;
     use latest_sim_clock::SimDuration;
     use std::sync::Arc;
@@ -289,8 +345,8 @@ mod tests {
             assert!(
                 (8.8..11.0).contains(&a.filtered.mean),
                 "{}->{}: mean {} ms",
-                p.init_mhz,
-                p.target_mhz,
+                p.init,
+                p.target,
                 a.filtered.mean
             );
         }
@@ -302,12 +358,12 @@ mod tests {
     fn pair_lookup_agrees_with_linear_scan() {
         let result = Latest::new(small_campaign(5)).run().unwrap();
         for p in result.pairs() {
-            let (init, target) = (FreqMhz(p.init_mhz), FreqMhz(p.target_mhz));
+            let (init, target) = (p.init, p.target);
             let via_index = result.pair(init, target).unwrap();
             let via_scan = result
                 .pairs()
                 .iter()
-                .find(|q| q.init_mhz == init.0 && q.target_mhz == target.0)
+                .find(|q| q.init == init && q.target == target)
                 .unwrap();
             assert!(std::ptr::eq(via_index, via_scan));
         }
@@ -340,8 +396,8 @@ mod tests {
                 assert!(
                     (m - g).abs() < 0.6,
                     "{}->{}: measured {m} vs truth {g}",
-                    p.init_mhz,
-                    p.target_mhz
+                    p.init,
+                    p.target
                 );
             }
         }

@@ -12,6 +12,8 @@ use latest_gpu_sim::freq::FreqMhz;
 use latest_gpu_sim::sm::WorkloadParams;
 use latest_sim_clock::SimDuration;
 
+use crate::state::FreqState;
+
 /// Full configuration of one measurement campaign on one device.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -25,6 +27,11 @@ pub struct CampaignConfig {
     /// Frequencies to benchmark (the tool's mandatory argument). Must be
     /// ladder values; all ordered pairs of distinct entries are candidates.
     pub frequencies: Vec<FreqMhz>,
+    /// Memory (DRAM) frequencies to benchmark. Empty = core-only campaign
+    /// (the original single-domain model, memory clock at the device
+    /// default). Non-empty = the campaign sweeps the full core × memory
+    /// state plane; entries must be memory-ladder values.
+    pub mem_frequencies: Vec<FreqMhz>,
     /// Master seed for the simulation substrate.
     pub seed: u64,
 
@@ -115,9 +122,62 @@ impl CampaignConfig {
         pairs
     }
 
+    /// The campaign's clock states: the configured core frequencies when
+    /// `mem_frequencies` is empty (core-only, memory at the device
+    /// default), otherwise the full core × memory cross product in
+    /// core-major order.
+    pub fn states(&self) -> Vec<FreqState> {
+        if self.mem_frequencies.is_empty() {
+            self.frequencies
+                .iter()
+                .map(|&f| FreqState::core_only(f))
+                .collect()
+        } else {
+            let mut states =
+                Vec::with_capacity(self.frequencies.len() * self.mem_frequencies.len());
+            for &core in &self.frequencies {
+                for &mem in &self.mem_frequencies {
+                    states.push(FreqState::with_mem(core, mem));
+                }
+            }
+            states
+        }
+    }
+
+    /// All ordered pairs (init != target) of the campaign's clock states.
+    /// For a core-only campaign this is [`Self::ordered_pairs`] lifted into
+    /// states; for a 2-D campaign it includes core-only, memory-only and
+    /// simultaneous transitions as distinct pairs.
+    pub fn ordered_state_pairs(&self) -> Vec<(FreqState, FreqState)> {
+        let states = self.states();
+        let mut pairs = Vec::new();
+        for &a in &states {
+            for &b in &states {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
     /// Expected duration of one iteration at `freq` (ns, noise-free).
     pub fn expected_iter_ns(&self, freq: FreqMhz) -> f64 {
         self.workload.expected_iter_ns(freq.as_f64())
+    }
+
+    /// Expected duration of one iteration in `state` (ns, noise-free):
+    /// the memory-stall portion of the workload is rescaled by the state's
+    /// memory clock when one is set.
+    pub fn expected_iter_ns_state(&self, state: FreqState) -> f64 {
+        match state.mem {
+            None => self.workload.expected_iter_ns(state.core.as_f64()),
+            Some(mem) => self.workload.expected_iter_ns_mem(
+                state.core.as_f64(),
+                mem.as_f64(),
+                self.spec.mem_freq_mhz as f64,
+            ),
+        }
     }
 
     /// Derived per-pair seed, stable across runs and independent of pair
@@ -128,6 +188,33 @@ impl CampaignConfig {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(((init.0 as u64) << 32) | target.0 as u64)
     }
+
+    /// Per-pair seed over clock states. Core-only pairs reduce to the exact
+    /// legacy [`Self::pair_seed`] formula (bitwise-identical campaigns);
+    /// states with a memory clock fold an independently mixed hash of the
+    /// memory pair into the same stream, keeping distinct state pairs
+    /// collision-free.
+    pub fn state_pair_seed(&self, init: FreqState, target: FreqState) -> u64 {
+        let base = self.pair_seed(init.core, target.core);
+        if init.mem.is_none() && target.mem.is_none() {
+            return base;
+        }
+        // `+ 1` keeps `Some(FreqMhz(0))` distinct from `None`.
+        let mi = init.mem.map(|m| m.0 as u64 + 1).unwrap_or(0);
+        let mt = target.mem.map(|m| m.0 as u64 + 1).unwrap_or(0);
+        base ^ mix64((mi << 32) | mt)
+    }
+}
+
+/// A 64-bit finaliser (splitmix64's): full avalanche, zero-free for
+/// non-zero inputs in practice — used to fold the memory pair into the
+/// per-pair seed without disturbing the legacy core-only stream.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
 }
 
 /// Builder for [`CampaignConfig`] with the paper's defaults.
@@ -145,6 +232,7 @@ impl CampaignConfigBuilder {
                 device_index: 0,
                 hostname: "simnode".to_string(),
                 frequencies: Vec::new(),
+                mem_frequencies: Vec::new(),
                 seed: 0,
                 rse_threshold: 0.05,
                 min_measurements: 25,
@@ -192,6 +280,19 @@ impl CampaignConfigBuilder {
     /// (the paper's heatmaps use such subsets).
     pub fn frequency_subset(mut self, n: usize) -> Self {
         self.config.frequencies = self.config.spec.ladder.subset(n);
+        self
+    }
+
+    /// Set the benchmarked memory frequencies (MHz). Empty (the default)
+    /// keeps the campaign core-only.
+    pub fn mem_frequencies_mhz(mut self, mhz: &[u32]) -> Self {
+        self.config.mem_frequencies = mhz.iter().map(|&m| FreqMhz(m)).collect();
+        self
+    }
+
+    /// Set the benchmarked memory frequencies from ladder values.
+    pub fn mem_frequencies(mut self, freqs: Vec<FreqMhz>) -> Self {
+        self.config.mem_frequencies = freqs;
         self
     }
 
@@ -354,6 +455,85 @@ mod tests {
         let b = c.pair_seed(FreqMhz(1410), FreqMhz(705));
         assert_ne!(a, b);
         assert_eq!(a, c.pair_seed(FreqMhz(705), FreqMhz(1410)));
+    }
+
+    #[test]
+    fn states_default_to_core_only_and_cross_with_memory() {
+        let core_only = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[705, 1410])
+            .build();
+        assert_eq!(
+            core_only.states(),
+            vec![
+                FreqState::core_only(FreqMhz(705)),
+                FreqState::core_only(FreqMhz(1410)),
+            ]
+        );
+        assert_eq!(core_only.ordered_state_pairs().len(), 2);
+
+        let plane = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[705, 1410])
+            .mem_frequencies_mhz(&[810, 1215])
+            .build();
+        assert_eq!(plane.states().len(), 4);
+        // 4 states → 12 ordered pairs: 4 core-only, 4 memory-only,
+        // 4 simultaneous.
+        let pairs = plane.ordered_state_pairs();
+        assert_eq!(pairs.len(), 12);
+        use crate::state::PairKind;
+        let count = |k: PairKind| {
+            pairs
+                .iter()
+                .filter(|(a, b)| a.kind_to(b) == Some(k))
+                .count()
+        };
+        assert_eq!(count(PairKind::Core), 4);
+        assert_eq!(count(PairKind::Memory), 4);
+        assert_eq!(count(PairKind::Simultaneous), 4);
+    }
+
+    #[test]
+    fn state_pair_seed_reduces_to_legacy_formula_for_core_only() {
+        let c = CampaignConfig::builder(devices::a100_sxm4())
+            .seed(9)
+            .build();
+        let legacy = c.pair_seed(FreqMhz(705), FreqMhz(1410));
+        assert_eq!(
+            c.state_pair_seed(
+                FreqState::core_only(FreqMhz(705)),
+                FreqState::core_only(FreqMhz(1410)),
+            ),
+            legacy
+        );
+        // Adding a memory dimension perturbs the seed, and distinct memory
+        // pairs over the same core pair stay distinct.
+        let a = c.state_pair_seed(
+            FreqState::with_mem(FreqMhz(705), FreqMhz(810)),
+            FreqState::with_mem(FreqMhz(1410), FreqMhz(810)),
+        );
+        let b = c.state_pair_seed(
+            FreqState::with_mem(FreqMhz(705), FreqMhz(1215)),
+            FreqState::with_mem(FreqMhz(1410), FreqMhz(1215)),
+        );
+        assert_ne!(a, legacy);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expected_iter_ns_state_scales_memory_stall() {
+        use latest_gpu_sim::sm::WorkloadParams;
+        let c = CampaignConfig::builder(devices::a100_sxm4())
+            .workload(WorkloadParams::memory_bound())
+            .build();
+        let core = FreqMhz(1410);
+        let full = c.expected_iter_ns_state(FreqState::with_mem(core, FreqMhz(1215)));
+        let half = c.expected_iter_ns_state(FreqState::with_mem(core, FreqMhz(607)));
+        assert!(half > full * 1.4, "half-mem-clock {half} vs full {full}");
+        // Core-only states fall back to the legacy single-domain estimate.
+        assert_eq!(
+            c.expected_iter_ns_state(FreqState::core_only(core)),
+            c.expected_iter_ns(core)
+        );
     }
 
     #[test]

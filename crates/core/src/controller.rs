@@ -14,7 +14,6 @@
 //!   core ever saw the target regime) the capture window is grown tenfold,
 //!   per Sec. V's "repeated with a ten-times longer workload".
 
-use latest_gpu_sim::freq::FreqMhz;
 use latest_stats::{RunningStats, Summary};
 
 use crate::config::CampaignConfig;
@@ -22,19 +21,20 @@ use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::phase2::run_phase2;
 use crate::phase3::evaluate_pass;
-use crate::platform::Platform;
+use crate::platform::{GroundTruth, Platform};
+use crate::state::{FreqState, PairKind};
 
 /// The collected measurements for one pair.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PairRun {
-    /// Initial frequency.
-    pub init: FreqMhz,
-    /// Target frequency.
-    pub target: FreqMhz,
+    /// Initial clock state.
+    pub init: FreqState,
+    /// Target clock state.
+    pub target: FreqState,
     /// Accepted switching latencies (ms), in measurement order.
     pub latencies_ms: Vec<f64>,
     /// Ground-truth switching latencies (ms) for the same passes, when the
-    /// platform offers the [`GroundTruth`](crate::platform::GroundTruth)
+    /// platform offers the [`GroundTruth`]
     /// capability (simulator only; used for closed-loop validation). `NaN`
     /// entries mean the backend could not know the truth.
     pub ground_truth_ms: Vec<f64>,
@@ -52,6 +52,12 @@ impl PairRun {
     /// Raw (unfiltered) descriptive summary of the latencies.
     pub fn summary(&self) -> Summary {
         Summary::of(&self.latencies_ms)
+    }
+
+    /// Which clock domains this pair transitions (core / memory /
+    /// simultaneous).
+    pub fn kind(&self) -> PairKind {
+        self.init.kind_to(&self.target).unwrap_or(PairKind::Core)
     }
 }
 
@@ -176,6 +182,28 @@ impl serde::Deserialize for PairOutcome {
     }
 }
 
+/// Ground-truth switching latency (ms) for the pair kind just driven:
+/// the core ledger for core-only pairs, the memory ledger for memory-only
+/// pairs, and for simultaneous pairs the span from the *first* driver call
+/// (core — phase 2 issues core before memory) to the *last* domain to
+/// settle.
+fn ground_truth_ms_for(gt: &dyn GroundTruth, init: FreqState, target: FreqState) -> Option<f64> {
+    match init.kind_to(&target) {
+        Some(PairKind::Core) | None => gt
+            .last_transition()
+            .map(|g| g.switching_latency().as_millis_f64()),
+        Some(PairKind::Memory) => gt
+            .last_mem_transition()
+            .map(|g| g.switching_latency().as_millis_f64()),
+        Some(PairKind::Simultaneous) => {
+            let core = gt.last_transition()?;
+            let mem = gt.last_mem_transition()?;
+            let settled = core.settled.max(mem.settled);
+            Some(settled.saturating_since(core.host_call).as_millis_f64())
+        }
+    }
+}
+
 /// Measure one pair to completion.
 ///
 /// `initial_bound_ms` is the probe phase's upper-bound estimate for the
@@ -184,10 +212,12 @@ pub fn run_pair<P: Platform>(
     platform: &mut P,
     config: &CampaignConfig,
     phase1: &Phase1Result,
-    init: FreqMhz,
-    target: FreqMhz,
+    init: impl Into<FreqState>,
+    target: impl Into<FreqState>,
     initial_bound_ms: f64,
 ) -> CoreResult<PairOutcome> {
+    let init: FreqState = init.into();
+    let target: FreqState = target.into();
     if !phase1.is_valid(init, target) {
         return Ok(PairOutcome::SkippedIndistinguishable);
     }
@@ -220,8 +250,7 @@ pub fn run_pair<P: Platform>(
                     // only a backend that knows the truth can report it.
                     let gt = platform
                         .as_ground_truth()
-                        .and_then(|g| g.last_transition())
-                        .map(|g| g.switching_latency().as_millis_f64())
+                        .and_then(|g| ground_truth_ms_for(g, init, target))
                         .unwrap_or(f64::NAN);
                     measured = Some((ns as f64 / 1e6, gt));
                     break;
@@ -306,6 +335,7 @@ mod tests {
     use crate::phase1::run_phase1;
     use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
+    use latest_gpu_sim::freq::FreqMhz;
     use latest_gpu_sim::transition::FixedTransition;
     use latest_sim_clock::SimDuration;
     use std::sync::Arc;

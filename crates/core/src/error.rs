@@ -25,6 +25,14 @@ pub enum CoreError {
         /// The offending frequency.
         freq: FreqMhz,
     },
+    /// A requested memory frequency is not on the device memory ladder.
+    UnknownMemFrequency {
+        /// The offending frequency.
+        freq: FreqMhz,
+    },
+    /// The campaign sweeps memory clocks but the platform does not offer
+    /// the [`MemoryClocks`](crate::platform::MemoryClocks) capability.
+    MemoryClocksUnsupported,
     /// Phase 2/3 retried more than the configured bound without producing a
     /// single valid per-core latency (Algorithm 2's GOTO-line-1 loop guard).
     RetriesExhausted {
@@ -66,6 +74,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownFrequency { freq } => {
                 write!(f, "frequency {freq} MHz is not on the device ladder")
+            }
+            CoreError::UnknownMemFrequency { freq } => {
+                write!(f, "memory frequency {freq} MHz is not on the device memory ladder")
+            }
+            CoreError::MemoryClocksUnsupported => {
+                write!(f, "the platform does not expose memory-clock control")
             }
             CoreError::RetriesExhausted { init, target, attempts } => write!(
                 f,

@@ -144,7 +144,7 @@ impl Fleet {
                     session = session.observe(move |e: &CampaignEvent| obs.event(slot, e));
                 }
                 let outcome = match self.shard_pairs {
-                    Some(n) => session.run_sharded(config.ordered_pairs().len().div_ceil(n)),
+                    Some(n) => session.run_sharded(config.ordered_state_pairs().len().div_ceil(n)),
                     None => session.run(),
                 };
                 match outcome {

@@ -69,6 +69,7 @@ pub mod platform;
 pub mod probe;
 pub mod session;
 pub mod spec;
+pub mod state;
 pub mod store;
 pub mod view;
 pub mod wakeup;
@@ -80,7 +81,9 @@ pub use controller::{PairOutcome, PairRun};
 pub use error::{CoreError, CoreResult};
 pub use fleet::{Fleet, FleetDeviceSummary, FleetObserver, FleetResult};
 pub use phase1::{FreqCharacterization, Phase1Result};
-pub use platform::{GroundTruth, Platform, PlatformFactory, SimPlatform, SimPlatformFactory};
+pub use platform::{
+    GroundTruth, MemoryClocks, Platform, PlatformFactory, SimPlatform, SimPlatformFactory,
+};
 pub use session::{
     CampaignEvent, CampaignObserver, CampaignPrelude, CampaignSession, CancelToken,
     ChannelObserver, PairTask, ShardPlan, ShardResult, SkipReason, WorkUnit,
@@ -89,5 +92,6 @@ pub use spec::{
     CampaignSpec, CampaignSpecBuilder, FleetSpec, FreqSelection, ScenarioSpec, SpecCheckpoint,
     SpecError, SpecErrors,
 };
+pub use state::{FreqState, PairKind};
 pub use store::{Provenance, ResultStore, RunId, StoreError, StoreResult, StoredRun};
 pub use view::{Direction, LatencyView, OutcomeKind, PairStat, PairView};

@@ -12,27 +12,60 @@ use latest_gpu_sim::freq::FreqMhz;
 
 use crate::controller::PairRun;
 use crate::error::{CoreError, CoreResult};
+use crate::state::FreqState;
+
+/// One state's file-name token: `{core}MHz` for a core-only state (the
+/// paper's convention, unchanged), `{core}MHzm{mem}` when the state pins a
+/// memory clock.
+fn state_token(s: FreqState) -> String {
+    match s.mem {
+        None => format!("{}MHz", s.core),
+        Some(m) => format!("{}MHzm{}", s.core, m.0),
+    }
+}
+
+fn parse_state_token(tok: &str) -> Option<FreqState> {
+    let (core_s, rest) = tok.split_once("MHz")?;
+    let core: u32 = core_s.parse().ok()?;
+    if rest.is_empty() {
+        Some(FreqState::core_only(FreqMhz(core)))
+    } else {
+        let mem: u32 = rest.strip_prefix('m')?.parse().ok()?;
+        Some(FreqState::with_mem(FreqMhz(core), FreqMhz(mem)))
+    }
+}
 
 /// The standardised file name:
-/// `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv`.
-pub fn csv_filename(init: FreqMhz, target: FreqMhz, hostname: &str, gpu_index: usize) -> String {
-    format!("latest_{init}MHz_{target}MHz_{hostname}_gpu{gpu_index}.csv")
+/// `latest_{init}MHz_{target}MHz_{hostname}_gpu{index}.csv`, with an
+/// `m{mem}` suffix on each frequency token when the campaign sweeps the
+/// memory domain.
+pub fn csv_filename(
+    init: impl Into<FreqState>,
+    target: impl Into<FreqState>,
+    hostname: &str,
+    gpu_index: usize,
+) -> String {
+    format!(
+        "latest_{}_{}_{hostname}_gpu{gpu_index}.csv",
+        state_token(init.into()),
+        state_token(target.into())
+    )
 }
 
 /// Parse a standardised file name back into its components.
-pub fn parse_csv_filename(name: &str) -> Option<(FreqMhz, FreqMhz, String, usize)> {
+pub fn parse_csv_filename(name: &str) -> Option<(FreqState, FreqState, String, usize)> {
     let stem = name.strip_suffix(".csv")?;
     let rest = stem.strip_prefix("latest_")?;
     let mut parts = rest.split('_');
-    let init: u32 = parts.next()?.strip_suffix("MHz")?.parse().ok()?;
-    let target: u32 = parts.next()?.strip_suffix("MHz")?.parse().ok()?;
+    let init = parse_state_token(parts.next()?)?;
+    let target = parse_state_token(parts.next()?)?;
     let mut middle: Vec<&str> = parts.collect();
     let gpu_part = middle.pop()?;
     let gpu_index: usize = gpu_part.strip_prefix("gpu")?.parse().ok()?;
     if middle.is_empty() {
         return None;
     }
-    Some((FreqMhz(init), FreqMhz(target), middle.join("_"), gpu_index))
+    Some((init, target, middle.join("_"), gpu_index))
 }
 
 /// Write one pair's latencies to `dir` under the standardised name.
@@ -99,8 +132,8 @@ mod tests {
 
     fn run_fixture() -> PairRun {
         PairRun {
-            init: FreqMhz(1095),
-            target: FreqMhz(705),
+            init: FreqMhz(1095).into(),
+            target: FreqMhz(705).into(),
             latencies_ms: vec![5.125, 5.25, 5.0625, 21.5],
             ground_truth_ms: vec![5.1, 5.2, 5.0, 21.4],
             retries: 0,
@@ -120,12 +153,22 @@ mod tests {
     fn filename_roundtrip() {
         let name = csv_filename(FreqMhz(345), FreqMhz(1980), "gh-node_a", 0);
         let (i, t, h, g) = parse_csv_filename(&name).unwrap();
-        assert_eq!(i, FreqMhz(345));
-        assert_eq!(t, FreqMhz(1980));
+        assert_eq!(i, FreqState::core_only(FreqMhz(345)));
+        assert_eq!(t, FreqState::core_only(FreqMhz(1980)));
         assert_eq!(h, "gh-node_a");
         assert_eq!(g, 0);
         assert!(parse_csv_filename("nonsense.csv").is_none());
         assert!(parse_csv_filename("latest_x_y_z_gpu0.csv").is_none());
+    }
+
+    #[test]
+    fn two_domain_filename_round_trips() {
+        let init = FreqState::with_mem(FreqMhz(1095), FreqMhz(810));
+        let target = FreqState::with_mem(FreqMhz(705), FreqMhz(1215));
+        let name = csv_filename(init, target, "node-a", 1);
+        assert_eq!(name, "latest_1095MHzm810_705MHzm1215_node-a_gpu1.csv");
+        let (i, t, h, g) = parse_csv_filename(&name).unwrap();
+        assert_eq!((i, t, h.as_str(), g), (init, target, "node-a", 1));
     }
 
     #[test]

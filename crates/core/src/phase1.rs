@@ -22,12 +22,17 @@ use latest_stats::{diff_confidence_interval, Summary};
 use crate::config::CampaignConfig;
 use crate::error::{CoreError, CoreResult};
 use crate::platform::Platform;
+use crate::state::FreqState;
 
-/// Per-frequency characterisation from the last warm kernel.
+/// Per-state characterisation from the last warm kernel.
+///
+/// `freq` is a [`FreqState`]: a bare core frequency for single-domain
+/// campaigns (serialised as the legacy bare number) or a full
+/// core + memory point for 2-D campaigns.
 #[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct FreqCharacterization {
-    /// The frequency.
-    pub freq: FreqMhz,
+    /// The clock state characterised.
+    pub freq: FreqState,
     /// Pooled iteration-duration summary (ns).
     pub iter_ns: Summary,
 }
@@ -36,12 +41,12 @@ pub struct FreqCharacterization {
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 #[serde(from = "Phase1ResultRepr", into = "Phase1ResultRepr")]
 pub struct Phase1Result {
-    /// Characterisation per frequency.
-    pub freqs: BTreeMap<FreqMhz, FreqCharacterization>,
-    /// Ordered pairs whose difference interval excludes zero.
-    pub valid_pairs: Vec<(FreqMhz, FreqMhz)>,
-    /// Ordered pairs excluded as statistically indistinguishable.
-    pub skipped_pairs: Vec<(FreqMhz, FreqMhz)>,
+    /// Characterisation per clock state.
+    pub freqs: BTreeMap<FreqState, FreqCharacterization>,
+    /// Ordered state pairs whose difference interval excludes zero.
+    pub valid_pairs: Vec<(FreqState, FreqState)>,
+    /// Ordered state pairs excluded as statistically indistinguishable.
+    pub skipped_pairs: Vec<(FreqState, FreqState)>,
 }
 
 /// Serialised shape of [`Phase1Result`]: the frequency map flattens into a
@@ -50,8 +55,8 @@ pub struct Phase1Result {
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 struct Phase1ResultRepr {
     freqs: Vec<FreqCharacterization>,
-    valid_pairs: Vec<(FreqMhz, FreqMhz)>,
-    skipped_pairs: Vec<(FreqMhz, FreqMhz)>,
+    valid_pairs: Vec<(FreqState, FreqState)>,
+    skipped_pairs: Vec<(FreqState, FreqState)>,
 }
 
 impl From<Phase1Result> for Phase1ResultRepr {
@@ -75,14 +80,15 @@ impl From<Phase1ResultRepr> for Phase1Result {
 }
 
 impl Phase1Result {
-    /// The characterisation of one frequency.
-    pub fn of(&self, freq: FreqMhz) -> Option<&FreqCharacterization> {
-        self.freqs.get(&freq)
+    /// The characterisation of one clock state (a bare [`FreqMhz`]
+    /// converts to the core-only state).
+    pub fn of(&self, state: impl Into<FreqState>) -> Option<&FreqCharacterization> {
+        self.freqs.get(&state.into())
     }
 
-    /// Whether a pair survived validation.
-    pub fn is_valid(&self, init: FreqMhz, target: FreqMhz) -> bool {
-        self.valid_pairs.contains(&(init, target))
+    /// Whether a state pair survived validation.
+    pub fn is_valid(&self, init: impl Into<FreqState>, target: impl Into<FreqState>) -> bool {
+        self.valid_pairs.contains(&(init.into(), target.into()))
     }
 }
 
@@ -101,17 +107,22 @@ pub fn run_phase1<P: Platform>(
             return Err(CoreError::UnknownFrequency { freq: f });
         }
     }
+    for &m in &config.mem_frequencies {
+        if !config.spec.mem_ladder.contains(m) {
+            return Err(CoreError::UnknownMemFrequency { freq: m });
+        }
+    }
 
     let mut freqs = BTreeMap::new();
-    for &freq in &config.frequencies {
-        let ch = characterize_frequency(platform, config, freq)?;
-        freqs.insert(freq, ch);
+    for state in config.states() {
+        let ch = characterize_state(platform, config, state)?;
+        freqs.insert(state, ch);
     }
 
     // Pairwise validation (Algorithm 1, lines 7-11, with the erratum fixed).
     let mut valid_pairs = Vec::new();
     let mut skipped_pairs = Vec::new();
-    for (init, target) in config.ordered_pairs() {
+    for (init, target) in config.ordered_state_pairs() {
         let a = freqs[&init].iter_ns;
         let b = freqs[&target].iter_ns;
         let distinguishable = diff_confidence_interval(&a, &b, config.confidence)
@@ -131,14 +142,28 @@ pub fn run_phase1<P: Platform>(
     })
 }
 
-/// Characterise one frequency: lock clocks, run `phase1_kernels` kernels,
-/// keep only the last kernel's pooled statistics.
+/// Characterise one core-only frequency (legacy single-domain entry
+/// point; see [`characterize_state`]).
 pub fn characterize_frequency<P: Platform>(
     platform: &mut P,
     config: &CampaignConfig,
     freq: FreqMhz,
 ) -> CoreResult<FreqCharacterization> {
-    platform.set_locked_clocks(freq)?;
+    characterize_state(platform, config, FreqState::core_only(freq))
+}
+
+/// Characterise one clock state: lock the memory clock (when the state has
+/// one), lock the core clock, run `phase1_kernels` kernels, keep only the
+/// last kernel's pooled statistics.
+pub fn characterize_state<P: Platform>(
+    platform: &mut P,
+    config: &CampaignConfig,
+    state: FreqState,
+) -> CoreResult<FreqCharacterization> {
+    if let Some(mem) = state.mem {
+        crate::platform::require_memory_clocks(platform)?.set_locked_mem_clocks(mem)?;
+    }
+    platform.set_locked_clocks(state.core)?;
     let kernel_cfg = KernelConfig {
         iters_per_sm: config.phase1_iters,
         workload: config.workload,
@@ -179,7 +204,7 @@ pub fn characterize_frequency<P: Platform>(
     // by several times.
     let stats = latest_stats::robust_stats(&durations, 4.0, 2);
     Ok(FreqCharacterization {
-        freq,
+        freq: state,
         iter_ns: stats.summary(),
     })
 }

@@ -14,22 +14,22 @@
 
 use latest_clock_sync::{SyncConfig, SyncResult};
 use latest_cuda_sim::TimerData;
-use latest_gpu_sim::freq::FreqMhz;
 use latest_gpu_sim::KernelConfig;
 use latest_sim_clock::{SimDuration, SimTime};
 use latest_stats::{SigmaBand, Summary};
 
 use crate::config::CampaignConfig;
 use crate::error::CoreResult;
-use crate::platform::Platform;
+use crate::platform::{require_memory_clocks, Platform};
+use crate::state::FreqState;
 
 /// Everything phase 3 needs from one benchmark pass.
 #[derive(Clone, Debug)]
 pub struct SwitchCapture {
-    /// The pair measured.
-    pub init: FreqMhz,
-    /// Target frequency.
-    pub target: FreqMhz,
+    /// Initial clock state of the pair measured.
+    pub init: FreqState,
+    /// Target clock state.
+    pub target: FreqState,
     /// `t_s` on the device timeline: host clock at the change call, mapped
     /// through the sync offset (Algorithm 2 line 6).
     pub ts_device: SimTime,
@@ -43,15 +43,17 @@ pub struct SwitchCapture {
 
 /// Size the benchmark kernel: delay period + latency bound (with safety
 /// factor) + confirmation window, in iterations at the *slower* of the two
-/// frequencies (conservative).
+/// states (conservative — for core-only pairs this is the lower core
+/// frequency, exactly the legacy sizing).
 pub fn kernel_iterations(
     config: &CampaignConfig,
-    init: FreqMhz,
-    target: FreqMhz,
+    init: impl Into<FreqState>,
+    target: impl Into<FreqState>,
     latency_bound_ms: f64,
 ) -> u32 {
-    let slow = init.min(target);
-    let iter_ns = config.expected_iter_ns(slow);
+    let iter_ns = config
+        .expected_iter_ns_state(init.into())
+        .max(config.expected_iter_ns_state(target.into()));
     let latency_iters =
         (latency_bound_ms * 1e6 * config.probe_safety_factor / iter_ns).ceil() as u32;
     config.delay_iterations + latency_iters + config.confirm_iterations
@@ -70,18 +72,23 @@ pub fn kernel_iterations(
 pub fn run_phase2<P: Platform>(
     platform: &mut P,
     config: &CampaignConfig,
-    init: FreqMhz,
-    target: FreqMhz,
+    init: impl Into<FreqState>,
+    target: impl Into<FreqState>,
     init_stats: &Summary,
     latency_bound_ms: f64,
 ) -> CoreResult<SwitchCapture> {
+    let init: FreqState = init.into();
+    let target: FreqState = target.into();
     // 1. Timer synchronisation.
     let sync = platform.synchronize_timers(&SyncConfig::default());
 
-    // 2. Initial frequency + warm-up workload, verified against the init
+    // 2. Initial clock state + warm-up workload, verified against the init
     //    characterisation: keep running until the tail of a warm kernel
     //    sits inside the init band.
-    platform.set_locked_clocks(init)?;
+    if let Some(mem) = init.mem {
+        require_memory_clocks(platform)?.set_locked_mem_clocks(mem)?;
+    }
+    platform.set_locked_clocks(init.core)?;
     let warm_cfg = KernelConfig {
         iters_per_sm: config.delay_iterations.max(200),
         workload: config.workload,
@@ -112,15 +119,25 @@ pub fn run_phase2<P: Platform>(
     };
     let bench_id = platform.launch_benchmark(bench_cfg)?;
 
-    // 4. Delay period: sleep while the kernel accumulates initial-frequency
+    // 4. Delay period: sleep while the kernel accumulates initial-state
     //    iterations.
-    let delay_ns = config.delay_iterations as f64 * config.expected_iter_ns(init);
+    let delay_ns = config.delay_iterations as f64 * config.expected_iter_ns_state(init);
     platform.sleep(SimDuration::from_nanos(delay_ns as u64));
 
-    // 5. t_s, then the frequency-change call.
+    // 5. t_s, then the frequency-change call(s): only the domains that
+    //    actually change, core first — a simultaneous pair issues both
+    //    driver calls back-to-back, and its latency is measured from the
+    //    first call.
     let ts_host = platform.now();
     let ts_device = sync.host_to_device(ts_host);
-    platform.set_locked_clocks(target)?;
+    if target.core != init.core {
+        platform.set_locked_clocks(target.core)?;
+    }
+    if target.mem != init.mem {
+        if let Some(mem) = target.mem {
+            require_memory_clocks(platform)?.set_locked_mem_clocks(mem)?;
+        }
+    }
 
     // 6. Wait for the kernel and fetch records.
     platform.synchronize();
@@ -142,6 +159,7 @@ mod tests {
     use crate::config::CampaignConfig;
     use crate::platform::SimPlatform;
     use latest_gpu_sim::devices;
+    use latest_gpu_sim::freq::FreqMhz;
     use latest_gpu_sim::transition::FixedTransition;
     use std::sync::Arc;
 

@@ -337,8 +337,8 @@ mod tests {
             t += dur;
         }
         let cap = SwitchCapture {
-            init: FreqMhz(1410),
-            target: FreqMhz(705),
+            init: FreqMhz(1410).into(),
+            target: FreqMhz(705).into(),
             ts_device: SimTime::from_nanos(1_000_000),
             records: vec![records],
             sync: latest_clock_sync::SyncResult {
@@ -373,8 +373,8 @@ mod tests {
             end: SimTime::from_nanos(100_000),
         }];
         let cap = SwitchCapture {
-            init: FreqMhz(1410),
-            target: FreqMhz(705),
+            init: FreqMhz(1410).into(),
+            target: FreqMhz(705).into(),
             ts_device: SimTime::from_nanos(500_000), // after every record
             records: vec![records],
             sync: latest_clock_sync::SyncResult {

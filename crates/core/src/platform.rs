@@ -104,6 +104,51 @@ pub trait Platform: Send {
     fn as_ground_truth(&self) -> Option<&dyn GroundTruth> {
         None
     }
+
+    /// The memory-clock control capability, when the backend offers it.
+    ///
+    /// Not every accelerator (or driver) exposes locked memory clocks;
+    /// campaigns that sweep the memory dimension require `Some`, core-only
+    /// campaigns never call this.
+    fn as_memory_clocks(&mut self) -> Option<&mut dyn MemoryClocks> {
+        None
+    }
+}
+
+/// Optional capability: NVML-style memory (DRAM) clock control.
+///
+/// The second frequency domain. Mirrors the core-clock surface of
+/// [`Platform`] one-for-one (`nvmlDeviceSetMemoryLockedClocks` /
+/// `nvmlDeviceGetClockInfo(NVML_CLOCK_MEM)`); capability-gated because real
+/// parts differ in whether the driver exposes it at all.
+pub trait MemoryClocks {
+    /// Lock the memory clock to `target`. Returns the ladder-snapped
+    /// frequency; blocks briefly on the host while the device applies the
+    /// change asynchronously.
+    fn set_locked_mem_clocks(&mut self, target: FreqMhz) -> CoreResult<FreqMhz>;
+
+    /// Release the memory lock and return to the default memory clock.
+    fn reset_locked_mem_clocks(&mut self) -> CoreResult<FreqMhz>;
+
+    /// The instantaneous memory clock.
+    fn current_mem_clock(&mut self) -> FreqMhz;
+
+    /// The device's supported memory-clock ladder.
+    fn supported_mem_clocks(&self) -> Vec<FreqMhz>;
+
+    /// The default (unlocked) memory clock.
+    fn default_mem_clock(&self) -> FreqMhz;
+}
+
+/// Fetch the [`MemoryClocks`] capability or fail with
+/// [`CoreError::MemoryClocksUnsupported`](crate::error::CoreError) — the
+/// single gate every memory-sweeping phase goes through.
+pub fn require_memory_clocks<P: Platform + ?Sized>(
+    platform: &mut P,
+) -> CoreResult<&mut dyn MemoryClocks> {
+    platform
+        .as_memory_clocks()
+        .ok_or(crate::error::CoreError::MemoryClocksUnsupported)
 }
 
 /// Optional capability: the platform records ground-truth transitions.
@@ -116,6 +161,17 @@ pub trait GroundTruth {
 
     /// The most recent ground-truth transition.
     fn last_transition(&self) -> Option<TransitionGroundTruth>;
+
+    /// All ground-truth *memory-clock* transitions. Empty unless the
+    /// backend also models a memory domain.
+    fn mem_transitions(&self) -> Vec<TransitionGroundTruth> {
+        Vec::new()
+    }
+
+    /// The most recent ground-truth memory-clock transition.
+    fn last_mem_transition(&self) -> Option<TransitionGroundTruth> {
+        None
+    }
 }
 
 /// Builds fresh [`Platform`] instances for campaign workers.
@@ -235,6 +291,10 @@ impl Platform for SimPlatform {
     fn as_ground_truth(&self) -> Option<&dyn GroundTruth> {
         Some(self)
     }
+
+    fn as_memory_clocks(&mut self) -> Option<&mut dyn MemoryClocks> {
+        Some(self)
+    }
 }
 
 impl GroundTruth for SimPlatform {
@@ -244,6 +304,36 @@ impl GroundTruth for SimPlatform {
 
     fn last_transition(&self) -> Option<TransitionGroundTruth> {
         self.last_ground_truth()
+    }
+
+    fn mem_transitions(&self) -> Vec<TransitionGroundTruth> {
+        self.device.lock().mem_transitions().to_vec()
+    }
+
+    fn last_mem_transition(&self) -> Option<TransitionGroundTruth> {
+        self.device.lock().last_mem_transition().copied()
+    }
+}
+
+impl MemoryClocks for SimPlatform {
+    fn set_locked_mem_clocks(&mut self, target: FreqMhz) -> CoreResult<FreqMhz> {
+        Ok(self.nvml.set_memory_locked_clocks(target)?)
+    }
+
+    fn reset_locked_mem_clocks(&mut self) -> CoreResult<FreqMhz> {
+        Ok(self.nvml.reset_memory_locked_clocks()?)
+    }
+
+    fn current_mem_clock(&mut self) -> FreqMhz {
+        self.nvml.mem_clock_info()
+    }
+
+    fn supported_mem_clocks(&self) -> Vec<FreqMhz> {
+        self.nvml.supported_memory_clocks()
+    }
+
+    fn default_mem_clock(&self) -> FreqMhz {
+        self.device.lock().spec().mem_default()
     }
 }
 
@@ -350,6 +440,30 @@ mod tests {
             Platform::now(&p).saturating_since(t0),
             SimDuration::from_micros(250)
         );
+    }
+
+    /// The memory domain is a discoverable capability, mirrored onto its
+    /// own ground-truth ledger — core transitions never leak into it.
+    #[test]
+    fn memory_clock_capability_is_discoverable_and_separate() {
+        let mut p = SimPlatform::new(devices::a100_sxm4(), 13).unwrap();
+        let default_mem = {
+            let mc = p.as_memory_clocks().expect("simulator offers mem clocks");
+            assert_eq!(mc.supported_mem_clocks().len(), 3);
+            mc.default_mem_clock()
+        };
+        assert_eq!(default_mem, FreqMhz(1215));
+        {
+            let mc = p.as_memory_clocks().unwrap();
+            let snapped = mc.set_locked_mem_clocks(FreqMhz(820)).unwrap();
+            assert_eq!(snapped, FreqMhz(810));
+        }
+        p.set_locked_clocks(FreqMhz(705)).unwrap();
+        let gt = p.as_ground_truth().unwrap();
+        assert_eq!(gt.transitions().len(), 1);
+        assert_eq!(gt.mem_transitions().len(), 1);
+        assert_eq!(gt.last_transition().unwrap().to, FreqMhz(705));
+        assert_eq!(gt.last_mem_transition().unwrap().to, FreqMhz(810));
     }
 
     #[test]

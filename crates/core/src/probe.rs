@@ -7,34 +7,32 @@
 //! the longest observed latency. If even the probe cannot capture a
 //! transition, its own window grows tenfold and retries.
 
-use latest_gpu_sim::freq::FreqMhz;
-
 use crate::config::CampaignConfig;
 use crate::error::CoreResult;
 use crate::phase1::Phase1Result;
 use crate::phase2::run_phase2;
 use crate::phase3::evaluate_pass;
 use crate::platform::Platform;
+use crate::state::FreqState;
 
 /// Result of the probe phase.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ProbeResult {
-    /// Latencies observed per probed pair (ms).
-    pub samples: Vec<(FreqMhz, FreqMhz, f64)>,
+    /// Latencies observed per probed state pair (ms).
+    pub samples: Vec<(FreqState, FreqState, f64)>,
     /// The largest observed latency (ms) — the basis for window sizing.
     pub max_latency_ms: f64,
 }
 
-/// The representative frequencies probed: low, median and high entries of
-/// the configured list.
-pub fn probe_frequencies(config: &CampaignConfig) -> Vec<FreqMhz> {
-    let mut sorted = config.frequencies.clone();
+/// The representative clock states probed: low, median and high entries of
+/// the campaign's state list (for a core-only campaign, exactly the low /
+/// median / high configured frequencies).
+pub fn probe_states(config: &CampaignConfig) -> Vec<FreqState> {
+    let mut sorted = config.states();
     sorted.sort();
     sorted.dedup();
     match sorted.len() {
-        0 => Vec::new(),
-        1 => sorted,
-        2 => sorted,
+        0..=2 => sorted,
         n => vec![sorted[0], sorted[n / 2], sorted[n - 1]],
     }
 }
@@ -46,12 +44,12 @@ pub fn estimate_upper_bound<P: Platform>(
     config: &CampaignConfig,
     phase1: &Phase1Result,
 ) -> CoreResult<ProbeResult> {
-    let freqs = probe_frequencies(config);
+    let states = probe_states(config);
     let mut samples = Vec::new();
     let mut max_latency_ms: f64 = 0.0;
 
-    for &init in &freqs {
-        for &target in &freqs {
+    for &init in &states {
+        for &target in &states {
             if init == target || !phase1.is_valid(init, target) {
                 continue;
             }
@@ -99,17 +97,35 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn representative_frequencies_are_low_mid_high() {
+    fn representative_states_are_low_mid_high() {
+        use latest_gpu_sim::freq::FreqMhz;
         let config = CampaignConfig::builder(devices::a100_sxm4())
             .frequencies_mhz(&[210, 405, 705, 1095, 1410])
             .build();
-        let f = probe_frequencies(&config);
-        assert_eq!(f, vec![FreqMhz(210), FreqMhz(705), FreqMhz(1410)]);
+        let f = probe_states(&config);
+        assert_eq!(
+            f,
+            vec![
+                FreqState::core_only(FreqMhz(210)),
+                FreqState::core_only(FreqMhz(705)),
+                FreqState::core_only(FreqMhz(1410)),
+            ]
+        );
 
         let two = CampaignConfig::builder(devices::a100_sxm4())
             .frequencies_mhz(&[705, 1410])
             .build();
-        assert_eq!(probe_frequencies(&two).len(), 2);
+        assert_eq!(probe_states(&two).len(), 2);
+
+        // A 2-D campaign's probe spans the state plane's extremes.
+        let plane = CampaignConfig::builder(devices::a100_sxm4())
+            .frequencies_mhz(&[705, 1410])
+            .mem_frequencies_mhz(&[810, 1215])
+            .build();
+        let s = probe_states(&plane);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], FreqState::with_mem(FreqMhz(705), FreqMhz(810)));
+        assert_eq!(s[2], FreqState::with_mem(FreqMhz(1410), FreqMhz(1215)));
     }
 
     #[test]

@@ -29,7 +29,6 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use latest_cluster::AdaptiveConfig;
-use latest_gpu_sim::freq::FreqMhz;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
@@ -41,6 +40,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::phase1::{run_phase1, Phase1Result};
 use crate::platform::{PlatformFactory, SimPlatformFactory};
 use crate::probe::{estimate_upper_bound, ProbeResult};
+use crate::state::FreqState;
 
 /// Why a pair produced no measurements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,21 +107,21 @@ pub enum CampaignEvent {
     },
     /// One pair's measurement loop is starting.
     PairStarted {
-        /// Position in `ordered_pairs` order.
+        /// Position in `ordered_state_pairs` order.
         index: usize,
-        /// Initial frequency (MHz).
-        init_mhz: u32,
-        /// Target frequency (MHz).
-        target_mhz: u32,
+        /// Initial frequency state.
+        init: FreqState,
+        /// Target frequency state.
+        target: FreqState,
     },
     /// One pair completed with measurements.
     PairFinished {
-        /// Position in `ordered_pairs` order.
+        /// Position in `ordered_state_pairs` order.
         index: usize,
-        /// Initial frequency (MHz).
-        init_mhz: u32,
-        /// Target frequency (MHz).
-        target_mhz: u32,
+        /// Initial frequency state.
+        init: FreqState,
+        /// Target frequency state.
+        target: FreqState,
         /// Accepted measurement count.
         measurements: usize,
         /// Outlier-filtered mean latency (ms).
@@ -129,23 +129,23 @@ pub enum CampaignEvent {
     },
     /// One pair ended without measurements.
     PairSkipped {
-        /// Position in `ordered_pairs` order.
+        /// Position in `ordered_state_pairs` order.
         index: usize,
-        /// Initial frequency (MHz).
-        init_mhz: u32,
-        /// Target frequency (MHz).
-        target_mhz: u32,
+        /// Initial frequency state.
+        init: FreqState,
+        /// Target frequency state.
+        target: FreqState,
         /// Why.
         reason: SkipReason,
     },
     /// One pair was restored from a resume checkpoint without re-running.
     PairRestored {
-        /// Position in `ordered_pairs` order.
+        /// Position in `ordered_state_pairs` order.
         index: usize,
-        /// Initial frequency (MHz).
-        init_mhz: u32,
-        /// Target frequency (MHz).
-        target_mhz: u32,
+        /// Initial frequency state.
+        init: FreqState,
+        /// Target frequency state.
+        target: FreqState,
     },
     /// A [`WorkUnit`] shard began executing its pairs.
     ShardStarted {
@@ -197,42 +197,31 @@ impl std::fmt::Display for CampaignEvent {
             CampaignEvent::ProbeDone { max_latency_ms } => {
                 write!(f, "probe done: bound {max_latency_ms:.3} ms")
             }
-            CampaignEvent::PairStarted {
-                init_mhz,
-                target_mhz,
-                ..
-            } => {
-                write!(f, "pair {init_mhz}->{target_mhz} MHz started")
+            CampaignEvent::PairStarted { init, target, .. } => {
+                write!(f, "pair {init}->{target} MHz started")
             }
             CampaignEvent::PairFinished {
-                init_mhz,
-                target_mhz,
+                init,
+                target,
                 measurements,
                 mean_ms,
                 ..
             } => {
                 write!(
                     f,
-                    "pair {init_mhz}->{target_mhz} MHz finished: n={measurements}, mean {mean_ms:.3} ms"
+                    "pair {init}->{target} MHz finished: n={measurements}, mean {mean_ms:.3} ms"
                 )
             }
             CampaignEvent::PairSkipped {
-                init_mhz,
-                target_mhz,
+                init,
+                target,
                 reason,
                 ..
             } => {
-                write!(f, "pair {init_mhz}->{target_mhz} MHz skipped ({reason})")
+                write!(f, "pair {init}->{target} MHz skipped ({reason})")
             }
-            CampaignEvent::PairRestored {
-                init_mhz,
-                target_mhz,
-                ..
-            } => {
-                write!(
-                    f,
-                    "pair {init_mhz}->{target_mhz} MHz restored from checkpoint"
-                )
+            CampaignEvent::PairRestored { init, target, .. } => {
+                write!(f, "pair {init}->{target} MHz restored from checkpoint")
             }
             CampaignEvent::ShardStarted {
                 shard,
@@ -340,13 +329,14 @@ pub struct CampaignPrelude {
 /// `pair_seed`-derived seed its platform is constructed from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PairTask {
-    /// Position in `ordered_pairs` order.
+    /// Position in `ordered_state_pairs` order.
     pub index: usize,
-    /// Initial frequency.
-    pub init: FreqMhz,
-    /// Target frequency.
-    pub target: FreqMhz,
-    /// The platform seed for this pair: `config.pair_seed(init, target)`.
+    /// Initial frequency state.
+    pub init: FreqState,
+    /// Target frequency state.
+    pub target: FreqState,
+    /// The platform seed for this pair:
+    /// `config.state_pair_seed(init, target)`.
     pub seed: u64,
 }
 
@@ -578,7 +568,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
                 ),
             });
         }
-        let ordered = self.config.ordered_pairs();
+        let ordered = self.config.ordered_state_pairs();
         if cp.pairs().len() != ordered.len() {
             return Err(CoreError::CheckpointMismatch {
                 reason: format!(
@@ -597,10 +587,10 @@ impl<F: PlatformFactory> CampaignSession<F> {
                 });
             }
         }
-        for &freq in &self.config.frequencies {
-            if cp.phase1.of(freq).is_none() {
+        for state in self.config.states() {
+            if cp.phase1.of(state).is_none() {
                 return Err(CoreError::CheckpointMismatch {
-                    reason: format!("checkpoint phase 1 never characterised {freq} MHz"),
+                    reason: format!("checkpoint phase 1 never characterised {state} MHz"),
                 });
             }
         }
@@ -618,7 +608,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
         let config = &self.config;
         self.emit(CampaignEvent::CampaignStarted {
             device_name: self.factory.device_name(),
-            n_pairs: config.ordered_pairs().len(),
+            n_pairs: config.ordered_state_pairs().len(),
         });
 
         if let Some(cp) = &self.checkpoint {
@@ -648,7 +638,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
     }
 
     /// Whether the resume checkpoint already holds this pair's measurement.
-    fn is_restored(&self, init: FreqMhz, target: FreqMhz) -> bool {
+    fn is_restored(&self, init: FreqState, target: FreqState) -> bool {
         self.checkpoint
             .as_ref()
             .and_then(|cp| cp.pair(init, target))
@@ -665,7 +655,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
             return Vec::new();
         };
         self.config
-            .ordered_pairs()
+            .ordered_state_pairs()
             .iter()
             .enumerate()
             .filter_map(|(i, &(a, b))| {
@@ -689,7 +679,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
     }
 
     fn plan_with(&self, n_shards: usize, announce: bool) -> ShardPlan {
-        let ordered = self.config.ordered_pairs();
+        let ordered = self.config.ordered_state_pairs();
         let pending: Vec<PairTask> = ordered
             .iter()
             .enumerate()
@@ -698,7 +688,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
                 index,
                 init,
                 target,
-                seed: self.config.pair_seed(init, target),
+                seed: self.config.state_pair_seed(init, target),
             })
             .collect();
         let mut units = Vec::new();
@@ -787,21 +777,21 @@ impl<F: PlatformFactory> CampaignSession<F> {
         if self.cancel.is_cancelled() {
             self.emit(CampaignEvent::PairSkipped {
                 index,
-                init_mhz: init.0,
-                target_mhz: target.0,
+                init,
+                target,
                 reason: SkipReason::Cancelled,
             });
             return Ok(PairMeasurement {
-                init_mhz: init.0,
-                target_mhz: target.0,
+                init,
+                target,
                 outcome: PairOutcome::Cancelled,
                 analysis: None,
             });
         }
         self.emit(CampaignEvent::PairStarted {
             index,
-            init_mhz: init.0,
-            target_mhz: target.0,
+            init,
+            target,
         });
         let mut platform = self.factory.create(seed)?;
         let outcome = run_pair(
@@ -819,8 +809,8 @@ impl<F: PlatformFactory> CampaignSession<F> {
             (PairOutcome::Completed(run), Some(a)) => {
                 self.emit(CampaignEvent::PairFinished {
                     index,
-                    init_mhz: init.0,
-                    target_mhz: target.0,
+                    init,
+                    target,
                     measurements: run.latencies_ms.len(),
                     mean_ms: a.filtered.mean,
                 });
@@ -829,16 +819,16 @@ impl<F: PlatformFactory> CampaignSession<F> {
                 if let Some(reason) = SkipReason::of(&outcome) {
                     self.emit(CampaignEvent::PairSkipped {
                         index,
-                        init_mhz: init.0,
-                        target_mhz: target.0,
+                        init,
+                        target,
                         reason,
                     });
                 }
             }
         }
         let measurement = PairMeasurement {
-            init_mhz: init.0,
-            target_mhz: target.0,
+            init,
+            target,
             outcome,
             analysis,
         };
@@ -859,7 +849,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
             self.config.seed,
             prelude.phase1.clone(),
             prelude.probe.clone(),
-            &self.config.ordered_pairs(),
+            &self.config.ordered_state_pairs(),
             shards,
         )
     }
@@ -883,7 +873,7 @@ impl<F: PlatformFactory> CampaignSession<F> {
     }
 
     fn run_plan(&self, shards: Option<usize>) -> CoreResult<CampaignResult> {
-        let ordered = self.config.ordered_pairs();
+        let ordered = self.config.ordered_state_pairs();
         let prelude = self.prelude()?;
 
         // Periodic checkpointing: settled pairs are recorded slot-wise so a
@@ -916,8 +906,8 @@ impl<F: PlatformFactory> CampaignSession<F> {
         for &(index, ref meas) in &restored {
             self.emit(CampaignEvent::PairRestored {
                 index,
-                init_mhz: meas.init_mhz,
-                target_mhz: meas.target_mhz,
+                init: meas.init,
+                target: meas.target,
             });
             settle(index, meas);
         }

@@ -77,6 +77,18 @@ pub enum SpecError {
         /// The device whose ladder was checked.
         device: String,
     },
+    /// A memory frequency appears more than once in the list.
+    DuplicateMemFrequency {
+        /// The repeated frequency (MHz).
+        mhz: u32,
+    },
+    /// A listed memory frequency is not on the device's memory ladder.
+    OffMemLadderFrequency {
+        /// The offending frequency (MHz).
+        mhz: u32,
+        /// The device whose memory ladder was checked.
+        device: String,
+    },
     /// A `subset` selection of fewer than two frequencies.
     SubsetTooSmall {
         /// The requested subset size.
@@ -143,6 +155,15 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::OffLadderFrequency { mhz, device } => {
                 write!(f, "frequency {mhz} MHz is not on the {device} ladder")
+            }
+            SpecError::DuplicateMemFrequency { mhz } => {
+                write!(f, "memory frequency {mhz} MHz listed more than once")
+            }
+            SpecError::OffMemLadderFrequency { mhz, device } => {
+                write!(
+                    f,
+                    "memory frequency {mhz} MHz is not on the {device} memory ladder"
+                )
             }
             SpecError::SubsetTooSmall { n } => {
                 write!(f, "frequency subset must select at least 2 values, got {n}")
@@ -287,6 +308,11 @@ pub struct CampaignSpec {
     pub hostname: String,
     /// Benchmarked frequencies.
     pub frequencies: FreqSelection,
+    /// Benchmarked memory (DRAM) frequencies in MHz. Empty = core-only
+    /// campaign; the field is omitted from JSON when empty so pre-memory
+    /// specs serialise byte-identically (content-addressed run ids are
+    /// unchanged).
+    pub mem_frequencies: Vec<u32>,
     /// Master simulation seed.
     pub seed: u64,
     /// RSE stopping threshold (Sec. VI; 0.05 in the paper).
@@ -311,6 +337,7 @@ impl Default for CampaignSpec {
             device_index: 0,
             hostname: "simnode".to_string(),
             frequencies: FreqSelection::List(Vec::new()),
+            mem_frequencies: Vec::new(),
             seed: 0,
             rse_threshold: 0.05,
             min_measurements: 25,
@@ -406,6 +433,26 @@ impl CampaignSpec {
             }
             FreqSelection::Ladder => {}
         }
+        let mut seen_mem = std::collections::BTreeSet::new();
+        for &m in &self.mem_frequencies {
+            if !seen_mem.insert(m) {
+                if !errors
+                    .iter()
+                    .any(|e| matches!(e, SpecError::DuplicateMemFrequency { mhz } if *mhz == m))
+                {
+                    errors.push(SpecError::DuplicateMemFrequency { mhz: m });
+                }
+                continue;
+            }
+            if let Some(spec) = &resolved_device {
+                if !spec.mem_ladder.contains(FreqMhz(m)) {
+                    errors.push(SpecError::OffMemLadderFrequency {
+                        mhz: m,
+                        device: spec.name.clone(),
+                    });
+                }
+            }
+        }
         if !(self.rse_threshold > 0.0 && self.rse_threshold < 1.0) {
             errors.push(SpecError::RseThresholdOutOfRange {
                 value: self.rse_threshold,
@@ -455,6 +502,7 @@ impl CampaignSpec {
             .expect("validated workload resolves");
         Ok(CampaignConfig::builder(device)
             .frequencies(frequencies)
+            .mem_frequencies_mhz(&self.mem_frequencies)
             .seed(self.seed)
             .rse_threshold(self.rse_threshold)
             .measurements(self.min_measurements, self.max_measurements)
@@ -499,6 +547,7 @@ const CAMPAIGN_SPEC_FIELDS: &[&str] = &[
     "device_index",
     "hostname",
     "frequencies",
+    "mem_frequencies",
     "seed",
     "rse_threshold",
     "min_measurements",
@@ -509,12 +558,23 @@ const CAMPAIGN_SPEC_FIELDS: &[&str] = &[
 
 impl serde::Serialize for CampaignSpec {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut entries = vec![
             ("description".to_string(), self.description.to_value()),
             ("device".to_string(), self.device.to_value()),
             ("device_index".to_string(), self.device_index.to_value()),
             ("hostname".to_string(), self.hostname.to_value()),
             ("frequencies".to_string(), self.frequencies.to_value()),
+        ];
+        // Emitted only when non-empty: a core-only spec must serialise to
+        // the exact pre-memory bytes, or its content-addressed RunId — and
+        // with it every existing archive — would silently change.
+        if !self.mem_frequencies.is_empty() {
+            entries.push((
+                "mem_frequencies".to_string(),
+                self.mem_frequencies.to_value(),
+            ));
+        }
+        entries.extend([
             ("seed".to_string(), self.seed.to_value()),
             ("rse_threshold".to_string(), self.rse_threshold.to_value()),
             (
@@ -527,7 +587,8 @@ impl serde::Serialize for CampaignSpec {
             ),
             ("simulated_sms".to_string(), self.simulated_sms.to_value()),
             ("workload".to_string(), self.workload.to_value()),
-        ])
+        ]);
+        serde::Value::Map(entries)
     }
 }
 
@@ -563,6 +624,7 @@ impl serde::Deserialize for CampaignSpec {
                 "device_index" => spec.device_index = serde::Deserialize::from_value(v)?,
                 "hostname" => spec.hostname = serde::Deserialize::from_value(v)?,
                 "frequencies" => spec.frequencies = serde::Deserialize::from_value(v)?,
+                "mem_frequencies" => spec.mem_frequencies = serde::Deserialize::from_value(v)?,
                 "seed" => spec.seed = serde::Deserialize::from_value(v)?,
                 "rse_threshold" => spec.rse_threshold = serde::Deserialize::from_value(v)?,
                 "min_measurements" => spec.min_measurements = serde::Deserialize::from_value(v)?,
@@ -607,6 +669,13 @@ impl CampaignSpecBuilder {
     /// Benchmark the whole ladder.
     pub fn full_ladder(mut self) -> Self {
         self.spec.frequencies = FreqSelection::Ladder;
+        self
+    }
+
+    /// Benchmarked memory (DRAM) frequencies (MHz); empty keeps the
+    /// campaign core-only.
+    pub fn mem_frequencies_mhz(mut self, mhz: &[u32]) -> Self {
+        self.spec.mem_frequencies = mhz.to_vec();
         self
     }
 
@@ -973,6 +1042,37 @@ mod tests {
             .resolve()
             .unwrap();
         assert_eq!(ladder.frequencies.len(), 120);
+    }
+
+    #[test]
+    fn core_only_spec_serialisation_omits_mem_frequencies() {
+        let spec = CampaignSpec::builder("a100")
+            .frequencies_mhz(&[705, 1410])
+            .build()
+            .unwrap();
+        assert!(!spec.to_json().contains("mem_frequencies"));
+        // And a 2-D spec round-trips with the field present.
+        let plane = CampaignSpec::builder("a100")
+            .frequencies_mhz(&[705, 1410])
+            .mem_frequencies_mhz(&[810, 1215])
+            .build()
+            .unwrap();
+        assert!(plane.to_json().contains("mem_frequencies"));
+        assert_eq!(CampaignSpec::from_json(&plane.to_json()).unwrap(), plane);
+        let config = plane.resolve().unwrap();
+        assert_eq!(config.mem_frequencies, vec![FreqMhz(810), FreqMhz(1215)]);
+        assert_eq!(config.states().len(), 4);
+    }
+
+    #[test]
+    fn mem_frequencies_validate_against_the_memory_ladder() {
+        let spec = CampaignSpec::builder("a100")
+            .frequencies_mhz(&[705, 1410])
+            .mem_frequencies_mhz(&[810, 810, 999])
+            .build_unchecked();
+        let errs = spec.validate().unwrap_err();
+        assert!(errs.contains(|e| matches!(e, SpecError::DuplicateMemFrequency { mhz: 810 })));
+        assert!(errs.contains(|e| matches!(e, SpecError::OffMemLadderFrequency { mhz: 999, .. })));
     }
 
     #[test]

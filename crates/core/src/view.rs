@@ -34,6 +34,7 @@ use latest_stats::{quantile, Summary};
 
 use crate::campaign::{CampaignResult, PairMeasurement};
 use crate::controller::PairOutcome;
+use crate::state::{FreqState, PairKind};
 
 /// Transition direction of a frequency pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,19 +104,45 @@ impl<'a> PairView<'a> {
         self.measurement
     }
 
-    /// Initial frequency (MHz).
+    /// Initial frequency state.
+    pub fn init(&self) -> FreqState {
+        self.measurement.init
+    }
+
+    /// Target frequency state.
+    pub fn target(&self) -> FreqState {
+        self.measurement.target
+    }
+
+    /// Initial core frequency (MHz).
     pub fn init_mhz(&self) -> u32 {
-        self.measurement.init_mhz
+        self.measurement.init_mhz()
     }
 
-    /// Target frequency (MHz).
+    /// Target core frequency (MHz).
     pub fn target_mhz(&self) -> u32 {
-        self.measurement.target_mhz
+        self.measurement.target_mhz()
     }
 
-    /// Transition direction.
+    /// Initial memory frequency (MHz), when the pair carries one.
+    pub fn init_mem_mhz(&self) -> Option<u32> {
+        self.measurement.init.mem.map(|m| m.0)
+    }
+
+    /// Target memory frequency (MHz), when the pair carries one.
+    pub fn target_mem_mhz(&self) -> Option<u32> {
+        self.measurement.target.mem.map(|m| m.0)
+    }
+
+    /// Which domain(s) the transition moves.
+    pub fn kind(&self) -> PairKind {
+        self.measurement.kind()
+    }
+
+    /// Transition direction (core compared first; for core-equal —
+    /// memory-only — pairs, the memory clocks decide).
     pub fn direction(&self) -> Direction {
-        if self.measurement.target_mhz > self.measurement.init_mhz {
+        if self.measurement.target > self.measurement.init {
             Direction::Increasing
         } else {
             Direction::Decreasing
@@ -186,6 +213,8 @@ pub struct LatencyView<'a> {
     direction: Option<Direction>,
     init_mhz: Option<u32>,
     target_mhz: Option<u32>,
+    kind: Option<PairKind>,
+    mem_slice: Option<u32>,
     outcome: Option<OutcomeKind>,
     band: Option<(f64, f64)>,
 }
@@ -198,6 +227,8 @@ impl<'a> LatencyView<'a> {
             direction: None,
             init_mhz: None,
             target_mhz: None,
+            kind: None,
+            mem_slice: None,
             outcome: None,
             band: None,
         }
@@ -223,6 +254,21 @@ impl<'a> LatencyView<'a> {
     /// Keep only pairs targeting `mhz`.
     pub fn target_mhz(mut self, mhz: u32) -> Self {
         self.target_mhz = Some(mhz);
+        self
+    }
+
+    /// Keep only pairs whose transition moves `kind`'s domain(s) —
+    /// core-only, memory-only or simultaneous.
+    pub fn pair_kind(mut self, kind: PairKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Keep only pairs measured entirely at memory clock `mhz` (both
+    /// endpoints pin it) — one core × core slice of a 2-D sweep, the
+    /// unit a per-memory-clock heatmap renders.
+    pub fn mem_slice_mhz(mut self, mhz: u32) -> Self {
+        self.mem_slice = Some(mhz);
         self
     }
 
@@ -265,6 +311,16 @@ impl<'a> LatencyView<'a> {
                 return false;
             }
         }
+        if let Some(kind) = self.kind {
+            if view.kind() != kind {
+                return false;
+            }
+        }
+        if let Some(mem) = self.mem_slice {
+            if view.init_mem_mhz() != Some(mem) || view.target_mem_mhz() != Some(mem) {
+                return false;
+            }
+        }
         if let Some(kind) = self.outcome {
             if view.outcome() != kind {
                 return false;
@@ -292,9 +348,15 @@ impl<'a> LatencyView<'a> {
         self.pairs().count()
     }
 
-    /// O(1) lookup of one admitted pair by its coordinates.
+    /// O(1) lookup of one admitted core-only pair by its coordinates.
     pub fn pair(&self, init_mhz: u32, target_mhz: u32) -> Option<PairView<'a>> {
-        let m = self.result.pair(FreqMhz(init_mhz), FreqMhz(target_mhz))?;
+        self.pair_state(FreqMhz(init_mhz).into(), FreqMhz(target_mhz).into())
+    }
+
+    /// O(1) lookup of one admitted pair by its full two-domain
+    /// coordinates.
+    pub fn pair_state(&self, init: FreqState, target: FreqState) -> Option<PairView<'a>> {
+        let m = self.result.pair(init, target)?;
         let view = PairView::new(m);
         if self.admits(&view) {
             Some(view)
@@ -346,10 +408,23 @@ impl<'a> LatencyView<'a> {
 
     /// The extreme of one statistic over admitted pairs, with the pair it
     /// occurs on: `(value, init_mhz, target_mhz)`. `largest` picks max.
+    /// Core coordinates only — ambiguous over a 2-D sweep, where
+    /// [`LatencyView::stat_extreme_state`] carries the full states.
     pub fn stat_extreme(&self, stat: PairStat, largest: bool) -> Option<(f64, u32, u32)> {
+        self.stat_extreme_state(stat, largest)
+            .map(|(v, i, t)| (v, i.core.0, t.core.0))
+    }
+
+    /// The extreme of one statistic over admitted pairs, with the full
+    /// two-domain coordinates of the pair it occurs on.
+    pub fn stat_extreme_state(
+        &self,
+        stat: PairStat,
+        largest: bool,
+    ) -> Option<(f64, FreqState, FreqState)> {
         let cells = self
             .pairs()
-            .filter_map(|p| p.stat(stat).map(|v| (v, p.init_mhz(), p.target_mhz())));
+            .filter_map(|p| p.stat(stat).map(|v| (v, p.init(), p.target())));
         if largest {
             cells.max_by(|a, b| a.0.total_cmp(&b.0))
         } else {
@@ -364,7 +439,7 @@ impl<'a> LatencyView<'a> {
         self.stat_range(stat).map(|(_, _, max)| max)
     }
 
-    /// The distinct frequencies (MHz) appearing in admitted pairs,
+    /// The distinct core frequencies (MHz) appearing in admitted pairs,
     /// ascending — the axis of a heatmap over this view.
     pub fn frequencies_mhz(&self) -> Vec<u32> {
         let mut freqs: Vec<u32> = self
@@ -374,6 +449,31 @@ impl<'a> LatencyView<'a> {
         freqs.sort_unstable();
         freqs.dedup();
         freqs
+    }
+
+    /// The distinct memory clocks (MHz) appearing in admitted pairs,
+    /// ascending — the slice axis of a 2-D sweep (empty for a core-only
+    /// campaign).
+    pub fn mem_clocks_mhz(&self) -> Vec<u32> {
+        let mut mems: Vec<u32> = self
+            .pairs()
+            .flat_map(|p| [p.init_mem_mhz(), p.target_mem_mhz()])
+            .flatten()
+            .collect();
+        mems.sort_unstable();
+        mems.dedup();
+        mems
+    }
+
+    /// The distinct clock states appearing in admitted pairs, in the
+    /// canonical [`FreqState`] order — the axis of a state×state heatmap
+    /// over a 2-D sweep.
+    pub fn states(&self) -> Vec<FreqState> {
+        let mut states: Vec<FreqState> =
+            self.pairs().flat_map(|p| [p.init(), p.target()]).collect();
+        states.sort_unstable();
+        states.dedup();
+        states
     }
 }
 
@@ -441,8 +541,10 @@ mod tests {
             .pairs()
             .map(|p| (p.init_mhz(), p.target_mhz()))
             .collect();
-        let via_result: Vec<(u32, u32)> =
-            r.completed().map(|p| (p.init_mhz, p.target_mhz)).collect();
+        let via_result: Vec<(u32, u32)> = r
+            .completed()
+            .map(|p| (p.init_mhz(), p.target_mhz()))
+            .collect();
         assert_eq!(via_view, via_result);
     }
 

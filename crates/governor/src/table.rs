@@ -175,8 +175,8 @@ impl LatencyTable {
                 OutcomeKind::Completed => {
                     match pair.analysis.as_ref().filter(|a| !a.inliers_ms.is_empty()) {
                         Some(a) => table.insert(PairLatency::new(
-                            pair.init_mhz,
-                            pair.target_mhz,
+                            pair.init_mhz(),
+                            pair.target_mhz(),
                             a.inliers_ms.clone(),
                         )),
                         None => skipped.empty_filtered += 1,

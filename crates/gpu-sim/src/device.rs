@@ -28,7 +28,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::devices::DeviceSpec;
 use crate::freq::FreqMhz;
-use crate::sm::{self, IterRecord, WorkloadParams};
+use crate::sm::{self, IterRecord, MemView, WorkloadParams};
 use crate::thermal::ThermalState;
 use crate::trajectory::FreqTrajectory;
 use crate::transition::TransitionGroundTruth;
@@ -123,6 +123,16 @@ pub struct GpuDevice {
     requested: FreqTrajectory,
     /// Sampled transition ground truths, in request order.
     transitions: Vec<TransitionGroundTruth>,
+    /// The memory-clock plan: requested DRAM frequency over time, including
+    /// in-flight memory transitions. Flat at the default memory P-state
+    /// until the first locked-memory-clocks request.
+    mem_requested: FreqTrajectory,
+    /// Memory-domain transition ground truths, in request order.
+    mem_transitions: Vec<TransitionGroundTruth>,
+    /// Dedicated RNG for memory-domain transition sampling — its own stream,
+    /// so core-only campaigns never consume from it and stay bit-identical.
+    mem_rng: ChaCha8Rng,
+    last_mem_arrival: SimTime,
     thermal: ThermalState,
     /// Device is busy (kernel running) until this instant.
     busy_until: SimTime,
@@ -146,12 +156,17 @@ impl GpuDevice {
             spec.timer_resolution,
         );
         let requested = FreqTrajectory::flat(spec.nominal_mhz.as_f64());
+        let mem_requested = FreqTrajectory::flat(spec.mem_freq_mhz as f64);
         let thermal = ThermalState::equilibrium(&spec.thermal, SimTime::EPOCH);
         GpuDevice {
             spec,
             timer,
             requested,
             transitions: Vec::new(),
+            mem_requested,
+            mem_transitions: Vec::new(),
+            mem_rng: ChaCha8Rng::seed_from_u64(seed ^ 0x11E1_0C1C),
+            last_mem_arrival: SimTime::EPOCH,
             thermal,
             busy_until: SimTime::EPOCH,
             thermally_throttled: false,
@@ -213,6 +228,63 @@ impl GpuDevice {
             settled: t,
         });
         target
+    }
+
+    /// A locked-memory-clocks request arrives: the DRAM-domain twin of
+    /// [`GpuDevice::apply_locked_clocks`], with its own ladder, transition
+    /// model, and randomness stream. Returns the snapped target.
+    pub fn apply_locked_mem_clocks(
+        &mut self,
+        host_call: SimTime,
+        arrival: SimTime,
+        target: FreqMhz,
+    ) -> FreqMhz {
+        let arrival = arrival.max(self.last_mem_arrival);
+        self.last_mem_arrival = arrival;
+
+        let target = self.spec.mem_ladder.snap(target);
+        let from_f = self.mem_requested.freq_at(arrival);
+        let from = self.spec.mem_ladder.snap(FreqMhz(from_f.round() as u32));
+
+        self.mem_requested.truncate_after(arrival);
+
+        let shape =
+            self.spec
+                .mem_transition
+                .sample(from, target, &self.spec.mem_ladder, &mut self.mem_rng);
+        let ramp_start = arrival + shape.pending;
+        let mut t = ramp_start;
+        for &(freq, dur) in &shape.ramp {
+            self.mem_requested.push(t, freq);
+            t += dur;
+        }
+        self.mem_requested.push(t, target.as_f64());
+        self.mem_transitions.push(TransitionGroundTruth {
+            from,
+            to: target,
+            host_call,
+            device_arrival: arrival,
+            ramp_start,
+            settled: t,
+        });
+        target
+    }
+
+    /// The effective memory clock at `now` as a driver query would report
+    /// (the memory domain has no idle drop: DRAM keeps its P-state).
+    pub fn current_mem_clock(&self, now: SimTime) -> FreqMhz {
+        let f = self.mem_requested.freq_at(now);
+        self.spec.mem_ladder.snap(FreqMhz(f.round() as u32))
+    }
+
+    /// Memory-domain ground-truth transitions recorded so far.
+    pub fn mem_transitions(&self) -> &[TransitionGroundTruth] {
+        &self.mem_transitions
+    }
+
+    /// The most recent memory-domain ground-truth transition.
+    pub fn last_mem_transition(&self) -> Option<&TransitionGroundTruth> {
+        self.mem_transitions.last()
     }
 
     /// Queue a kernel; it will start once the previous kernel (if any)
@@ -366,17 +438,51 @@ impl GpuDevice {
             >= self.spec.wakeup_idle_threshold
             || self.busy_until == SimTime::EPOCH;
 
+        // The memory plan only matters to workloads with a DRAM stall; the
+        // pure-arithmetic path never consults it (bit-for-bit the
+        // single-domain engine).
+        let mem_ref = self.spec.mem_freq_mhz as f64;
+        let mem_draft = if config.workload.mem_stall_ns > 0.0 {
+            Some(self.mem_requested.clone())
+        } else {
+            None
+        };
+
         // Pass 1: effective trajectory without thermal events.
         let draft = self.effective_draft(start, was_idle_long);
-        let est_end = sm::estimate_end(&draft, start, config.iters_per_sm, &config.workload);
+        let est_end = sm::estimate_end(
+            &draft,
+            start,
+            config.iters_per_sm,
+            &config.workload,
+            mem_draft.as_ref().map(|traj| MemView {
+                traj,
+                reference_mhz: mem_ref,
+            }),
+        );
 
         // Pass 2: insert thermal throttle events over a padded window, then
         // re-estimate (throttling only lengthens the run; two passes bound
         // the error well below an iteration).
         let pad = est_end.saturating_since(start).mul_f64(0.25) + SimDuration::from_millis(5);
-        let (eff, final_state, throttled_at_end) =
+        let (eff, toggles, final_state, throttled_at_end) =
             self.overlay_thermal(&draft, start, est_end + pad);
-        let est_end = sm::estimate_end(&eff, start, config.iters_per_sm, &config.workload);
+        // Thermal coupling into the memory domain: while the governor holds
+        // the core at its thermal cap, the DRAM drops to its lowest P-state.
+        let mem_eff = mem_draft.map(|d| {
+            throttle_capped(
+                &d,
+                self.thermally_throttled,
+                &toggles,
+                self.spec.mem_ladder.min().as_f64(),
+            )
+        });
+        let mem_view = mem_eff.as_ref().map(|traj| MemView {
+            traj,
+            reference_mhz: mem_ref,
+        });
+        let est_end =
+            sm::estimate_end(&eff, start, config.iters_per_sm, &config.workload, mem_view);
 
         // Integrate every simulated SM with its own noise stream.
         let n_sms = self.effective_sms(config);
@@ -394,6 +500,7 @@ impl GpuDevice {
                 &config.workload,
                 &self.timer,
                 &mut sm_rng,
+                mem_view,
             );
             end = end.max(sm_end);
             records.push(recs);
@@ -466,14 +573,15 @@ impl GpuDevice {
     }
 
     /// Walk `draft` over [start, horizon] inserting thermal throttle/release
-    /// events. Returns the effective trajectory, the thermal state at the
+    /// events. Returns the effective trajectory, the throttle toggle events
+    /// (time, new state) for cross-domain coupling, the thermal state at the
     /// horizon, and whether the governor holds the cap at the horizon.
     fn overlay_thermal(
         &self,
         draft: &FreqTrajectory,
         start: SimTime,
         horizon: SimTime,
-    ) -> (FreqTrajectory, ThermalState, bool) {
+    ) -> (FreqTrajectory, Vec<(SimTime, bool)>, ThermalState, bool) {
         let params = &self.spec.thermal;
         let cap_f = params.throttle_cap_mhz;
         let mut state = self.thermal;
@@ -481,6 +589,7 @@ impl GpuDevice {
         let mut throttled = self.thermally_throttled;
 
         let mut out = FreqTrajectory::flat(effective_freq(draft.freq_at(start), throttled, cap_f));
+        let mut toggles: Vec<(SimTime, bool)> = Vec::new();
         let mut t = start;
         let mut events = 0usize;
         const MAX_EVENTS: usize = 64;
@@ -510,6 +619,7 @@ impl GpuDevice {
                     throttled = !throttled;
                     events += 1;
                     t = ct;
+                    toggles.push((t, throttled));
                     out.push(t, effective_freq(draft.freq_at(t), throttled, cap_f));
                 }
                 _ => {
@@ -521,8 +631,46 @@ impl GpuDevice {
                 }
             }
         }
-        (out, state, throttled)
+        (out, toggles, state, throttled)
     }
+}
+
+/// Apply the thermal governor's hold intervals to the memory plan: while the
+/// core is held at its thermal cap, the DRAM drops to `cap` (its lowest
+/// P-state). `initial` is the throttle state at the first instant; `toggles`
+/// are the state changes from [`GpuDevice::overlay_thermal`].
+fn throttle_capped(
+    plan: &FreqTrajectory,
+    initial: bool,
+    toggles: &[(SimTime, bool)],
+    cap: f64,
+) -> FreqTrajectory {
+    let throttled_at = |t: SimTime| -> bool {
+        let idx = toggles.partition_point(|&(tt, _)| tt <= t);
+        if idx == 0 {
+            initial
+        } else {
+            toggles[idx - 1].1
+        }
+    };
+    let f_at = |t: SimTime| -> f64 {
+        let f = plan.freq_at(t);
+        if throttled_at(t) {
+            f.min(cap).max(1.0)
+        } else {
+            f
+        }
+    };
+    let mut points: Vec<SimTime> = plan.segments().iter().map(|s| s.start).collect();
+    points.extend(toggles.iter().map(|&(t, _)| t));
+    points.sort();
+    points.dedup();
+    let first = points.first().copied().unwrap_or(SimTime::EPOCH);
+    let mut out = FreqTrajectory::flat(f_at(first));
+    for t in points {
+        out.push(t, f_at(t));
+    }
+    out
 }
 
 /// Clock after applying the thermal governor.
@@ -559,6 +707,7 @@ mod tests {
             noise_rel_sigma: 0.0,
             spike_prob: 0.0,
             spike_scale: 1.0,
+            mem_stall_ns: 0.0,
         }
     }
 
@@ -828,6 +977,80 @@ mod tests {
         let r = dev.throttle_reasons(later);
         assert!(r.gpu_idle);
         assert!(!r.any_throttling());
+    }
+
+    #[test]
+    fn mid_kernel_memory_transition_visible_in_records() {
+        let clock = SharedClock::new();
+        let mut dev = test_device(clock.clone());
+        // Fixed 10 ms transitions apply to the core model only; swap the
+        // memory model too so the settle instant is deterministic.
+        // (test_device leaves the A100 mem model in place — fine: we read
+        // the ground truth back rather than assuming the latency.)
+        dev.apply_locked_clocks(SimTime::EPOCH, SimTime::EPOCH, FreqMhz(1410));
+        let mut wl = quiet_workload();
+        wl.mem_stall_ns = 50_000.0; // 50 us of DRAM stall at 1215 MHz
+        let t0 = SimTime::from_millis(50);
+        let id = dev
+            .enqueue_kernel(
+                t0,
+                KernelConfig {
+                    iters_per_sm: 4_000,
+                    workload: wl,
+                    simulated_sms: Some(1),
+                },
+            )
+            .unwrap();
+        // Halve the DRAM clock mid-kernel.
+        let call = SimTime::from_millis(90);
+        let arrival = call + SimDuration::from_micros(50);
+        let applied = dev.apply_locked_mem_clocks(call, arrival, FreqMhz(810));
+        assert_eq!(applied, FreqMhz(810));
+        dev.synchronize(t0);
+        let recs = dev.take_records(id).unwrap().remove(0);
+
+        let work_ns = 100_000.0 / 1.410;
+        let fast_ns = work_ns + 50_000.0; // mem at the 1215 reference
+        let slow_ns = work_ns + 50_000.0 * 1215.0 / 810.0;
+        let settled = dev.last_mem_transition().unwrap().settled;
+        for r in &recs {
+            let d = r.duration().as_nanos() as f64;
+            if r.end < arrival {
+                assert!((d - fast_ns).abs() < 3.0, "pre-transition {d}");
+            } else if r.start > settled {
+                assert!((d - slow_ns).abs() < 3.0, "post-transition {d}");
+            }
+        }
+        assert!(recs.iter().any(|r| r.start > settled));
+        // The core-domain ground truth is untouched by memory requests.
+        assert_eq!(dev.transitions().len(), 1);
+        assert_eq!(dev.mem_transitions().len(), 1);
+    }
+
+    #[test]
+    fn memory_requests_leave_core_only_records_unchanged() {
+        // A memory transition must not perturb a pure-arithmetic kernel:
+        // separate RNG stream, separate plan.
+        let run = |with_mem: bool| {
+            let clock = SharedClock::new();
+            let mut dev = test_device(clock);
+            dev.apply_locked_clocks(SimTime::EPOCH, SimTime::EPOCH, FreqMhz(1200));
+            if with_mem {
+                let t = SimTime::from_millis(10);
+                dev.apply_locked_mem_clocks(t, t, FreqMhz(810));
+            }
+            let mut wl = quiet_workload();
+            wl.noise_rel_sigma = 0.01;
+            let cfg = KernelConfig {
+                iters_per_sm: 300,
+                workload: wl,
+                simulated_sms: Some(2),
+            };
+            let id = dev.enqueue_kernel(SimTime::from_millis(30), cfg).unwrap();
+            dev.synchronize(SimTime::from_millis(30));
+            dev.take_records(id).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub struct DeviceSpec {
     pub driver_version: &'static str,
     /// Selectable SM frequencies.
     pub ladder: FreqLadder,
+    /// Selectable memory (DRAM) frequencies — the device's memory P-states.
+    /// Always contains `mem_freq_mhz` (the default state the driver boots
+    /// into and resets to).
+    pub mem_ladder: FreqLadder,
+    /// The memory-domain DVFS transition model. DRAM clock switches retrain
+    /// the memory interface, so their latency dynamics are independent of
+    /// (and typically slower than) the SM domain's.
+    pub mem_transition: Arc<dyn TransitionModel>,
     /// Nominal (boost-base) SM frequency.
     pub nominal_mhz: FreqMhz,
     /// Idle SM clock the device falls back to without load.
@@ -122,6 +130,14 @@ pub struct DeviceSpec {
     pub driver: DriverProfile,
 }
 
+impl DeviceSpec {
+    /// The default memory clock as a [`FreqMhz`] (the P-state the driver
+    /// resets to when memory locks are cleared).
+    pub fn mem_default(&self) -> FreqMhz {
+        FreqMhz(self.mem_freq_mhz)
+    }
+}
+
 impl std::fmt::Debug for DeviceSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DeviceSpec")
@@ -130,7 +146,34 @@ impl std::fmt::Debug for DeviceSpec {
             .field("sm_count", &self.sm_count)
             .field("freq_range", &(self.ladder.min(), self.ladder.max()))
             .field("steps", &self.ladder.len())
+            .field("mem_range", &(self.mem_ladder.min(), self.mem_ladder.max()))
             .finish()
+    }
+}
+
+/// Memory-domain transition model shared in shape across the three devices:
+/// retraining the DRAM interface is a pending-dominated event with a short
+/// adaptation ramp and mild pair-to-pair texture.
+fn mem_transition_model(
+    up_ms: f64,
+    down_ms: f64,
+    jitter_ln: f64,
+    pair_salt: u64,
+) -> ArchTransitionModel {
+    ArchTransitionModel {
+        up: LatencyMixture::single(up_ms, 0.16),
+        down: LatencyMixture::single(down_ms, 0.12),
+        slow_bands: vec![],
+        rare_spike: None,
+        pair_jitter_ln: jitter_ln,
+        mode_by: ModeSelection::Measurement,
+        minority_flip: None,
+        ramp: RampPolicy {
+            fraction: 0.15,
+            max_steps: 2,
+        },
+        unit_scale: 1.0,
+        pair_salt,
     }
 }
 
@@ -182,6 +225,10 @@ pub fn a100_sxm4() -> DeviceSpec {
         mem_freq_mhz: 1215,
         driver_version: "550.54.15",
         ladder,
+        // HBM2e P-states: the documented default 1215 MHz plus two reduced
+        // states the driver exposes for power capping.
+        mem_ladder: FreqLadder::from_steps(vec![FreqMhz(810), FreqMhz(1065), FreqMhz(1215)]),
+        mem_transition: Arc::new(mem_transition_model(24.0, 10.0, 0.08, 0x0A10_03E3)),
         nominal_mhz: FreqMhz(1095),
         idle_mhz: FreqMhz(210),
         timer_resolution: SimDuration::from_micros(1),
@@ -329,6 +376,9 @@ pub fn gh200() -> DeviceSpec {
         mem_freq_mhz: 2619,
         driver_version: "545.23.08",
         ladder,
+        // HBM3 P-states around the documented 2619 MHz default.
+        mem_ladder: FreqLadder::from_steps(vec![FreqMhz(1593), FreqMhz(2106), FreqMhz(2619)]),
+        mem_transition: Arc::new(mem_transition_model(14.0, 11.0, 0.10, 0x61_43E3)),
         nominal_mhz: FreqMhz(1980),
         idle_mhz: FreqMhz(345),
         timer_resolution: SimDuration::from_micros(1),
@@ -471,6 +521,17 @@ pub fn rtx_quadro_6000() -> DeviceSpec {
         mem_freq_mhz: 7001,
         driver_version: "530.41.03",
         ladder,
+        // GDDR6 P-states: deep idle steps plus the high-rate states around
+        // the documented 7001 MHz default. GDDR retraining is the slowest
+        // memory switch of the three devices.
+        mem_ladder: FreqLadder::from_steps(vec![
+            FreqMhz(405),
+            FreqMhz(810),
+            FreqMhz(5001),
+            FreqMhz(6251),
+            FreqMhz(7001),
+        ]),
+        mem_transition: Arc::new(mem_transition_model(52.0, 41.0, 0.14, 0x60_3E3)),
         nominal_mhz: FreqMhz(1440),
         idle_mhz: FreqMhz(315),
         timer_resolution: SimDuration::from_micros(1),
@@ -728,6 +789,7 @@ mod tests {
         assert_eq!(q.ladder.len(), 120);
         assert_eq!(q.ladder.max(), FreqMhz(2100));
         assert_eq!(q.mem_freq_mhz, 7001);
+        assert_eq!(q.mem_ladder.max(), FreqMhz(7001));
 
         let a = a100_sxm4();
         assert_eq!(a.sm_count, 108);
@@ -744,6 +806,48 @@ mod tests {
         assert_eq!(g.nominal_mhz, FreqMhz(1980));
 
         assert_eq!(paper_devices().len(), 3);
+    }
+
+    #[test]
+    fn mem_ladders_contain_documented_defaults() {
+        // Table I's memory clocks are real ladder states: the driver boots
+        // into (and resets to) the documented default on every device.
+        for spec in paper_devices() {
+            assert!(
+                spec.mem_ladder.contains(spec.mem_default()),
+                "{}: default mem clock {} not on the memory ladder",
+                spec.name,
+                spec.mem_freq_mhz
+            );
+            assert_eq!(spec.mem_ladder.max(), spec.mem_default());
+            assert!(
+                spec.mem_ladder.len() >= 3,
+                "{}: mem ladder too small",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn mem_transitions_slower_than_core_baseline() {
+        // DRAM retraining dominates: the memory domain's median switch must
+        // not undercut the core domain's fast path on the same device.
+        let spec = rtx_quadro_6000();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut xs: Vec<f64> = (0..60)
+            .map(|_| {
+                spec.mem_transition
+                    .sample(FreqMhz(810), FreqMhz(7001), &spec.mem_ladder, &mut rng)
+                    .settle_duration()
+                    .as_millis_f64()
+            })
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(
+            median > 20.0,
+            "GDDR6 retrain median {median:.1} ms too fast"
+        );
     }
 
     #[test]

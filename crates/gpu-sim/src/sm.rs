@@ -48,6 +48,23 @@ pub struct WorkloadParams {
     pub spike_prob: f64,
     /// Work multiplier applied on a spike.
     pub spike_scale: f64,
+    /// DRAM stall time inside the timestamped region, expressed in ns *at
+    /// the device's reference memory clock* (0 = pure-arithmetic kernel).
+    /// The stall is a fixed number of memory cycles, so it stretches when
+    /// the memory clock drops — this is what makes a workload memory-bound
+    /// in a way the methodology can observe.
+    pub mem_stall_ns: f64,
+}
+
+/// The memory-clock context of a kernel: the DRAM frequency trajectory plus
+/// the reference clock `mem_stall_ns` is calibrated against. `None` in
+/// [`run_sm`] means "no memory domain" (stalls are skipped entirely).
+#[derive(Clone, Copy, Debug)]
+pub struct MemView<'a> {
+    /// The effective memory-clock trajectory over the kernel's window.
+    pub traj: &'a FreqTrajectory,
+    /// The memory clock (MHz) at which `mem_stall_ns` takes its face value.
+    pub reference_mhz: f64,
 }
 
 impl WorkloadParams {
@@ -59,20 +76,23 @@ impl WorkloadParams {
             noise_rel_sigma: 0.01,
             spike_prob: 0.0005,
             spike_scale: 3.0,
+            mem_stall_ns: 0.0,
         }
     }
 
-    /// A memory-bound variant: shorter timestamped arithmetic block plus a
-    /// large fixed (clock-insensitive) DRAM stall between iterations —
-    /// frequency still shows in the measured iteration duration, but the
-    /// kernel spends most of its wall time off the core clock.
+    /// A memory-bound variant: a short arithmetic block plus a large DRAM
+    /// stall *inside* the timestamped region. The stall is a fixed number of
+    /// memory cycles (45 µs at the reference memory clock), so the measured
+    /// iteration duration stretches when the DRAM clock drops — the kernel
+    /// time is dominated by the memory domain, not the core clock.
     pub fn memory_bound() -> Self {
         WorkloadParams {
             work_cycles: 55_000.0,
-            inter_iter_overhead_ns: 45_000,
+            inter_iter_overhead_ns: 200,
             noise_rel_sigma: 0.015,
             spike_prob: 0.001,
             spike_scale: 3.0,
+            mem_stall_ns: 45_000.0,
         }
     }
 
@@ -86,12 +106,21 @@ impl WorkloadParams {
             noise_rel_sigma: 0.015,
             spike_prob: 0.008,
             spike_scale: 5.0,
+            mem_stall_ns: 0.0,
         }
     }
 
-    /// Expected iteration duration at a given frequency (noise-free), ns.
+    /// Expected iteration duration at a given core frequency (noise-free,
+    /// memory at its reference clock), ns.
     pub fn expected_iter_ns(&self, freq_mhz: f64) -> f64 {
-        self.work_cycles / (freq_mhz * 1e-3)
+        self.work_cycles / (freq_mhz * 1e-3) + self.mem_stall_ns
+    }
+
+    /// Expected iteration duration with the memory domain off its reference
+    /// clock: the arithmetic block scales with the core clock, the stall
+    /// scales with `reference_mhz / mem_mhz` (fixed memory cycles), ns.
+    pub fn expected_iter_ns_mem(&self, freq_mhz: f64, mem_mhz: f64, reference_mhz: f64) -> f64 {
+        self.work_cycles / (freq_mhz * 1e-3) + self.mem_stall_ns * (reference_mhz / mem_mhz)
     }
 }
 
@@ -147,7 +176,7 @@ impl WorkloadRegistry {
         );
         reg.register(
             "memory-bound",
-            "short arithmetic block + fixed 45 us DRAM stall per iteration",
+            "short arithmetic block + 45 us DRAM stall (in memory cycles) per iteration",
             WorkloadParams::memory_bound(),
         );
         reg.register(
@@ -211,7 +240,9 @@ impl Default for WorkloadRegistry {
 ///
 /// `timer` is the device clock view used to stamp records (projection +
 /// quantisation); the returned end time stays on the global timeline for the
-/// device's internal bookkeeping.
+/// device's internal bookkeeping. `mem` supplies the memory-clock trajectory
+/// for workloads with a DRAM stall; `None` (or `mem_stall_ns == 0`) runs the
+/// historical pure-arithmetic path bit-for-bit.
 pub fn run_sm<R: Rng + ?Sized>(
     traj: &FreqTrajectory,
     start: SimTime,
@@ -219,17 +250,33 @@ pub fn run_sm<R: Rng + ?Sized>(
     params: &WorkloadParams,
     timer: &ClockView,
     rng: &mut R,
+    mem: Option<MemView<'_>>,
 ) -> (Vec<IterRecord>, SimTime) {
     let noise = Normal::new(1.0, params.noise_rel_sigma);
     let mut cursor = traj.cursor(start);
     let mut records = Vec::with_capacity(n_iters as usize);
     for _ in 0..n_iters {
         let t0 = cursor.time();
-        let mut work = params.work_cycles * noise.sample_clamped(rng, 4.0).max(0.01);
+        let factor = noise.sample_clamped(rng, 4.0).max(0.01);
+        let mut work = params.work_cycles * factor;
+        let mut stall_factor = factor;
         if params.spike_prob > 0.0 && rng.gen::<f64>() < params.spike_prob {
             work *= params.spike_scale;
+            stall_factor *= params.spike_scale;
         }
-        let t1 = cursor.advance_cycles(work);
+        let mut t1 = cursor.advance_cycles(work);
+        if params.mem_stall_ns > 0.0 {
+            if let Some(m) = mem {
+                // The stall is a fixed cycle count on the *memory* clock; it
+                // shares the iteration's noise/spike factor (one draw per
+                // iteration keeps the RNG stream identical to the
+                // single-domain engine).
+                let mem_cycles = params.mem_stall_ns * m.reference_mhz * 1e-3 * stall_factor;
+                let stall_end = m.traj.advance_cycles(t1, mem_cycles);
+                cursor.skip(stall_end.saturating_since(t1));
+                t1 = cursor.time();
+            }
+        }
         records.push(IterRecord {
             start: timer.project(t0),
             end: timer.project(t1),
@@ -249,10 +296,18 @@ pub fn estimate_end(
     start: SimTime,
     n_iters: u32,
     params: &WorkloadParams,
+    mem: Option<MemView<'_>>,
 ) -> SimTime {
     let mut cursor = traj.cursor(start);
     for _ in 0..n_iters {
-        cursor.advance_cycles(params.work_cycles);
+        let t1 = cursor.advance_cycles(params.work_cycles);
+        if params.mem_stall_ns > 0.0 {
+            if let Some(m) = mem {
+                let mem_cycles = params.mem_stall_ns * m.reference_mhz * 1e-3;
+                let stall_end = m.traj.advance_cycles(t1, mem_cycles);
+                cursor.skip(stall_end.saturating_since(t1));
+            }
+        }
         if params.inter_iter_overhead_ns > 0 {
             cursor.skip(SimDuration::from_nanos(params.inter_iter_overhead_ns));
         }
@@ -282,6 +337,7 @@ mod tests {
             noise_rel_sigma: 0.0,
             spike_prob: 0.0,
             spike_scale: 1.0,
+            mem_stall_ns: 0.0,
         }
     }
 
@@ -296,6 +352,7 @@ mod tests {
             &quiet_params(),
             &timer_exact(),
             &mut rng,
+            None,
         );
         assert_eq!(recs.len(), 10);
         for r in &recs {
@@ -315,6 +372,7 @@ mod tests {
             &quiet_params(),
             &timer_exact(),
             &mut rng,
+            None,
         );
         for r in &recs {
             assert_eq!(r.duration().as_nanos(), 200_000);
@@ -335,6 +393,7 @@ mod tests {
             &quiet_params(),
             &timer_exact(),
             &mut rng,
+            None,
         );
         let durs: Vec<u64> = recs.iter().map(|r| r.duration().as_nanos()).collect();
         assert_eq!(durs[0], 100_000);
@@ -352,7 +411,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut p = quiet_params();
         p.work_cycles = 12_345.0; // 12.345 us per iteration
-        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 50, &p, &timer_1us(), &mut rng);
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 50, &p, &timer_1us(), &mut rng, None);
         for r in &recs {
             assert_eq!(r.start.as_nanos() % 1_000, 0);
             assert_eq!(r.end.as_nanos() % 1_000, 0);
@@ -371,7 +430,15 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let mut p = quiet_params();
         p.noise_rel_sigma = 0.01;
-        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 4000, &p, &timer_exact(), &mut rng);
+        let (recs, _) = run_sm(
+            &traj,
+            SimTime::EPOCH,
+            4000,
+            &p,
+            &timer_exact(),
+            &mut rng,
+            None,
+        );
         let durs: Vec<f64> = recs
             .iter()
             .map(|r| r.duration().as_nanos() as f64)
@@ -390,7 +457,15 @@ mod tests {
         let mut p = quiet_params();
         p.spike_prob = 0.02;
         p.spike_scale = 5.0;
-        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 5000, &p, &timer_exact(), &mut rng);
+        let (recs, _) = run_sm(
+            &traj,
+            SimTime::EPOCH,
+            5000,
+            &p,
+            &timer_exact(),
+            &mut rng,
+            None,
+        );
         let long = recs
             .iter()
             .filter(|r| r.duration().as_nanos() > 400_000)
@@ -405,7 +480,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut p = quiet_params();
         p.inter_iter_overhead_ns = 500;
-        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 3, &p, &timer_exact(), &mut rng);
+        let (recs, _) = run_sm(&traj, SimTime::EPOCH, 3, &p, &timer_exact(), &mut rng, None);
         assert_eq!(recs[1].start.as_nanos() - recs[0].end.as_nanos(), 500);
         // Duration itself excludes the overhead.
         assert_eq!(recs[0].duration().as_nanos(), 100_000);
@@ -440,15 +515,68 @@ mod tests {
     fn presets_remain_frequency_sensitive() {
         // Phase 1 relies on iteration durations separating frequencies;
         // every preset must keep the timestamped block on the core clock.
-        for params in [
-            WorkloadParams::default_micro(),
-            WorkloadParams::memory_bound(),
-            WorkloadParams::bursty(),
-        ] {
+        // Pure-arithmetic presets track 1/f exactly; the memory-bound preset
+        // keeps a weaker (but still detectable) core sensitivity because
+        // most of its iteration is DRAM stall.
+        for params in [WorkloadParams::default_micro(), WorkloadParams::bursty()] {
             let slow = params.expected_iter_ns(705.0);
             let fast = params.expected_iter_ns(1410.0);
             assert!(slow > 1.9 * fast, "iteration time must track 1/f");
         }
+        let mb = WorkloadParams::memory_bound();
+        let slow = mb.expected_iter_ns(705.0);
+        let fast = mb.expected_iter_ns(1410.0);
+        assert!(
+            slow > 1.3 * fast,
+            "memory-bound core sensitivity too weak: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_tracks_memory_clock_paper_default_does_not() {
+        // The satellite contract: halving the DRAM clock stretches the
+        // memory-bound iteration substantially (the 45 µs stall is a fixed
+        // count of memory cycles) while paper-default is bit-for-bit
+        // insensitive to the memory domain.
+        let core = FreqTrajectory::flat(1410.0);
+        let run_at = |params: &WorkloadParams, mem_mhz: f64| -> f64 {
+            let mem_traj = FreqTrajectory::flat(mem_mhz);
+            let mem = MemView {
+                traj: &mem_traj,
+                reference_mhz: 1215.0,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let (recs, _) = run_sm(
+                &core,
+                SimTime::EPOCH,
+                200,
+                params,
+                &timer_exact(),
+                &mut rng,
+                Some(mem),
+            );
+            recs.iter()
+                .map(|r| r.duration().as_nanos() as f64)
+                .sum::<f64>()
+                / recs.len() as f64
+        };
+
+        let mb = WorkloadParams::memory_bound();
+        let full = run_at(&mb, 1215.0);
+        let half = run_at(&mb, 607.5);
+        assert!(
+            half > 1.4 * full,
+            "memory-bound must slow down at half DRAM clock: {half} vs {full}"
+        );
+        // Analytic expectation agrees with the engine.
+        let exp_ratio = mb.expected_iter_ns_mem(1410.0, 607.5, 1215.0)
+            / mb.expected_iter_ns_mem(1410.0, 1215.0, 1215.0);
+        assert!((half / full - exp_ratio).abs() < 0.05 * exp_ratio);
+
+        let pd = WorkloadParams::default_micro();
+        let full = run_at(&pd, 1215.0);
+        let half = run_at(&pd, 607.5);
+        assert_eq!(full, half, "paper-default must ignore the memory clock");
     }
 
     #[test]
@@ -457,8 +585,16 @@ mod tests {
         traj.push(SimTime::from_micros(700), 705.0);
         let p = quiet_params();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let (_, end) = run_sm(&traj, SimTime::EPOCH, 42, &p, &timer_exact(), &mut rng);
-        let est = estimate_end(&traj, SimTime::EPOCH, 42, &p);
+        let (_, end) = run_sm(
+            &traj,
+            SimTime::EPOCH,
+            42,
+            &p,
+            &timer_exact(),
+            &mut rng,
+            None,
+        );
+        let est = estimate_end(&traj, SimTime::EPOCH, 42, &p, None);
         assert_eq!(end, est);
     }
 }

@@ -56,8 +56,12 @@ pub struct DriverCallTrace {
 pub enum DriverCallKind {
     /// `nvmlDeviceSetGpuLockedClocks`.
     SetLockedClocks,
+    /// `nvmlDeviceSetMemoryLockedClocks`.
+    SetLockedMemClocks,
     /// `nvmlDeviceGetClockInfo`.
     GetClockInfo,
+    /// `nvmlDeviceGetClockInfo(NVML_CLOCK_MEM)`.
+    GetMemClockInfo,
     /// `nvmlDeviceGetCurrentClocksThrottleReasons`.
     GetThrottleReasons,
     /// `nvmlDeviceGetTemperature`.
@@ -176,6 +180,12 @@ impl NvmlDevice {
         self.device.lock().spec().mem_freq_mhz
     }
 
+    /// The device's memory-clock ladder
+    /// (`nvmlDeviceGetSupportedMemoryClocks`).
+    pub fn supported_memory_clocks(&self) -> Vec<FreqMhz> {
+        self.device.lock().spec().mem_ladder.steps().to_vec()
+    }
+
     /// Number of streaming multiprocessors.
     pub fn sm_count(&self) -> u32 {
         self.device.lock().spec().sm_count
@@ -232,6 +242,73 @@ impl NvmlDevice {
     pub fn reset_gpu_locked_clocks(&mut self) -> NvmlResult<FreqMhz> {
         let nominal = self.device.lock().spec().nominal_mhz;
         self.set_gpu_locked_clocks(nominal)
+    }
+
+    /// `nvmlDeviceSetMemoryLockedClocks(min = max = target)` — the memory
+    /// domain's twin of [`NvmlDevice::set_gpu_locked_clocks`]: the host
+    /// blocks for the sampled call time, the request travels the bus, the
+    /// device retrains DRAM asynchronously. Returns the ladder-snapped
+    /// target; rejects clocks outside the memory ladder range.
+    pub fn set_memory_locked_clocks(&mut self, target: FreqMhz) -> NvmlResult<FreqMhz> {
+        let (min, max) = {
+            let d = self.device.lock();
+            (d.spec().mem_ladder.min(), d.spec().mem_ladder.max())
+        };
+        if target < min || target > max {
+            return Err(NvmlError::InvalidClock {
+                requested: target.0,
+                min: min.0,
+                max: max.0,
+            });
+        }
+
+        let profile = self.device.lock().spec().driver.clone();
+        let call = self.clock.now();
+        let blocking_us =
+            LogNormal::from_median(profile.call_blocking_us, profile.call_blocking_sigma_ln)
+                .sample(&mut self.rng);
+        let mut travel_us =
+            LogNormal::from_median(profile.request_travel_us, profile.request_travel_sigma_ln)
+                .sample(&mut self.rng);
+        if self.rng.gen::<f64>() < profile.stall_prob {
+            travel_us += profile.stall.sample_ms(&mut self.rng) * 1e3;
+        }
+        let arrival = call + SimDuration::from_nanos((travel_us * 1e3).round() as u64);
+        let snapped = self
+            .device
+            .lock()
+            .apply_locked_mem_clocks(call, arrival, target);
+        let ret = self
+            .clock
+            .advance(SimDuration::from_nanos((blocking_us * 1e3).round() as u64));
+        self.trace.push(DriverCallTrace {
+            kind: DriverCallKind::SetLockedMemClocks,
+            call,
+            ret,
+            device_arrival: Some(arrival),
+        });
+        Ok(snapped)
+    }
+
+    /// `nvmlDeviceResetMemoryLockedClocks`: return to the default memory
+    /// P-state.
+    pub fn reset_memory_locked_clocks(&mut self) -> NvmlResult<FreqMhz> {
+        let default = self.device.lock().spec().mem_default();
+        self.set_memory_locked_clocks(default)
+    }
+
+    /// `nvmlDeviceGetClockInfo(NVML_CLOCK_MEM)`.
+    pub fn mem_clock_info(&mut self) -> FreqMhz {
+        let call = self.clock.now();
+        let f = self.device.lock().current_mem_clock(call);
+        let ret = self.query_cost();
+        self.trace.push(DriverCallTrace {
+            kind: DriverCallKind::GetMemClockInfo,
+            call,
+            ret,
+            device_arrival: None,
+        });
+        f
     }
 
     /// `nvmlDeviceGetClockInfo(NVML_CLOCK_SM)`.
@@ -414,6 +491,41 @@ mod tests {
             travel >= SimDuration::from_millis(2),
             "stalled travel only {travel}"
         );
+    }
+
+    #[test]
+    fn memory_locked_clocks_roundtrip() {
+        let (nvml, clock) = nvml_one_a100();
+        let mut dev = nvml.device(0).unwrap();
+        assert_eq!(dev.supported_memory_clocks().len(), 3);
+        // Out-of-ladder memory clocks are rejected like core clocks.
+        assert!(matches!(
+            dev.set_memory_locked_clocks(FreqMhz(100)),
+            Err(NvmlError::InvalidClock {
+                requested: 100,
+                min: 810,
+                max: 1215
+            })
+        ));
+        let snapped = dev.set_memory_locked_clocks(FreqMhz(820)).unwrap();
+        assert_eq!(snapped, FreqMhz(810));
+        let trace = dev.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].kind, DriverCallKind::SetLockedMemClocks);
+        assert!(trace[0].device_arrival.unwrap() > trace[0].call);
+        // Ground truth lands in the memory-domain ledger, not the core one.
+        let raw = dev.raw();
+        {
+            let d = raw.lock();
+            assert!(d.last_transition().is_none());
+            let gt = d.last_mem_transition().cloned().unwrap();
+            assert_eq!(gt.to, FreqMhz(810));
+        }
+        // After settling, the reported memory clock is the locked state and
+        // reset returns to the documented default.
+        clock.advance(SimDuration::from_secs(1));
+        assert_eq!(dev.mem_clock_info(), FreqMhz(810));
+        assert_eq!(dev.reset_memory_locked_clocks().unwrap(), FreqMhz(1215));
     }
 
     #[test]

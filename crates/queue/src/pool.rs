@@ -535,7 +535,7 @@ impl WorkerPool {
             .members()
             .iter()
             .filter_map(|spec| spec.resolve().ok())
-            .map(|config| config.ordered_pairs().len())
+            .map(|config| config.ordered_state_pairs().len())
             .sum();
         self.emit(QueueEvent::Planned {
             job: job.id,
@@ -595,8 +595,8 @@ impl WorkerPool {
                         member,
                         event: CampaignEvent::PairRestored {
                             index: *index,
-                            init_mhz: meas.init_mhz,
-                            target_mhz: meas.target_mhz,
+                            init: meas.init,
+                            target: meas.target,
                         },
                     });
                 }
@@ -653,7 +653,7 @@ impl WorkerPool {
         let config = spec
             .resolve()
             .map_err(|e| format!("member {member}: {e}"))?;
-        let total = config.ordered_pairs().len();
+        let total = config.ordered_state_pairs().len();
         let ckpt_path = self.queue.checkpoint_path(job_id, member);
 
         let mut session = CampaignSession::new(config).with_cancel_token(run.token.clone());

@@ -116,6 +116,7 @@ impl ProgressFormatter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use latest_core::FreqState;
 
     #[test]
     fn lines_gain_elapsed_and_eta() {
@@ -134,8 +135,8 @@ mod tests {
 
         let finished = fmt.line(&CampaignEvent::PairFinished {
             index: 0,
-            init_mhz: 705,
-            target_mhz: 1410,
+            init: FreqState::core_mhz(705),
+            target: FreqState::core_mhz(1410),
             measurements: 10,
             mean_ms: 9.5,
         });
@@ -145,8 +146,8 @@ mod tests {
         for i in 1..4 {
             let line = fmt.line(&CampaignEvent::PairSkipped {
                 index: i,
-                init_mhz: 705,
-                target_mhz: 1410,
+                init: FreqState::core_mhz(705),
+                target: FreqState::core_mhz(1410),
                 reason: latest_core::session::SkipReason::Cancelled,
             });
             if i == 3 {
@@ -169,8 +170,8 @@ mod tests {
         assert_eq!(fmt.total(), 8, "members accumulate");
         let line = fmt.line(&CampaignEvent::PairFinished {
             index: 0,
-            init_mhz: 705,
-            target_mhz: 1410,
+            init: FreqState::core_mhz(705),
+            target: FreqState::core_mhz(1410),
             measurements: 10,
             mean_ms: 9.5,
         });
@@ -204,8 +205,8 @@ mod tests {
         });
         let line = fmt.line(&CampaignEvent::PairFinished {
             index: 0,
-            init_mhz: 705,
-            target_mhz: 1410,
+            init: FreqState::core_mhz(705),
+            target: FreqState::core_mhz(1410),
             measurements: 10,
             mean_ms: 9.5,
         });
@@ -227,8 +228,8 @@ mod tests {
         });
         let line = fmt.line(&CampaignEvent::PairRestored {
             index: 0,
-            init_mhz: 705,
-            target_mhz: 1410,
+            init: FreqState::core_mhz(705),
+            target: FreqState::core_mhz(1410),
         });
         assert!(line.contains("[1/2 pairs"), "{line}");
     }

@@ -73,16 +73,37 @@ impl Bundle {
         let device = result.device_name.clone();
         let completed = LatencyView::of(result).completed();
         let freqs = LatencyView::of(result).frequencies_mhz();
+        let mem_clocks = completed.mem_clocks_mhz();
 
-        // Fig. 3 layout: one heatmap per per-pair statistic.
-        for (name, stat, label) in [
+        // Fig. 3 layout: one heatmap per per-pair statistic. Core-only
+        // campaigns keep the core×core grid; a 2-D sweep generalises to the
+        // full state×state grid (core-only cells would all miss otherwise).
+        let stats = [
             ("heatmap_min", PairStat::Min, "minimum (best-case)"),
             ("heatmap_mean", PairStat::Mean, "mean"),
             ("heatmap_max", PairStat::Max, "maximum (worst-case)"),
-        ] {
-            let hm = Heatmap::from_view(&completed, &freqs, stat)
-                .with_title(format!("{device}: {label} switching latencies [ms]"));
+        ];
+        let states = completed.states();
+        for (name, stat, label) in stats {
+            let hm = if mem_clocks.is_empty() {
+                Heatmap::from_view(&completed, &freqs, stat)
+            } else {
+                Heatmap::from_view_states(&completed, &states, stat)
+            }
+            .with_title(format!("{device}: {label} switching latencies [ms]"));
             bundle.add(name, hm);
+        }
+
+        // One paper-layout core×core slice per memory clock of a 2-D
+        // sweep: the core transitions measured with the memory domain
+        // pinned at that clock.
+        for &mem in &mem_clocks {
+            for (stem, stat, label) in stats {
+                let hm = Heatmap::from_view_mem_slice(&completed, &freqs, stat, mem).with_title(
+                    format!("{device}: {label} switching latencies at mem {mem} MHz [ms]"),
+                );
+                bundle.add(format!("{stem}_m{mem}"), hm);
+            }
         }
 
         // Fig. 4: direction-split violins (skipped when a direction has too
@@ -98,8 +119,8 @@ impl Bundle {
 
         // Figs. 5/6 shape: the worst pair's per-measurement scatter, raw
         // sample with the filter's outliers marked as noise.
-        if let Some((_, init, target)) = completed.stat_extreme(PairStat::Max, true) {
-            if let Some(pair) = completed.pair(init, target) {
+        if let Some((_, init, target)) = completed.stat_extreme_state(PairStat::Max, true) {
+            if let Some(pair) = completed.pair_state(init, target) {
                 if let (Some(raw), Some(analysis)) =
                     (pair.raw_ms(), pair.measurement().analysis.as_ref())
                 {
@@ -131,7 +152,7 @@ impl Bundle {
         let mut boxes = BoxplotGroup::new(format!("{device}: per-pair filtered latencies [ms]"));
         for pair in completed.pairs() {
             if let Some(xs) = pair.filtered_ms() {
-                boxes.add(format!("{}->{}", pair.init_mhz(), pair.target_mhz()), xs);
+                boxes.add(format!("{}->{}", pair.init(), pair.target()), xs);
             }
         }
         if !boxes.groups.is_empty() {
@@ -201,21 +222,21 @@ fn campaign_record(result: &CampaignResult) -> ExperimentRecord {
             completed.count()
         ),
     );
-    let fmt = |v: Option<(f64, u32, u32)>| match v {
+    let fmt = |v: Option<(f64, latest_core::FreqState, latest_core::FreqState)>| match v {
         Some((ms, init, target)) => format!("{ms:.3} ({init}->{target})"),
         None => "-".to_string(),
     };
     record.compare(
         "best-case min [ms]",
         "-",
-        fmt(completed.stat_extreme(PairStat::Min, false)),
+        fmt(completed.stat_extreme_state(PairStat::Min, false)),
         true,
         "fastest measured transition",
     );
     record.compare(
         "worst-case max [ms]",
         "-",
-        fmt(completed.stat_extreme(PairStat::Max, true)),
+        fmt(completed.stat_extreme_state(PairStat::Max, true)),
         true,
         "slowest measured transition",
     );
@@ -241,9 +262,22 @@ fn summary_json(result: &CampaignResult) -> String {
         .pairs()
         .filter_map(|p| {
             let n = p.filtered_ms()?.len();
-            Some(serde::Value::Map(vec![
+            let mut entries = vec![
                 ("init_mhz".to_string(), p.init_mhz().to_value()),
                 ("target_mhz".to_string(), p.target_mhz().to_value()),
+            ];
+            // Memory-domain fields only when the pair carries them, so
+            // single-domain summaries stay byte-identical.
+            if let Some(mem) = p.init_mem_mhz() {
+                entries.push(("init_mem_mhz".to_string(), mem.to_value()));
+            }
+            if let Some(mem) = p.target_mem_mhz() {
+                entries.push(("target_mem_mhz".to_string(), mem.to_value()));
+            }
+            if p.init_mem_mhz().is_some() || p.target_mem_mhz().is_some() {
+                entries.push(("kind".to_string(), p.kind().label().to_value()));
+            }
+            entries.extend([
                 ("n".to_string(), n.to_value()),
                 (
                     "min_ms".to_string(),
@@ -257,7 +291,8 @@ fn summary_json(result: &CampaignResult) -> String {
                     "max_ms".to_string(),
                     p.stat(PairStat::Max).expect("has data").to_value(),
                 ),
-            ]))
+            ]);
+            Some(serde::Value::Map(entries))
         })
         .collect();
     crate::artifact::json_of(serde::Value::Map(vec![
@@ -316,6 +351,96 @@ mod tests {
         for (name, content) in &files {
             assert!(!content.is_empty(), "{name} rendered empty");
         }
+    }
+
+    fn mem_plane_result(seed: u64) -> CampaignResult {
+        let mut spec = devices::a100_sxm4();
+        spec.transition = Arc::new(FixedTransition {
+            latency: SimDuration::from_millis(8),
+        });
+        let config = CampaignConfig::builder(spec)
+            .frequencies_mhz(&[705, 1410])
+            .mem_frequencies_mhz(&[810, 1215])
+            .measurements(6, 12)
+            .simulated_sms(Some(2))
+            .seed(seed)
+            .build();
+        Latest::new(config).run().unwrap()
+    }
+
+    #[test]
+    fn two_domain_bundle_adds_per_mem_clock_slices() {
+        let result = mem_plane_result(13);
+        let bundle = Bundle::for_campaign(&result);
+        let names = bundle.names();
+        for expected in [
+            "heatmap_min_m810",
+            "heatmap_mean_m810",
+            "heatmap_max_m810",
+            "heatmap_min_m1215",
+            "heatmap_mean_m1215",
+            "heatmap_max_m1215",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        let files = bundle.render_all().unwrap();
+        assert_eq!(files.len(), names.len() * 4 + 2);
+
+        // The top-level heatmaps generalise to state×state grids.
+        let (_, txt) = files
+            .iter()
+            .find(|(n, _)| n == "heatmap_max.txt")
+            .expect("state heatmap present");
+        assert!(txt.contains("705+m810"), "missing 2-D label:\n{txt}");
+
+        // summary.json carries the memory dimension and the pair kind.
+        let (_, summary) = files.iter().find(|(n, _)| n == "summary.json").unwrap();
+        assert!(summary.contains("\"init_mem_mhz\""), "{summary}");
+        assert!(summary.contains("\"kind\""), "{summary}");
+        assert!(summary.contains("\"memory\"") || summary.contains("\"simultaneous\""));
+
+        // The per-pair table gains the mem column.
+        let (_, table) = files
+            .iter()
+            .find(|(n, _)| n == "summary_table.txt")
+            .unwrap();
+        assert!(table.contains("mem[MHz]"), "{table}");
+    }
+
+    #[test]
+    fn two_domain_bundle_is_bitwise_deterministic() {
+        let a = Bundle::for_campaign(&mem_plane_result(17))
+            .render_all()
+            .unwrap();
+        let b = Bundle::for_campaign(&mem_plane_result(17))
+            .render_all()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn core_only_bundle_has_no_mem_artifacts() {
+        // A single-domain campaign must keep the exact pre-memory artifact
+        // set: no slice heatmaps, no mem column, no mem summary fields.
+        let bundle = Bundle::for_campaign(&small_result(7));
+        let is_slice = |n: &str| {
+            n.rsplit_once("_m").is_some_and(|(_, suffix)| {
+                !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit())
+            })
+        };
+        assert!(
+            bundle.names().iter().all(|n| !is_slice(n)),
+            "{:?}",
+            bundle.names()
+        );
+        let files = bundle.render_all().unwrap();
+        let (_, summary) = files.iter().find(|(n, _)| n == "summary.json").unwrap();
+        assert!(!summary.contains("mem_mhz"));
+        let (_, table) = files
+            .iter()
+            .find(|(n, _)| n == "summary_table.txt")
+            .unwrap();
+        assert!(!table.contains("mem[MHz]"));
     }
 
     #[test]

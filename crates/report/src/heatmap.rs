@@ -57,6 +57,50 @@ impl Heatmap {
         })
     }
 
+    /// Build the state×state heatmap of a 2-D (core × memory) campaign:
+    /// every distinct clock state in rows and columns (labelled e.g.
+    /// `705+m810`), blank diagonal, one cell per admitted ordered state
+    /// pair. This is the full-plane generalisation of
+    /// [`Heatmap::from_view`] — it shows core-only, memory-only and
+    /// simultaneous transitions in one grid.
+    pub fn from_view_states(
+        view: &latest_core::view::LatencyView<'_>,
+        states: &[latest_core::FreqState],
+        stat: latest_core::view::PairStat,
+    ) -> Heatmap {
+        Heatmap::build(states, states, |init, target| {
+            if init == target {
+                return None;
+            }
+            view.pair_state(init, target).and_then(|p| p.stat(stat))
+        })
+    }
+
+    /// Build one memory-clock *slice* of a 2-D (core × memory) campaign:
+    /// the same core-in-rows/core-in-columns layout as
+    /// [`Heatmap::from_view`], but every cell is the pair that holds the
+    /// memory clock pinned at `mem_mhz` on both sides. Together with the
+    /// per-slice loop in the bundle this renders a 2-D sweep as a stack of
+    /// paper-layout figures, one per memory clock.
+    pub fn from_view_mem_slice(
+        view: &latest_core::view::LatencyView<'_>,
+        freqs_mhz: &[u32],
+        stat: latest_core::view::PairStat,
+        mem_mhz: u32,
+    ) -> Heatmap {
+        use latest_core::FreqState;
+        Heatmap::build(freqs_mhz, freqs_mhz, |init, target| {
+            if init == target {
+                return None;
+            }
+            view.pair_state(
+                FreqState::mhz(init, mem_mhz),
+                FreqState::mhz(target, mem_mhz),
+            )
+            .and_then(|p| p.stat(stat))
+        })
+    }
+
     /// Build from row/column keys and a cell function (None = blank, e.g.
     /// the diagonal).
     pub fn build<K: ToString + Copy>(
@@ -199,7 +243,15 @@ impl Heatmap {
     /// Plain-text rendering with fixed-width cells; `color` adds an ANSI
     /// green→red background scale like the paper's figures.
     pub fn render(&self, title: &str, color: bool) -> String {
-        let width = 8usize;
+        // Wide enough for every label: core-only MHz labels fit the legacy
+        // 8 columns (keeping that output byte-identical); 2-D state labels
+        // like `1410+m1215` stretch the grid uniformly.
+        let width = self
+            .row_labels
+            .iter()
+            .chain(&self.col_labels)
+            .map(|l| l.len() + 1)
+            .fold(8usize, usize::max);
         let (lo, hi) = match (self.min_cell(), self.max_cell()) {
             (Some(a), Some(b)) => (a.2, b.2),
             _ => (0.0, 1.0),

@@ -187,20 +187,30 @@ pub fn campaign_summary_table(result: &latest_core::CampaignResult) -> TextTable
     use latest_core::view::{LatencyView, OutcomeKind, PairStat};
     use latest_core::PairOutcome;
 
-    let mut table = TextTable::with_header(&[
-        "init[MHz]",
-        "target[MHz]",
-        "n",
-        "min[ms]",
-        "mean[ms]",
-        "max[ms]",
-        "outliers",
-        "status",
-    ])
-    .titled(format!(
+    // The memory column only appears when the campaign actually swept the
+    // memory domain, so single-domain output stays byte-identical.
+    let has_mem = result
+        .pairs()
+        .iter()
+        .any(|p| p.init.has_mem() || p.target.has_mem());
+    let mut header = vec!["init[MHz]", "target[MHz]"];
+    if has_mem {
+        header.push("mem[MHz]");
+    }
+    header.extend(["n", "min[ms]", "mean[ms]", "max[ms]", "outliers", "status"]);
+    let mut table = TextTable::with_header(&header).titled(format!(
         "{} (device {}): per-pair switching latencies",
         result.device_name, result.device_index
     ));
+    let mem_cell = |pair: &latest_core::view::PairView<'_>| -> String {
+        match (pair.init_mem_mhz(), pair.target_mem_mhz()) {
+            (Some(i), Some(t)) if i == t => i.to_string(),
+            (Some(i), Some(t)) => format!("{i}->{t}"),
+            (Some(i), None) => format!("{i}->default"),
+            (None, Some(t)) => format!("default->{t}"),
+            (None, None) => "-".to_string(),
+        }
+    };
     for pair in LatencyView::of(result).pairs() {
         let m = pair.measurement();
         let status = match &m.outcome {
@@ -212,19 +222,21 @@ pub fn campaign_summary_table(result: &latest_core::CampaignResult) -> TextTable
             }
             PairOutcome::Cancelled => "cancelled".to_string(),
         };
-        let row = match (pair.outcome(), pair.filtered_ms()) {
+        let mut row = vec![pair.init_mhz().to_string(), pair.target_mhz().to_string()];
+        if has_mem {
+            row.push(mem_cell(&pair));
+        }
+        match (pair.outcome(), pair.filtered_ms()) {
             (OutcomeKind::Completed, Some(inliers)) => {
                 let a = m.analysis.as_ref().expect("completed implies analysed");
-                [
-                    pair.init_mhz().to_string(),
-                    pair.target_mhz().to_string(),
+                row.extend([
                     inliers.len().to_string(),
                     format!("{:.3}", pair.stat(PairStat::Min).expect("has data")),
                     format!("{:.3}", pair.stat(PairStat::Mean).expect("has data")),
                     format!("{:.3}", pair.stat(PairStat::Max).expect("has data")),
                     a.outliers_ms.len().to_string(),
                     status,
-                ]
+                ]);
             }
             _ => {
                 let n = match &m.outcome {
@@ -233,16 +245,7 @@ pub fn campaign_summary_table(result: &latest_core::CampaignResult) -> TextTable
                     } => measurements_before.to_string(),
                     _ => "0".to_string(),
                 };
-                [
-                    pair.init_mhz().to_string(),
-                    pair.target_mhz().to_string(),
-                    n,
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    status,
-                ]
+                row.extend([n, "-".into(), "-".into(), "-".into(), "-".into(), status]);
             }
         };
         table.row(&row);

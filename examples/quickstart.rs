@@ -69,8 +69,8 @@ fn main() {
         let s = analysis.filtered;
         println!(
             "{:>6} {:>6}  {:>5}  {:>9.3} {:>9.3} {:>9.3}  {:>8}",
-            pair.init_mhz,
-            pair.target_mhz,
+            pair.init_mhz(),
+            pair.target_mhz(),
             analysis.inliers_ms.len(),
             s.min,
             s.mean,

@@ -310,6 +310,20 @@ fn fail(msg: &str) -> ExitCode {
 // ---------------------------------------------------------------------------
 // subcommands
 
+/// Describe a campaign's frequency plane: `"3 frequencies"` for a
+/// core-only sweep, `"2 core x 3 memory frequencies"` for a 2-D one.
+fn freq_plane(config: &latest::core::CampaignConfig) -> String {
+    if config.mem_frequencies.is_empty() {
+        format!("{} frequencies", config.frequencies.len())
+    } else {
+        format!(
+            "{} core x {} memory frequencies",
+            config.frequencies.len(),
+            config.mem_frequencies.len()
+        )
+    }
+}
+
 fn cmd_validate(args: &[String]) -> ExitCode {
     let [path] = args else {
         return fail("validate takes exactly one scenario file");
@@ -339,10 +353,10 @@ fn cmd_validate(args: &[String]) -> ExitCode {
         ScenarioSpec::Campaign(c) => {
             let config = c.resolve().expect("validated spec resolves");
             println!(
-                "OK: {path}: campaign on {} ({} frequencies, {} ordered pairs)",
+                "OK: {path}: campaign on {} ({}, {} ordered pairs)",
                 config.spec.name,
-                config.frequencies.len(),
-                config.ordered_pairs().len()
+                freq_plane(&config),
+                config.ordered_state_pairs().len()
             );
         }
         ScenarioSpec::Fleet(f) => {
@@ -353,10 +367,10 @@ fn cmd_validate(args: &[String]) -> ExitCode {
             for (i, member) in f.members.iter().enumerate() {
                 let config = member.resolve().expect("validated member resolves");
                 println!(
-                    "  member {i}: {} ({} frequencies, {} ordered pairs)",
+                    "  member {i}: {} ({}, {} ordered pairs)",
                     config.spec.name,
-                    config.frequencies.len(),
-                    config.ordered_pairs().len()
+                    freq_plane(&config),
+                    config.ordered_state_pairs().len()
                 );
             }
         }
@@ -385,6 +399,8 @@ fn cmd_list_devices() -> ExitCode {
         "device",
         "ladder [MHz]",
         "steps",
+        "mem ladder [MHz]",
+        "mem steps",
         "units",
         "aliases",
     ]);
@@ -395,6 +411,8 @@ fn cmd_list_devices() -> ExitCode {
             spec.name.clone(),
             format!("{}-{}", spec.ladder.min().0, spec.ladder.max().0),
             spec.ladder.len().to_string(),
+            format!("{}-{}", spec.mem_ladder.min().0, spec.mem_ladder.max().0),
+            spec.mem_ladder.len().to_string(),
             entry.units().to_string(),
             entry.aliases().join(", "),
         ]);
@@ -463,16 +481,16 @@ fn run_campaign(spec: CampaignSpec, args: &RunArgs) -> ExitCode {
     }
 
     eprintln!(
-        "benchmarking {} (device {}), {} frequencies, {} ordered pairs",
+        "benchmarking {} (device {}), {}, {} ordered pairs",
         config.spec.name,
         config.device_index,
-        config.frequencies.len(),
-        config.ordered_pairs().len()
+        freq_plane(&config),
+        config.ordered_state_pairs().len()
     );
 
     let n_shards = args
         .shard_pairs
-        .map(|n| config.ordered_pairs().len().div_ceil(n));
+        .map(|n| config.ordered_state_pairs().len().div_ceil(n));
     let mut session = CampaignSession::new(config);
     if args.progress {
         let fmt = std::sync::Mutex::new(ProgressFormatter::new());
@@ -578,7 +596,7 @@ fn finish_campaign(
                     Ok(_) => csv_files += 1,
                     Err(e) => eprintln!(
                         "warning: writing CSV for {}->{}: {e}",
-                        pair.init_mhz, pair.target_mhz
+                        pair.init, pair.target
                     ),
                 }
             }

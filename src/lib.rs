@@ -46,7 +46,7 @@
 //!     .observe(|e: &CampaignEvent| eprintln!("{e}"));
 //! let campaign = session.run().expect("campaign failed");
 //! for pair in campaign.pairs() {
-//!     println!("{} -> {}: {:?}", pair.init_mhz, pair.target_mhz, pair.filtered_summary());
+//!     println!("{} -> {}: {:?}", pair.init, pair.target, pair.filtered_summary());
 //! }
 //! ```
 //!

@@ -42,8 +42,8 @@ fn pipeline_recovers_fixed_latency_on_a100() {
             assert!(
                 (measured - truth).abs() < 0.6,
                 "{}->{}: measured {measured} ms vs ground truth {truth} ms",
-                pair.init_mhz,
-                pair.target_mhz
+                pair.init_mhz(),
+                pair.target_mhz()
             );
             checked += 1;
         }
@@ -65,8 +65,8 @@ fn pipeline_recovers_fixed_latency_on_every_architecture() {
             assert!(
                 (analysis.filtered.mean - 20.0).abs() < 2.0,
                 "{name} {}->{}: mean {} ms, expected ~20 ms + detection granularity",
-                pair.init_mhz,
-                pair.target_mhz,
+                pair.init_mhz(),
+                pair.target_mhz(),
                 analysis.filtered.mean
             );
         }
@@ -83,8 +83,8 @@ fn measured_latency_never_precedes_the_request() {
             assert!(
                 ms > 0.0,
                 "{}->{}: non-positive latency {ms}",
-                pair.init_mhz,
-                pair.target_mhz
+                pair.init_mhz(),
+                pair.target_mhz()
             );
         }
     }
@@ -118,8 +118,8 @@ fn probe_bound_covers_true_latencies() {
             assert!(
                 ms <= bound || run.final_bound_ms >= ms,
                 "{}->{}: latency {ms} ms above probe bound {bound} ms without window growth",
-                pair.init_mhz,
-                pair.target_mhz
+                pair.init_mhz(),
+                pair.target_mhz()
             );
         }
     }

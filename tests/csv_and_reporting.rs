@@ -51,8 +51,8 @@ fn campaign_to_csv_to_heatmap_round_trip() {
         assert_eq!(gpu, 0);
         let latencies = read_pair_csv(&dir.join(&name)).unwrap();
         assert!(!latencies.is_empty());
-        let row = freqs.iter().position(|&f| f == init.0).unwrap();
-        let col = freqs.iter().position(|&f| f == target.0).unwrap();
+        let row = freqs.iter().position(|&f| f == init.core.0).unwrap();
+        let col = freqs.iter().position(|&f| f == target.core.0).unwrap();
         let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
         hm.set(row, col, Some(max));
     }
@@ -60,16 +60,16 @@ fn campaign_to_csv_to_heatmap_round_trip() {
 
     // The reloaded heatmap must agree with the in-memory campaign.
     for p in result.completed() {
-        let row = freqs.iter().position(|&f| f == p.init_mhz).unwrap();
-        let col = freqs.iter().position(|&f| f == p.target_mhz).unwrap();
+        let row = freqs.iter().position(|&f| f == p.init_mhz()).unwrap();
+        let col = freqs.iter().position(|&f| f == p.target_mhz()).unwrap();
         let from_csv = hm.get(row, col).expect("cell filled");
         let run = p.outcome.run().unwrap();
         let in_memory = run.latencies_ms.iter().cloned().fold(f64::MIN, f64::max);
         assert!(
             (from_csv - in_memory).abs() < 1e-5,
             "{}->{}: csv {from_csv} vs memory {in_memory}",
-            p.init_mhz,
-            p.target_mhz
+            p.init_mhz(),
+            p.target_mhz()
         );
     }
 }
@@ -81,7 +81,10 @@ fn filename_convention_matches_paper_format() {
     let name = csv_filename(FreqMhz(1095), FreqMhz(705), "karolina-acn12", 3);
     assert_eq!(name, "latest_1095MHz_705MHz_karolina-acn12_gpu3.csv");
     let (i, t, h, g) = parse_csv_filename(&name).unwrap();
-    assert_eq!((i.0, t.0, h.as_str(), g), (1095, 705, "karolina-acn12", 3));
+    assert_eq!(
+        (i.core.0, t.core.0, h.as_str(), g),
+        (1095, 705, "karolina-acn12", 3)
+    );
 }
 
 proptest! {
@@ -106,8 +109,8 @@ proptest! {
         let name = csv_filename(FreqMhz(init), FreqMhz(target), &hostname, gpu_index);
         let (i, t, h, g) = parse_csv_filename(&name)
             .unwrap_or_else(|| panic!("unparseable filename {name:?}"));
-        prop_assert_eq!(i, FreqMhz(init));
-        prop_assert_eq!(t, FreqMhz(target));
+        prop_assert_eq!(i, FreqMhz(init).into());
+        prop_assert_eq!(t, FreqMhz(target).into());
         prop_assert_eq!(h, hostname);
         prop_assert_eq!(g, gpu_index);
     }
@@ -122,8 +125,8 @@ proptest! {
         let dir = std::env::temp_dir()
             .join(format!("latest_csv_prop_{}_{seed}", std::process::id()));
         let run = PairRun {
-            init: FreqMhz(1095),
-            target: FreqMhz(705),
+            init: FreqMhz(1095).into(),
+            target: FreqMhz(705).into(),
             ground_truth_ms: latencies.clone(),
             latencies_ms: latencies,
             retries: 0,

@@ -38,7 +38,7 @@ fn all_latencies(result: &CampaignResult) -> Vec<(u32, u32, Vec<u64>)> {
                 .iter()
                 .map(|f| f.to_bits())
                 .collect();
-            (p.init_mhz, p.target_mhz, bits)
+            (p.init_mhz(), p.target_mhz(), bits)
         })
         .collect()
 }
@@ -79,8 +79,8 @@ fn filtered_summaries_are_identical_for_identical_seeds() {
             .filter_map(|p| {
                 p.filtered_summary().map(|s| {
                     (
-                        p.init_mhz,
-                        p.target_mhz,
+                        p.init_mhz(),
+                        p.target_mhz(),
                         s.mean.to_bits(),
                         s.stdev.to_bits(),
                         s.min.to_bits(),
@@ -202,7 +202,7 @@ proptest! {
                 .run()
                 .unwrap()
         });
-        let ordered: Vec<(FreqMhz, FreqMhz)> = config(86).ordered_pairs();
+        let ordered = config(86).ordered_state_pairs();
         prop_assert_eq!(assignment.len(), ordered.len());
 
         // Partition the measured pairs by the random shard assignment,
@@ -226,6 +226,46 @@ proptest! {
         );
         prop_assert_eq!(reference.to_json(), merged.to_json());
     }
+}
+
+// --- the memory-clock plane -------------------------------------------------
+
+fn mem_plane_config(seed: u64) -> CampaignConfig {
+    CampaignConfig::builder(devices::a100_sxm4())
+        .frequencies_mhz(&[705, 1410])
+        .mem_frequencies_mhz(&[810, 1215])
+        .measurements(6, 12)
+        .simulated_sms(Some(2))
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn mem_plane_sharded_schedules_are_bitwise_identical_to_sequential() {
+    // The 2-D (core × memory) sweep inherits the WorkUnit determinism
+    // contract unchanged: 4 states → 12 ordered state pairs, and any
+    // sharding of them reproduces the sequential run bit for bit.
+    let reference = CampaignSession::new(mem_plane_config(90))
+        .sequential(true)
+        .run()
+        .unwrap();
+    assert_eq!(reference.pairs().len(), 12);
+    for n_shards in [1, 3, 5, usize::MAX] {
+        let sharded = CampaignSession::new(mem_plane_config(90))
+            .run_sharded(n_shards)
+            .unwrap();
+        assert_eq!(
+            reference.to_json(),
+            sharded.to_json(),
+            "n_shards={n_shards}"
+        );
+    }
+    // And two independent sequential runs agree bitwise too.
+    let again = CampaignSession::new(mem_plane_config(90))
+        .sequential(true)
+        .run()
+        .unwrap();
+    assert_eq!(reference.to_json(), again.to_json());
 }
 
 // --- pair seeding -----------------------------------------------------------
@@ -255,5 +295,44 @@ proptest! {
             }
         }
         prop_assert_eq!(seeds.len(), n * (n - 1));
+    }
+
+    /// `state_pair_seed` must stay collision-free when the state space
+    /// grows a memory dimension: over the full cross product of a core
+    /// ladder with {no memory pin} ∪ {memory ladder}, every ordered state
+    /// pair must get a distinct platform seed — including against the
+    /// legacy core-only seeds, which the formula reduces to verbatim.
+    #[test]
+    fn state_pair_seed_is_collision_free_over_a_2d_plane(
+        base in 200u32..1200,
+        step in 15u32..120,
+        n in 2usize..8,
+        mem_base in 400u32..2000,
+        mem_step in 50u32..400,
+        m in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        use latest::core::FreqState;
+        let c = CampaignConfig::builder(devices::a100_sxm4()).seed(seed).build();
+        let cores: Vec<FreqMhz> = (0..n).map(|i| FreqMhz(base + step * i as u32)).collect();
+        let mut mems: Vec<Option<FreqMhz>> = vec![None];
+        mems.extend((0..m).map(|i| Some(FreqMhz(mem_base + mem_step * i as u32))));
+        let states: Vec<FreqState> = cores
+            .iter()
+            .flat_map(|&core| mems.iter().map(move |&mem| FreqState { core, mem }))
+            .collect();
+        let mut seeds = std::collections::HashSet::new();
+        for &init in &states {
+            for &target in &states {
+                if init != target {
+                    prop_assert!(
+                        seeds.insert(c.state_pair_seed(init, target)),
+                        "seed collision at {init}->{target}"
+                    );
+                }
+            }
+        }
+        let k = states.len();
+        prop_assert_eq!(seeds.len(), k * (k - 1));
     }
 }

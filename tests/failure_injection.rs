@@ -41,7 +41,8 @@ fn power_capped_frequency_pairs_are_skipped_not_fatal() {
     assert!(!power_limited.is_empty(), "no pair hit the power cap");
     for p in &power_limited {
         assert_eq!(
-            p.target_mhz, 1410,
+            p.target_mhz(),
+            1410,
             "only the unsustainable clock should power-limit"
         );
         assert!(
@@ -51,7 +52,7 @@ fn power_capped_frequency_pairs_are_skipped_not_fatal() {
     }
     // Pairs between sustainable clocks still completed.
     assert!(
-        result.completed().any(|p| p.target_mhz != 1410),
+        result.completed().any(|p| p.target_mhz() != 1410),
         "sustainable pairs should have completed"
     );
 }

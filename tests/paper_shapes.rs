@@ -26,7 +26,7 @@ fn worst_cases(result: &CampaignResult) -> Vec<(u32, u32, f64)> {
             p.analysis
                 .as_ref()
                 .filter(|a| !a.inliers_ms.is_empty())
-                .map(|a| (p.init_mhz, p.target_mhz, a.filtered.max))
+                .map(|a| (p.init_mhz(), p.target_mhz(), a.filtered.max))
         })
         .collect()
 }
@@ -48,7 +48,7 @@ fn a100_decreases_are_faster_and_tighter_than_increases() {
     let (mut down, mut up) = (Vec::new(), Vec::new());
     for p in result.completed() {
         if let Some(a) = &p.analysis {
-            let side = if p.target_mhz < p.init_mhz {
+            let side = if p.target_mhz() < p.init_mhz() {
                 &mut down
             } else {
                 &mut up
@@ -167,8 +167,8 @@ fn outliers_are_a_small_fraction_with_deviant_values() {
         assert!(
             a.outlier_ratio() <= 0.15,
             "{}->{}: outlier ratio {:.2}",
-            p.init_mhz,
-            p.target_mhz,
+            p.init_mhz(),
+            p.target_mhz(),
             a.outlier_ratio()
         );
     }
@@ -187,8 +187,8 @@ fn multi_cluster_pairs_score_decent_silhouettes() {
             assert!(
                 s > 0.4,
                 "{}->{}: silhouette {s:.2}",
-                p.init_mhz,
-                p.target_mhz
+                p.init_mhz(),
+                p.target_mhz()
             );
         }
     }

@@ -286,7 +286,7 @@ fn all_latency_bits(result: &CampaignResult) -> Vec<(u32, u32, Vec<u64>)> {
                 .iter()
                 .map(|f| f.to_bits())
                 .collect();
-            (p.init_mhz, p.target_mhz, bits)
+            (p.init_mhz(), p.target_mhz(), bits)
         })
         .collect()
 }
