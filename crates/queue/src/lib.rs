@@ -29,7 +29,14 @@
 //! * **[`QueueEvent`] multiplexer** — slot-tagged fan-in of every
 //!   worker's campaign event stream, for live progress across concurrent
 //!   jobs ([`ProgressFormatter`] renders the feed lines `queue watch`
-//!   replays).
+//!   replays). Producers buffer into a bounded per-worker [`EventSpool`]
+//!   (drops counted, never blocking); the persisted feed is a rotating
+//!   [`EventLog`] that [`EventTail`] follows across rotations.
+//! * **Service telemetry** — per-worker lock-free stage latency
+//!   recorders ([`latest_telemetry`]) time queue wait, claim-to-start,
+//!   shard execution, checkpoint stalls, settle latency and event
+//!   fan-in; the merged snapshot rides on [`DrainStats`] and persists as
+//!   `<dir>/telemetry.json` for `queue status` / `queue stats`.
 //!
 //! ```no_run
 //! use latest_queue::{JobQueue, PoolConfig, SubmitOptions, WorkerPool};
@@ -52,6 +59,7 @@
 //! ```
 
 pub mod error;
+pub mod eventlog;
 pub mod events;
 pub mod job;
 pub mod pool;
@@ -59,7 +67,8 @@ pub mod progress;
 pub mod queue;
 
 pub use error::{QueueError, QueueResult};
-pub use events::{QueueChannelObserver, QueueEvent, QueueObserver};
+pub use eventlog::{EventLog, EventTail};
+pub use events::{EventSpool, QueueChannelObserver, QueueEvent, QueueObserver};
 pub use job::{CompletionVia, Job, JobId, JobKey, JobState, MemberLedger, ShardLedger};
 pub use pool::{DrainStats, PoolConfig, WorkerPool};
 pub use progress::ProgressFormatter;

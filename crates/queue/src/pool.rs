@@ -35,14 +35,26 @@
 //! `Queued`, so a restarted service resumes each one from where the last
 //! run stopped — even mid-shard, the crash-recovery path and the
 //! graceful-shutdown path are the same code.
+//!
+//! Every stage of this path is timed into per-worker lock-free latency
+//! recorders ([`latest_telemetry`]): queue wait, claim-to-start, shard
+//! execution, checkpoint stalls, settle latency and observer fan-in.
+//! The merged [`TelemetrySnapshot`] rides on [`DrainStats`] and is
+//! persisted as `<dir>/telemetry.json` at the end of every drain/serve
+//! call. Between workers and observers sits an
+//! [`EventSpool`]: the measurement path pays
+//! one bounded buffer append per event (drops are counted, never
+//! blocking), and batches are delivered in production order at pair,
+//! task and lifecycle boundaries.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use latest_core::session::{
     CampaignEvent, CampaignPrelude, CampaignSession, CancelToken, ShardResult, WorkUnit,
@@ -50,10 +62,11 @@ use latest_core::session::{
 use latest_core::spec::{CampaignSpec, SpecCheckpoint};
 use latest_core::store::{ResultStore, RunId, StoreError};
 use latest_core::{CoreError, PairMeasurement, PairOutcome};
+use latest_telemetry::{ClockSpec, Registry, Stage, StageClock, TelemetrySnapshot};
 use parking_lot::Mutex;
 
 use crate::error::QueueResult;
-use crate::events::{QueueChannelObserver, QueueEvent, QueueObserver};
+use crate::events::{EventSpool, QueueChannelObserver, QueueEvent, QueueObserver};
 use crate::job::{CompletionVia, Job, JobId, JobState, MemberLedger, ShardLedger};
 use crate::queue::JobQueue;
 
@@ -72,6 +85,14 @@ pub struct PoolConfig {
     /// so a claimed job keeps the whole pool busy with headroom for
     /// stealing).
     pub shard_pairs: usize,
+    /// How service-side timing is taken: real monotonic time (default) or
+    /// virtual tick time for deterministic telemetry in tests and the CI
+    /// determinism gate (meaningful with `workers: 1` — tick clocks are
+    /// per-thread).
+    pub clock: ClockSpec,
+    /// Capacity of each worker's event buffer; events beyond it are
+    /// dropped (and counted) instead of blocking the measurement path.
+    pub event_buffer: usize,
 }
 
 impl Default for PoolConfig {
@@ -82,12 +103,14 @@ impl Default for PoolConfig {
             poll_interval: Duration::from_millis(25),
             store_dir: None,
             shard_pairs: 0,
+            clock: ClockSpec::Monotonic,
+            event_buffer: 4096,
         }
     }
 }
 
 /// What a drain/serve call processed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DrainStats {
     /// Jobs that ran to completion on the pool.
     pub executed: usize,
@@ -107,6 +130,10 @@ pub struct DrainStats {
     pub pairs_measured: usize,
     /// Wall-clock milliseconds the call spent.
     pub elapsed_ms: u64,
+    /// Merged per-stage service latency histograms for the call (queue
+    /// wait, claim-to-start, shard execution, checkpoint stalls, settle
+    /// latency, event fan-in), plus the dropped-event count.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl DrainStats {
@@ -146,6 +173,7 @@ impl serde::Serialize for DrainStats {
             ("pairs_measured".to_string(), self.pairs_measured.to_value()),
             ("elapsed_ms".to_string(), self.elapsed_ms.to_value()),
             ("jobs_per_sec".to_string(), self.jobs_per_sec().to_value()),
+            ("telemetry".to_string(), self.telemetry.to_value()),
         ])
     }
 }
@@ -228,6 +256,9 @@ impl TaskBoard {
 /// Shared state of one claimed job while its tasks are in flight.
 struct JobRun {
     job: StdMutex<Job>,
+    /// Service-clock timestamp of the claim, the zero point for the job's
+    /// claim-to-start and settle-latency telemetry.
+    claimed_ns: u64,
     /// The job's cancellation token, shared with every member session.
     token: CancelToken,
     /// Per-member state, set by the member's setup task (`None` when the
@@ -272,6 +303,19 @@ struct MemberRun {
     slots: StdMutex<Vec<Option<PairMeasurement>>>,
 }
 
+/// Per-thread telemetry context: which registry/spool slot this thread
+/// records into, and the stage clock it reads. Workers get slot `0..N` at
+/// loop entry; every other thread (the drain caller, tests poking the
+/// pool directly) lazily claims the shared service slot `N`.
+struct WorkerCtx {
+    slot: usize,
+    clock: StageClock,
+}
+
+thread_local! {
+    static WORKER_CTX: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
 /// The campaign execution service. See the [module docs](self) for the
 /// execution path.
 pub struct WorkerPool {
@@ -286,6 +330,18 @@ pub struct WorkerPool {
     running: Mutex<HashMap<JobId, CancelToken>>,
     board: TaskBoard,
     stats: Mutex<DrainStats>,
+    /// Per-slot stage latency recorders (one per worker + the service
+    /// slot); merged into a [`TelemetrySnapshot`] at drain end.
+    registry: Arc<Registry>,
+    /// Per-slot bounded event buffers between workers and observers.
+    spool: Arc<EventSpool>,
+    /// Serialises observer delivery so drained batches keep their order.
+    /// Lock order: `deliver` before the journal file lock, never inside
+    /// it — observers may call back into the queue (`request_cancel`).
+    deliver: StdMutex<()>,
+    /// Service-clock timestamp each queued job was first observed at, the
+    /// zero point for its queue-wait telemetry.
+    first_seen: StdMutex<HashMap<JobId, u64>>,
 }
 
 impl WorkerPool {
@@ -301,20 +357,29 @@ impl WorkerPool {
             .clone()
             .unwrap_or_else(|| queue.default_store_dir());
         let store = ResultStore::open(store_dir)?;
+        let config = PoolConfig {
+            workers: config.workers.max(1),
+            checkpoint_every: config.checkpoint_every.max(1),
+            event_buffer: config.event_buffer.max(1),
+            ..config
+        };
+        // One telemetry/spool slot per worker, plus the shared service
+        // slot for the drain caller and any other thread.
+        let slots = config.workers + 1;
         Ok(WorkerPool {
             queue,
             store,
-            config: PoolConfig {
-                workers: config.workers.max(1),
-                checkpoint_every: config.checkpoint_every.max(1),
-                ..config
-            },
+            registry: Arc::new(Registry::new(slots)),
+            spool: Arc::new(EventSpool::new(slots, config.event_buffer)),
+            config,
             observers: Vec::new(),
             shutdown: CancelToken::new(),
             claim_lock: Mutex::new(()),
             running: Mutex::new(HashMap::new()),
             board: TaskBoard::new(),
             stats: Mutex::new(DrainStats::default()),
+            deliver: StdMutex::new(()),
+            first_seen: StdMutex::new(HashMap::new()),
         })
     }
 
@@ -348,10 +413,65 @@ impl WorkerPool {
         self.shutdown.clone()
     }
 
+    /// Bind this thread's telemetry slot and give it a fresh stage clock.
+    fn set_ctx(&self, slot: usize) {
+        let clock = self.config.clock.clock();
+        WORKER_CTX.with(|ctx| *ctx.borrow_mut() = Some(WorkerCtx { slot, clock }));
+    }
+
+    /// Run `f` with this thread's telemetry context, lazily binding the
+    /// shared service slot for threads no worker loop registered.
+    fn with_ctx<T>(&self, f: impl FnOnce(&WorkerCtx) -> T) -> T {
+        WORKER_CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            let ctx = ctx.get_or_insert_with(|| WorkerCtx {
+                slot: self.config.workers,
+                clock: self.config.clock.clock(),
+            });
+            f(ctx)
+        })
+    }
+
+    /// Current service-clock time for this thread.
+    fn now_ns(&self) -> u64 {
+        self.with_ctx(|ctx| ctx.clock.now_ns())
+    }
+
+    /// Record one stage sample into this thread's recorder — lock-free
+    /// and allocation-free past the thread-local lookup.
+    fn record(&self, stage: Stage, ns: u64) {
+        self.with_ctx(|ctx| self.registry.recorder(ctx.slot).record(stage, ns));
+    }
+
+    /// Queue a lifecycle event and deliver everything buffered so far.
+    /// Lifecycle transitions are rare and watchers expect them promptly;
+    /// high-rate `Progress` events only ride along in the next batch.
     fn emit(&self, event: QueueEvent) {
-        for obs in &self.observers {
-            obs.event(&event);
+        self.with_ctx(|ctx| {
+            if !self.spool.push(ctx.slot, event) {
+                self.registry.recorder(ctx.slot).note_dropped(1);
+            }
+        });
+        self.flush_events();
+    }
+
+    /// Deliver every buffered event, in production order, to every
+    /// observer; the batch's wall time lands in the event-fan-in stage.
+    /// Must never be called with the journal file lock held (observers
+    /// may call back into the queue).
+    fn flush_events(&self) {
+        let _guard = self.deliver.lock().expect("deliver lock poisoned");
+        let batch = self.spool.drain();
+        if batch.is_empty() {
+            return;
         }
+        let start = self.now_ns();
+        for event in &batch {
+            for obs in &self.observers {
+                obs.event(event);
+            }
+        }
+        self.record(Stage::EventFanIn, self.now_ns().saturating_sub(start));
     }
 
     /// Process jobs until the queue is empty and every worker is idle (or
@@ -391,7 +511,14 @@ impl WorkerPool {
         // jobs were just recovered to Queued, so the stale tasks are dead.
         self.board.clear();
         *self.stats.lock() = DrainStats::default();
-        let started = Instant::now();
+        self.registry.reset();
+        self.spool.reset();
+        self.first_seen.lock().expect("first seen poisoned").clear();
+        // The calling thread records into the shared service slot; the
+        // drain-level clock times the call as a whole.
+        self.set_ctx(self.config.workers);
+        let drain_clock = self.config.clock.clock();
+        let started = drain_clock.now_ns();
         let errors: Mutex<Vec<crate::error::QueueError>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for worker in 0..self.config.workers {
@@ -408,12 +535,29 @@ impl WorkerPool {
         if let Some(e) = errors.into_inner().into_iter().next() {
             return Err(e);
         }
+        // Workers flush as they go; this catches anything buffered after
+        // the last worker's final flush.
+        self.flush_events();
         let mut stats = self.stats.lock();
-        stats.elapsed_ms = started.elapsed().as_millis() as u64;
-        Ok(*stats)
+        stats.elapsed_ms = drain_clock.now_ns().saturating_sub(started) / 1_000_000;
+        stats.telemetry = self.registry.snapshot();
+        self.persist_telemetry(&stats.telemetry)?;
+        Ok(stats.clone())
+    }
+
+    /// Persist the drain's telemetry snapshot next to the journal
+    /// (`<dir>/telemetry.json`, atomic write-to-temp + rename) so `queue
+    /// status`/`queue stats` can report service latency after the fact.
+    fn persist_telemetry(&self, snapshot: &TelemetrySnapshot) -> QueueResult<()> {
+        let path = self.queue.telemetry_path();
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, snapshot.to_json())?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
     }
 
     fn worker_loop(&self, worker: usize, drain: bool) -> QueueResult<()> {
+        self.set_ctx(worker);
         loop {
             // Board first: shard tasks of claimed jobs outrank new claims,
             // and they must still be consumed after shutdown — each
@@ -433,28 +577,45 @@ impl WorkerPool {
             // process; the queue's file lock serialises against other
             // processes (a concurrent `queue cancel`). One journal parse
             // per cycle: markers are a directory listing, and the claim
-            // carries the snapshot's pending count.
-            let claimed = {
+            // carries the snapshot's pending count. Cancellation events
+            // are emitted only after both locks drop — observers may call
+            // back into the queue.
+            let (claimed, cancelled, exit) = {
                 let _guard = self.claim_lock.lock();
                 let _flock = self.queue.lock_exclusive()?;
-                self.honour_cancel_markers()?;
+                let cancelled = self.honour_cancel_markers()?;
                 let claim = self.queue.claim()?;
+                let now = self.now_ns();
+                let mut first_seen = self.first_seen.lock().expect("first seen poisoned");
+                for id in &claim.queued {
+                    first_seen.entry(*id).or_insert(now);
+                }
                 match claim.job {
                     Some(job) => {
+                        let waited = first_seen
+                            .remove(&job.id)
+                            .map(|seen| now.saturating_sub(seen))
+                            .unwrap_or(0);
+                        drop(first_seen);
+                        self.record(Stage::QueueWait, waited);
                         let token = CancelToken::new();
                         self.running.lock().insert(job.id, token.clone());
-                        Some((job, token))
+                        (Some((job, token, now)), cancelled, false)
                     }
                     None => {
-                        if drain && self.running.lock().is_empty() && claim.pending == 0 {
-                            return Ok(());
-                        }
-                        None
+                        let exit = drain && self.running.lock().is_empty() && claim.pending == 0;
+                        (None, cancelled, exit)
                     }
                 }
             };
+            for id in cancelled {
+                self.emit(QueueEvent::Cancelled { job: id });
+            }
+            if exit {
+                return Ok(());
+            }
             match claimed {
-                Some((job, token)) => self.begin(worker, job, token)?,
+                Some((job, token, claimed_ns)) => self.begin(worker, job, token, claimed_ns)?,
                 None => self.board.wait(self.config.poll_interval),
             }
         }
@@ -463,8 +624,11 @@ impl WorkerPool {
     /// Apply pending cancellation markers: queued jobs are journaled as
     /// `Cancelled`; running jobs get their token cancelled (the owning
     /// job's tasks settle the state). Only marked jobs are loaded, so the
-    /// (usual) no-markers poll costs one directory listing.
-    fn honour_cancel_markers(&self) -> QueueResult<()> {
+    /// (usual) no-markers poll costs one directory listing. Returns the
+    /// freshly-cancelled ids — the caller emits their events after the
+    /// journal lock drops.
+    fn honour_cancel_markers(&self) -> QueueResult<Vec<JobId>> {
+        let mut cancelled = Vec::new();
         for id in self.queue.pending_cancels()? {
             let mut job = match self.queue.load(id) {
                 Ok(job) => job,
@@ -482,7 +646,11 @@ impl WorkerPool {
                     self.queue.clear_checkpoints(&job)?;
                     self.queue.clear_cancel_request(job.id)?;
                     self.stats.lock().cancelled += 1;
-                    self.emit(QueueEvent::Cancelled { job: job.id });
+                    self.first_seen
+                        .lock()
+                        .expect("first seen poisoned")
+                        .remove(&job.id);
+                    cancelled.push(job.id);
                 }
                 JobState::Running => {
                     if let Some(token) = self.running.lock().get(&job.id) {
@@ -494,7 +662,7 @@ impl WorkerPool {
                 _ => self.queue.clear_cancel_request(job.id)?,
             }
         }
-        Ok(())
+        Ok(cancelled)
     }
 
     fn finish(&self, id: JobId) {
@@ -504,7 +672,13 @@ impl WorkerPool {
     /// Start a claimed job: serve it from cache when possible, otherwise
     /// fan one setup task per member onto the board. The claimer returns
     /// to the loop immediately — the whole pool executes the job.
-    fn begin(&self, worker: usize, mut job: Job, token: CancelToken) -> QueueResult<()> {
+    fn begin(
+        &self,
+        worker: usize,
+        mut job: Job,
+        token: CancelToken,
+        claimed_ns: u64,
+    ) -> QueueResult<()> {
         self.emit(QueueEvent::Started {
             job: job.id,
             worker,
@@ -526,6 +700,10 @@ impl WorkerPool {
             });
             self.stats.lock().cached += 1;
             self.settle_done(&job, &run_ids)?;
+            self.record(
+                Stage::SettleLatency,
+                self.now_ns().saturating_sub(claimed_ns),
+            );
             self.finish(job.id);
             return Ok(());
         }
@@ -544,6 +722,7 @@ impl WorkerPool {
         });
         let run = Arc::new(JobRun {
             job: StdMutex::new(job),
+            claimed_ns,
             token,
             members: (0..members).map(|_| OnceLock::new()).collect(),
             outstanding: AtomicUsize::new(members),
@@ -579,6 +758,12 @@ impl WorkerPool {
         };
         match self.build_member(job_id, member, &spec, run) {
             Ok(Some(mut mr)) => {
+                // Claim-to-start: claim to "this member is ready to
+                // measure" (spec resolution, checkpoint restore, prelude).
+                self.record(
+                    Stage::ClaimToStart,
+                    self.now_ns().saturating_sub(run.claimed_ns),
+                );
                 let (restored, pending) = {
                     let slots = mr.slots.lock().expect("member slots poisoned");
                     let restored: Vec<(usize, PairMeasurement)> = slots
@@ -673,16 +858,24 @@ impl WorkerPool {
             }
         }
 
-        // Fan the member's campaign events into the multiplexed feed.
-        let observers = self.observers.clone();
+        // Fan the member's campaign events into the multiplexed feed via
+        // the spool: the measurement thread pays one buffer append, not a
+        // synchronous walk of every observer. A full buffer drops the
+        // event and bumps the worker's dropped counter instead.
+        let spool = self.spool.clone();
+        let registry = self.registry.clone();
+        let service_slot = self.config.workers;
         session = session.observe(move |e: &CampaignEvent| {
             let event = QueueEvent::Progress {
                 job: job_id,
                 member,
                 event: e.clone(),
             };
-            for obs in &observers {
-                obs.event(&event);
+            let slot = WORKER_CTX
+                .with(|ctx| ctx.borrow().as_ref().map(|c| c.slot))
+                .unwrap_or(service_slot);
+            if !spool.push(slot, event) {
+                registry.recorder(slot).note_dropped(1);
             }
         });
 
@@ -721,6 +914,10 @@ impl WorkerPool {
         let job_id = run.job.lock().expect("job slot poisoned").id;
 
         let on_settle = |index: usize, meas: &PairMeasurement| {
+            // The session already spooled this pair's events (its
+            // `PairFinished` is emitted before this hook runs): deliver
+            // them now, so watchers still see pair-granular progress.
+            self.flush_events();
             let mut slots = mr.slots.lock().expect("member slots poisoned");
             slots[index] = Some(meas.clone());
             let settled = slots.iter().filter(|s| s.is_some()).count();
@@ -735,7 +932,10 @@ impl WorkerPool {
             }
         };
 
-        match mr.session.run_unit_with(&mr.prelude, unit, on_settle) {
+        let exec_start = self.now_ns();
+        let outcome = mr.session.run_unit_with(&mr.prelude, unit, on_settle);
+        self.record(Stage::ShardExec, self.now_ns().saturating_sub(exec_start));
+        match outcome {
             Ok(shard) => {
                 let measured = shard
                     .pairs
@@ -766,6 +966,7 @@ impl WorkerPool {
     /// Unsettled slots become `Cancelled` placeholders — exactly the
     /// partial-result shape `resume_from` validates.
     fn write_checkpoint(&self, mr: &MemberRun, slots: &[Option<PairMeasurement>]) {
+        let start = self.now_ns();
         let pairs: Vec<(usize, PairMeasurement)> = slots
             .iter()
             .enumerate()
@@ -779,6 +980,7 @@ impl WorkerPool {
             result,
         };
         let _ = doc.save(&mr.ckpt_path);
+        self.record(Stage::CheckpointStall, self.now_ns().saturating_sub(start));
     }
 
     /// Journal the job's shard ledger (pair/shard progress per member) so
@@ -827,6 +1029,10 @@ impl WorkerPool {
             self.queue.clear_cancel_request(job.id)?;
             self.emit(QueueEvent::Failed { job: job.id, error });
             self.stats.lock().failed += 1;
+            self.record(
+                Stage::SettleLatency,
+                self.now_ns().saturating_sub(run.claimed_ns),
+            );
             self.finish(job.id);
             return Ok(());
         }
@@ -851,6 +1057,10 @@ impl WorkerPool {
             self.queue.clear_cancel_request(job.id)?;
             self.emit(QueueEvent::Cancelled { job: job.id });
             self.stats.lock().cancelled += 1;
+            self.record(
+                Stage::SettleLatency,
+                self.now_ns().saturating_sub(run.claimed_ns),
+            );
             self.finish(job.id);
             return Ok(());
         }
@@ -910,12 +1120,22 @@ impl WorkerPool {
         });
         self.stats.lock().executed += 1;
         self.settle_done(&job, &run_ids)?;
+        // Settle latency: claim to fully settled (archived + journaled +
+        // duplicates coalesced). Requeued jobs never settle, so the
+        // shutdown path above records nothing.
+        self.record(
+            Stage::SettleLatency,
+            self.now_ns().saturating_sub(run.claimed_ns),
+        );
         self.finish(job.id);
         Ok(())
     }
 
-    /// Count one finished task; the last one settles the job.
+    /// Count one finished task; the last one settles the job. Buffered
+    /// events are delivered first, so watchers see a task's progress
+    /// before (not interleaved with) the job's terminal event.
     fn complete_task(&self, run: &Arc<JobRun>) -> QueueResult<()> {
+        self.flush_events();
         if run.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.finalize(run)?;
         }

@@ -11,9 +11,8 @@
 //! [  12.4s] pair 705->1410 MHz finished: n=60, mean 9.874 ms [3/56 pairs, ETA 219s]
 //! ```
 
-use std::time::Instant;
-
 use latest_core::session::CampaignEvent;
+use latest_telemetry::StageClock;
 
 /// Stateful per-campaign formatter: tracks the start instant and the
 /// pairs-settled count that the ETA is extrapolated from.
@@ -27,7 +26,8 @@ use latest_core::session::CampaignEvent;
 /// itself — wrap in a mutex when events arrive from parallel workers.
 #[derive(Debug)]
 pub struct ProgressFormatter {
-    start: Instant,
+    clock: StageClock,
+    start_ns: u64,
     total: usize,
     done: usize,
     seeded: bool,
@@ -42,10 +42,20 @@ impl Default for ProgressFormatter {
 }
 
 impl ProgressFormatter {
-    /// A formatter whose clock starts now.
+    /// A formatter whose (real, monotonic) clock starts now.
     pub fn new() -> Self {
+        ProgressFormatter::with_clock(StageClock::monotonic())
+    }
+
+    /// A formatter reading elapsed time off `clock` — a
+    /// [`StageClock::manual`] makes elapsed/ETA figures exact in tests,
+    /// a tick clock makes `queue serve --virtual-clock` feeds
+    /// reproducible.
+    pub fn with_clock(clock: StageClock) -> Self {
+        let start_ns = clock.now_ns();
         ProgressFormatter {
-            start: Instant::now(),
+            clock,
+            start_ns,
             total: 0,
             done: 0,
             seeded: false,
@@ -85,7 +95,7 @@ impl ProgressFormatter {
             CampaignEvent::ShardFinished { .. } => self.shards_done += 1,
             _ => {}
         }
-        let elapsed = self.start.elapsed().as_secs_f64();
+        let elapsed = self.clock.now_ns().saturating_sub(self.start_ns) as f64 / 1e9;
         format!("[{elapsed:>7.1}s] {event}{}", self.suffix(elapsed))
     }
 
@@ -217,6 +227,24 @@ mod tests {
             pairs: 2,
         });
         assert!(line.contains("1/2 shards"), "{line}");
+    }
+
+    #[test]
+    fn manual_clock_makes_elapsed_and_eta_exact() {
+        let clock = StageClock::manual();
+        let mut fmt = ProgressFormatter::with_clock(clock.clone());
+        fmt.seed_totals(4);
+        clock.advance(3_000_000_000);
+        let line = fmt.line(&CampaignEvent::PairFinished {
+            index: 0,
+            init: FreqState::core_mhz(705),
+            target: FreqState::core_mhz(1410),
+            measurements: 10,
+            mean_ms: 9.5,
+        });
+        assert!(line.starts_with("[    3.0s]"), "{line}");
+        // 3s elapsed for 1 of 4 pairs: 3 more pairs at 3 s/pair.
+        assert!(line.ends_with("[1/4 pairs, ETA 9s]"), "{line}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! <dir>/checkpoints/job-000001.m0.json   per-member resume checkpoints
 //! <dir>/store/                      the result cache (a ResultStore)
 //! <dir>/events.log                  append-only event feed (`queue watch`)
+//! <dir>/events.log.1                rotated previous feed generation
+//! <dir>/telemetry.json              last drain's per-stage latency snapshot
 //! <dir>/.lock                       cross-process advisory lock
 //! ```
 //!
@@ -121,6 +123,10 @@ pub struct Claim {
     pub job: Option<Job>,
     /// Pending (queued + running) jobs in the snapshot the claim saw.
     pub pending: usize,
+    /// Every `Queued` job id in the snapshot (the claimed one included),
+    /// in id order — the pool stamps queue-wait telemetry from the first
+    /// scan that observes each id.
+    pub queued: Vec<JobId>,
 }
 
 impl JobQueue {
@@ -146,6 +152,18 @@ impl JobQueue {
     /// The append-only event feed file (`<dir>/events.log`).
     pub fn events_log_path(&self) -> PathBuf {
         self.dir.join("events.log")
+    }
+
+    /// The rotated previous generation of the event feed
+    /// (`<dir>/events.log.1`).
+    pub fn rotated_events_log_path(&self) -> PathBuf {
+        self.dir.join("events.log.1")
+    }
+
+    /// The last persisted telemetry snapshot (`<dir>/telemetry.json`),
+    /// written at the end of every drain/serve call.
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.dir.join("telemetry.json")
     }
 
     fn jobs_dir(&self) -> PathBuf {
@@ -417,6 +435,11 @@ impl JobQueue {
             .filter(|j| j.state == JobState::Running)
             .map(Job::key)
             .collect();
+        let queued: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| j.id)
+            .collect();
         let best = jobs
             .into_iter()
             .filter(|j| j.state == JobState::Queued && !busy.contains(&j.key()))
@@ -430,9 +453,14 @@ impl JobQueue {
                 Ok(Claim {
                     job: Some(job),
                     pending,
+                    queued,
                 })
             }
-            None => Ok(Claim { job: None, pending }),
+            None => Ok(Claim {
+                job: None,
+                pending,
+                queued,
+            }),
         }
     }
 
@@ -755,12 +783,19 @@ mod tests {
         let first = q.claim().unwrap();
         assert!(first.job.is_some());
         assert_eq!(first.pending, 2);
+        assert_eq!(
+            first.queued,
+            vec![JobId(1), JobId(2)],
+            "snapshot lists every queued id, the claimed one included"
+        );
         let second = q.claim().unwrap();
         assert!(second.job.is_some());
         assert_eq!(second.pending, 2, "one running + one queued");
+        assert_eq!(second.queued, vec![JobId(2)]);
         let empty = q.claim().unwrap();
         assert!(empty.job.is_none());
         assert_eq!(empty.pending, 2, "both claimed jobs still running");
+        assert!(empty.queued.is_empty());
         fs::remove_dir_all(q.dir()).ok();
     }
 

@@ -18,6 +18,8 @@
 //! * [`predicted`] — prediction-service validation figures
 //!   (predicted-vs-measured scatter with confidence whiskers, relative
 //!   error heatmap, per-pair comparison table);
+//! * [`telemetry`] — the per-stage service latency quantile table
+//!   (`latest queue stats`);
 //! * [`svg`] — dependency-free SVG documents of the same figure types, for
 //!   committing rendered figures;
 //! * [`experiments`] — paper-value vs measured-value records that generate
@@ -46,6 +48,7 @@ pub mod predicted;
 pub mod scatter;
 pub mod svg;
 pub mod table;
+pub mod telemetry;
 pub mod violin;
 
 pub use artifact::{
@@ -64,4 +67,5 @@ pub use svg::{
     boxplot_svg, heatmap_svg, scatter_svg, text_svg, violin_pair_svg, violins_svg, SvgStyle,
 };
 pub use table::{campaign_summary_table, cross_device_table, CrossDeviceRow, TextTable};
+pub use telemetry::stage_latency_table;
 pub use violin::{DirectionSplit, ViolinPair, ViolinSummary};

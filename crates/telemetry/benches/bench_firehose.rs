@@ -1,0 +1,141 @@
+//! Firehose bench: prove the record path sustains millions of records/sec
+//! single-threaded and scales with worker count, and that drain-end
+//! snapshot-by-merge stays cheap.
+//!
+//! Two modes:
+//!
+//! * default (`cargo bench -p latest-telemetry`): criterion groups for
+//!   the record path, per-worker scaling, and snapshot merge;
+//! * `FIREHOSE_OUT=<path>`: one self-timed pass that writes a JSON report
+//!   (`records_per_sec_single`, per-worker-count scaling, `merge_ms`) for
+//!   the CI throughput gate.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+use latest_telemetry::{Registry, Stage};
+
+/// Synthetic nanosecond latencies spread across octaves (SplitMix-style
+/// scramble, magnitude varied by a shifting window) so the bench touches
+/// many buckets instead of hammering one cache line.
+#[inline]
+fn synth(i: u64) -> u64 {
+    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x >> (x % 48)
+}
+
+#[inline]
+fn stage_of(i: u64) -> Stage {
+    Stage::ALL[(i % Stage::COUNT as u64) as usize]
+}
+
+/// Record `n` synthetic samples into slot 0 of a fresh registry; returns
+/// records/sec.
+fn time_single(n: u64) -> f64 {
+    let registry = Registry::new(1);
+    let rec = registry.recorder(0);
+    let start = Instant::now();
+    for i in 0..n {
+        rec.record(stage_of(i), synth(i));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    black_box(registry.snapshot());
+    n as f64 / secs.max(1e-9)
+}
+
+/// Record `n` samples per worker, one worker per slot; returns aggregate
+/// records/sec across all workers.
+fn time_scaling(workers: usize, n: u64) -> f64 {
+    let registry = Registry::new(workers);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for slot in 0..workers {
+            let registry = &registry;
+            scope.spawn(move || {
+                let rec = registry.recorder(slot);
+                for i in 0..n {
+                    rec.record(stage_of(i), synth(i.wrapping_add(slot as u64)));
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    black_box(registry.snapshot());
+    (workers as u64 * n) as f64 / secs.max(1e-9)
+}
+
+/// Milliseconds to merge a fully-populated registry into one snapshot.
+fn time_merge(slots: usize, n_per_slot: u64) -> f64 {
+    let registry = Registry::new(slots);
+    for slot in 0..slots {
+        let rec = registry.recorder(slot);
+        for i in 0..n_per_slot {
+            rec.record(stage_of(i), synth(i));
+        }
+    }
+    let start = Instant::now();
+    black_box(registry.snapshot());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn firehose_report(path: &str) {
+    // Sized so the CI step finishes in seconds while still long enough to
+    // time reliably.
+    let single = time_single(4_000_000);
+    let worker_counts = [1usize, 2, 4];
+    let scaling: Vec<(usize, f64)> = worker_counts
+        .iter()
+        .map(|&w| (w, time_scaling(w, 2_000_000)))
+        .collect();
+    let merge_ms = time_merge(8, 500_000);
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"records_per_sec_single\": {single:.0},\n"));
+    out.push_str("  \"scaling\": {\n");
+    for (i, (w, rps)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        out.push_str(&format!("    \"{w}\": {rps:.0}{comma}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"merge_ms\": {merge_ms:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write(path, &out).expect("write FIREHOSE_OUT report");
+    println!("firehose: single {single:.0} rec/s, merge {merge_ms:.3} ms -> {path}");
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("FIREHOSE_OUT") {
+        firehose_report(&path);
+        return;
+    }
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("firehose");
+    group.bench_function("record_100k_single", |b| {
+        let registry = Registry::new(1);
+        let rec = registry.recorder(0);
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                rec.record(stage_of(i), synth(i));
+            }
+        });
+    });
+    for workers in [2usize, 4] {
+        group.bench_function(format!("record_100k_x{workers}"), |b| {
+            b.iter(|| black_box(time_scaling(workers, 100_000)));
+        });
+    }
+    group.bench_function("snapshot_merge_8_slots", |b| {
+        let registry = Registry::new(8);
+        for slot in 0..8 {
+            let rec = registry.recorder(slot);
+            for i in 0..100_000u64 {
+                rec.record(stage_of(i), synth(i));
+            }
+        }
+        b.iter(|| black_box(registry.snapshot()));
+    });
+    group.finish();
+}

@@ -1,0 +1,48 @@
+//! Lock-free, merge-at-end observability for the measurement service.
+//!
+//! The paper's whole premise is that a measurement you have not
+//! characterized cannot be trusted — and that holds for the measurement
+//! *service* itself: instrumentation that locks, allocates or funnels
+//! every sample through a channel perturbs the very latencies it reports.
+//! This crate is the cheap-enough-to-leave-on telemetry layer the
+//! `latest-queue` event path records into:
+//!
+//! * [`Histogram`] — fixed log-scaled buckets (power-of-two octaves,
+//!   32 sub-buckets each, HDR-style), exact `count`/`min`/`max`/`sum`,
+//!   quantiles with a bounded relative error of
+//!   [`Histogram::RELATIVE_ERROR_BOUND`], and a deterministic,
+//!   associative [`Histogram::merge`] — any partition of the same records
+//!   merges to bitwise-identical state.
+//! * [`Stage`] — the service's stage taxonomy: where a job's wall-clock
+//!   time goes between submission and settle.
+//! * [`StageRecorder`] / [`Registry`] — one cache-line-aligned recorder
+//!   slot per worker. [`StageRecorder::record`] is lock-free and
+//!   allocation-free (single-writer relaxed atomics into preallocated
+//!   buckets); a drain-end [`Registry::snapshot`] merges every slot into
+//!   one [`TelemetrySnapshot`] instead of synchronising on every event.
+//! * [`StageClock`] / [`ClockSpec`] — the monotonic timer abstraction all
+//!   service-side timing goes through, so tests and CI determinism gates
+//!   drive virtual time (fixed-increment ticks, manually advanced clocks)
+//!   instead of sleeping.
+//!
+//! ```
+//! use latest_telemetry::{Registry, Stage};
+//!
+//! let registry = Registry::new(2); // one slot per worker
+//! registry.recorder(0).record(Stage::ShardExec, 1_250_000);
+//! registry.recorder(1).record(Stage::ShardExec, 2_500_000);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.stage(Stage::ShardExec).count(), 2);
+//! ```
+
+pub mod clock;
+pub mod hist;
+pub mod recorder;
+pub mod snapshot;
+pub mod stage;
+
+pub use clock::{ClockSpec, StageClock};
+pub use hist::Histogram;
+pub use recorder::{Registry, StageRecorder};
+pub use snapshot::TelemetrySnapshot;
+pub use stage::Stage;

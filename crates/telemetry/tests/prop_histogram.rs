@@ -1,0 +1,107 @@
+//! Property tests for the histogram's two load-bearing guarantees:
+//! `merge` is associative and order-independent (any partition of the
+//! same records produces bitwise-identical state — the determinism-gate
+//! property), and reported quantiles stay within the documented
+//! relative-error bound of the exact order statistics.
+
+use latest_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Nanosecond samples spanning exact small values through multi-second
+/// latencies, with the octave drawn first so large magnitudes are as
+/// likely as small ones.
+fn sample_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u32..40, 0u64..1_000_000)
+            .prop_map(|(shift, offset)| (1u64 << shift).wrapping_add(offset)),
+        1..200,
+    )
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn to_json(h: &Histogram) -> String {
+    serde_json::to_string(h).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn any_partition_merges_to_bitwise_identical_snapshots(
+        values in sample_values(),
+        cuts in (1usize..5, 0u64..u64::MAX),
+    ) {
+        let whole = hist_of(&values);
+
+        // Partition the record stream into `parts` interleaved slices
+        // using a seed-derived assignment, merge the parts in two
+        // different orders, and require bitwise-identical results.
+        let (parts, seed) = cuts;
+        let mut shards = vec![Histogram::new(); parts];
+        for (i, &v) in values.iter().enumerate() {
+            let slot = (seed.rotate_left(i as u32) as usize) % parts;
+            shards[slot].record(v);
+        }
+
+        let mut forward = Histogram::new();
+        for shard in &shards {
+            forward.merge(shard);
+        }
+        let mut reverse = Histogram::new();
+        for shard in shards.iter().rev() {
+            reverse.merge(shard);
+        }
+        // Associativity: fold pairs first, then combine.
+        let mut paired = Histogram::new();
+        for pair in shards.chunks(2) {
+            let mut acc = Histogram::new();
+            for shard in pair {
+                acc.merge(shard);
+            }
+            paired.merge(&acc);
+        }
+
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&reverse, &whole);
+        prop_assert_eq!(&paired, &whole);
+        prop_assert_eq!(to_json(&forward), to_json(&whole));
+        prop_assert_eq!(to_json(&reverse), to_json(&whole));
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_relative_error(
+        values in sample_values(),
+        q in 0.0..=1.0f64,
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q).unwrap();
+        let err = (got as i128 - exact as i128).unsigned_abs() as f64;
+        prop_assert!(
+            err <= exact as f64 * Histogram::RELATIVE_ERROR_BOUND + 1.0,
+            "q={}: reported {} vs exact {} (err {})", q, got, exact, err
+        );
+        // The reported quantile also never leaves the observed range.
+        prop_assert!(got >= h.min().unwrap() && got <= h.max().unwrap());
+    }
+
+    #[test]
+    fn exact_counters_survive_any_merge_split(values in sample_values()) {
+        let whole = hist_of(&values);
+        let (left, right) = values.split_at(values.len() / 2);
+        let mut merged = hist_of(left);
+        merged.merge(&hist_of(right));
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.min(), values.iter().copied().min());
+        prop_assert_eq!(merged.max(), values.iter().copied().max());
+    }
+}

@@ -40,12 +40,15 @@ use latest::predict::{
     parse_batch_pairs, serve_batch, PredictModel, PredictedTable,
 };
 use latest::queue::{
-    JobId, JobQueue, JobState, PoolConfig, ProgressFormatter, QueueEvent, SubmitOptions, WorkerPool,
+    EventLog, EventTail, JobId, JobQueue, JobState, PoolConfig, ProgressFormatter, QueueEvent,
+    SubmitOptions, WorkerPool,
 };
 use latest::report::{
     campaign_summary_table, cross_device_table, energy_heatmap, missed_rate_heatmap,
-    policy_scorecard_table, Bundle, CampaignDiff, CrossDeviceRow, PolicyScoreRow, TextTable,
+    policy_scorecard_table, render_to_string, stage_latency_table, Bundle, CampaignDiff,
+    CrossDeviceRow, Format, PolicyScoreRow, TextTable,
 };
+use latest::telemetry::{ClockSpec, Stage, TelemetrySnapshot};
 use latest::traffic::{TrafficRegistry, TrafficSpec};
 
 const USAGE: &str = "\
@@ -1055,16 +1058,23 @@ commands:
                        enqueue a campaign or fleet scenario
   serve [--workers N] [--drain] [--store <dir>] [--checkpoint-every N]
         [--poll-ms M] [--stats-out <file>] [--shard-pairs N]
+        [--log-max-bytes B] [--virtual-clock]
                        run the worker pool; --drain exits once the queue
                        is empty, otherwise new submissions are polled for.
                        Claimed jobs shard into work units of --shard-pairs
                        pairs (default: sized so one job spans the pool)
-                       that spread across every worker
+                       that spread across every worker. events.log rotates
+                       to events.log.1 at --log-max-bytes (default 8 MiB,
+                       0 = unbounded); --virtual-clock times telemetry on
+                       a deterministic tick clock (pair with --workers 1
+                       for bitwise-reproducible snapshots)
   status [<job-id>]    show job states; exits 0 only when all jobs are
                        done, 1 on failures/cancellations, 3 while pending
+  stats [--json|--csv] per-stage service latency (p50/p90/p99/max) from
+                       the last drain's telemetry snapshot
   cancel <job-id>      cancel a queued or running job
   watch                stream the multiplexed event feed until the queue
-                       settles
+                       settles (follows events.log across rotations)
 
 common options:
   --dir <dir>          the queue directory                    [latest-queue]
@@ -1092,6 +1102,10 @@ struct QueueArgs {
     priority: i32,
     force: bool,
     shard_pairs: Option<usize>,
+    log_max_bytes: Option<u64>,
+    virtual_clock: bool,
+    json: bool,
+    csv: bool,
 }
 
 impl QueueArgs {
@@ -1152,6 +1166,16 @@ fn parse_queue_args(raw: &[String]) -> Result<QueueArgs, String> {
                     .map_err(|e| format!("--priority: {e}"))?
             }
             "--force" => out.force = true,
+            "--log-max-bytes" => {
+                out.log_max_bytes = Some(
+                    value("--log-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--log-max-bytes: {e}"))?,
+                )
+            }
+            "--virtual-clock" => out.virtual_clock = true,
+            "--json" => out.json = true,
+            "--csv" => out.csv = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             positional => out.positionals.push(positional.to_string()),
         }
@@ -1218,12 +1242,22 @@ fn queue_serve(raw: &[String]) -> ExitCode {
     if !args.positionals.is_empty() {
         return queue_fail("serve takes no positional arguments");
     }
+    // --virtual-clock: per-thread deterministic tick clocks in place of
+    // monotonic time, so two drains of the same scenario (with
+    // --workers 1) persist bitwise-identical telemetry snapshots.
+    let clock = if args.virtual_clock {
+        ClockSpec::Ticks { tick_ns: 100_000 }
+    } else {
+        ClockSpec::Monotonic
+    };
     let config = PoolConfig {
         workers: args.workers.unwrap_or(2),
         checkpoint_every: args.checkpoint_every.unwrap_or(1),
         poll_interval: std::time::Duration::from_millis(args.poll_ms.unwrap_or(50)),
         store_dir: args.store.clone(),
         shard_pairs: args.shard_pairs.unwrap_or(0),
+        clock,
+        ..PoolConfig::default()
     };
     let dir = args.dir();
     let pool = match WorkerPool::open(&dir, config) {
@@ -1240,17 +1274,18 @@ fn queue_serve(raw: &[String]) -> ExitCode {
         pool.store().root().display()
     );
 
-    // Event feed: every line goes to stderr and to the append-only
-    // events.log that `queue watch` replays, with per-campaign
+    // Event feed: every line goes to stderr and to the size-capped,
+    // rotating events.log that `queue watch` replays, with per-campaign
     // elapsed/ETA progress rendering (the same formatter `latest run
     // --progress` uses).
     let log_path = pool.queue().events_log_path();
-    let log = std::fs::File::options()
-        .create(true)
-        .append(true)
-        .open(&log_path);
+    let log = EventLog::open(
+        &log_path,
+        pool.queue().rotated_events_log_path(),
+        args.log_max_bytes.unwrap_or(8 * 1024 * 1024),
+    );
     let log = match log {
-        Ok(f) => std::sync::Mutex::new(f),
+        Ok(l) => l,
         Err(e) => {
             eprintln!("error: opening {}: {e}", log_path.display());
             return ExitCode::from(2);
@@ -1258,7 +1293,8 @@ fn queue_serve(raw: &[String]) -> ExitCode {
     };
     // One formatter per *job* (not per member): the `Planned` event seeds
     // the job-wide pair total, so fleet jobs get one done/total counter
-    // and ETA spanning every member's shards.
+    // and ETA spanning every member's shards. Under --virtual-clock the
+    // formatters read the same deterministic tick time as the telemetry.
     let formatters =
         std::sync::Mutex::new(std::collections::HashMap::<JobId, ProgressFormatter>::new());
     let pool = pool.observe(move |e: &QueueEvent| {
@@ -1266,7 +1302,7 @@ fn queue_serve(raw: &[String]) -> ExitCode {
             QueueEvent::Planned { job, pairs, .. } => {
                 let mut fmts = formatters.lock().unwrap();
                 let fmt = fmts.entry(*job).or_default();
-                *fmt = ProgressFormatter::new();
+                *fmt = ProgressFormatter::with_clock(clock.clock());
                 fmt.seed_totals(*pairs);
                 e.to_string()
             }
@@ -1278,8 +1314,7 @@ fn queue_serve(raw: &[String]) -> ExitCode {
             other => other.to_string(),
         };
         eprintln!("{line}");
-        use std::io::Write as _;
-        let _ = writeln!(log.lock().unwrap(), "{line}");
+        let _ = log.append_line(&line);
     });
 
     let outcome = if args.drain {
@@ -1369,12 +1404,93 @@ fn queue_status(raw: &[String]) -> ExitCode {
         pending,
         unhappy
     );
+    // Service latency one-liner from the last drain's persisted
+    // telemetry snapshot (queue wait = submit-to-claim, turnaround =
+    // claim-to-settled); `queue stats` has the full per-stage table.
+    if let Ok(text) = std::fs::read_to_string(queue.telemetry_path()) {
+        if let Ok(snapshot) = TelemetrySnapshot::from_json(&text) {
+            let wait = snapshot.stage(Stage::QueueWait);
+            let turn = snapshot.stage(Stage::SettleLatency);
+            eprintln!(
+                "last drain: queue-wait n={} p50={} p99={}; turnaround n={} p50={} p99={}",
+                wait.count(),
+                human_ns(wait.quantile(0.50)),
+                human_ns(wait.quantile(0.99)),
+                turn.count(),
+                human_ns(turn.quantile(0.50)),
+                human_ns(turn.quantile(0.99)),
+            );
+        }
+    }
     if unhappy > 0 {
         ExitCode::FAILURE
     } else if pending > 0 {
         ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Human-readable duration for an optional nanosecond quantile.
+fn human_ns(ns: Option<u64>) -> String {
+    match ns {
+        None => "-".to_string(),
+        Some(ns) if ns < 1_000 => format!("{ns}ns"),
+        Some(ns) if ns < 1_000_000 => format!("{:.1}us", ns as f64 / 1e3),
+        Some(ns) if ns < 1_000_000_000 => format!("{:.2}ms", ns as f64 / 1e6),
+        Some(ns) => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn queue_stats(raw: &[String]) -> ExitCode {
+    let args = match parse_queue_args(raw) {
+        Ok(a) => a,
+        Err(msg) => return queue_fail(&msg),
+    };
+    if !args.positionals.is_empty() {
+        return queue_fail("stats takes no positional arguments");
+    }
+    let queue = match JobQueue::open(args.dir()) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: opening queue: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = queue.telemetry_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: no telemetry snapshot at {} ({e}); run `latest queue serve` first",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match TelemetrySnapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let format = if args.json {
+        Format::Json
+    } else if args.csv {
+        Format::Csv
+    } else {
+        Format::Text
+    };
+    match render_to_string(&stage_latency_table(&snapshot), format) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: rendering telemetry: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -1420,22 +1536,22 @@ fn queue_watch(raw: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let log_path = queue.events_log_path();
-    let mut offset = 0u64;
+    // Tail incrementally, following rotations: the EventTail reads only
+    // the bytes appended since the last poll, and when serve rotates
+    // events.log to events.log.1 mid-watch it finishes the rotated
+    // generation before continuing at the top of the new file.
+    let mut tail = EventTail::new(queue.events_log_path(), queue.rotated_events_log_path());
     let poll = std::time::Duration::from_millis(args.poll_ms.unwrap_or(200));
     loop {
-        // Tail incrementally: seek to where the last poll stopped and read
-        // only the new bytes, so a long-lived feed is not re-read in full
-        // every tick.
-        if let Ok(mut file) = std::fs::File::open(&log_path) {
-            use std::io::{Read, Seek, SeekFrom};
-            let mut fresh = String::new();
-            if file.seek(SeekFrom::Start(offset)).is_ok()
-                && file.read_to_string(&mut fresh).is_ok()
-                && !fresh.is_empty()
-            {
-                print!("{fresh}");
-                offset += fresh.len() as u64;
+        match tail.poll() {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: tailing event log: {e}");
+                return ExitCode::from(2);
             }
         }
         match queue.counts() {
@@ -1462,6 +1578,7 @@ fn cmd_queue(raw: &[String]) -> ExitCode {
         Some("submit") => queue_submit(&raw[1..]),
         Some("serve") => queue_serve(&raw[1..]),
         Some("status") => queue_status(&raw[1..]),
+        Some("stats") => queue_stats(&raw[1..]),
         Some("cancel") => queue_cancel(&raw[1..]),
         Some("watch") => queue_watch(&raw[1..]),
         Some(other) => queue_fail(&format!("unknown queue command {other:?}")),

@@ -23,6 +23,7 @@
 //! | [`ftalat`] | `latest-ftalat` | FTaLaT CPU baseline (Sec. IV) |
 //! | [`governor`] | `latest-governor` | latency-aware DVFS governor (Sec. VIII application) |
 //! | [`queue`] | `latest-queue` | campaign execution service (job queue, workers, result cache) |
+//! | [`telemetry`] | `latest-telemetry` | lock-free stage latency histograms, clocks, registries |
 //! | [`traffic`] | `latest-traffic` | deterministic open-loop traffic generators |
 //! | [`predict`] | `latest-predict` | latency models fitted over the archive, served to the governor |
 //! | [`report`] | `latest-report` | heatmaps, violins, tables, CSV |
@@ -68,4 +69,5 @@ pub use latest_queue as queue;
 pub use latest_report as report;
 pub use latest_sim_clock as sim_clock;
 pub use latest_stats as stats;
+pub use latest_telemetry as telemetry;
 pub use latest_traffic as traffic;

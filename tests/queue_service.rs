@@ -11,6 +11,7 @@ use latest::core::spec::{CampaignSpec, FleetSpec, ScenarioSpec};
 use latest::core::store::RunId;
 use latest::core::{CampaignEvent, CampaignResult, CampaignSession};
 use latest::queue::{CompletionVia, JobState, PoolConfig, QueueEvent, SubmitOptions, WorkerPool};
+use latest::telemetry::Stage;
 
 fn tiny(seed: u64) -> CampaignSpec {
     CampaignSpec::builder("a100")
@@ -388,6 +389,11 @@ fn sharded_drains_are_bitwise_identical_across_worker_counts() {
             (stats.shards_executed, stats.pairs_measured),
             (6, 12),
             "workers={workers}: 12 pairs at 2 per shard is 6 shards"
+        );
+        assert_eq!(
+            stats.telemetry.stage(Stage::ShardExec).count(),
+            6,
+            "workers={workers}: one shard-exec telemetry sample per shard"
         );
         let shard_events = events
             .lock()
